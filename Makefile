@@ -1,0 +1,44 @@
+GO ?= go
+
+.PHONY: all build test test-race test-short bench experiments quick-experiments report fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+## Regenerate every paper table/figure at paper scale (5000 runs).
+experiments:
+	$(GO) run ./cmd/duet-bench | tee experiments_full.txt
+
+## Fast smoke pass over all experiments.
+quick-experiments:
+	$(GO) run ./cmd/duet-bench -quick
+
+## Machine-readable report (for plotting / regression baselines).
+report:
+	$(GO) run ./cmd/duet-bench -json report.json
+
+## Check a fresh run against a stored baseline report.
+compare: report.json
+	$(GO) run ./cmd/duet-bench -compare report.json
+
+## Fuzz the Relay parser for 30s.
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/relay
+
+clean:
+	rm -f report.json trace.json

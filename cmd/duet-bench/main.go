@@ -1,0 +1,116 @@
+// Command duet-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	duet-bench                  # run every experiment at paper scale
+//	duet-bench -exp fig11       # run one experiment
+//	duet-bench -quick           # reduced run counts (smoke test)
+//	duet-bench -list            # list experiment IDs
+//	duet-bench -runs 1000       # override the sample count
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"duet/internal/experiments"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "", "experiment ID to run (default: all)")
+		quick     = flag.Bool("quick", false, "reduced run counts for a fast smoke pass")
+		list      = flag.Bool("list", false, "list available experiments")
+		runs      = flag.Int("runs", 0, "override latency sample count")
+		seed      = flag.Int64("seed", 42, "noise/workload seed")
+		jsonPath  = flag.String("json", "", "write a machine-readable report of the quantitative experiments to this file")
+		compare   = flag.String("compare", "", "baseline report JSON to diff a fresh run against (exits 1 on regression)")
+		tolerance = flag.Float64("tolerance", 0.05, "relative change beyond which -compare flags a regression")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-7s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	cfg.Seed = *seed
+	if *runs > 0 {
+		cfg.Runs = *runs
+	}
+
+	if *compare != "" {
+		f, err := os.Open(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "duet-bench: %v\n", err)
+			os.Exit(1)
+		}
+		var baseline experiments.Report
+		if err := json.NewDecoder(f).Decode(&baseline); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "duet-bench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fresh, err := experiments.BuildReport(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "duet-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if regressions := experiments.CompareReports(&baseline, fresh, *tolerance, os.Stdout); regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *jsonPath != "" {
+		report, err := experiments.BuildReport(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "duet-bench: report: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "duet-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := report.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "duet-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote report to %s\n", *jsonPath)
+		return
+	}
+
+	run := func(e experiments.Experiment) {
+		if err := e.Run(cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "duet-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	}
+
+	if *exp != "" {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "duet-bench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			run(e)
+		}
+		return
+	}
+	for _, e := range experiments.All() {
+		run(e)
+	}
+}

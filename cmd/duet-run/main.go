@@ -1,0 +1,205 @@
+// Command duet-run builds a DUET engine for one model, executes a real
+// inference on the chosen heterogeneous placement, and reports the
+// placement decisions, latency statistics and execution timeline.
+//
+// Usage:
+//
+//	duet-run -model widedeep
+//	duet-run -model siamese -runs 2000 -seed 7
+//	duet-run -model resnet50 -timeline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"duet/internal/core"
+	"duet/internal/device"
+	"duet/internal/graph"
+	"duet/internal/models"
+	"duet/internal/profile"
+	"duet/internal/stats"
+	"duet/internal/tensor"
+	"duet/internal/workload"
+)
+
+func main() {
+	var (
+		model    = flag.String("model", "widedeep", "widedeep | siamese | mtdnn | resnet18/34/50/101 | vgg16 | squeezenet | googlenet")
+		seed     = flag.Int64("seed", 42, "noise/workload seed")
+		runs     = flag.Int("runs", 1000, "latency samples")
+		timeline = flag.Bool("timeline", false, "print the execution timeline of one inference")
+		small    = flag.Bool("small", false, "use a reduced model (fast real-value execution)")
+		trace    = flag.String("trace", "", "write a Chrome trace-event JSON of one inference to this file")
+		dot      = flag.String("dot", "", "write the model graph (with placement labels) in Graphviz dot form to this file")
+		parallel = flag.Bool("parallel", false, "execute tensor math with per-device worker goroutines (InferParallel)")
+		profiles = flag.String("profiles", "", "reuse persisted profiling records (from duet-profile -out) instead of re-profiling")
+	)
+	flag.Parse()
+
+	g, inputs, err := buildModel(*model, *seed, *small)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "duet-run:", err)
+		os.Exit(2)
+	}
+
+	cfg := core.DefaultConfig(*seed)
+	if *profiles != "" {
+		f, err := os.Open(*profiles)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "duet-run:", err)
+			os.Exit(1)
+		}
+		records, err := profile.LoadRecords(g.Name, -1, f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "duet-run:", err)
+			os.Exit(1)
+		}
+		cfg.Records = records
+		fmt.Printf("reusing %d persisted profile records from %s\n", len(records), *profiles)
+	}
+	engine, err := core.Build(g, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "duet-run:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("model %s: %d nodes, %.1fM params, %d subgraphs, placement %s (fellback=%v)\n",
+		g.Name, g.Len(), float64(models.ParamCount(g))/1e6, engine.Runtime.NumSubgraphs(), engine.Placement, engine.FellBack)
+	fmt.Println("\nplacement decisions (Table II style):")
+	for _, row := range engine.PlacementTable() {
+		fmt.Println(" ", row)
+	}
+
+	duet, err := engine.Measure(*runs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "duet-run:", err)
+		os.Exit(1)
+	}
+	cpu, _ := engine.MeasureUniform(device.CPU, *runs)
+	gpu, _ := engine.MeasureUniform(device.GPU, *runs)
+	sDuet, sCPU, sGPU := stats.Summarize(duet), stats.Summarize(cpu), stats.Summarize(gpu)
+	fmt.Printf("\nlatency over %d runs:\n  DUET     %s\n  TVM-CPU  %s\n  TVM-GPU  %s\n  speedup: %.2fx vs GPU, %.2fx vs CPU\n",
+		*runs, sDuet, sCPU, sGPU, sGPU.Mean/sDuet.Mean, sCPU.Mean/sDuet.Mean)
+
+	infer := engine.Infer
+	if *parallel {
+		infer = engine.InferParallel
+	}
+	res, err := infer(inputs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "duet-run: inference:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nreal inference: latency %sms, %d output(s):\n", stats.Ms(res.Latency), len(res.Outputs))
+	for i, o := range res.Outputs {
+		fmt.Printf("  out[%d] %v\n", i, o)
+	}
+	if *timeline {
+		fmt.Println("\ntimeline:")
+		for _, s := range res.Timeline {
+			fmt.Printf("  %-9s %9sms..%9sms  %s\n", s.Device, stats.Ms(s.Start), stats.Ms(s.End), s.Label)
+		}
+	}
+	if *trace != "" {
+		data, err := res.ChromeTrace()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "duet-run: trace:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*trace, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "duet-run: trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote Chrome trace to %s (open in chrome://tracing)\n", *trace)
+	}
+
+	mem, err := engine.Runtime.Memory(engine.Placement)
+	if err == nil {
+		fmt.Printf("\nmemory footprint: %s\n", mem)
+	}
+
+	if *dot != "" {
+		labels := map[graph.NodeID]string{}
+		for i, sub := range engine.Runtime.Subgraphs() {
+			for _, id := range sub.Members {
+				labels[id] = engine.Placement[i].String()
+			}
+		}
+		if err := os.WriteFile(*dot, []byte(g.DOT(labels)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "duet-run: dot:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote placement-labelled graph to %s\n", *dot)
+	}
+}
+
+func buildModel(name string, seed int64, small bool) (*graph.Graph, map[string]*tensor.Tensor, error) {
+	switch {
+	case name == "widedeep":
+		cfg := models.DefaultWideDeep()
+		if small {
+			cfg.ImageSize = 64
+			cfg.SeqLen = 16
+			cfg.CNNDepth = 18
+		}
+		g, err := models.WideDeep(cfg)
+		return g, workload.WideDeepInputs(cfg, seed), err
+	case name == "siamese":
+		cfg := models.DefaultSiamese()
+		if small {
+			cfg.SeqLen = 16
+			cfg.Hidden = 64
+		}
+		g, err := models.Siamese(cfg)
+		return g, workload.SiameseInputs(cfg, seed), err
+	case name == "mtdnn":
+		cfg := models.DefaultMTDNN()
+		if small {
+			cfg.SeqLen = 16
+			cfg.Layers = 2
+			cfg.ModelDim = 128
+			cfg.FFNDim = 256
+			cfg.Heads = 4
+		}
+		g, err := models.MTDNN(cfg)
+		return g, workload.MTDNNInputs(cfg, seed), err
+	case name == "vgg16":
+		cfg := models.DefaultVGG()
+		if small {
+			cfg.ImageSize = 64
+		}
+		g, err := models.VGG(cfg)
+		return g, map[string]*tensor.Tensor{"image": tensor.Full(0.1, cfg.Batch, 3, cfg.ImageSize, cfg.ImageSize)}, err
+	case name == "googlenet":
+		cfg := models.DefaultGoogLeNet()
+		if small {
+			cfg.ImageSize = 64
+		}
+		g, err := models.GoogLeNet(cfg)
+		return g, map[string]*tensor.Tensor{"image": tensor.Full(0.1, cfg.Batch, 3, cfg.ImageSize, cfg.ImageSize)}, err
+	case name == "squeezenet":
+		cfg := models.DefaultSqueezeNet()
+		if small {
+			cfg.ImageSize = 64
+		}
+		g, err := models.SqueezeNet(cfg)
+		return g, map[string]*tensor.Tensor{"image": tensor.Full(0.1, cfg.Batch, 3, cfg.ImageSize, cfg.ImageSize)}, err
+	case strings.HasPrefix(name, "resnet"):
+		var depth int
+		if _, err := fmt.Sscanf(name, "resnet%d", &depth); err != nil {
+			return nil, nil, fmt.Errorf("bad model name %q", name)
+		}
+		cfg := models.DefaultResNet(depth)
+		if small {
+			cfg.ImageSize = 64
+		}
+		g, err := models.ResNet(cfg)
+		return g, workload.ResNetInputs(cfg, seed), err
+	default:
+		return nil, nil, fmt.Errorf("unknown model %q", name)
+	}
+}

@@ -1,0 +1,163 @@
+package duet_test
+
+import (
+	"strings"
+	"testing"
+
+	"duet"
+)
+
+// TestPublicAPIQuickstart exercises the full public surface: graph
+// construction, Relay parsing, engine build, inference, measurement.
+func TestPublicAPIQuickstart(t *testing.T) {
+	g := duet.NewGraph("api-test")
+	x := g.AddInput("x", 1, 16)
+	w := g.AddConst("w", duet.TensorFull(0.1, 8, 16))
+	d := g.Add("dense", "d", nil, x, w)
+	s := g.Add("softmax", "s", nil, d)
+	g.SetOutputs(s)
+
+	engine, err := duet.Build(g, duet.DefaultConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Infer(map[string]*duet.Tensor{"x": duet.TensorFull(1, 1, 16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 1 || res.Latency <= 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	var sum float64
+	for _, v := range res.Outputs[0].Data() {
+		sum += float64(v)
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("softmax sum = %v", sum)
+	}
+}
+
+func TestPublicRelayRoundTrip(t *testing.T) {
+	src := `fn (%x: Tensor[(1, 4)]) { %r = relu(%x); %r }`
+	g, err := duet.ParseRelay(src, "roundtrip", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, weights, err := duet.FormatRelay(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(weights) != 0 {
+		t.Fatalf("unexpected weights: %v", weights)
+	}
+	if !strings.Contains(text, "relu(%x)") {
+		t.Fatalf("round trip lost the program: %s", text)
+	}
+	if _, err := duet.ParseRelay(text, "again", nil); err != nil {
+		t.Fatalf("printed form does not reparse: %v", err)
+	}
+}
+
+func TestPublicZooBuilders(t *testing.T) {
+	for name, build := range map[string]func() (*duet.Graph, error){
+		"widedeep": func() (*duet.Graph, error) { return duet.WideDeep(duet.DefaultWideDeep()) },
+		"siamese":  func() (*duet.Graph, error) { return duet.Siamese(duet.DefaultSiamese()) },
+		"mtdnn":    func() (*duet.Graph, error) { return duet.MTDNN(duet.DefaultMTDNN()) },
+		"resnet":   func() (*duet.Graph, error) { return duet.ResNet(duet.DefaultResNet(18)) },
+	} {
+		g, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if duet.ParamCount(g) <= 0 {
+			t.Fatalf("%s: no parameters", name)
+		}
+	}
+}
+
+func TestPublicWorkloadGenerators(t *testing.T) {
+	cfg := duet.DefaultWideDeep()
+	inputs := duet.WideDeepInputs(cfg, 3)
+	if len(inputs) != 4 {
+		t.Fatalf("Wide&Deep inputs = %d entries", len(inputs))
+	}
+	if len(duet.SiameseInputs(duet.DefaultSiamese(), 3)) != 2 {
+		t.Fatalf("Siamese inputs wrong")
+	}
+	if len(duet.MTDNNInputs(duet.DefaultMTDNN(), 3)) != 1 {
+		t.Fatalf("MTDNN inputs wrong")
+	}
+	if len(duet.ResNetInputs(duet.DefaultResNet(18), 3)) != 1 {
+		t.Fatalf("ResNet inputs wrong")
+	}
+}
+
+func TestPublicEndToEndWideDeep(t *testing.T) {
+	cfg := duet.DefaultWideDeep()
+	cfg.ImageSize = 32
+	cfg.SeqLen = 8
+	cfg.FFNWidth = 64
+	g, err := duet.WideDeep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecfg := duet.DefaultConfig(1)
+	ecfg.ProfileRuns = 2
+	engine, err := duet.Build(g, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Infer(duet.WideDeepInputs(cfg, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0].ArgMax() < 0 || res.Outputs[0].ArgMax() >= cfg.Classes {
+		t.Fatalf("implausible prediction")
+	}
+	samples, err := engine.Measure(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 25 {
+		t.Fatalf("sample count = %d", len(samples))
+	}
+	gpu, err := engine.MeasureUniform(duet.GPU, 5)
+	if err != nil || len(gpu) != 5 {
+		t.Fatalf("MeasureUniform failed: %v", err)
+	}
+}
+
+func TestPublicInferParallelMatchesInfer(t *testing.T) {
+	cfg := duet.DefaultSiamese()
+	cfg.SeqLen = 8
+	cfg.Hidden = 16
+	cfg.EmbedDim = 8
+	cfg.Vocab = 40
+	g, err := duet.Siamese(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecfg := duet.DefaultConfig(0)
+	ecfg.ProfileRuns = 1
+	engine, err := duet.Build(g, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := duet.SiameseInputs(cfg, 77)
+	serial, err := engine.Infer(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := engine.InferParallel(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Outputs[0].At(0, 0) != parallel.Outputs[0].At(0, 0) {
+		t.Fatalf("parallel inference diverges: %v vs %v",
+			parallel.Outputs[0].At(0, 0), serial.Outputs[0].At(0, 0))
+	}
+	if parallel.Latency != serial.Latency {
+		// Both use the noiseless timing model; must agree exactly.
+		t.Fatalf("latency models diverge: %v vs %v", parallel.Latency, serial.Latency)
+	}
+}

@@ -1,0 +1,86 @@
+package duet_test
+
+import (
+	"fmt"
+	"log"
+
+	"duet"
+)
+
+// Example builds a minimal model, schedules it with DUET, and runs one
+// inference. The seed-0 engine is fully deterministic, so the output is
+// stable.
+func Example() {
+	g := duet.NewGraph("doc-example")
+	x := g.AddInput("x", 1, 4)
+	w := g.AddConst("w", duet.TensorFromSlice([]float32{
+		1, 0, 0, 0,
+		0, 1, 0, 0,
+	}, 2, 4))
+	d := g.Add("dense", "d", nil, x, w)
+	s := g.Add("softmax", "s", nil, d)
+	g.SetOutputs(s)
+
+	engine, err := duet.Build(g, duet.DefaultConfig(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := engine.Infer(map[string]*duet.Tensor{
+		"x": duet.TensorFromSlice([]float32{3, 1, 0, 0}, 1, 4),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("placement %s, argmax %d\n", engine.Placement, res.Outputs[0].ArgMax())
+	// Output: placement C, argmax 0
+}
+
+// ExampleParseRelay lowers a textual Relay-like program to a graph and
+// executes it through a DUET engine.
+func ExampleParseRelay() {
+	src := `
+fn (%x: Tensor[(1, 3)]) {
+  %half = mul(%x, @w_half);
+  %out  = relu(%half);
+  %out
+}`
+	weights := map[string]*duet.Tensor{
+		"w_half": duet.TensorFull(0.5, 3),
+	}
+	g, err := duet.ParseRelay(src, "relay-example", weights)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := duet.Build(g, duet.DefaultConfig(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := engine.Infer(map[string]*duet.Tensor{
+		"x": duet.TensorFromSlice([]float32{2, -4, 6}, 1, 3),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Outputs[0].Data())
+	// Output: [1 0 3]
+}
+
+// ExampleEngine_PlacementTable shows the Table II-style placement report of
+// a heterogeneous model.
+func ExampleEngine_PlacementTable() {
+	cfg := duet.DefaultWideDeep()
+	g, err := duet.WideDeep(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ecfg := duet.DefaultConfig(0)
+	ecfg.ProfileRuns = 1
+	engine, err := duet.Build(g, ecfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows := engine.PlacementTable()
+	fmt.Printf("%d subgraphs; RNN on %s, CNN on %s\n",
+		len(rows), rows[2].Decision, rows[3].Decision)
+	// Output: 5 subgraphs; RNN on CPU, CNN on GPU
+}

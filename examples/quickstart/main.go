@@ -1,0 +1,75 @@
+// Quickstart: build a small two-branch model with the public API, let DUET
+// partition/profile/schedule it across the CPU and GPU models, and run a
+// real inference.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"duet"
+)
+
+func main() {
+	// A toy heterogeneous model: a recurrent branch (CPU-friendly) and a
+	// matrix-heavy branch (GPU-friendly) joined by a dense head.
+	rng := rand.New(rand.NewSource(1))
+	g := duet.NewGraph("quickstart")
+
+	// Branch 1: LSTM over a short token sequence.
+	ids := g.AddInput("tokens", 1, 32)
+	table := g.AddConst("embed", duet.RandTensor(rng, 0.1, 100, 64))
+	emb := g.Add("embedding", "emb", nil, ids, table)
+	wx := g.AddConst("wx", duet.RandTensor(rng, 0.1, 4*128, 64))
+	wh := g.AddConst("wh", duet.RandTensor(rng, 0.1, 4*128, 128))
+	bias := g.AddConst("b", duet.RandTensor(rng, 0.1, 4*128))
+	rnn := g.Add("lstm", "rnn", duet.Attrs{"last_only": 1}, emb, wx, wh, bias)
+
+	// Branch 2: a stack of wide dense layers.
+	x := g.AddInput("features", 1, 1024)
+	h := x
+	for i := 0; i < 3; i++ {
+		w := g.AddConst(fmt.Sprintf("w%d", i), duet.RandTensor(rng, 0.05, 1024, 1024))
+		d := g.Add("dense", fmt.Sprintf("dense%d", i), nil, h, w)
+		h = g.Add("relu", fmt.Sprintf("relu%d", i), nil, d)
+	}
+
+	// Join.
+	cat := g.Add("concat", "cat", duet.Attrs{"axis": 1}, rnn, h)
+	wOut := g.AddConst("w_out", duet.RandTensor(rng, 0.05, 10, 128+1024))
+	logits := g.Add("dense", "head", nil, cat, wOut)
+	probs := g.Add("softmax", "probs", nil, logits)
+	g.SetOutputs(probs)
+
+	// Build the engine: partition → profile → schedule (→ fallback).
+	engine, err := duet.Build(g, duet.DefaultConfig(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("placement: %s (fellback=%v)\n", engine.Placement, engine.FellBack)
+	for _, row := range engine.PlacementTable() {
+		fmt.Println(" ", row)
+	}
+
+	// One real inference.
+	inputs := map[string]*duet.Tensor{
+		"tokens":   duet.TensorFromSlice(seq(32), 1, 32),
+		"features": duet.RandTensor(rng, 1, 1, 1024),
+	}
+	res, err := engine.Infer(inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninference latency (virtual): %.3f ms\n", res.Latency*1e3)
+	fmt.Printf("class probabilities: %v\n", res.Outputs[0])
+	fmt.Printf("predicted class: %d\n", res.Outputs[0].ArgMax())
+}
+
+func seq(n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = float32(i % 100)
+	}
+	return s
+}

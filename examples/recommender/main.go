@@ -1,0 +1,72 @@
+// Recommender: serve the Wide-and-Deep network — the paper's headline
+// workload — comparing DUET's heterogeneous placement against single-device
+// execution and showing the execution timeline of one request.
+//
+// The default configuration uses a reduced image/sequence size so the real
+// tensor math completes in seconds on a laptop; pass -full for the paper's
+// Table I configuration (timing-only comparison stays fast either way).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"duet"
+)
+
+func main() {
+	full := flag.Bool("full", false, "use the paper's full model size")
+	flag.Parse()
+
+	cfg := duet.DefaultWideDeep()
+	if !*full {
+		cfg.ImageSize = 64
+		cfg.SeqLen = 24
+		cfg.FFNWidth = 256
+	}
+	g, err := duet.WideDeep(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := duet.Build(g, duet.DefaultConfig(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Wide&Deep: %.1fM params, %d subgraphs, placement %s\n",
+		float64(duet.ParamCount(g))/1e6, engine.Runtime.NumSubgraphs(), engine.Placement)
+	for _, row := range engine.PlacementTable() {
+		fmt.Println(" ", row)
+	}
+
+	// Latency comparison (timing-only, 2000 requests).
+	duetLat, err := engine.Measure(2000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpuLat, _ := engine.MeasureUniform(duet.CPU, 2000)
+	gpuLat, _ := engine.MeasureUniform(duet.GPU, 2000)
+	mean := func(s []duet.Seconds) float64 {
+		var sum float64
+		for _, v := range s {
+			sum += v
+		}
+		return sum / float64(len(s)) * 1e3
+	}
+	fmt.Printf("\nmean latency over 2000 requests:\n")
+	fmt.Printf("  DUET    %7.3f ms\n  TVM-CPU %7.3f ms (%.2fx slower)\n  TVM-GPU %7.3f ms (%.2fx slower)\n",
+		mean(duetLat), mean(cpuLat), mean(cpuLat)/mean(duetLat), mean(gpuLat), mean(gpuLat)/mean(duetLat))
+
+	// One real recommendation request.
+	inputs := duet.WideDeepInputs(cfg, 1234)
+	res, err := engine.Infer(inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrequest served in %.3f ms (virtual); top item: %d\n", res.Latency*1e3, res.Outputs[0].ArgMax())
+	fmt.Println("\nexecution timeline:")
+	for _, s := range res.Timeline {
+		fmt.Printf("  %-9s %8.3f..%8.3f ms  %s\n", s.Device, s.Start*1e3, s.End*1e3, s.Label)
+	}
+}

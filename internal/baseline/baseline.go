@@ -1,0 +1,91 @@
+// Package baseline models the DL-framework comparison points (PyTorch /
+// TensorFlow in the paper's Fig. 11): an operators-in-sequence interpreter
+// that runs one unfused kernel per operator on a single device, paying a
+// framework dispatch overhead per operator, with no graph-level compiler
+// optimization (§III-A's "Operators-in-Sequence scheduling").
+package baseline
+
+import (
+	"fmt"
+
+	"duet/internal/compiler"
+	"duet/internal/device"
+	"duet/internal/graph"
+	"duet/internal/tensor"
+	"duet/internal/vclock"
+)
+
+// DefaultPerOpOverhead is the per-operator host dispatch cost of an eager
+// framework (interpreter hop, type dispatch, allocator) — roughly the
+// ~10 µs/op observed for eager PyTorch.
+const DefaultPerOpOverhead vclock.Seconds = 10e-6
+
+// Framework is a single-device, unfused executor for one model.
+type Framework struct {
+	Name     string
+	Module   *compiler.Module
+	Platform *device.Platform
+	// PerOpOverhead is charged once per operator per inference.
+	PerOpOverhead vclock.Seconds
+
+	parent *graph.Graph
+}
+
+// New compiles g without graph-level optimizations and returns the
+// framework executor.
+func New(name string, g *graph.Graph, plat *device.Platform) (*Framework, error) {
+	m, err := compiler.Compile(g, compiler.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	return &Framework{
+		Name:          name,
+		Module:        m,
+		Platform:      plat,
+		PerOpOverhead: DefaultPerOpOverhead,
+		parent:        g,
+	}, nil
+}
+
+// Latency samples one end-to-end inference time on the given device,
+// including moving runtime inputs to the GPU and the result back when
+// executing there.
+func (f *Framework) Latency(kind device.Kind) vclock.Seconds {
+	dev := f.Platform.Device(kind)
+	var t vclock.Seconds
+	if kind == device.GPU {
+		for _, id := range f.Module.Graph.InputIDs() {
+			t += f.Platform.Link.SampleTransferTime(f.Module.Graph.DataSize(id))
+		}
+	}
+	for k := range f.Module.Kernels {
+		c := f.Module.Kernels[k].Cost
+		steps := c.SeqSteps
+		if steps < 1 {
+			steps = 1
+		}
+		// Eager frameworks dispatch recurrent cells once per timestep, so
+		// the interpreter overhead multiplies by the sequence length.
+		t += dev.SampleKernelTime(c) + f.PerOpOverhead*vclock.Seconds(steps)
+	}
+	if kind == device.GPU {
+		for _, o := range f.Module.Graph.Outputs() {
+			t += f.Platform.Link.SampleTransferTime(f.Module.Graph.DataSize(o))
+		}
+	}
+	return t
+}
+
+// Measure samples runs end-to-end latencies.
+func (f *Framework) Measure(kind device.Kind, runs int) []vclock.Seconds {
+	out := make([]vclock.Seconds, runs)
+	for i := range out {
+		out[i] = f.Latency(kind)
+	}
+	return out
+}
+
+// Execute runs the model for real values (device-independent math).
+func (f *Framework) Execute(inputs map[string]*tensor.Tensor) ([]*tensor.Tensor, error) {
+	return f.Module.Execute(inputs)
+}

@@ -1,0 +1,144 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"duet/internal/device"
+	"duet/internal/graph"
+	"duet/internal/models"
+	"duet/internal/tensor"
+	"duet/internal/vclock"
+)
+
+func smallGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New("small")
+	x := g.AddInput("x", 1, 64)
+	w := g.AddConst("w", tensor.Full(0.01, 64, 64))
+	d := g.Add("dense", "d", nil, x, w)
+	r := g.Add("relu", "r", nil, d)
+	s := g.Add("softmax", "s", nil, r)
+	g.SetOutputs(s)
+	return g
+}
+
+func TestFrameworkBuildsUnfused(t *testing.T) {
+	fw, err := New("PyTorch", smallGraph(t), device.NewPlatform(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No fusion: one kernel per compute op.
+	if got := fw.Module.KernelCount(); got != 3 {
+		t.Fatalf("kernel count = %d, want 3 (unfused)", got)
+	}
+}
+
+func TestFrameworkSlowerThanCompiled(t *testing.T) {
+	g, err := models.WideDeep(models.DefaultWideDeep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := New("PyTorch", g, device.NewPlatform(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The framework interpreter on one device must be slower than the sum
+	// of the optimized kernels on the same device (fusion + no dispatch
+	// overhead), which is what TVM-CPU/TVM-GPU measure in Fig. 11.
+	cpuFw := fw.Latency(device.CPU)
+	var optimized vclock.Seconds
+	// Reference: compile fused and sum kernel times directly.
+	dev := device.NewCPU()
+	for k := range fw.Module.Kernels {
+		optimized += dev.KernelTime(fw.Module.Kernels[k].Cost)
+	}
+	if cpuFw <= optimized {
+		t.Fatalf("framework (%v) should exceed raw unfused kernel time (%v)", cpuFw, optimized)
+	}
+}
+
+func TestGPUPathPaysTransfers(t *testing.T) {
+	fw, err := New("TF", smallGraph(t), device.NewPlatform(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu := fw.Latency(device.GPU)
+	// Strip overheads: the GPU path must include at least the input and
+	// output PCIe base latencies on top of compute.
+	minTransfers := 2 * fw.Platform.Link.BaseLatency
+	if gpu < minTransfers {
+		t.Fatalf("GPU latency %v misses transfer cost (min %v)", gpu, minTransfers)
+	}
+}
+
+func TestRecurrentOverheadScalesWithSeqLen(t *testing.T) {
+	build := func(seq int) *Framework {
+		cfg := models.DefaultSiamese()
+		cfg.SeqLen = seq
+		g, err := models.Siamese(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw, err := New("TF", g, device.NewPlatform(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fw
+	}
+	short := build(10)
+	long := build(100)
+	ds := long.Latency(device.CPU) - short.Latency(device.CPU)
+	// 2 branches × 2 LSTM layers × 90 extra steps × overhead each, plus
+	// compute growth: the difference must exceed the pure dispatch part.
+	minOverheadGrowth := 2 * 2 * 90 * long.PerOpOverhead
+	if ds < minOverheadGrowth {
+		t.Fatalf("per-step dispatch not charged: delta %v < %v", ds, minOverheadGrowth)
+	}
+}
+
+func TestMeasureCountAndDeterminism(t *testing.T) {
+	a, err := New("fw", smallGraph(t), device.NewPlatform(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New("fw", smallGraph(t), device.NewPlatform(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := a.Measure(device.CPU, 20)
+	sb := b.Measure(device.CPU, 20)
+	if len(sa) != 20 {
+		t.Fatalf("sample count = %d", len(sa))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("framework sampling not deterministic under seed")
+		}
+	}
+}
+
+func TestExecuteRealValues(t *testing.T) {
+	fw, err := New("fw", smallGraph(t), device.NewPlatform(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := fw.Execute(map[string]*tensor.Tensor{"x": tensor.Full(0.5, 1, 64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(outs[0].Sum()-1) > 1e-4 {
+		t.Fatalf("softmax output sums to %v", outs[0].Sum())
+	}
+}
+
+func TestNewRejectsBrokenGraph(t *testing.T) {
+	g := graph.New("broken")
+	x := g.AddInput("x", 1, 4)
+	w := g.AddConst("w", tensor.Ones(3, 5))
+	d := g.Add("dense", "d", nil, x, w)
+	g.SetOutputs(d)
+	if _, err := New("fw", g, device.NewPlatform(0)); err == nil {
+		t.Fatalf("expected compile error")
+	}
+}

@@ -1,0 +1,126 @@
+package compiler
+
+import (
+	"fmt"
+
+	"duet/internal/graph"
+	"duet/internal/ops"
+)
+
+// Kernel is one launchable unit in a compiled module: an anchor operator
+// plus the elementwise epilogue fused into it (or a lone operator when
+// fusion is off / impossible). Cost reflects the fused launch structure —
+// this is precisely why compiler-aware profiling matters: the same subgraph
+// has different launch counts and memory traffic after fusion (§III-A).
+type Kernel struct {
+	Name  string
+	Nodes []graph.NodeID // execution order; Nodes[0] is the group leader
+	Cost  ops.Cost
+}
+
+// Fuse groups the graph's compute nodes into kernels. When enabled, an
+// anchor (dense/conv2d/lstm/...) or elementwise leader absorbs a following
+// chain of elementwise ops, provided each absorbed op is the sole consumer
+// of the group's current tail and all its other operands are consts or
+// values produced outside the group (which become kernel inputs).
+func Fuse(g *graph.Graph, enabled bool) []Kernel {
+	consumers := g.Consumers()
+	assigned := make(map[graph.NodeID]bool)
+	declared := make(map[graph.NodeID]bool)
+	for _, o := range g.Outputs() {
+		declared[o] = true
+	}
+	var kernels []Kernel
+
+	for _, id := range g.TopoSort() {
+		n := g.Node(id)
+		if n.IsInput() || n.IsConst() || assigned[id] {
+			continue
+		}
+		group := []graph.NodeID{id}
+		assigned[id] = true
+		cost := NodeCost(g, id)
+
+		if enabled {
+			tail := id
+			for {
+				// The tail's value must stay private to the group: exactly
+				// one consumer and not a declared output.
+				if declared[tail] || len(consumers[tail]) != 1 {
+					break
+				}
+				next := consumers[tail][0]
+				nn := g.Node(next)
+				if assigned[next] {
+					break
+				}
+				def, err := ops.Lookup(nn.Op)
+				if err != nil || !def.Elementwise {
+					break
+				}
+				// Other operands must be consts, runtime inputs, or values
+				// from kernels already emitted (groups are emitted in leader
+				// topological order, so an operand still unassigned would be
+				// computed *after* this kernel runs). Operands inside the
+				// group other than the tail would break the single-stream
+				// epilogue.
+				ok := true
+				inGroup := make(map[graph.NodeID]bool, len(group))
+				for _, m := range group {
+					inGroup[m] = true
+				}
+				for _, in := range nn.Inputs {
+					if in == tail {
+						continue
+					}
+					if inGroup[in] {
+						ok = false
+						break
+					}
+					if src := g.Node(in); !src.IsInput() && !src.IsConst() && !assigned[in] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					break
+				}
+				group = append(group, next)
+				assigned[next] = true
+				c := NodeCost(g, next)
+				// Fusion eliminates the intermediate tensor round trip and
+				// the separate launch: add the epilogue FLOPs, keep the
+				// leader's launch count and memory traffic, and let the
+				// widest member determine available parallelism.
+				cost.FLOPs += c.FLOPs
+				if c.Parallelism > cost.Parallelism {
+					cost.Parallelism = c.Parallelism
+				}
+				if c.SeqSteps > cost.SeqSteps {
+					cost.SeqSteps = c.SeqSteps
+				}
+				tail = next
+			}
+			if len(group) > 1 && cost.Launches == 0 {
+				// A structural leader (reshape/flatten) that absorbed real
+				// work still launches one kernel.
+				cost.Launches = 1
+			}
+		}
+
+		kernels = append(kernels, Kernel{
+			Name:  g.Node(group[0]).Name,
+			Nodes: group,
+			Cost:  cost,
+		})
+	}
+	return kernels
+}
+
+// Output returns the node whose value the kernel publishes (its last node).
+func (k *Kernel) Output() graph.NodeID { return k.Nodes[len(k.Nodes)-1] }
+
+// String describes the kernel for traces and debugging.
+func (k *Kernel) String() string {
+	return fmt.Sprintf("kernel(%s, %d ops)", k.Name, len(k.Nodes))
+}

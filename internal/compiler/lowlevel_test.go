@@ -1,0 +1,135 @@
+package compiler
+
+import (
+	"math/rand"
+	"testing"
+
+	"duet/internal/device"
+	"duet/internal/graph"
+	"duet/internal/ops"
+	"duet/internal/tensor"
+)
+
+func convGraph(t *testing.T, kernel, stride int) *Module {
+	t.Helper()
+	g := graph.New("conv")
+	x := g.AddInput("x", 1, 16, 56, 56)
+	w := g.AddConst("w", tensor.Rand(rand.New(rand.NewSource(1)), 0.1, 32, 16, kernel, kernel))
+	c := g.Add("conv2d", "c", graph.Attrs{"stride": stride, "pad": kernel / 2}, x, w)
+	r := g.Add("relu", "r", nil, c)
+	g.SetOutputs(r)
+	m, err := Compile(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTunedCostsImproveOrMatch(t *testing.T) {
+	m := convGraph(t, 3, 1)
+	for _, dev := range []*device.Device{device.NewCPU(), device.NewGPU()} {
+		tuned := TunedCosts(m, dev)
+		if len(tuned) != len(m.Kernels) {
+			t.Fatalf("tuned count = %d, want %d", len(tuned), len(m.Kernels))
+		}
+		for i := range tuned {
+			raw := dev.KernelTime(m.Kernels[i].Cost)
+			opt := dev.KernelTime(tuned[i])
+			if opt > raw {
+				t.Fatalf("%s kernel %d: tuning made it slower (%v > %v)", dev.Name, i, opt, raw)
+			}
+		}
+	}
+}
+
+func TestWinogradAppliesOnlyTo3x3Stride1(t *testing.T) {
+	cpu := device.NewCPU()
+	eligible := convGraph(t, 3, 1)
+	if names := TunedVariants(eligible, cpu); names[0] != "winograd" {
+		t.Fatalf("3x3 stride-1 conv should pick winograd on CPU, got %q", names[0])
+	}
+	for _, m := range []*Module{convGraph(t, 3, 2), convGraph(t, 5, 1)} {
+		for _, name := range TunedVariants(m, cpu) {
+			if name == "winograd" {
+				t.Fatalf("winograd selected for an ineligible conv")
+			}
+		}
+	}
+}
+
+func TestRecurrentKernelsGetNoVariants(t *testing.T) {
+	g := graph.New("rnn")
+	x := g.AddInput("x", 1, 20, 32)
+	rng := rand.New(rand.NewSource(2))
+	wx := g.AddConst("wx", tensor.Rand(rng, 0.1, 128, 32))
+	wh := g.AddConst("wh", tensor.Rand(rng, 0.1, 128, 32))
+	b := g.AddConst("b", tensor.Rand(rng, 0.1, 128))
+	l := g.Add("lstm", "l", graph.Attrs{"last_only": 1}, x, wx, wh, b)
+	g.SetOutputs(l)
+	m, err := Compile(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range TunedVariants(m, device.NewGPU()) {
+		if name != "default" {
+			t.Fatalf("recurrent kernel got variant %q; cross-timestep tuning is out of scope", name)
+		}
+	}
+}
+
+func TestTuningDisabledReturnsRawCosts(t *testing.T) {
+	g := graph.New("conv")
+	x := g.AddInput("x", 1, 16, 28, 28)
+	w := g.AddConst("w", tensor.Rand(rand.New(rand.NewSource(3)), 0.1, 16, 16, 3, 3))
+	c := g.Add("conv2d", "c", graph.Attrs{"stride": 1, "pad": 1}, x, w)
+	g.SetOutputs(c)
+	m, err := Compile(g, Options{Fuse: true}) // Tune off
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned := TunedCosts(m, device.NewGPU())
+	for i := range tuned {
+		if tuned[i] != m.Kernels[i].Cost {
+			t.Fatalf("tuning disabled but costs changed")
+		}
+	}
+	if names := TunedVariants(m, device.NewGPU()); names[0] != "default" {
+		t.Fatalf("disabled tuning should report default variants")
+	}
+}
+
+func TestDevicesCanPickDifferentVariants(t *testing.T) {
+	// GEMM tiling: the GPU (parallelism-starved at batch 1) should prefer
+	// tile-small more often than the CPU, which prefers the reuse of
+	// tile-large. Verify at least that both devices pick a *legal* variant
+	// and that selection is deterministic.
+	g := graph.New("gemm")
+	x := g.AddInput("x", 1, 512)
+	w := g.AddConst("w", tensor.Rand(rand.New(rand.NewSource(4)), 0.1, 512, 512))
+	d := g.Add("dense", "d", nil, x, w)
+	g.SetOutputs(d)
+	m, err := Compile(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := TunedVariants(m, device.NewCPU())
+	gpu := TunedVariants(m, device.NewGPU())
+	legal := map[string]bool{"default": true, "tile-large": true, "tile-small": true}
+	if !legal[cpu[0]] || !legal[gpu[0]] {
+		t.Fatalf("illegal variants: cpu=%q gpu=%q", cpu[0], gpu[0])
+	}
+	if cpu2 := TunedVariants(m, device.NewCPU()); cpu2[0] != cpu[0] {
+		t.Fatalf("variant selection not deterministic")
+	}
+}
+
+func TestVariantApply(t *testing.T) {
+	v := Variant{Name: "x", FLOPsScale: 0.5, BytesScale: 2, ParallelismScale: 3}
+	c := v.Apply(ops.Cost{FLOPs: 100, Bytes: 10, Parallelism: 7, Launches: 2, SeqSteps: 1})
+	if c.FLOPs != 50 || c.Bytes != 20 || c.Parallelism != 21 {
+		t.Fatalf("Apply wrong: %+v", c)
+	}
+	if c.Launches != 2 || c.SeqSteps != 1 {
+		t.Fatalf("Apply must not change launch structure: %+v", c)
+	}
+}

@@ -1,0 +1,99 @@
+package compiler
+
+import (
+	"fmt"
+
+	"duet/internal/graph"
+	"duet/internal/ops"
+	"duet/internal/tensor"
+)
+
+// Module is a compiled graph: the optimized graph plus its kernel plan.
+// A Module is what the device models execute and what the profiler measures.
+type Module struct {
+	Graph   *graph.Graph
+	Kernels []Kernel
+	Opt     Options
+}
+
+// Compile optimizes the graph under opt and lowers it to kernels. The input
+// graph is not mutated beyond shape inference.
+func Compile(g *graph.Graph, opt Options) (*Module, error) {
+	og, err := Optimize(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Module{Graph: og, Kernels: Fuse(og, opt.Fuse), Opt: opt}, nil
+}
+
+// Env holds runtime values for graph nodes during execution.
+type Env map[graph.NodeID]*tensor.Tensor
+
+// NewEnv validates the named inputs against the module's placeholders and
+// returns an execution environment seeded with inputs and constants.
+func (m *Module) NewEnv(inputs map[string]*tensor.Tensor) (Env, error) {
+	env := make(Env, m.Graph.Len())
+	for _, n := range m.Graph.Nodes() {
+		switch {
+		case n.IsConst():
+			env[n.ID] = n.Value
+		case n.IsInput():
+			v, ok := inputs[n.Name]
+			if !ok {
+				return nil, fmt.Errorf("compiler: missing input %q", n.Name)
+			}
+			if !tensor.ShapeEq(v.Shape(), n.Shape) {
+				return nil, fmt.Errorf("compiler: input %q has shape %v, want %v", n.Name, v.Shape(), n.Shape)
+			}
+			env[n.ID] = v
+		}
+	}
+	return env, nil
+}
+
+// RunKernel executes one kernel's member ops in order against env, storing
+// each member's value. The kernel's published output is env[k.Output()].
+func (m *Module) RunKernel(k *Kernel, env Env) {
+	for _, id := range k.Nodes {
+		n := m.Graph.Node(id)
+		def := ops.MustLookup(n.Op)
+		in := make([]*tensor.Tensor, len(n.Inputs))
+		for i, inID := range n.Inputs {
+			v, ok := env[inID]
+			if !ok {
+				panic(fmt.Sprintf("compiler: kernel %s reads %q before it is computed", k.Name, m.Graph.Node(inID).Name))
+			}
+			in[i] = v
+		}
+		env[id] = def.Exec(n.Attrs, in)
+	}
+}
+
+// Execute runs the whole module and returns the declared outputs in order.
+func (m *Module) Execute(inputs map[string]*tensor.Tensor) ([]*tensor.Tensor, error) {
+	env, err := m.NewEnv(inputs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range m.Kernels {
+		m.RunKernel(&m.Kernels[i], env)
+	}
+	outs := make([]*tensor.Tensor, len(m.Graph.Outputs()))
+	for i, o := range m.Graph.Outputs() {
+		outs[i] = env[o]
+	}
+	return outs, nil
+}
+
+// TotalCost sums the cost descriptors of every kernel in the module.
+func (m *Module) TotalCost() ops.Cost {
+	var total ops.Cost
+	for i := range m.Kernels {
+		total = total.Add(m.Kernels[i].Cost)
+	}
+	return total
+}
+
+// KernelCount returns the number of launchable kernels — the headline
+// number fusion reduces.
+func (m *Module) KernelCount() int { return len(m.Kernels) }

@@ -1,0 +1,60 @@
+// Package compiler is the DL-compiler substrate DUET builds on: graph-level
+// optimization passes (constant folding, CSE, DCE, algebraic simplification,
+// operator fusion) and lowering of a graph to an executable kernel plan.
+// It stands in for TVM's graph-level optimizer and back-end (§II-B): the
+// profiler compiles every subgraph through this pipeline so scheduling
+// decisions see compiler-optimized costs (§IV-B).
+package compiler
+
+import (
+	"fmt"
+
+	"duet/internal/graph"
+	"duet/internal/ops"
+)
+
+// InferShapes fills in Node.Shape for every node in topological order.
+// Input and const nodes must already carry shapes.
+func InferShapes(g *graph.Graph) error {
+	for _, id := range g.TopoSort() {
+		n := g.Node(id)
+		if n.IsInput() || n.IsConst() {
+			if n.Shape == nil {
+				return fmt.Errorf("compiler: %s node %q has no shape", n.Op, n.Name)
+			}
+			continue
+		}
+		def, err := ops.Lookup(n.Op)
+		if err != nil {
+			return fmt.Errorf("compiler: node %q: %w", n.Name, err)
+		}
+		in := make([][]int, len(n.Inputs))
+		for i, inID := range n.Inputs {
+			in[i] = g.Node(inID).Shape
+			if in[i] == nil {
+				return fmt.Errorf("compiler: node %q consumes %q before its shape is known", n.Name, g.Node(inID).Name)
+			}
+		}
+		shape, err := def.Infer(n.Attrs, in)
+		if err != nil {
+			return fmt.Errorf("compiler: node %q: %w", n.Name, err)
+		}
+		n.Shape = shape
+	}
+	return nil
+}
+
+// NodeCost returns the analytic cost descriptor of one node. Shapes must be
+// inferred. Structural nodes (inputs/consts) cost nothing.
+func NodeCost(g *graph.Graph, id graph.NodeID) ops.Cost {
+	n := g.Node(id)
+	if n.IsInput() || n.IsConst() {
+		return ops.Cost{}
+	}
+	def := ops.MustLookup(n.Op)
+	in := make([][]int, len(n.Inputs))
+	for i, inID := range n.Inputs {
+		in[i] = g.Node(inID).Shape
+	}
+	return def.Cost(n.Attrs, in, n.Shape)
+}

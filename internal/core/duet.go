@@ -1,0 +1,254 @@
+// Package core assembles DUET's pipeline — coarse-grained partitioning,
+// compiler-aware profiling, greedy-correction scheduling, and heterogeneous
+// execution — into the inference engine the paper presents (Fig. 6). If the
+// scheduled co-execution does not beat the best single device, the engine
+// falls back to single-device execution (§VI-E).
+package core
+
+import (
+	"fmt"
+
+	"duet/internal/compiler"
+	"duet/internal/device"
+	"duet/internal/graph"
+	"duet/internal/partition"
+	"duet/internal/profile"
+	"duet/internal/runtime"
+	"duet/internal/schedule"
+	"duet/internal/tensor"
+	"duet/internal/vclock"
+)
+
+// Config controls how a DUET engine is built.
+type Config struct {
+	// Seed drives every noise source; the same seed reproduces the same
+	// latency samples. Seed 0 builds a noiseless engine.
+	Seed int64
+	// ProfileRuns is the micro-benchmark repetition count (paper: 500).
+	ProfileRuns int
+	// MeasureRuns is how many runs each correction-step latency measurement
+	// averages.
+	MeasureRuns int
+	// Compiler selects the graph-level optimizations subgraphs are compiled
+	// with. Defaults to the full pipeline.
+	Compiler compiler.Options
+	// DisableFallback keeps the scheduled placement even when a single
+	// device measures faster (used by ablations).
+	DisableFallback bool
+	// DisableCorrection stops after the greedy placement (step 1+2 only),
+	// used by ablations.
+	DisableCorrection bool
+	// Records, when non-nil, supplies previously persisted profiling
+	// records (profile.SaveRecords/LoadRecords) instead of re-profiling —
+	// profiling is an offline one-time cost (§IV-B). The record count must
+	// match the partition's subgraph count.
+	Records []profile.Record
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:        seed,
+		ProfileRuns: 500,
+		MeasureRuns: 3,
+		Compiler:    compiler.DefaultOptions(),
+	}
+}
+
+// Engine is a built DUET inference engine for one model.
+type Engine struct {
+	Graph     *graph.Graph
+	Partition *partition.Partition
+	// Runtime executes with seeded run-to-run noise (evaluation).
+	Runtime *runtime.Engine
+	// Search executes noiselessly (deterministic schedule search).
+	Search *runtime.Engine
+	// Profiles holds the per-subgraph records from the compiler-aware
+	// profiler.
+	Profiles []profile.Record
+	// Scheduler is retained so callers can run baseline algorithms.
+	Scheduler *schedule.Scheduler
+	// Placement is the chosen subgraph→device mapping.
+	Placement runtime.Placement
+	// FellBack reports that single-device execution won and Placement is
+	// uniform.
+	FellBack bool
+}
+
+// Build constructs the engine: validates and shape-infers the graph,
+// partitions it, profiles every subgraph on both devices, runs
+// greedy-correction scheduling, and applies the single-device fallback
+// comparison.
+func Build(g *graph.Graph, cfg Config) (*Engine, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := compiler.InferShapes(g); err != nil {
+		return nil, err
+	}
+	if cfg.ProfileRuns <= 0 {
+		cfg.ProfileRuns = 500
+	}
+	if cfg.MeasureRuns <= 0 {
+		cfg.MeasureRuns = 1
+	}
+	zero := compiler.Options{}
+	if cfg.Compiler == zero {
+		cfg.Compiler = compiler.DefaultOptions()
+	}
+
+	part, err := partition.Build(g)
+	if err != nil {
+		return nil, err
+	}
+	noisy, err := runtime.New(part, device.NewPlatform(cfg.Seed), cfg.Compiler)
+	if err != nil {
+		return nil, err
+	}
+	search, err := runtime.New(part, device.NewPlatform(0), cfg.Compiler)
+	if err != nil {
+		return nil, err
+	}
+
+	records := cfg.Records
+	if records == nil {
+		prof := &profile.Profiler{
+			Platform: device.NewPlatform(mix(cfg.Seed)),
+			Options:  cfg.Compiler,
+			Runs:     cfg.ProfileRuns,
+		}
+		records, err = prof.ProfileAll(g, part.Subgraphs())
+		if err != nil {
+			return nil, err
+		}
+	} else if len(records) != len(part.Subgraphs()) {
+		return nil, fmt.Errorf("core: %d supplied profile records for %d subgraphs — re-profile after model changes", len(records), len(part.Subgraphs()))
+	}
+
+	sched, err := schedule.New(part, records, schedule.EngineMeasure(search, cfg.MeasureRuns))
+	if err != nil {
+		return nil, err
+	}
+
+	e := &Engine{
+		Graph:     g,
+		Partition: part,
+		Runtime:   noisy,
+		Search:    search,
+		Profiles:  records,
+		Scheduler: sched,
+	}
+
+	if cfg.DisableCorrection {
+		e.Placement = sched.Greedy()
+	} else {
+		e.Placement, err = sched.GreedyCorrection()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if !cfg.DisableFallback {
+		if err := e.applyFallback(); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// mix derives the profiling seed so profile noise is independent of the
+// evaluation noise stream but still reproducible; seed 0 stays noiseless.
+func mix(seed int64) int64 {
+	if seed == 0 {
+		return 0
+	}
+	return seed*0x9e3779b9 + 1
+}
+
+// applyFallback replaces the scheduled placement with the best uniform one
+// when co-execution does not measure faster (§VI-E).
+func (e *Engine) applyFallback() error {
+	n := e.Runtime.NumSubgraphs()
+	measure := e.Scheduler.Measure
+	duet, err := measure(e.Placement)
+	if err != nil {
+		return err
+	}
+	for _, kind := range []device.Kind{device.GPU, device.CPU} {
+		uni := runtime.Uniform(n, kind)
+		lat, err := measure(uni)
+		if err != nil {
+			return err
+		}
+		if lat < duet {
+			duet = lat
+			e.Placement = uni
+			e.FellBack = true
+		}
+	}
+	return nil
+}
+
+// Infer runs one real inference (values materialised) under the chosen
+// placement.
+func (e *Engine) Infer(inputs map[string]*tensor.Tensor) (*runtime.Result, error) {
+	return e.Runtime.Run(inputs, e.Placement, true)
+}
+
+// InferParallel runs one real inference with host-concurrent subgraph
+// execution (one worker goroutine per device, §IV-D); outputs are identical
+// to Infer's and the reported virtual latency uses the same timing model.
+func (e *Engine) InferParallel(inputs map[string]*tensor.Tensor) (*runtime.Result, error) {
+	return e.Runtime.RunParallel(inputs, e.Placement)
+}
+
+// Measure samples end-to-end latency for the chosen placement.
+func (e *Engine) Measure(runs int) ([]vclock.Seconds, error) {
+	return e.Runtime.MeasureLatency(e.Placement, runs)
+}
+
+// MeasureUniform samples latency with every subgraph on one device — the
+// TVM-CPU / TVM-GPU comparison points.
+func (e *Engine) MeasureUniform(kind device.Kind, runs int) ([]vclock.Seconds, error) {
+	return e.Runtime.MeasureLatency(runtime.Uniform(e.Runtime.NumSubgraphs(), kind), runs)
+}
+
+// PlacementTable renders the profiled costs and final decision per subgraph
+// — the rows of the paper's Table II.
+func (e *Engine) PlacementTable() []PlacementRow {
+	rows := make([]PlacementRow, len(e.Profiles))
+	flat := 0
+	for _, ph := range e.Partition.Phases {
+		for range ph.Subgraphs {
+			rec := e.Profiles[flat]
+			rows[flat] = PlacementRow{
+				Subgraph: e.Partition.Subgraphs()[flat].Graph.Name,
+				Summary:  rec.Summary,
+				Phase:    ph.Index,
+				Kind:     ph.Kind,
+				CPUTime:  rec.Time[device.CPU],
+				GPUTime:  rec.Time[device.GPU],
+				Decision: e.Placement[flat],
+			}
+			flat++
+		}
+	}
+	return rows
+}
+
+// PlacementRow is one line of the placement-decision table.
+type PlacementRow struct {
+	Subgraph string
+	Summary  string
+	Phase    int
+	Kind     partition.PhaseKind
+	CPUTime  vclock.Seconds
+	GPUTime  vclock.Seconds
+	Decision device.Kind
+}
+
+// String renders the row.
+func (r PlacementRow) String() string {
+	return fmt.Sprintf("%-28s phase=%d(%s) cpu=%8.3fms gpu=%8.3fms → %s [%s]",
+		r.Subgraph, r.Phase, r.Kind, r.CPUTime*1e3, r.GPUTime*1e3, r.Decision, r.Summary)
+}

@@ -1,0 +1,102 @@
+package device
+
+import "duet/internal/vclock"
+
+// Calibration constants. Targets are the paper's measured subgraph costs
+// (Table II, Xeon Gold 6152 + TITAN V over PCIe 3.0): the Wide&Deep LSTM
+// stack costs ~2.4 ms on CPU vs ~6.4 ms on GPU, while its ResNet encoder
+// costs ~14.9 ms on CPU vs ~0.9 ms on GPU. These emerge from the roofline
+// parameters below rather than being hard-coded per-model.
+const (
+	// CPU: a many-core server part running TVM-generated vectorized code.
+	// Effective (not theoretical-peak) conv/GEMM throughput.
+	cpuPeakFLOPS   = 125e9
+	cpuMemBW       = 100e9
+	cpuLaunch      = 2e-6
+	cpuParallelSat = 32
+	cpuDispatch    = 3e-6
+
+	// GPU: TITAN V-class. Peak is enormous but a kernel only approaches it
+	// with ~10^6 independent work items; batch-1 GEMV gets a tiny fraction.
+	gpuPeakFLOPS   = 13e12
+	gpuMemBW       = 650e9
+	gpuLaunch      = 9e-6
+	gpuParallelSat = 2.5e5
+	gpuDispatch    = 6e-6
+
+	// PCIe 3.0 x16: ~12 GB/s effective with ~15 µs base latency.
+	pcieBandwidth = 12e9
+	pcieBase      = 15e-6
+)
+
+// Noise magnitudes: the GPU path shows slightly more variance (shared
+// interconnect, §VI-B "the CPU-GPU interconnect communication adds
+// additional performance variation").
+const (
+	computeSigma   = 0.015
+	computeSpikeP  = 0.002
+	computeSpikeS  = 1.5
+	transferSigma  = 0.06
+	transferSpikeP = 0.008
+	transferSpikeS = 3.0
+)
+
+// NewCPU returns the calibrated CPU model.
+func NewCPU() *Device {
+	return &Device{
+		Name:             "cpu0",
+		Kind:             CPU,
+		PeakFLOPS:        cpuPeakFLOPS,
+		MemBandwidth:     cpuMemBW,
+		LaunchOverhead:   cpuLaunch,
+		ParallelSat:      cpuParallelSat,
+		DispatchOverhead: cpuDispatch,
+	}
+}
+
+// NewGPU returns the calibrated GPU model.
+func NewGPU() *Device {
+	return &Device{
+		Name:             "gpu0",
+		Kind:             GPU,
+		PeakFLOPS:        gpuPeakFLOPS,
+		MemBandwidth:     gpuMemBW,
+		LaunchOverhead:   gpuLaunch,
+		ParallelSat:      gpuParallelSat,
+		DispatchOverhead: gpuDispatch,
+	}
+}
+
+// NewPCIe returns the calibrated CPU↔GPU link model.
+func NewPCIe() *Link {
+	return &Link{Name: "pcie3", Bandwidth: pcieBandwidth, BaseLatency: pcieBase}
+}
+
+// Platform bundles the coupled CPU-GPU architecture: both devices and the
+// interconnect, with noise sources derived from a single seed.
+type Platform struct {
+	CPU  *Device
+	GPU  *Device
+	Link *Link
+}
+
+// NewPlatform returns a calibrated platform. seed drives all noise sources;
+// seed 0 yields a noiseless platform for deterministic schedule search.
+func NewPlatform(seed int64) *Platform {
+	p := &Platform{CPU: NewCPU(), GPU: NewGPU(), Link: NewPCIe()}
+	if seed != 0 {
+		base := vclock.NewNoise(seed, computeSigma, computeSpikeP, computeSpikeS)
+		p.CPU.SetNoise(base.Fork(1))
+		p.GPU.SetNoise(base.Fork(2))
+		p.Link.SetNoise(vclock.NewNoise(seed^0x5eed, transferSigma, transferSpikeP, transferSpikeS))
+	}
+	return p
+}
+
+// Device returns the platform device of the given kind.
+func (p *Platform) Device(k Kind) *Device {
+	if k == CPU {
+		return p.CPU
+	}
+	return p.GPU
+}

@@ -1,0 +1,165 @@
+package device
+
+import (
+	"testing"
+
+	"duet/internal/ops"
+	"duet/internal/vclock"
+)
+
+func TestKindString(t *testing.T) {
+	if CPU.String() != "CPU" || GPU.String() != "GPU" {
+		t.Fatalf("Kind.String wrong")
+	}
+}
+
+func TestEfficiencyMonotone(t *testing.T) {
+	d := NewGPU()
+	prev := 0.0
+	for _, p := range []float64{1, 10, 1e3, 1e5, 1e7, 1e9} {
+		e := d.Efficiency(p)
+		if e <= prev || e >= 1 {
+			t.Fatalf("efficiency not monotone in (0,1): eff(%g)=%g prev=%g", p, e, prev)
+		}
+		prev = e
+	}
+	if d.Efficiency(0) != d.Efficiency(1) {
+		t.Fatalf("zero parallelism should clamp to 1")
+	}
+}
+
+func TestKernelTimeGrowsWithWork(t *testing.T) {
+	d := NewCPU()
+	small := d.KernelTime(ops.Cost{FLOPs: 1e6, Bytes: 1e5, Parallelism: 1e4, Launches: 1, SeqSteps: 1})
+	big := d.KernelTime(ops.Cost{FLOPs: 1e8, Bytes: 1e7, Parallelism: 1e4, Launches: 1, SeqSteps: 1})
+	if big <= small {
+		t.Fatalf("more work must cost more: %g vs %g", big, small)
+	}
+}
+
+func TestKernelTimeLaunchDominatedOnGPU(t *testing.T) {
+	// A recurrent kernel: 100 steps, tiny per-step work.
+	rnn := ops.Cost{FLOPs: 1e8, Bytes: 2e8, Parallelism: 1024, Launches: 2, SeqSteps: 100}
+	gpu, cpu := NewGPU(), NewCPU()
+	tg, tc := gpu.KernelTime(rnn), cpu.KernelTime(rnn)
+	if tg <= tc {
+		t.Fatalf("RNN-shaped kernel should be slower on GPU: gpu=%v cpu=%v", tg, tc)
+	}
+	// A conv-shaped kernel: massive parallelism, one launch.
+	conv := ops.Cost{FLOPs: 1.8e9, Bytes: 5e7, Parallelism: 5e5, Launches: 1, SeqSteps: 1}
+	if gpu.KernelTime(conv) >= cpu.KernelTime(conv) {
+		t.Fatalf("conv-shaped kernel should be faster on GPU")
+	}
+}
+
+func TestCalibrationBands(t *testing.T) {
+	// Wide&Deep LSTM stack shape: h=256, in=256, T=100 (DESIGN.md §4).
+	h, in, seq := 256.0, 256.0, 100
+	lstm := ops.Cost{
+		FLOPs:       float64(seq) * (2*4*h*(in+h) + 30*h),
+		Bytes:       float64(seq) * 4 * (4*h*(in+h) + 8*h),
+		Parallelism: 4 * h,
+		Launches:    2,
+		SeqSteps:    seq,
+	}
+	cpuT := NewCPU().KernelTime(lstm)
+	gpuT := NewGPU().KernelTime(lstm)
+	if cpuT < 1.5e-3 || cpuT > 4e-3 {
+		t.Errorf("LSTM CPU time %.2f ms outside [1.5, 4] ms band", cpuT*1e3)
+	}
+	if gpuT < 3e-3 || gpuT > 10e-3 {
+		t.Errorf("LSTM GPU time %.2f ms outside [3, 10] ms band", gpuT*1e3)
+	}
+	if gpuT < 1.3*cpuT {
+		t.Errorf("LSTM should be >1.3x slower on GPU: cpu=%.2fms gpu=%.2fms", cpuT*1e3, gpuT*1e3)
+	}
+
+	// ResNet-18-ish encoder: ~1.8 GFLOPs over ~25 kernels.
+	var cpuConv, gpuConv float64
+	for i := 0; i < 25; i++ {
+		conv := ops.Cost{FLOPs: 1.8e9 / 25, Bytes: 2e8 / 25, Parallelism: 2e5, Launches: 1, SeqSteps: 1}
+		cpuConv += NewCPU().KernelTime(conv)
+		gpuConv += NewGPU().KernelTime(conv)
+	}
+	if cpuConv < 8e-3 || cpuConv > 25e-3 {
+		t.Errorf("CNN CPU time %.2f ms outside [8, 25] ms band", cpuConv*1e3)
+	}
+	if gpuConv > 2.5e-3 {
+		t.Errorf("CNN GPU time %.2f ms should be < 2.5 ms", gpuConv*1e3)
+	}
+	if cpuConv < 8*gpuConv {
+		t.Errorf("CNN should be >8x faster on GPU: cpu=%.2fms gpu=%.2fms", cpuConv*1e3, gpuConv*1e3)
+	}
+}
+
+func TestTransferTimeLinear(t *testing.T) {
+	l := NewPCIe()
+	t1 := l.TransferTime(1 << 20)
+	t4 := l.TransferTime(4 << 20)
+	t16 := l.TransferTime(16 << 20)
+	// Slope between consecutive quadruplings should be nearly constant
+	// once past the base latency (Fig. 5's linear regime).
+	s1 := (t4 - t1) / 3
+	s2 := (t16 - t4) / 12
+	if s2 == 0 || s1/s2 < 0.99 || s1/s2 > 1.01 {
+		t.Fatalf("transfer latency not linear: slopes %g vs %g", s1, s2)
+	}
+	if l.TransferTime(0) != 0 || l.TransferTime(-5) != 0 {
+		t.Fatalf("empty transfer must be free")
+	}
+	if l.TransferTime(4) < l.BaseLatency {
+		t.Fatalf("small transfer must pay base latency")
+	}
+}
+
+func TestSampleDeterminism(t *testing.T) {
+	c := ops.Cost{FLOPs: 1e7, Bytes: 1e6, Parallelism: 1e4, Launches: 1, SeqSteps: 1}
+	a := NewPlatform(33)
+	b := NewPlatform(33)
+	for i := 0; i < 50; i++ {
+		if a.CPU.SampleKernelTime(c) != b.CPU.SampleKernelTime(c) {
+			t.Fatalf("CPU sampling not deterministic under seed")
+		}
+		if a.Link.SampleTransferTime(1<<16) != b.Link.SampleTransferTime(1<<16) {
+			t.Fatalf("link sampling not deterministic under seed")
+		}
+	}
+}
+
+func TestSeedZeroIsNoiseless(t *testing.T) {
+	p := NewPlatform(0)
+	c := ops.Cost{FLOPs: 1e7, Bytes: 1e6, Parallelism: 1e4, Launches: 1, SeqSteps: 1}
+	want := p.GPU.KernelTime(c)
+	for i := 0; i < 10; i++ {
+		if p.GPU.SampleKernelTime(c) != want {
+			t.Fatalf("seed-0 platform must be noiseless")
+		}
+	}
+}
+
+func TestNoiseIsModest(t *testing.T) {
+	p := NewPlatform(5)
+	c := ops.Cost{FLOPs: 1e8, Bytes: 1e7, Parallelism: 1e5, Launches: 2, SeqSteps: 1}
+	base := p.CPU.KernelTime(c)
+	var samples []vclock.Seconds
+	for i := 0; i < 2000; i++ {
+		samples = append(samples, p.CPU.SampleKernelTime(c))
+	}
+	mean := vclock.Mean(samples)
+	if mean < 0.95*base || mean > 1.1*base {
+		t.Fatalf("noisy mean %g too far from base %g", mean, base)
+	}
+}
+
+func TestPlatformDeviceLookup(t *testing.T) {
+	p := NewPlatform(0)
+	if p.Device(CPU) != p.CPU || p.Device(GPU) != p.GPU {
+		t.Fatalf("Platform.Device lookup wrong")
+	}
+}
+
+func TestDeviceString(t *testing.T) {
+	if s := NewGPU().String(); s == "" {
+		t.Fatalf("empty String")
+	}
+}

@@ -1,0 +1,339 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"duet/internal/compiler"
+	"duet/internal/device"
+	"duet/internal/models"
+	"duet/internal/partition"
+	"duet/internal/profile"
+	"duet/internal/runtime"
+	"duet/internal/schedule"
+	"duet/internal/vclock"
+)
+
+func init() {
+	register("abl1", "Ablation: compiler-aware vs compiler-blind profiling", Abl1)
+	register("abl2", "Ablation: greedy-only vs greedy+correction scheduling", Abl2)
+	register("abl3", "Ablation: coarse vs nested (multi-level) partitioning", Abl3)
+	register("abl4", "Ablation: intra-device concurrent subgraph execution", Abl4)
+	register("abl5", "Ablation: DP-based analytic placement vs greedy-correction", Abl5)
+	register("abl6", "Ablation: low-level schedule tuning (winograd/tiling)", Abl6)
+	register("abl7", "Ablation: pipelined multi-request throughput", Abl7)
+}
+
+// Abl7 measures back-to-back request throughput: DUET's heterogeneous
+// placement overlaps request r's CPU phase with request r+1's GPU phase, so
+// its throughput gain exceeds its latency gain — the serving-side payoff
+// the paper's SLA motivation (§II-A) points at.
+func Abl7(cfg Config, w io.Writer) error {
+	header(w, "abl7", "Pipelined throughput over 200 back-to-back requests")
+	fmt.Fprintf(w, "%-10s %14s %14s %14s %18s\n", "model", "DUET (req/s)", "GPU (req/s)", "CPU (req/s)", "DUET gain vs GPU")
+	for _, spec := range evalModels() {
+		g, err := spec.Build()
+		if err != nil {
+			return err
+		}
+		e, err := buildEngine(g, cfg)
+		if err != nil {
+			return err
+		}
+		n := e.Search.NumSubgraphs()
+		duet, err := e.Search.MeasurePipelined(e.Placement, 200)
+		if err != nil {
+			return err
+		}
+		gpu, err := e.Search.MeasurePipelined(runtime.Uniform(n, device.GPU), 200)
+		if err != nil {
+			return err
+		}
+		cpu, err := e.Search.MeasurePipelined(runtime.Uniform(n, device.CPU), 200)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-10s %14.0f %14.0f %14.0f %17.2fx\n",
+			spec.Name, duet.Throughput, gpu.Throughput, cpu.Throughput, duet.Throughput/gpu.Throughput)
+	}
+	fmt.Fprintf(w, "\npipelining turns co-execution's latency win into a throughput win of the\nsame or larger factor (device phases of consecutive requests overlap)\n")
+	return nil
+}
+
+// Abl6 measures the low-level optimization layer (Fig. 1's fourth stage):
+// per-device kernel-variant selection — Winograd for eligible convolutions
+// and GEMM tiling — against untuned lowering, per model and device.
+func Abl6(cfg Config, w io.Writer) error {
+	header(w, "abl6", "Low-level schedule tuning")
+	fmt.Fprintf(w, "%-10s %-8s %14s %14s %9s\n", "model", "device", "untuned (ms)", "tuned (ms)", "gain")
+	for _, spec := range evalModels() {
+		g, err := spec.Build()
+		if err != nil {
+			return err
+		}
+		if err := compiler.InferShapes(g); err != nil {
+			return err
+		}
+		part, err := partition.Build(g)
+		if err != nil {
+			return err
+		}
+		tunedOpts := compiler.DefaultOptions()
+		rawOpts := tunedOpts
+		rawOpts.Tune = false
+		tuned, err := runtime.New(part, device.NewPlatform(0), tunedOpts)
+		if err != nil {
+			return err
+		}
+		raw, err := runtime.New(part, device.NewPlatform(0), rawOpts)
+		if err != nil {
+			return err
+		}
+		for _, kind := range []device.Kind{device.CPU, device.GPU} {
+			place := runtime.Uniform(tuned.NumSubgraphs(), kind)
+			tl, err := tuned.MeasureLatency(place, 1)
+			if err != nil {
+				return err
+			}
+			rl, err := raw.MeasureLatency(place, 1)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-10s %-8s %14s %14s %8.1f%%\n", spec.Name, kind, ms(rl[0]), ms(tl[0]), (rl[0]-tl[0])/rl[0]*100)
+		}
+	}
+	fmt.Fprintf(w, "\nconvolution-heavy models gain most (Winograd); recurrent kernels are\nexcluded from variant selection, so RNN-bound latencies barely move\n")
+	return nil
+}
+
+// Abl1 quantifies the paper's compiler-aware profiling claim (§IV-B): the
+// greedy placement computed from *unfused* profile records is evaluated on
+// the real (fused) runtime and compared against the placement computed from
+// fused records. Correction is disabled on both sides so the profile
+// quality is what differs.
+func Abl1(cfg Config, w io.Writer) error {
+	header(w, "abl1", "Compiler-aware profiling (greedy placement quality)")
+	fmt.Fprintf(w, "%-10s %-16s %9s %12s %12s %12s\n", "model", "profiling", "kernels", "profCPU(ms)", "profGPU(ms)", "latency(ms)")
+	for _, spec := range evalModels() {
+		g, err := spec.Build()
+		if err != nil {
+			return err
+		}
+		if err := compiler.InferShapes(g); err != nil {
+			return err
+		}
+		part, err := partition.Build(g)
+		if err != nil {
+			return err
+		}
+		engine, err := runtime.New(part, device.NewPlatform(0), compiler.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		measure := schedule.EngineMeasure(engine, 1)
+		for _, variant := range []struct {
+			name string
+			opts compiler.Options
+		}{
+			{"compiler-aware", compiler.DefaultOptions()},
+			{"compiler-blind", compiler.Options{}},
+		} {
+			prof := &profile.Profiler{Platform: device.NewPlatform(0), Options: variant.opts, Runs: cfg.ProfileRuns}
+			records, err := prof.ProfileAll(g, part.Subgraphs())
+			if err != nil {
+				return err
+			}
+			var kernels int
+			var cpuSum, gpuSum vclock.Seconds
+			for _, r := range records {
+				kernels += r.Kernels
+				cpuSum += r.Time[device.CPU]
+				gpuSum += r.Time[device.GPU]
+			}
+			s, err := schedule.New(part, records, measure)
+			if err != nil {
+				return err
+			}
+			lat, err := measure(s.Greedy())
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-10s %-16s %9d %12s %12s %12s\n", spec.Name, variant.name, kernels, ms(cpuSum), ms(gpuSum), ms(lat))
+		}
+	}
+	fmt.Fprintf(w, "\ncompiler-blind profiling overstates every subgraph (unfused kernels and\nlaunches); wherever the overstatement is asymmetric across devices, the\ngreedy decision flips — which is why DUET profiles compiled code (§IV-B)\n")
+	return nil
+}
+
+// Abl2 isolates step 3 of Algorithm 1: greedy-only vs greedy+correction
+// across all three heterogeneous models.
+func Abl2(cfg Config, w io.Writer) error {
+	header(w, "abl2", "Correction step contribution")
+	fmt.Fprintf(w, "%-10s %12s %15s %9s\n", "model", "greedy (ms)", "+correction", "gain")
+	for _, spec := range evalModels() {
+		g, err := spec.Build()
+		if err != nil {
+			return err
+		}
+		e, err := buildEngine(g, cfg)
+		if err != nil {
+			return err
+		}
+		s := e.Scheduler
+		greedy, err := s.Measure(s.Greedy())
+		if err != nil {
+			return err
+		}
+		gc, err := s.GreedyCorrection()
+		if err != nil {
+			return err
+		}
+		corrected, err := s.Measure(gc)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-10s %12s %15s %8.1f%%\n", spec.Name, ms(greedy), ms(corrected), (greedy-corrected)/greedy*100)
+	}
+	fmt.Fprintf(w, "\ncorrection never hurts; its gain grows when greedy's communication-blind\nestimate mis-places subgraphs\n")
+	return nil
+}
+
+// Abl3 studies the multi-level partitioning the paper leaves as future work
+// (footnote 1): nested partitions raise subgraph counts and communication
+// volume, and the end-to-end latency shows whether finer granularity pays.
+func Abl3(cfg Config, w io.Writer) error {
+	header(w, "abl3", "Coarse vs nested partitioning on Wide&Deep")
+	g, err := models.WideDeep(models.DefaultWideDeep())
+	if err != nil {
+		return err
+	}
+	if err := compiler.InferShapes(g); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-18s %9s %9s %12s %12s\n", "partitioning", "phases", "subgraphs", "boundaryKB", "DUET (ms)")
+	for _, variant := range []struct {
+		name  string
+		build func() (*partition.Partition, error)
+	}{
+		{"coarse (paper)", func() (*partition.Partition, error) { return partition.Build(g) }},
+		{"nested max=8", func() (*partition.Partition, error) { return partition.BuildNested(g, 8, 1) }},
+		{"nested max=4", func() (*partition.Partition, error) { return partition.BuildNested(g, 4, 1) }},
+	} {
+		part, err := variant.build()
+		if err != nil {
+			return err
+		}
+		engine, err := runtime.New(part, device.NewPlatform(0), compiler.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		prof := &profile.Profiler{Platform: device.NewPlatform(0), Options: compiler.DefaultOptions(), Runs: cfg.ProfileRuns}
+		records, err := prof.ProfileAll(g, part.Subgraphs())
+		if err != nil {
+			return err
+		}
+		var boundary int
+		for _, r := range records {
+			boundary += r.InBytes
+		}
+		s, err := schedule.New(part, records, schedule.EngineMeasure(engine, 1))
+		if err != nil {
+			return err
+		}
+		place, err := s.GreedyCorrection()
+		if err != nil {
+			return err
+		}
+		lat, err := s.Measure(place)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-18s %9d %9d %12.1f %12s\n", variant.name, len(part.Phases), len(part.Subgraphs()), float64(boundary)/1024, ms(lat))
+	}
+	fmt.Fprintf(w, "\nas the paper predicts, finer partitions add boundary traffic without\nbeating the coarse schedule\n")
+	return nil
+}
+
+// Abl4 evaluates intra-device concurrency (footnote 2): the processor-
+// sharing executor lets same-device subgraphs overlap instead of queueing.
+func Abl4(cfg Config, w io.Writer) error {
+	header(w, "abl4", "Intra-device concurrent subgraph execution")
+	fmt.Fprintf(w, "%-10s %-12s %12s %15s\n", "model", "placement", "serial (ms)", "concurrent (ms)")
+	for _, spec := range evalModels() {
+		g, err := spec.Build()
+		if err != nil {
+			return err
+		}
+		e, err := buildEngine(g, cfg)
+		if err != nil {
+			return err
+		}
+		variants := []struct {
+			name  string
+			place runtime.Placement
+		}{
+			{"DUET", e.Placement},
+			// Round-robin interleaves devices so same-device subgraphs sit
+			// behind cross-device dependencies — the queueing pattern that
+			// intra-device overlap relieves.
+			{"round-robin", e.Scheduler.RoundRobin()},
+		}
+		for _, v := range variants {
+			serial, err := e.Search.MeasureLatency(v.place, 1)
+			if err != nil {
+				return err
+			}
+			conc, err := e.Search.MeasureConcurrent(v.place, 1)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-10s %-12s %12s %15s\n", spec.Name, v.name, ms(serial[0]), ms(conc[0]))
+		}
+	}
+	fmt.Fprintf(w, "\noverlap only helps when a device queue holds a *later-ready* subgraph\nblocking an already-ready one; the coarse phased partitions leave at most\none ready subgraph per device queue, so the numbers match — evidence for\nthe paper's footnote-2 simplification (sequential execution per device)\n")
+	return nil
+}
+
+// Abl5 compares the analytic dynamic-programming placement (§IV-C's
+// alternative) against greedy-correction.
+func Abl5(cfg Config, w io.Writer) error {
+	header(w, "abl5", "DP-based analytic placement vs greedy-correction")
+	fmt.Fprintf(w, "%-10s %12s %12s %12s\n", "model", "DP (ms)", "greedy+corr", "ideal")
+	for _, spec := range evalModels() {
+		g, err := spec.Build()
+		if err != nil {
+			return err
+		}
+		e, err := buildEngine(g, cfg)
+		if err != nil {
+			return err
+		}
+		s := e.Scheduler
+		dp, err := s.DynamicProgramming(schedule.DPOptions{Link: device.NewPCIe()})
+		if err != nil {
+			return err
+		}
+		dpLat, err := s.Measure(dp)
+		if err != nil {
+			return err
+		}
+		gc, err := s.GreedyCorrection()
+		if err != nil {
+			return err
+		}
+		gcLat, err := s.Measure(gc)
+		if err != nil {
+			return err
+		}
+		ideal := vclock.Seconds(0)
+		if len(s.Records) <= 16 {
+			_, ideal, err = s.Ideal()
+			if err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(w, "%-10s %12s %12s %12s\n", spec.Name, ms(dpLat), ms(gcLat), ms(ideal))
+	}
+	fmt.Fprintf(w, "\nthe DP's analytic communication estimate carries modelling error (§IV-C);\nmeasured correction closes the gap to the exhaustive optimum\n")
+	return nil
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// CompareReports diffs two reports and writes a regression summary: for
+// every shared series it reports the relative change of the DUET mean and
+// flags changes beyond tolerance (e.g. 0.05 = ±5%) — the check a CI job
+// runs against a stored baseline report after calibration or scheduler
+// changes. It returns the number of flagged regressions (slowdowns beyond
+// tolerance; improvements are reported but not counted).
+func CompareReports(base, next *Report, tolerance float64, w io.Writer) int {
+	flagged := 0
+	rel := func(b, n float64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return (n - b) / b
+	}
+	mark := func(change float64) string {
+		switch {
+		case change > tolerance:
+			flagged++
+			return "REGRESSION"
+		case change < -tolerance:
+			return "improved"
+		default:
+			return "ok"
+		}
+	}
+
+	fmt.Fprintf(w, "%-28s %12s %12s %9s %s\n", "series", "base (ms)", "next (ms)", "change", "verdict")
+	byModel := map[string]ReportSeries{}
+	for _, s := range base.Fig11 {
+		byModel[s.Model] = s
+	}
+	for _, n := range next.Fig11 {
+		b, ok := byModel[n.Model]
+		if !ok {
+			fmt.Fprintf(w, "%-28s %12s %12.3f %9s new series\n", "fig11/"+n.Model+"/DUET", "-", n.DUET.Mean*1e3, "-")
+			continue
+		}
+		change := rel(b.DUET.Mean, n.DUET.Mean)
+		fmt.Fprintf(w, "%-28s %12.3f %12.3f %+8.1f%% %s\n",
+			"fig11/"+n.Model+"/DUET", b.DUET.Mean*1e3, n.DUET.Mean*1e3, change*100, mark(change))
+		if b.Placement != n.Placement {
+			fmt.Fprintf(w, "%-28s placement changed: %s -> %s\n", "", b.Placement, n.Placement)
+		}
+	}
+
+	compareSweep := func(name string, bs, ns []SweepPoint) {
+		bx := map[int]SweepPoint{}
+		for _, p := range bs {
+			bx[p.X] = p
+		}
+		for _, p := range ns {
+			bp, ok := bx[p.X]
+			if !ok {
+				continue
+			}
+			change := rel(bp.DUET, p.DUET)
+			fmt.Fprintf(w, "%-28s %12.3f %12.3f %+8.1f%% %s\n",
+				fmt.Sprintf("%s/x=%d/DUET", name, p.X), bp.DUET*1e3, p.DUET*1e3, change*100, mark(change))
+		}
+	}
+	compareSweep("fig14", base.Fig14, next.Fig14)
+	compareSweep("fig15", base.Fig15, next.Fig15)
+	compareSweep("fig16", base.Fig16, next.Fig16)
+	compareSweep("fig17", base.Fig17, next.Fig17)
+
+	bt := map[string]Tab3Row{}
+	for _, r := range base.Tab3 {
+		bt[r.Model] = r
+	}
+	for _, r := range next.Tab3 {
+		b, ok := bt[r.Model]
+		if !ok {
+			continue
+		}
+		change := rel(b.DUET, r.DUET)
+		fmt.Fprintf(w, "%-28s %12.3f %12.3f %+8.1f%% %s\n",
+			"tab3/"+r.Model+"/DUET", b.DUET*1e3, r.DUET*1e3, change*100, mark(change))
+	}
+
+	if base.Fig13 != nil && next.Fig13 != nil {
+		change := rel(base.Fig13.GreedyCorrection, next.Fig13.GreedyCorrection)
+		fmt.Fprintf(w, "%-28s %12.3f %12.3f %+8.1f%% %s\n",
+			"fig13/greedy+correction", base.Fig13.GreedyCorrection*1e3, next.Fig13.GreedyCorrection*1e3, change*100, mark(change))
+		// Optimality must be preserved regardless of absolute drift; this
+		// bound is fixed (not the caller's tolerance) because losing the
+		// match-the-ideal property is a correctness regression, not noise.
+		if next.Fig13.GreedyCorrection > next.Fig13.Ideal*1.02 {
+			flagged++
+			fmt.Fprintf(w, "%-28s greedy+correction no longer matches ideal (%0.3f vs %0.3f ms)\n",
+				"fig13/optimality", next.Fig13.GreedyCorrection*1e3, next.Fig13.Ideal*1e3)
+		}
+	}
+	fmt.Fprintf(w, "\n%d regression(s) beyond ±%.0f%%\n", flagged, tolerance*100)
+	return flagged
+}

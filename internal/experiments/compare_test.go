@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"duet/internal/stats"
+)
+
+func sampleReport(duetMean float64) *Report {
+	return &Report{
+		Schema: 1,
+		Fig11: []ReportSeries{{
+			Model:     "Wide&Deep",
+			DUET:      stats.Summary{Mean: duetMean},
+			TVMGPU:    stats.Summary{Mean: duetMean * 2},
+			Placement: "GGCGC",
+		}},
+		Fig13: &Fig13Result{GreedyCorrection: duetMean, Ideal: duetMean},
+		Fig14: []SweepPoint{{X: 1, DUET: duetMean}, {X: 2, DUET: 2 * duetMean}},
+		Tab3:  []Tab3Row{{Model: "ResNet-50", DUET: duetMean, TVMGPU: duetMean}},
+	}
+}
+
+func TestCompareReportsNoChange(t *testing.T) {
+	var buf bytes.Buffer
+	if n := CompareReports(sampleReport(0.005), sampleReport(0.005), 0.05, &buf); n != 0 {
+		t.Fatalf("identical reports flagged %d regressions:\n%s", n, buf.String())
+	}
+	if !strings.Contains(buf.String(), "0 regression(s)") {
+		t.Fatalf("summary missing:\n%s", buf.String())
+	}
+}
+
+func TestCompareReportsFlagsSlowdown(t *testing.T) {
+	var buf bytes.Buffer
+	n := CompareReports(sampleReport(0.005), sampleReport(0.006), 0.05, &buf)
+	if n == 0 {
+		t.Fatalf("20%% slowdown not flagged:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Fatalf("REGRESSION marker missing:\n%s", buf.String())
+	}
+}
+
+func TestCompareReportsImprovementNotFlagged(t *testing.T) {
+	var buf bytes.Buffer
+	if n := CompareReports(sampleReport(0.005), sampleReport(0.004), 0.05, &buf); n != 0 {
+		t.Fatalf("improvement flagged as regression")
+	}
+	if !strings.Contains(buf.String(), "improved") {
+		t.Fatalf("improvement marker missing:\n%s", buf.String())
+	}
+}
+
+func TestCompareReportsOptimalityGuard(t *testing.T) {
+	base := sampleReport(0.005)
+	next := sampleReport(0.005)
+	next.Fig13.GreedyCorrection = next.Fig13.Ideal * 1.2
+	var buf bytes.Buffer
+	if n := CompareReports(base, next, 0.5, &buf); n == 0 {
+		t.Fatalf("lost optimality not flagged (tolerance shouldn't hide it):\n%s", buf.String())
+	}
+}
+
+func TestCompareReportsPlacementChangeNoted(t *testing.T) {
+	base := sampleReport(0.005)
+	next := sampleReport(0.005)
+	next.Fig11[0].Placement = "CCCCC"
+	var buf bytes.Buffer
+	CompareReports(base, next, 0.05, &buf)
+	if !strings.Contains(buf.String(), "placement changed") {
+		t.Fatalf("placement change not noted:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,152 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VI). Each experiment builds the relevant models, runs the
+// DUET pipeline and the baselines on the modelled platform, and renders the
+// same rows/series the paper reports. EXPERIMENTS.md records paper-reported
+// versus measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"duet/internal/baseline"
+	"duet/internal/core"
+	"duet/internal/device"
+	"duet/internal/graph"
+	"duet/internal/models"
+	"duet/internal/stats"
+	"duet/internal/vclock"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Seed drives all noise and workloads.
+	Seed int64
+	// Runs is the number of latency samples per configuration (the paper
+	// measures 5000 runs per configuration).
+	Runs int
+	// ProfileRuns is the profiler's repetition count (paper: 500).
+	ProfileRuns int
+}
+
+// Default reproduces the paper's measurement scale.
+func Default() Config { return Config{Seed: 42, Runs: 5000, ProfileRuns: 500} }
+
+// Quick is a reduced-scale configuration for smoke tests and benchmarks.
+func Quick() Config { return Config{Seed: 42, Runs: 100, ProfileRuns: 10} }
+
+// Experiment is a registered, runnable paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config, w io.Writer) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(id, title string, run func(cfg Config, w io.Writer) error) {
+	registry[id] = Experiment{ID: id, Title: title, Run: run}
+}
+
+// All returns every registered experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks up one experiment.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// --- shared helpers ---
+
+// buildEngine assembles a DUET engine for a model graph.
+func buildEngine(g *graph.Graph, cfg Config) (*core.Engine, error) {
+	c := core.DefaultConfig(cfg.Seed)
+	c.ProfileRuns = cfg.ProfileRuns
+	return core.Build(g, c)
+}
+
+// evalModels lists the three heterogeneous evaluation models (Table I).
+type modelSpec struct {
+	Name  string
+	Build func() (*graph.Graph, error)
+	// Framework names the reference implementation the paper compares
+	// against for this model.
+	Framework string
+}
+
+func evalModels() []modelSpec {
+	return []modelSpec{
+		{"Wide&Deep", func() (*graph.Graph, error) { return models.WideDeep(models.DefaultWideDeep()) }, "PyTorch"},
+		{"Siamese", func() (*graph.Graph, error) { return models.Siamese(models.DefaultSiamese()) }, "TensorFlow"},
+		{"MT-DNN", func() (*graph.Graph, error) { return models.MTDNN(models.DefaultMTDNN()) }, "PyTorch"},
+	}
+}
+
+// ModelRun holds every comparison series for one model.
+type ModelRun struct {
+	Model        string
+	Framework    string
+	FrameworkCPU stats.Summary
+	FrameworkGPU stats.Summary
+	TVMCPU       stats.Summary
+	TVMGPU       stats.Summary
+	DUET         stats.Summary
+	Placement    string
+	FellBack     bool
+	Engine       *core.Engine
+}
+
+// runModel measures all five series of Fig. 11 for one model.
+func runModel(spec modelSpec, cfg Config) (*ModelRun, error) {
+	g, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	e, err := buildEngine(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fw, err := baseline.New(spec.Framework, g, device.NewPlatform(cfg.Seed+1))
+	if err != nil {
+		return nil, err
+	}
+	duet, err := e.Measure(cfg.Runs)
+	if err != nil {
+		return nil, err
+	}
+	tvmCPU, err := e.MeasureUniform(device.CPU, cfg.Runs)
+	if err != nil {
+		return nil, err
+	}
+	tvmGPU, err := e.MeasureUniform(device.GPU, cfg.Runs)
+	if err != nil {
+		return nil, err
+	}
+	return &ModelRun{
+		Model:        spec.Name,
+		Framework:    spec.Framework,
+		FrameworkCPU: stats.Summarize(fw.Measure(device.CPU, cfg.Runs)),
+		FrameworkGPU: stats.Summarize(fw.Measure(device.GPU, cfg.Runs)),
+		TVMCPU:       stats.Summarize(tvmCPU),
+		TVMGPU:       stats.Summarize(tvmGPU),
+		DUET:         stats.Summarize(duet),
+		Placement:    e.Placement.String(),
+		FellBack:     e.FellBack,
+		Engine:       e,
+	}, nil
+}
+
+func header(w io.Writer, id, title string) {
+	fmt.Fprintf(w, "\n=== %s: %s ===\n", id, title)
+}
+
+func ms(t vclock.Seconds) string { return stats.Ms(t) }

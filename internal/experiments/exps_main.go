@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"duet/internal/device"
+	"duet/internal/graph"
+	"duet/internal/models"
+	"duet/internal/runtime"
+	"duet/internal/stats"
+	"duet/internal/vclock"
+)
+
+func init() {
+	register("fig4", "Execution timeline of Wide&Deep on GPU vs CPU vs DUET", Fig4)
+	register("fig5", "CPU-GPU communication cost vs message size", Fig5)
+	register("tab1", "Model parameters of Wide&Deep, Siamese, MT-DNN", Tab1)
+	register("fig11", "End-to-end latency of frameworks, TVM, and DUET", Fig11)
+	register("tab2", "Per-subgraph computation cost and placement decisions", Tab2)
+	register("fig12", "P50/P99/P99.9 tail latency: TVM-GPU vs DUET", Fig12)
+	register("tab3", "Traditional models (ResNet/VGG/SqueezeNet/GoogLeNet): fallback behaviour", Tab3)
+}
+
+// Fig4 renders execution timelines of Wide&Deep under all-GPU, all-CPU and
+// the DUET placement, reproducing the RNN-dominates-GPU / CNN-dominates-CPU
+// picture of the paper's Fig. 4.
+func Fig4(cfg Config, w io.Writer) error {
+	header(w, "fig4", "Wide&Deep execution timeline")
+	g, err := models.WideDeep(models.DefaultWideDeep())
+	if err != nil {
+		return err
+	}
+	e, err := buildEngine(g, cfg)
+	if err != nil {
+		return err
+	}
+	n := e.Runtime.NumSubgraphs()
+	for _, variant := range []struct {
+		name  string
+		place runtime.Placement
+	}{
+		{"TVM-GPU", runtime.Uniform(n, device.GPU)},
+		{"TVM-CPU", runtime.Uniform(n, device.CPU)},
+		{"DUET", e.Placement},
+	} {
+		res, err := e.Runtime.Run(nil, variant.place, false)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\n-- %s (end-to-end %s ms; %s) --\n", variant.name, ms(res.Latency), res.Utilization())
+		for _, s := range res.Timeline {
+			bar := timelineBar(s.Start, s.End, res.Latency)
+			fmt.Fprintf(w, "  %-9s %8s..%8s ms %s %s\n", s.Device, ms(s.Start), ms(s.End), bar, s.Label)
+		}
+	}
+	return nil
+}
+
+func timelineBar(start, end, total vclock.Seconds) string {
+	const width = 40
+	if total <= 0 {
+		return ""
+	}
+	s := int(start / total * width)
+	e := int(end / total * width)
+	if e <= s {
+		e = s + 1
+	}
+	if e > width {
+		e = width
+	}
+	return strings.Repeat(" ", s) + strings.Repeat("█", e-s) + strings.Repeat(" ", width-e)
+}
+
+// Fig5 sweeps the interconnect with point-to-point bulk transfers from 4 B
+// to 64 MB, reporting mean and P99 latency — the linear curve of Fig. 5.
+func Fig5(cfg Config, w io.Writer) error {
+	header(w, "fig5", "CPU↔GPU transfer latency vs message size")
+	plat := device.NewPlatform(cfg.Seed)
+	fmt.Fprintf(w, "%12s %14s %14s %14s\n", "bytes", "model (ms)", "mean (ms)", "p99 (ms)")
+	for size := 4; size <= 64<<20; size *= 4 {
+		samples := make([]vclock.Seconds, cfg.Runs)
+		for i := range samples {
+			samples[i] = plat.Link.SampleTransferTime(size)
+		}
+		s := stats.Summarize(samples)
+		fmt.Fprintf(w, "%12d %14s %14s %14s\n", size, ms(plat.Link.TransferTime(size)), ms(s.Mean), ms(s.P99))
+	}
+	return nil
+}
+
+// Tab1 reports the evaluation models' parameters (Table I).
+func Tab1(cfg Config, w io.Writer) error {
+	header(w, "tab1", "Model parameters")
+	wd := models.DefaultWideDeep()
+	si := models.DefaultSiamese()
+	mt := models.DefaultMTDNN()
+	gWD, err := models.WideDeep(wd)
+	if err != nil {
+		return err
+	}
+	gSI, err := models.Siamese(si)
+	if err != nil {
+		return err
+	}
+	gMT, err := models.MTDNN(mt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-10s | batch=%d seq=%d hidden=%d rnn_layers=%d ffn=%dx%d cnn=ResNet-%d@%d | params=%.1fM nodes=%d\n",
+		"Wide&Deep", wd.Batch, wd.SeqLen, wd.RNNHidden, wd.RNNLayers, wd.FFNHidden, wd.FFNWidth, wd.CNNDepth, wd.ImageSize,
+		float64(models.ParamCount(gWD))/1e6, gWD.Len())
+	fmt.Fprintf(w, "%-10s | batch=%d seq=%d hidden=%d layers=%d embed=%d vocab=%d | params=%.1fM nodes=%d\n",
+		"Siamese", si.Batch, si.SeqLen, si.Hidden, si.Layers, si.EmbedDim, si.Vocab,
+		float64(models.ParamCount(gSI))/1e6, gSI.Len())
+	fmt.Fprintf(w, "%-10s | batch=%d seq=%d dim=%d heads=%d layers=%d ffn=%d tasks=%d | params=%.1fM nodes=%d\n",
+		"MT-DNN", mt.Batch, mt.SeqLen, mt.ModelDim, mt.Heads, mt.Layers, mt.FFNDim, mt.Tasks,
+		float64(models.ParamCount(gMT))/1e6, gMT.Len())
+	return nil
+}
+
+// Fig11Data runs the headline end-to-end comparison for all three models.
+func Fig11Data(cfg Config) ([]*ModelRun, error) {
+	var runs []*ModelRun
+	for _, spec := range evalModels() {
+		r, err := runModel(spec, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		runs = append(runs, r)
+	}
+	return runs, nil
+}
+
+// Fig11 renders the end-to-end latency comparison (Fig. 11).
+func Fig11(cfg Config, w io.Writer) error {
+	header(w, "fig11", "End-to-end latency (ms), batch 1")
+	runs, err := Fig11Data(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-10s %6s %13s %13s %9s %9s %9s %14s %14s\n",
+		"model", "fw", "fw-CPU", "fw-GPU", "TVM-CPU", "TVM-GPU", "DUET", "vs TVM-GPU", "vs TVM-CPU")
+	for _, r := range runs {
+		fmt.Fprintf(w, "%-10s %6s %13s %13s %9s %9s %9s %13.2fx %13.2fx\n",
+			r.Model, r.Framework,
+			ms(r.FrameworkCPU.Mean), ms(r.FrameworkGPU.Mean),
+			ms(r.TVMCPU.Mean), ms(r.TVMGPU.Mean), ms(r.DUET.Mean),
+			stats.Speedup(r.TVMGPU.Mean, r.DUET.Mean), stats.Speedup(r.TVMCPU.Mean, r.DUET.Mean))
+	}
+	fmt.Fprintf(w, "\npaper shape: DUET 1.5-2.3x vs TVM-GPU, 1.3-15.9x vs TVM-CPU,\n             2.1-8.4x vs frameworks on GPU, 2.3-18.8x vs frameworks on CPU\n")
+	return nil
+}
+
+// Tab2 renders the per-subgraph profile and placement decisions (Table II).
+func Tab2(cfg Config, w io.Writer) error {
+	header(w, "tab2", "Subgraph computation cost and placement")
+	for _, spec := range evalModels() {
+		g, err := spec.Build()
+		if err != nil {
+			return err
+		}
+		e, err := buildEngine(g, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\n%s (placement %s, fellback=%v):\n", spec.Name, e.Placement, e.FellBack)
+		for _, row := range e.PlacementTable() {
+			fmt.Fprintf(w, "  %s\n", row)
+		}
+	}
+	return nil
+}
+
+// Fig12 renders tail latencies of TVM-GPU vs DUET (Fig. 12).
+func Fig12(cfg Config, w io.Writer) error {
+	header(w, "fig12", "Tail latency (ms): TVM-GPU vs DUET")
+	runs, err := Fig11Data(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-10s %-9s %9s %9s %9s\n", "model", "engine", "P50", "P99", "P99.9")
+	for _, r := range runs {
+		fmt.Fprintf(w, "%-10s %-9s %9s %9s %9s\n", r.Model, "TVM-GPU", ms(r.TVMGPU.P50), ms(r.TVMGPU.P99), ms(r.TVMGPU.P999))
+		fmt.Fprintf(w, "%-10s %-9s %9s %9s %9s  (speedup %0.2fx / %0.2fx / %0.2fx)\n", "", "DUET",
+			ms(r.DUET.P50), ms(r.DUET.P99), ms(r.DUET.P999),
+			stats.Speedup(r.TVMGPU.P50, r.DUET.P50), stats.Speedup(r.TVMGPU.P99, r.DUET.P99), stats.Speedup(r.TVMGPU.P999, r.DUET.P999))
+	}
+	fmt.Fprintf(w, "\npaper shape: 1.3-2.4x at P99 and 1.1-2.1x at P99.9, smaller than mean speedups\n")
+	return nil
+}
+
+// Tab3Row is one traditional-model comparison row.
+type Tab3Row struct {
+	Model   string
+	TVMCPU  vclock.Seconds
+	TVMGPU  vclock.Seconds
+	DUET    vclock.Seconds
+	Uniform bool
+}
+
+// Tab3Data measures the traditional sequential models (ResNet in the
+// paper; VGG-16 and SqueezeNet added since §III-A names them as further
+// sequential-chain networks).
+func Tab3Data(cfg Config) ([]Tab3Row, error) {
+	specs := []struct {
+		name  string
+		build func() (*graph.Graph, error)
+	}{
+		{"ResNet-18", func() (*graph.Graph, error) { return models.ResNet(models.DefaultResNet(18)) }},
+		{"ResNet-50", func() (*graph.Graph, error) { return models.ResNet(models.DefaultResNet(50)) }},
+		{"VGG-16", func() (*graph.Graph, error) { return models.VGG(models.DefaultVGG()) }},
+		{"SqueezeNet", func() (*graph.Graph, error) { return models.SqueezeNet(models.DefaultSqueezeNet()) }},
+		{"GoogLeNet", func() (*graph.Graph, error) { return models.GoogLeNet(models.DefaultGoogLeNet()) }},
+	}
+	var rows []Tab3Row
+	for _, spec := range specs {
+		g, err := spec.build()
+		if err != nil {
+			return nil, err
+		}
+		e, err := buildEngine(g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		duet, err := e.Measure(cfg.Runs)
+		if err != nil {
+			return nil, err
+		}
+		cpu, err := e.MeasureUniform(device.CPU, cfg.Runs)
+		if err != nil {
+			return nil, err
+		}
+		gpu, err := e.MeasureUniform(device.GPU, cfg.Runs)
+		if err != nil {
+			return nil, err
+		}
+		uniform := true
+		for _, k := range e.Placement {
+			if k != e.Placement[0] {
+				uniform = false
+			}
+		}
+		rows = append(rows, Tab3Row{
+			Model:   spec.name,
+			TVMCPU:  vclock.Mean(cpu),
+			TVMGPU:  vclock.Mean(gpu),
+			DUET:    vclock.Mean(duet),
+			Uniform: uniform,
+		})
+	}
+	return rows, nil
+}
+
+// Tab3 renders the ResNet fallback study (Table III).
+func Tab3(cfg Config, w io.Writer) error {
+	header(w, "tab3", "Traditional models: ResNet end-to-end latency (ms)")
+	rows, err := Tab3Data(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-10s %9s %9s %9s %10s %22s\n", "model", "TVM-CPU", "TVM-GPU", "DUET", "DUET/GPU", "single-device placement")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %9s %9s %9s %9.3fx %22v\n", r.Model, ms(r.TVMCPU), ms(r.TVMGPU), ms(r.DUET), r.DUET/r.TVMGPU, r.Uniform)
+	}
+	fmt.Fprintf(w, "\npaper shape: DUET offers the same performance as the best baseline (TVM-GPU)\n")
+	return nil
+}

@@ -1,0 +1,115 @@
+package graph
+
+import "fmt"
+
+// CriticalPath computes the longest weighted path from any source to any
+// declared output, where cost maps each node to a non-negative weight
+// (e.g. its profiled execution time). It returns the path (node IDs in
+// execution order) and its total cost. Nodes missing from cost weigh zero.
+func (g *Graph) CriticalPath(cost map[NodeID]float64) ([]NodeID, float64) {
+	n := len(g.nodes)
+	dist := make([]float64, n)
+	prev := make([]NodeID, n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	for _, id := range g.TopoSort() {
+		node := g.nodes[id]
+		best := 0.0
+		bestPrev := NodeID(-1)
+		for _, in := range node.Inputs {
+			if dist[in] > best {
+				best = dist[in]
+				bestPrev = in
+			}
+		}
+		dist[id] = best + cost[id]
+		prev[id] = bestPrev
+	}
+	// Pick the most expensive declared output (or global sink if none).
+	endID := NodeID(-1)
+	endCost := -1.0
+	ends := g.outputs
+	if len(ends) == 0 {
+		ends = g.TopoSort()
+	}
+	for _, id := range ends {
+		if dist[id] > endCost {
+			endCost = dist[id]
+			endID = id
+		}
+	}
+	var path []NodeID
+	for id := endID; id >= 0; id = prev[id] {
+		path = append(path, id)
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, endCost
+}
+
+// Levels assigns each node its depth: inputs/consts are level 0, and every
+// other node is 1 + max(level of inputs). Nodes at equal level with no
+// mutual dependency can run concurrently; the partitioner uses levels to
+// find multi-path phases.
+func (g *Graph) Levels() map[NodeID]int {
+	lv := make(map[NodeID]int, len(g.nodes))
+	for _, id := range g.TopoSort() {
+		node := g.nodes[id]
+		best := -1
+		for _, in := range node.Inputs {
+			if lv[in] > best {
+				best = lv[in]
+			}
+		}
+		lv[id] = best + 1
+	}
+	return lv
+}
+
+// Independent reports whether node sets a and b have no dependency in either
+// direction (no path from any node of a to any node of b, nor vice versa).
+func (g *Graph) Independent(a, b map[NodeID]bool) bool {
+	return !g.reaches(a, b) && !g.reaches(b, a)
+}
+
+// reaches reports whether any node in from can reach any node in to by
+// following consumer edges.
+func (g *Graph) reaches(from, to map[NodeID]bool) bool {
+	consumers := g.Consumers()
+	seen := make(map[NodeID]bool)
+	var stack []NodeID
+	for id := range from {
+		stack = append(stack, id)
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range consumers[id] {
+			if to[c] {
+				return true
+			}
+			if !seen[c] {
+				seen[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	return false
+}
+
+// DataSize returns the byte size of a node's inferred output tensor
+// (4 bytes per float32 element). It panics if shapes were not inferred.
+func (g *Graph) DataSize(id NodeID) int {
+	n := g.nodes[id]
+	if n.Shape == nil {
+		panic(fmt.Sprintf("graph: DataSize of %q before shape inference", n.Name))
+	}
+	size := 4
+	for _, d := range n.Shape {
+		size *= d
+	}
+	return size
+}

@@ -1,0 +1,37 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax for debugging. labels, when
+// non-nil, supplies extra per-node annotation (e.g. device placement).
+func (g *Graph) DOT(labels map[NodeID]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n", g.Name)
+	for _, n := range g.nodes {
+		shape := "box"
+		switch {
+		case n.IsInput():
+			shape = "ellipse"
+		case n.IsConst():
+			shape = "note"
+		}
+		label := fmt.Sprintf("%s\\n%s", n.Name, n.Op)
+		if extra := labels[n.ID]; extra != "" {
+			label += "\\n" + extra
+		}
+		fmt.Fprintf(&b, "  n%d [shape=%s,label=\"%s\"];\n", n.ID, shape, label)
+	}
+	for _, n := range g.nodes {
+		for _, in := range n.Inputs {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", in, n.ID)
+		}
+	}
+	for _, o := range g.outputs {
+		fmt.Fprintf(&b, "  n%d [peripheries=2];\n", o)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

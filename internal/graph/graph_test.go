@@ -1,0 +1,321 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"duet/internal/tensor"
+)
+
+// diamond builds: in -> a -> {b, c} -> d(out)
+func diamond(t *testing.T) (*Graph, []NodeID) {
+	t.Helper()
+	g := New("diamond")
+	in := g.AddInput("x", 1, 4)
+	a := g.Add("relu", "a", nil, in)
+	b := g.Add("relu", "b", nil, a)
+	c := g.Add("relu", "c", nil, a)
+	d := g.Add("add", "d", nil, b, c)
+	g.SetOutputs(d)
+	for _, n := range g.Nodes() {
+		n.Shape = []int{1, 4}
+	}
+	return g, []NodeID{in, a, b, c, d}
+}
+
+func TestAddAndLookup(t *testing.T) {
+	g, ids := diamond(t)
+	if g.Len() != 5 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if g.NodeByName("c").ID != ids[3] {
+		t.Fatalf("NodeByName wrong")
+	}
+	if g.NodeByName("zzz") != nil {
+		t.Fatalf("missing node should be nil")
+	}
+	if got := g.Node(ids[4]).Inputs; len(got) != 2 {
+		t.Fatalf("inputs of d = %v", got)
+	}
+}
+
+func TestAddDuplicateNamePanics(t *testing.T) {
+	g := New("g")
+	g.AddInput("x", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on duplicate name")
+		}
+	}()
+	g.AddInput("x", 1)
+}
+
+func TestAddDanglingInputPanics(t *testing.T) {
+	g := New("g")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on dangling input")
+		}
+	}()
+	g.Add("relu", "r", nil, 5)
+}
+
+func TestValidate(t *testing.T) {
+	g, _ := diamond(t)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	empty := New("e")
+	empty.AddInput("x", 1)
+	if err := empty.Validate(); err == nil {
+		t.Fatalf("Validate should fail without outputs")
+	}
+}
+
+func TestTopoSortRespectsDeps(t *testing.T) {
+	g, _ := diamond(t)
+	pos := make(map[NodeID]int)
+	for i, id := range g.TopoSort() {
+		pos[id] = i
+	}
+	for _, n := range g.Nodes() {
+		for _, in := range n.Inputs {
+			if pos[in] >= pos[n.ID] {
+				t.Fatalf("topo order violates dependency %d -> %d", in, n.ID)
+			}
+		}
+	}
+}
+
+func TestConsumers(t *testing.T) {
+	g, ids := diamond(t)
+	cons := g.Consumers()
+	if len(cons[ids[1]]) != 2 {
+		t.Fatalf("a should have 2 consumers, got %v", cons[ids[1]])
+	}
+	if len(cons[ids[4]]) != 0 {
+		t.Fatalf("output should have no consumers")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g, ids := diamond(t)
+	dead := g.Add("relu", "dead", nil, ids[0])
+	live := g.Reachable()
+	if live[dead] {
+		t.Fatalf("dead node reported reachable")
+	}
+	for _, id := range ids {
+		if !live[id] {
+			t.Fatalf("live node %d reported dead", id)
+		}
+	}
+}
+
+func TestLevels(t *testing.T) {
+	g, ids := diamond(t)
+	lv := g.Levels()
+	want := []int{0, 1, 2, 2, 3}
+	for i, id := range ids {
+		if lv[id] != want[i] {
+			t.Fatalf("level of node %d = %d, want %d", id, lv[id], want[i])
+		}
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	g, ids := diamond(t)
+	cost := map[NodeID]float64{ids[0]: 0, ids[1]: 1, ids[2]: 10, ids[3]: 2, ids[4]: 1}
+	path, total := g.CriticalPath(cost)
+	if total != 12 {
+		t.Fatalf("critical path cost = %v, want 12", total)
+	}
+	// Path must go through the expensive branch b (ids[2]).
+	found := false
+	for _, id := range path {
+		if id == ids[2] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("critical path %v skips expensive node", path)
+	}
+}
+
+func TestCriticalPathZeroCosts(t *testing.T) {
+	g, _ := diamond(t)
+	path, total := g.CriticalPath(map[NodeID]float64{})
+	if total != 0 || len(path) == 0 {
+		t.Fatalf("zero-cost critical path: %v, %v", path, total)
+	}
+}
+
+func TestIndependent(t *testing.T) {
+	g, ids := diamond(t)
+	b := map[NodeID]bool{ids[2]: true}
+	c := map[NodeID]bool{ids[3]: true}
+	if !g.Independent(b, c) {
+		t.Fatalf("parallel branches should be independent")
+	}
+	a := map[NodeID]bool{ids[1]: true}
+	if g.Independent(a, b) {
+		t.Fatalf("a feeds b; not independent")
+	}
+	if g.Independent(b, a) {
+		t.Fatalf("independence must be symmetric in detection")
+	}
+}
+
+func TestDataSize(t *testing.T) {
+	g, ids := diamond(t)
+	if got := g.DataSize(ids[0]); got != 16 {
+		t.Fatalf("DataSize = %d, want 16", got)
+	}
+}
+
+func TestDataSizeWithoutShapesPanics(t *testing.T) {
+	g := New("g")
+	id := g.Add("relu", "r", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	g.DataSize(id)
+}
+
+func TestAttrsHelpers(t *testing.T) {
+	a := Attrs{"stride": 2, "mode": "same", "dims": []int{1, 2}}
+	if a.Int("stride", 0) != 2 || a.Int("missing", 7) != 7 {
+		t.Fatalf("Attrs.Int wrong")
+	}
+	if a.Str("mode", "") != "same" || a.Str("missing", "d") != "d" {
+		t.Fatalf("Attrs.Str wrong")
+	}
+	if got := a.Ints("dims"); len(got) != 2 || got[1] != 2 {
+		t.Fatalf("Attrs.Ints wrong")
+	}
+	if a.Ints("missing") != nil {
+		t.Fatalf("missing Ints should be nil")
+	}
+	c := a.Clone()
+	c["stride"] = 9
+	if a.Int("stride", 0) != 2 {
+		t.Fatalf("Clone must not alias")
+	}
+}
+
+func TestAddConstAndInput(t *testing.T) {
+	g := New("g")
+	w := g.AddConst("w", tensor.Ones(2, 3))
+	x := g.AddInput("x", 1, 2)
+	if !g.Node(w).IsConst() || g.Node(w).IsInput() {
+		t.Fatalf("const flags wrong")
+	}
+	if !g.Node(x).IsInput() || g.Node(x).IsConst() {
+		t.Fatalf("input flags wrong")
+	}
+	if !tensor.ShapeEq(g.Node(w).Shape, []int{2, 3}) {
+		t.Fatalf("const shape not recorded")
+	}
+	if ins := g.InputIDs(); len(ins) != 1 || ins[0] != x {
+		t.Fatalf("InputIDs = %v", ins)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g, ids := diamond(t)
+	dot := g.DOT(map[NodeID]string{ids[1]: "GPU"})
+	for _, frag := range []string{"digraph", "n0 -> n1", "GPU", "peripheries=2"} {
+		if !strings.Contains(dot, frag) {
+			t.Fatalf("DOT output missing %q:\n%s", frag, dot)
+		}
+	}
+}
+
+func TestCriticalPathBoundsProperty(t *testing.T) {
+	// For random DAGs and random costs: max(cost) ≤ critical path ≤ Σcost,
+	// and the returned path is a real dependency chain.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New("prop")
+		n := 3 + rng.Intn(12)
+		ids := make([]NodeID, 0, n)
+		in := g.AddInput("x", 1)
+		ids = append(ids, in)
+		for i := 1; i < n; i++ {
+			// Each node consumes 1-2 random predecessors.
+			k := 1 + rng.Intn(2)
+			inputs := make([]NodeID, 0, k)
+			for j := 0; j < k; j++ {
+				inputs = append(inputs, ids[rng.Intn(len(ids))])
+			}
+			ids = append(ids, g.Add("relu", fmt.Sprintf("n%d", i), nil, inputs...))
+		}
+		g.SetOutputs(ids[len(ids)-1])
+
+		cost := map[NodeID]float64{}
+		var total, max float64
+		for _, id := range ids {
+			c := rng.Float64() * 10
+			cost[id] = c
+			total += c
+			if c > max {
+				max = c
+			}
+		}
+		path, pathCost := g.CriticalPath(cost)
+		if pathCost > total+1e-9 || len(path) == 0 {
+			return false
+		}
+		// Path must be a dependency chain ending at the output.
+		for i := 1; i < len(path); i++ {
+			found := false
+			for _, pin := range g.Node(path[i]).Inputs {
+				if pin == path[i-1] {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		// Path cost must equal the sum of its nodes' costs.
+		var sum float64
+		for _, id := range path {
+			sum += cost[id]
+		}
+		return sum <= pathCost+1e-9 && sum >= pathCost-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevelsMonotoneProperty(t *testing.T) {
+	// Every node's level strictly exceeds each of its inputs' levels.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New("prop")
+		ids := []NodeID{g.AddInput("x", 1)}
+		for i := 1; i < 3+rng.Intn(15); i++ {
+			ids = append(ids, g.Add("relu", fmt.Sprintf("n%d", i), nil, ids[rng.Intn(len(ids))]))
+		}
+		g.SetOutputs(ids[len(ids)-1])
+		lv := g.Levels()
+		for _, n := range g.Nodes() {
+			for _, in := range n.Inputs {
+				if lv[in] >= lv[n.ID] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

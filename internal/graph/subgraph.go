@@ -1,0 +1,174 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Subgraph is a standalone extraction of a node subset from a parent graph.
+// Boundary producers become fresh input placeholders, so the subgraph can be
+// compiled and executed as an independent module — exactly how the
+// compiler-aware profiler treats subgraphs as standalone models (§IV-B).
+type Subgraph struct {
+	// Graph is the standalone extracted graph.
+	Graph *Graph
+	// Members are the parent-graph node IDs included (ascending).
+	Members []NodeID
+	// BoundaryInputs are parent-graph producer IDs feeding this subgraph
+	// from outside, in the order of the extracted graph's placeholders.
+	BoundaryInputs []NodeID
+	// Outputs are parent-graph IDs whose values this subgraph must publish
+	// (consumed outside, or declared parent outputs), ascending.
+	Outputs []NodeID
+	// parentToLocal maps parent node IDs to extracted-graph IDs.
+	parentToLocal map[NodeID]NodeID
+}
+
+// LocalID translates a parent-graph node ID (member or boundary input) to
+// the extracted graph's ID.
+func (s *Subgraph) LocalID(parent NodeID) (NodeID, bool) {
+	id, ok := s.parentToLocal[parent]
+	return id, ok
+}
+
+// Extract builds a standalone subgraph from the member set of parent g.
+// Constants referenced by members are copied into the subgraph (weights
+// live on the executing device and never cross the interconnect); any other
+// external producer — runtime inputs included — becomes a boundary input
+// placeholder whose shape is copied from the parent node, so parent shapes
+// must be inferred first.
+func Extract(g *Graph, members map[NodeID]bool) (*Subgraph, error) {
+	memberIDs := SortedIDs(members)
+	if len(memberIDs) == 0 {
+		return nil, fmt.Errorf("graph: Extract of empty member set")
+	}
+	consumers := g.Consumers()
+
+	sub := &Subgraph{
+		Members:       memberIDs,
+		parentToLocal: make(map[NodeID]NodeID),
+	}
+	sg := New(fmt.Sprintf("%s/sub%d", g.Name, memberIDs[0]))
+
+	// Collect boundary producers in deterministic (ascending parent ID)
+	// order: every non-const external producer referenced by a member.
+	boundarySet := make(map[NodeID]bool)
+	for _, id := range memberIDs {
+		for _, in := range g.Node(id).Inputs {
+			if members[in] || g.Node(in).IsConst() {
+				continue
+			}
+			boundarySet[in] = true
+		}
+	}
+	sub.BoundaryInputs = SortedIDs(boundarySet)
+	for _, pid := range sub.BoundaryInputs {
+		pn := g.Node(pid)
+		if pn.Shape == nil {
+			return nil, fmt.Errorf("graph: Extract requires inferred shapes (node %q)", pn.Name)
+		}
+		local := sg.AddInput("in."+pn.Name, pn.Shape...)
+		sub.parentToLocal[pid] = local
+	}
+
+	// Copy constants and members in parent topological order.
+	for _, id := range memberIDs {
+		n := g.Node(id)
+		for _, in := range n.Inputs {
+			cn := g.Node(in)
+			if !cn.IsConst() {
+				continue
+			}
+			if _, done := sub.parentToLocal[in]; done {
+				continue
+			}
+			local := sg.AddConst(cn.Name, cn.Value)
+			sub.parentToLocal[in] = local
+		}
+		localInputs := make([]NodeID, len(n.Inputs))
+		for i, in := range n.Inputs {
+			local, ok := sub.parentToLocal[in]
+			if !ok {
+				return nil, fmt.Errorf("graph: Extract member %q depends on un-extracted node %q; member set must be closed", n.Name, g.Node(in).Name)
+			}
+			localInputs[i] = local
+		}
+		local := sg.Add(n.Op, n.Name, n.Attrs.Clone(), localInputs...)
+		sg.Node(local).Shape = append([]int(nil), n.Shape...)
+		sg.Node(local).Value = n.Value
+		sub.parentToLocal[id] = local
+	}
+
+	// Outputs: members consumed outside the set, or declared parent outputs.
+	declared := make(map[NodeID]bool, len(g.outputs))
+	for _, o := range g.outputs {
+		declared[o] = true
+	}
+	outSet := make(map[NodeID]bool)
+	for _, id := range memberIDs {
+		if declared[id] {
+			outSet[id] = true
+			continue
+		}
+		for _, c := range consumers[id] {
+			if !members[c] {
+				outSet[id] = true
+				break
+			}
+		}
+	}
+	sub.Outputs = SortedIDs(outSet)
+	if len(sub.Outputs) == 0 {
+		return nil, fmt.Errorf("graph: Extract produced a subgraph with no outputs")
+	}
+	localOuts := make([]NodeID, len(sub.Outputs))
+	for i, pid := range sub.Outputs {
+		localOuts[i] = sub.parentToLocal[pid]
+	}
+	sg.SetOutputs(localOuts...)
+	sub.Graph = sg
+	return sub, nil
+}
+
+// InputBytes returns the total byte volume of the subgraph's boundary
+// inputs — the traffic that crosses the interconnect if the producer ran on
+// the other device.
+func (s *Subgraph) InputBytes(parent *Graph) int {
+	total := 0
+	for _, pid := range s.BoundaryInputs {
+		total += parent.DataSize(pid)
+	}
+	return total
+}
+
+// OutputBytes returns the total byte volume of the subgraph's outputs.
+func (s *Subgraph) OutputBytes(parent *Graph) int {
+	total := 0
+	for _, pid := range s.Outputs {
+		total += parent.DataSize(pid)
+	}
+	return total
+}
+
+// Summary returns a short human-readable description of the subgraph.
+func (s *Subgraph) Summary() string {
+	ops := make(map[string]int)
+	for _, n := range s.Graph.Nodes() {
+		if !n.IsConst() && !n.IsInput() {
+			ops[n.Op]++
+		}
+	}
+	kinds := make([]string, 0, len(ops))
+	for k := range ops {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	out := ""
+	for i, k := range kinds {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf("%s×%d", k, ops[k])
+	}
+	return out
+}

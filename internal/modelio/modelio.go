@@ -1,0 +1,187 @@
+// Package modelio serialises model graphs with their weights so compiled
+// pipelines can be saved once and deployed elsewhere — the deployment-
+// engineer half of the DNN life-cycle (§II-A). The format is a single JSON
+// document: structural fields in plain JSON, weight payloads as base64
+// little-endian float32.
+package modelio
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"duet/internal/graph"
+	"duet/internal/tensor"
+)
+
+// FormatVersion identifies the serialisation schema.
+const FormatVersion = 1
+
+type fileModel struct {
+	Version int        `json:"version"`
+	Name    string     `json:"name"`
+	Nodes   []fileNode `json:"nodes"`
+	Outputs []int      `json:"outputs"`
+}
+
+type fileNode struct {
+	Op     string                 `json:"op"`
+	Name   string                 `json:"name"`
+	Inputs []int                  `json:"inputs,omitempty"`
+	Attrs  map[string]interface{} `json:"attrs,omitempty"`
+	Shape  []int                  `json:"shape,omitempty"`
+	// Data holds base64 little-endian float32 for const nodes.
+	Data string `json:"data,omitempty"`
+}
+
+// Save writes the graph (structure, attributes, and const payloads) to w.
+func Save(g *graph.Graph, w io.Writer) error {
+	fm := fileModel{Version: FormatVersion, Name: g.Name}
+	for _, n := range g.Nodes() {
+		fn := fileNode{Op: n.Op, Name: n.Name, Shape: n.Shape}
+		for _, in := range n.Inputs {
+			fn.Inputs = append(fn.Inputs, int(in))
+		}
+		if len(n.Attrs) > 0 {
+			fn.Attrs = encodeAttrs(n.Attrs)
+		}
+		if n.IsConst() {
+			if n.Value == nil {
+				return fmt.Errorf("modelio: const node %q has no value", n.Name)
+			}
+			fn.Data = encodeFloats(n.Value.Data())
+			fn.Shape = n.Value.Shape()
+		}
+		fm.Nodes = append(fm.Nodes, fn)
+	}
+	for _, o := range g.Outputs() {
+		fm.Outputs = append(fm.Outputs, int(o))
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(fm)
+}
+
+// Load reads a graph written by Save.
+func Load(r io.Reader) (*graph.Graph, error) {
+	var fm fileModel
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&fm); err != nil {
+		return nil, fmt.Errorf("modelio: %w", err)
+	}
+	if fm.Version != FormatVersion {
+		return nil, fmt.Errorf("modelio: unsupported format version %d (want %d)", fm.Version, FormatVersion)
+	}
+	g := graph.New(fm.Name)
+	for i, fn := range fm.Nodes {
+		inputs := make([]graph.NodeID, len(fn.Inputs))
+		for j, in := range fn.Inputs {
+			if in < 0 || in >= i {
+				return nil, fmt.Errorf("modelio: node %q input %d out of order", fn.Name, in)
+			}
+			inputs[j] = graph.NodeID(in)
+		}
+		switch fn.Op {
+		case graph.OpInput:
+			g.AddInput(fn.Name, fn.Shape...)
+		case graph.OpConst:
+			data, err := decodeFloats(fn.Data)
+			if err != nil {
+				return nil, fmt.Errorf("modelio: node %q: %w", fn.Name, err)
+			}
+			if len(data) != tensor.Numel(fn.Shape) {
+				return nil, fmt.Errorf("modelio: node %q payload has %d values for shape %v", fn.Name, len(data), fn.Shape)
+			}
+			g.AddConst(fn.Name, tensor.FromSlice(data, fn.Shape...))
+		default:
+			attrs, err := decodeAttrs(fn.Attrs)
+			if err != nil {
+				return nil, fmt.Errorf("modelio: node %q: %w", fn.Name, err)
+			}
+			id := g.Add(fn.Op, fn.Name, attrs, inputs...)
+			if fn.Shape != nil {
+				g.Node(id).Shape = append([]int(nil), fn.Shape...)
+			}
+		}
+	}
+	outs := make([]graph.NodeID, len(fm.Outputs))
+	for i, o := range fm.Outputs {
+		if o < 0 || o >= g.Len() {
+			return nil, fmt.Errorf("modelio: output id %d out of range", o)
+		}
+		outs[i] = graph.NodeID(o)
+	}
+	g.SetOutputs(outs...)
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("modelio: %w", err)
+	}
+	return g, nil
+}
+
+// encodeAttrs maps graph attributes into JSON-safe values. []int becomes
+// []interface{} of numbers tagged by key convention on decode.
+func encodeAttrs(a graph.Attrs) map[string]interface{} {
+	out := make(map[string]interface{}, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// decodeAttrs restores typed attributes: JSON numbers become int, arrays
+// become []int, strings pass through.
+func decodeAttrs(raw map[string]interface{}) (graph.Attrs, error) {
+	if raw == nil {
+		return graph.Attrs{}, nil
+	}
+	a := make(graph.Attrs, len(raw))
+	for k, v := range raw {
+		switch x := v.(type) {
+		case float64:
+			if x != math.Trunc(x) {
+				return nil, fmt.Errorf("non-integer attribute %s=%v", k, x)
+			}
+			a[k] = int(x)
+		case string:
+			a[k] = x
+		case []interface{}:
+			ints := make([]int, len(x))
+			for i, e := range x {
+				f, ok := e.(float64)
+				if !ok || f != math.Trunc(f) {
+					return nil, fmt.Errorf("non-integer list attribute %s[%d]=%v", k, i, e)
+				}
+				ints[i] = int(f)
+			}
+			a[k] = ints
+		default:
+			return nil, fmt.Errorf("unsupported attribute type %T for %s", v, k)
+		}
+	}
+	return a, nil
+}
+
+func encodeFloats(data []float32) string {
+	buf := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	return base64.StdEncoding.EncodeToString(buf)
+}
+
+func decodeFloats(s string) ([]float32, error) {
+	buf, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf)%4 != 0 {
+		return nil, fmt.Errorf("payload length %d not a multiple of 4", len(buf))
+	}
+	out := make([]float32, len(buf)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return out, nil
+}

@@ -1,0 +1,173 @@
+package modelio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"duet/internal/compiler"
+	"duet/internal/graph"
+	"duet/internal/models"
+	"duet/internal/tensor"
+)
+
+func roundTrip(t *testing.T, g *graph.Graph) *graph.Graph {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Save(g, &buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g2
+}
+
+func TestRoundTripSmallGraph(t *testing.T) {
+	g := graph.New("rt")
+	x := g.AddInput("x", 1, 4)
+	w := g.AddConst("w", tensor.FromSlice([]float32{1, -2.5, 3.25, 0, 7, 8, -9, 10}, 2, 4))
+	d := g.Add("dense", "d", nil, x, w)
+	rs := g.Add("reshape", "rs", graph.Attrs{"shape": []int{2, 1}, "tag": "x"}, d)
+	g.SetOutputs(rs)
+	g2 := roundTrip(t, g)
+	if g2.Len() != g.Len() || g2.Name != "rt" {
+		t.Fatalf("structure lost: %d nodes", g2.Len())
+	}
+	w2 := g2.NodeByName("w")
+	if !tensor.AllClose(w2.Value, g.NodeByName("w").Value, 0, 0) {
+		t.Fatalf("weights corrupted")
+	}
+	rs2 := g2.NodeByName("rs")
+	if got := rs2.Attrs.Ints("shape"); len(got) != 2 || got[0] != 2 {
+		t.Fatalf("[]int attr lost: %v", got)
+	}
+	if rs2.Attrs.Str("tag", "") != "x" {
+		t.Fatalf("string attr lost")
+	}
+}
+
+func TestRoundTripExecutionEquivalence(t *testing.T) {
+	// The serialised Siamese model must compute identical outputs.
+	cfg := models.DefaultSiamese()
+	cfg.SeqLen = 6
+	cfg.Hidden = 16
+	cfg.EmbedDim = 8
+	cfg.Vocab = 30
+	g, err := models.Siamese(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := roundTrip(t, g)
+
+	in := map[string]*tensor.Tensor{
+		"query.ids":   tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6}, 1, 6),
+		"passage.ids": tensor.FromSlice([]float32{6, 5, 4, 3, 2, 1}, 1, 6),
+	}
+	m1, err := compiler.Compile(g, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := compiler.Compile(g2, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1, err := m1.Execute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := m2.Execute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(o1[0], o2[0], 0, 0) {
+		t.Fatalf("serialised model computes different values")
+	}
+}
+
+func TestRoundTripAllZooModels(t *testing.T) {
+	builds := map[string]func() (*graph.Graph, error){
+		"widedeep": func() (*graph.Graph, error) { return models.WideDeep(models.DefaultWideDeep()) },
+		"mtdnn":    func() (*graph.Graph, error) { return models.MTDNN(models.DefaultMTDNN()) },
+		"resnet18": func() (*graph.Graph, error) { return models.ResNet(models.DefaultResNet(18)) },
+		"squeeze":  func() (*graph.Graph, error) { return models.SqueezeNet(models.DefaultSqueezeNet()) },
+	}
+	for name, build := range builds {
+		g, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		g2 := roundTrip(t, g)
+		if g2.Len() != g.Len() {
+			t.Fatalf("%s: node count %d != %d", name, g2.Len(), g.Len())
+		}
+		if models.ParamCount(g2) != models.ParamCount(g) {
+			t.Fatalf("%s: params %d != %d", name, models.ParamCount(g2), models.ParamCount(g))
+		}
+		if err := compiler.InferShapes(g2); err != nil {
+			t.Fatalf("%s: reloaded graph fails shape inference: %v", name, err)
+		}
+	}
+}
+
+func TestRoundTripRandomPayloadBits(t *testing.T) {
+	// Every float32 bit pattern must survive, including denormals and
+	// negative zero.
+	rng := rand.New(rand.NewSource(8))
+	vals := []float32{0, float32(rng.NormFloat64()), -0.0, 1e-45, 3.4e38, -3.4e38}
+	g := graph.New("bits")
+	c := g.AddConst("c", tensor.FromSlice(vals, len(vals)))
+	r := g.Add("relu", "r", nil, c)
+	g.SetOutputs(r)
+	g2 := roundTrip(t, g)
+	got := g2.NodeByName("c").Value.Data()
+	for i, v := range vals {
+		if got[i] != v && !(v != v && got[i] != got[i]) {
+			t.Fatalf("value %d: %v != %v", i, got[i], v)
+		}
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":     "not json",
+		"bad version": `{"version":99,"name":"x","nodes":[],"outputs":[]}`,
+		"bad output":  `{"version":1,"name":"x","nodes":[{"op":"input","name":"a","shape":[1]}],"outputs":[5]}`,
+		"fwd input":   `{"version":1,"name":"x","nodes":[{"op":"relu","name":"r","inputs":[0]}],"outputs":[0]}`,
+		"bad payload": `{"version":1,"name":"x","nodes":[{"op":"const","name":"c","shape":[2],"data":"AAA"}],"outputs":[0]}`,
+		"short data":  `{"version":1,"name":"x","nodes":[{"op":"const","name":"c","shape":[2],"data":"AAAAAA=="}],"outputs":[0]}`,
+	}
+	for name, src := range cases {
+		if _, err := Load(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestSaveRejectsValuelessConst(t *testing.T) {
+	g := graph.New("bad")
+	c := g.Add(graph.OpConst, "c", nil)
+	g.SetOutputs(c)
+	var buf bytes.Buffer
+	if err := Save(g, &buf); err == nil {
+		t.Fatalf("expected error")
+	}
+}
+
+func TestDecodeAttrsErrors(t *testing.T) {
+	if _, err := decodeAttrs(map[string]interface{}{"x": 1.5}); err == nil {
+		t.Fatalf("fractional attr should fail")
+	}
+	if _, err := decodeAttrs(map[string]interface{}{"x": []interface{}{"a"}}); err == nil {
+		t.Fatalf("non-numeric list should fail")
+	}
+	if _, err := decodeAttrs(map[string]interface{}{"x": true}); err == nil {
+		t.Fatalf("bool attr should fail")
+	}
+	a, err := decodeAttrs(nil)
+	if err != nil || len(a) != 0 {
+		t.Fatalf("nil attrs should decode to empty map")
+	}
+}

@@ -1,0 +1,97 @@
+package models
+
+import (
+	"fmt"
+
+	"duet/internal/graph"
+)
+
+// GoogLeNetConfig parameterises GoogLeNet (Inception v1, Szegedy et al.
+// 2015) — the high-fan-out model class the paper cites in §I: every
+// Inception module holds four independent branches, so the partitioner
+// produces a long alternation of sequential and 4-way multi-path phases.
+type GoogLeNetConfig struct {
+	Batch     int
+	ImageSize int
+	Classes   int
+	Seed      int64
+}
+
+// DefaultGoogLeNet returns GoogLeNet at ImageNet resolution, batch 1.
+func DefaultGoogLeNet() GoogLeNetConfig {
+	return GoogLeNetConfig{Batch: 1, ImageSize: 224, Classes: 1000, Seed: 31}
+}
+
+// inceptionSpec holds the per-branch channel widths of one module:
+// 1×1 | 1×1→3×3 | 1×1→5×5 | pool→1×1.
+type inceptionSpec struct {
+	c1, r3, c3, r5, c5, pp int
+}
+
+// googLeNetModules lists the nine Inception modules (3a..5b).
+var googLeNetModules = []struct {
+	name string
+	spec inceptionSpec
+	pool bool // max-pool after this module
+}{
+	{"3a", inceptionSpec{64, 96, 128, 16, 32, 32}, false},
+	{"3b", inceptionSpec{128, 128, 192, 32, 96, 64}, true},
+	{"4a", inceptionSpec{192, 96, 208, 16, 48, 64}, false},
+	{"4b", inceptionSpec{160, 112, 224, 24, 64, 64}, false},
+	{"4c", inceptionSpec{128, 128, 256, 24, 64, 64}, false},
+	{"4d", inceptionSpec{112, 144, 288, 32, 64, 64}, false},
+	{"4e", inceptionSpec{256, 160, 320, 32, 128, 128}, true},
+	{"5a", inceptionSpec{256, 160, 320, 32, 128, 128}, false},
+	{"5b", inceptionSpec{384, 192, 384, 48, 128, 128}, false},
+}
+
+// GoogLeNet builds the Inception v1 classifier graph.
+func GoogLeNet(cfg GoogLeNetConfig) (*graph.Graph, error) {
+	if cfg.ImageSize%32 != 0 {
+		return nil, fmt.Errorf("models: GoogLeNet image size %d must be divisible by 32", cfg.ImageSize)
+	}
+	b := newBuilder("googlenet", cfg.Seed)
+	x := b.g.AddInput("image", cfg.Batch, 3, cfg.ImageSize, cfg.ImageSize)
+
+	// Stem: 7×7/2 conv → pool → 1×1 → 3×3 → pool.
+	cur := b.convRelu("stem1", x, 3, 64, 7, 2, 3)
+	cur = b.g.Add("maxpool2d", b.name("pool1"), graph.Attrs{"kernel": 3, "stride": 2, "pad": 1}, cur)
+	cur = b.convRelu("stem2", cur, 64, 64, 1, 1, 0)
+	cur = b.convRelu("stem3", cur, 64, 192, 3, 1, 1)
+	cur = b.g.Add("maxpool2d", b.name("pool2"), graph.Attrs{"kernel": 3, "stride": 2, "pad": 1}, cur)
+
+	in := 192
+	for _, m := range googLeNetModules {
+		cur, in = b.inception(m.name, cur, in, m.spec)
+		if m.pool {
+			cur = b.g.Add("maxpool2d", b.name(m.name+"_pool"), graph.Attrs{"kernel": 3, "stride": 2, "pad": 1}, cur)
+		}
+	}
+
+	pooled := b.g.Add("global_avg_pool", "gap", nil, cur)
+	logits := b.dense("fc", pooled, in, cfg.Classes)
+	out := b.g.Add("softmax", "probs", nil, logits)
+	b.g.SetOutputs(out)
+	return b.g, nil
+}
+
+// convRelu adds conv (no batchnorm, per the original architecture) + relu.
+func (b *builder) convRelu(prefix string, x graph.NodeID, inCh, outCh, kernel, stride, pad int) graph.NodeID {
+	w := b.weight(prefix+"_w", outCh, inCh, kernel, kernel)
+	bias := b.weight(prefix+"_b", outCh)
+	conv := b.g.Add("conv2d", b.name(prefix+"_conv"), graph.Attrs{"stride": stride, "pad": pad}, x, w, bias)
+	return b.g.Add("relu", b.name(prefix+"_relu"), nil, conv)
+}
+
+// inception adds one 4-branch module and returns (output, channels).
+func (b *builder) inception(name string, x graph.NodeID, in int, s inceptionSpec) (graph.NodeID, int) {
+	b1 := b.convRelu(name+"_b1", x, in, s.c1, 1, 1, 0)
+	b2 := b.convRelu(name+"_b2r", x, in, s.r3, 1, 1, 0)
+	b2 = b.convRelu(name+"_b2", b2, s.r3, s.c3, 3, 1, 1)
+	b3 := b.convRelu(name+"_b3r", x, in, s.r5, 1, 1, 0)
+	b3 = b.convRelu(name+"_b3", b3, s.r5, s.c5, 5, 1, 2)
+	b4 := b.g.Add("maxpool2d", b.name(name+"_b4p"), graph.Attrs{"kernel": 3, "stride": 1, "pad": 1}, x)
+	b4 = b.convRelu(name+"_b4", b4, in, s.pp, 1, 1, 0)
+	cat := b.g.Add("concat", b.name(name+"_cat"), graph.Attrs{"axis": 1}, b1, b2, b3, b4)
+	return cat, s.c1 + s.c3 + s.c5 + s.pp
+}

@@ -1,0 +1,87 @@
+package models
+
+import (
+	"testing"
+
+	"duet/internal/compiler"
+	"duet/internal/partition"
+	"duet/internal/tensor"
+)
+
+func TestGoogLeNetBuildsAndInfers(t *testing.T) {
+	g, err := GoogLeNet(DefaultGoogLeNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := compiler.InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	out := g.Node(g.Outputs()[0])
+	if !tensor.ShapeEq(out.Shape, []int{1, 1000}) {
+		t.Fatalf("output shape = %v", out.Shape)
+	}
+	// GoogLeNet has ~6-7M parameters (no aux heads here).
+	params := ParamCount(g)
+	if params < 5e6 || params > 8e6 {
+		t.Fatalf("GoogLeNet params = %d, want ~6M", params)
+	}
+}
+
+func TestGoogLeNetHighFanOutPartition(t *testing.T) {
+	g, err := GoogLeNet(DefaultGoogLeNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compiler.InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Nine Inception modules → nine 4-way multi-path phases.
+	fourWay := 0
+	for _, ph := range p.Phases {
+		if ph.Kind == partition.MultiPath && len(ph.Subgraphs) == 4 {
+			fourWay++
+		}
+	}
+	if fourWay != 9 {
+		t.Fatalf("expected 9 four-way multi-path phases (one per Inception module), got %d", fourWay)
+	}
+}
+
+func TestGoogLeNetBadImageSize(t *testing.T) {
+	cfg := DefaultGoogLeNet()
+	cfg.ImageSize = 100
+	if _, err := GoogLeNet(cfg); err == nil {
+		t.Fatalf("expected image-size error")
+	}
+}
+
+func TestGoogLeNetSmallRealInference(t *testing.T) {
+	cfg := DefaultGoogLeNet()
+	cfg.ImageSize = 64
+	cfg.Classes = 6
+	g, err := GoogLeNet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := compiler.Compile(g, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := m.Execute(map[string]*tensor.Tensor{"image": tensor.Full(0.3, 1, 3, 64, 64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := outs[0].Sum(); s < 0.999 || s > 1.001 {
+		t.Fatalf("softmax sum = %v", s)
+	}
+}

@@ -1,0 +1,422 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"duet/internal/compiler"
+	"duet/internal/partition"
+	"duet/internal/tensor"
+)
+
+// smallWideDeep returns a configuration small enough for real execution in
+// tests.
+func smallWideDeep() WideDeepConfig {
+	cfg := DefaultWideDeep()
+	cfg.ImageSize = 32
+	cfg.SeqLen = 6
+	cfg.Vocab = 50
+	cfg.EmbedDim = 16
+	cfg.RNNHidden = 16
+	cfg.FFNWidth = 32
+	cfg.FFNHidden = 2
+	cfg.WideFeatures = 8
+	cfg.DeepFeatures = 8
+	cfg.Classes = 4
+	return cfg
+}
+
+func TestResNetBuildsAllDepths(t *testing.T) {
+	prev := 0
+	for _, depth := range []int{18, 34, 50, 101} {
+		cfg := DefaultResNet(depth)
+		g, err := ResNet(cfg)
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("depth %d validate: %v", depth, err)
+		}
+		if err := compiler.InferShapes(g); err != nil {
+			t.Fatalf("depth %d shapes: %v", depth, err)
+		}
+		out := g.Node(g.Outputs()[0])
+		if !tensor.ShapeEq(out.Shape, []int{1, 1000}) {
+			t.Fatalf("depth %d output shape %v", depth, out.Shape)
+		}
+		if g.Len() <= prev {
+			t.Fatalf("node count should grow with depth: %d then %d", prev, g.Len())
+		}
+		prev = g.Len()
+	}
+}
+
+func TestResNetBadDepth(t *testing.T) {
+	if _, err := ResNet(DefaultResNet(99)); err == nil {
+		t.Fatalf("expected error for unsupported depth")
+	}
+}
+
+func TestResNetParamCountsOrdered(t *testing.T) {
+	var counts []int
+	for _, depth := range []int{18, 34, 50} {
+		g, err := ResNet(DefaultResNet(depth))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, ParamCount(g))
+	}
+	if !(counts[0] < counts[1] && counts[1] < counts[2]) {
+		t.Fatalf("param counts not increasing: %v", counts)
+	}
+	// ResNet-18 has ~11.7M parameters.
+	if counts[0] < 10e6 || counts[0] > 14e6 {
+		t.Fatalf("ResNet-18 params = %d, want ~11.7M", counts[0])
+	}
+}
+
+func TestWideDeepBuildAndShapes(t *testing.T) {
+	g, err := WideDeep(DefaultWideDeep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compiler.InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	out := g.Node(g.Outputs()[0])
+	if !tensor.ShapeEq(out.Shape, []int{1, 64}) {
+		t.Fatalf("output shape = %v", out.Shape)
+	}
+	if len(g.InputIDs()) != 4 {
+		t.Fatalf("Wide&Deep should have 4 inputs, got %d", len(g.InputIDs()))
+	}
+}
+
+func TestWideDeepPartitionShape(t *testing.T) {
+	g, err := WideDeep(DefaultWideDeep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compiler.InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Phases) != 2 {
+		t.Fatalf("Wide&Deep phases = %d, want 2", len(p.Phases))
+	}
+	if p.Phases[0].Kind != partition.MultiPath || len(p.Phases[0].Subgraphs) != 4 {
+		t.Fatalf("phase 0 should be 4-way multi-path, got %d subgraphs", len(p.Phases[0].Subgraphs))
+	}
+	if p.Phases[1].Kind != partition.Sequential {
+		t.Fatalf("join phase should be sequential")
+	}
+}
+
+func TestWideDeepRNNLayerSweep(t *testing.T) {
+	counts := map[int]int{}
+	for _, layers := range []int{1, 2, 4, 8} {
+		cfg := DefaultWideDeep()
+		cfg.RNNLayers = layers
+		g, err := WideDeep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lstms := 0
+		for _, n := range g.Nodes() {
+			if n.Op == "lstm" {
+				lstms++
+			}
+		}
+		counts[layers] = lstms
+		if lstms != layers {
+			t.Fatalf("RNNLayers=%d built %d lstm nodes", layers, lstms)
+		}
+	}
+}
+
+func TestWideDeepBadConfig(t *testing.T) {
+	cfg := DefaultWideDeep()
+	cfg.RNNLayers = 0
+	if _, err := WideDeep(cfg); err == nil {
+		t.Fatalf("expected config error")
+	}
+	cfg = DefaultWideDeep()
+	cfg.CNNDepth = 7
+	if _, err := WideDeep(cfg); err == nil {
+		t.Fatalf("expected depth error")
+	}
+}
+
+func TestWideDeepRealInference(t *testing.T) {
+	cfg := smallWideDeep()
+	g, err := WideDeep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := compiler.Compile(g, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[string]*tensor.Tensor{
+		"wide.x":    tensor.Full(0.1, 1, cfg.WideFeatures),
+		"deep.x":    tensor.Full(0.2, 1, cfg.DeepFeatures),
+		"rnn.ids":   tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6}, 1, cfg.SeqLen),
+		"cnn.image": tensor.Full(0.5, 1, 3, cfg.ImageSize, cfg.ImageSize),
+	}
+	outs, err := m.Execute(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(outs[0].Sum()-1) > 1e-4 {
+		t.Fatalf("softmax output sums to %v, want 1", outs[0].Sum())
+	}
+}
+
+func TestSiameseBuildAndPartition(t *testing.T) {
+	g, err := Siamese(DefaultSiamese())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compiler.InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	out := g.Node(g.Outputs()[0])
+	if !tensor.ShapeEq(out.Shape, []int{1, 1}) {
+		t.Fatalf("similarity shape = %v", out.Shape)
+	}
+	p, err := partition.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Phases) != 2 || p.Phases[0].Kind != partition.MultiPath || len(p.Phases[0].Subgraphs) != 2 {
+		t.Fatalf("Siamese should open with a 2-way multi-path phase")
+	}
+}
+
+func TestSiameseRealInference(t *testing.T) {
+	cfg := DefaultSiamese()
+	cfg.SeqLen = 4
+	cfg.Vocab = 20
+	cfg.EmbedDim = 8
+	cfg.Hidden = 8
+	g, err := Siamese(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := compiler.Compile(g, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 4)
+	outs, err := m.Execute(map[string]*tensor.Tensor{"query.ids": ids, "passage.ids": ids.Clone()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := float64(outs[0].At(0, 0))
+	if sim < -1.0001 || sim > 1.0001 {
+		t.Fatalf("cosine similarity %v outside [-1,1]", sim)
+	}
+}
+
+func TestMTDNNBuildAndPartition(t *testing.T) {
+	cfg := DefaultMTDNN()
+	g, err := MTDNN(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compiler.InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Outputs()) != cfg.Tasks {
+		t.Fatalf("outputs = %d, want %d tasks", len(g.Outputs()), cfg.Tasks)
+	}
+	p, err := partition.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	last := p.Phases[len(p.Phases)-1]
+	if last.Kind != partition.MultiPath || len(last.Subgraphs) != cfg.Tasks {
+		t.Fatalf("final phase should hold %d task heads, got %d (%v)", cfg.Tasks, len(last.Subgraphs), last.Kind)
+	}
+	if p.Phases[0].Kind != partition.Sequential {
+		t.Fatalf("shared encoder should be sequential")
+	}
+}
+
+func TestMTDNNBadConfig(t *testing.T) {
+	cfg := DefaultMTDNN()
+	cfg.Heads = 7 // does not divide 512
+	if _, err := MTDNN(cfg); err == nil {
+		t.Fatalf("expected divisibility error")
+	}
+	cfg = DefaultMTDNN()
+	cfg.Tasks = 0
+	if _, err := MTDNN(cfg); err == nil {
+		t.Fatalf("expected task-count error")
+	}
+}
+
+func TestMTDNNRealInference(t *testing.T) {
+	cfg := DefaultMTDNN()
+	cfg.SeqLen = 4
+	cfg.Vocab = 30
+	cfg.ModelDim = 16
+	cfg.Heads = 2
+	cfg.Layers = 1
+	cfg.FFNDim = 32
+	cfg.Tasks = 2
+	cfg.TaskRNN = 8
+	cfg.TaskOut = 3
+	g, err := MTDNN(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := compiler.Compile(g, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 4)
+	outs, err := m.Execute(map[string]*tensor.Tensor{"tokens": ids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("got %d outputs", len(outs))
+	}
+	for i, o := range outs {
+		if math.Abs(o.Sum()-1) > 1e-4 {
+			t.Fatalf("task %d softmax sums to %v", i, o.Sum())
+		}
+	}
+}
+
+func TestWeightsDeterministicUnderSeed(t *testing.T) {
+	g1, _ := Siamese(DefaultSiamese())
+	g2, _ := Siamese(DefaultSiamese())
+	w1 := g1.NodeByName("query_lstm0_wx_w")
+	if w1 == nil {
+		// naming uses counters; find any const instead
+		for _, n := range g1.Nodes() {
+			if n.IsConst() {
+				w1 = n
+				break
+			}
+		}
+	}
+	w2 := g2.NodeByName(w1.Name)
+	if w2 == nil || !tensor.AllClose(w1.Value, w2.Value, 0, 0) {
+		t.Fatalf("weights differ across builds with same seed")
+	}
+}
+
+func TestSiameseBidirectional(t *testing.T) {
+	cfg := DefaultSiamese()
+	cfg.Bidirectional = true
+	cfg.SeqLen = 5
+	cfg.Hidden = 8
+	cfg.EmbedDim = 6
+	cfg.Vocab = 20
+	g, err := Siamese(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compiler.InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	// Each branch now has 2 LSTM stacks + reverse + concat.
+	lstms, reverses := 0, 0
+	for _, n := range g.Nodes() {
+		switch n.Op {
+		case "lstm":
+			lstms++
+		case "reverse_time":
+			reverses++
+		}
+	}
+	if lstms != 2*2*cfg.Layers || reverses != 2 {
+		t.Fatalf("bidirectional structure wrong: %d lstms, %d reverses", lstms, reverses)
+	}
+	m, err := compiler.Compile(g, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := tensor.FromSlice([]float32{1, 2, 3, 4, 5}, 1, 5)
+	outs, err := m.Execute(map[string]*tensor.Tensor{"query.ids": ids, "passage.ids": ids.Clone()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical inputs through identical-weight... branches have separate
+	// weights, so just check the score is a valid cosine.
+	if v := outs[0].At(0, 0); v < -1.0001 || v > 1.0001 {
+		t.Fatalf("similarity %v outside [-1,1]", v)
+	}
+}
+
+func TestSiameseBidirectionalStillPartitionsTwoBranches(t *testing.T) {
+	cfg := DefaultSiamese()
+	cfg.Bidirectional = true
+	g, err := Siamese(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compiler.InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Phases[0].Kind != partition.MultiPath || len(p.Phases[0].Subgraphs) != 2 {
+		t.Fatalf("bidirectional Siamese should still open with 2 branch subgraphs, got %d", len(p.Phases[0].Subgraphs))
+	}
+}
+
+func TestWideDeepGRUCell(t *testing.T) {
+	cfg := DefaultWideDeep()
+	cfg.RNNCell = "gru"
+	g, err := WideDeep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grus, lstms := 0, 0
+	for _, n := range g.Nodes() {
+		switch n.Op {
+		case "gru":
+			grus++
+		case "lstm":
+			lstms++
+		}
+	}
+	if grus != cfg.RNNLayers || lstms != 0 {
+		t.Fatalf("RNNCell=gru built %d grus, %d lstms", grus, lstms)
+	}
+	if err := compiler.InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	// The GRU branch must still profile CPU-friendly (the §III-B claim
+	// covers GRU too).
+	p, err := partition.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWideDeepBadCell(t *testing.T) {
+	cfg := DefaultWideDeep()
+	cfg.RNNCell = "elman"
+	if _, err := WideDeep(cfg); err == nil {
+		t.Fatalf("expected cell error")
+	}
+}

@@ -1,0 +1,143 @@
+package models
+
+import (
+	"fmt"
+
+	"duet/internal/graph"
+	"duet/internal/tensor"
+)
+
+// ResNetConfig parameterises the ResNet family (He et al. 2016).
+type ResNetConfig struct {
+	// Depth is one of 18, 34, 50, 101.
+	Depth int
+	// Batch is the inference batch size.
+	Batch int
+	// ImageSize is the square input resolution (paper setting: 224).
+	ImageSize int
+	// Classes is the classifier width.
+	Classes int
+	// Seed drives weight initialisation.
+	Seed int64
+}
+
+// DefaultResNet returns the paper's traditional-model configuration
+// (Table III): ResNet at ImageNet resolution, batch 1.
+func DefaultResNet(depth int) ResNetConfig {
+	return ResNetConfig{Depth: depth, Batch: 1, ImageSize: 224, Classes: 1000, Seed: 17}
+}
+
+// resnetStages returns per-stage block counts and whether bottleneck blocks
+// are used.
+func resnetStages(depth int) ([4]int, bool, error) {
+	switch depth {
+	case 18:
+		return [4]int{2, 2, 2, 2}, false, nil
+	case 34:
+		return [4]int{3, 4, 6, 3}, false, nil
+	case 50:
+		return [4]int{3, 4, 6, 3}, true, nil
+	case 101:
+		return [4]int{3, 4, 23, 3}, true, nil
+	default:
+		return [4]int{}, false, fmt.Errorf("models: unsupported ResNet depth %d (want 18/34/50/101)", depth)
+	}
+}
+
+// ResNet builds a standalone ResNet classifier graph.
+func ResNet(cfg ResNetConfig) (*graph.Graph, error) {
+	b := newBuilder(fmt.Sprintf("resnet%d", cfg.Depth), cfg.Seed)
+	x := b.g.AddInput("image", cfg.Batch, 3, cfg.ImageSize, cfg.ImageSize)
+	feat, dim, err := resnetEncoder(b, "enc", x, cfg.Depth)
+	if err != nil {
+		return nil, err
+	}
+	logits := b.dense("fc", feat, dim, cfg.Classes)
+	out := b.g.Add("softmax", "probs", nil, logits)
+	b.g.SetOutputs(out)
+	return b.g, nil
+}
+
+// resnetEncoder appends a full ResNet feature extractor to an existing
+// builder, returning the pooled feature node and its dimension. It is also
+// the CNN branch of Wide&Deep (Fig. 2 / Fig. 15).
+func resnetEncoder(b *builder, prefix string, x graph.NodeID, depth int) (graph.NodeID, int, error) {
+	stages, bottleneck, err := resnetStages(depth)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Stem: 7×7/2 conv, BN, ReLU, 3×3/2 max-pool.
+	cur := b.convBNRelu(prefix+"_stem", x, 3, 64, 7, 2, 3, true)
+	cur = b.g.Add("maxpool2d", b.name(prefix+"_pool"), graph.Attrs{"kernel": 3, "stride": 2, "pad": 1}, cur)
+
+	inPlanes := 64
+	planes := [4]int{64, 128, 256, 512}
+	expansion := 1
+	if bottleneck {
+		expansion = 4
+	}
+	for stage := 0; stage < 4; stage++ {
+		for block := 0; block < stages[stage]; block++ {
+			stride := 1
+			if stage > 0 && block == 0 {
+				stride = 2
+			}
+			name := fmt.Sprintf("%s_s%db%d", prefix, stage, block)
+			if bottleneck {
+				cur, inPlanes = b.bottleneckBlock(name, cur, inPlanes, planes[stage], stride)
+			} else {
+				cur, inPlanes = b.basicBlock(name, cur, inPlanes, planes[stage], stride)
+			}
+		}
+	}
+	pooled := b.g.Add("global_avg_pool", b.name(prefix+"_gap"), nil, cur)
+	return pooled, 512 * expansion, nil
+}
+
+// convBNRelu adds conv → batchnorm (→ relu).
+func (b *builder) convBNRelu(prefix string, x graph.NodeID, inCh, outCh, kernel, stride, pad int, relu bool) graph.NodeID {
+	w := b.weight(prefix+"_w", outCh, inCh, kernel, kernel)
+	conv := b.g.Add("conv2d", b.name(prefix+"_conv"), graph.Attrs{"stride": stride, "pad": pad}, x, w)
+	bn := b.batchNorm(prefix+"_bn", conv, outCh)
+	if !relu {
+		return bn
+	}
+	return b.g.Add("relu", b.name(prefix+"_relu"), nil, bn)
+}
+
+func (b *builder) batchNorm(prefix string, x graph.NodeID, ch int) graph.NodeID {
+	gamma := b.weight(prefix+"_g", ch)
+	beta := b.weight(prefix+"_b", ch)
+	mean := b.weight(prefix+"_m", ch)
+	// Variance must be positive: use unit running variance.
+	variance := b.g.AddConst(b.name(prefix+"_v"), tensor.Ones(ch))
+	return b.g.Add("batchnorm2d", b.name(prefix), graph.Attrs{"eps_micro": 10}, x, gamma, beta, mean, variance)
+}
+
+// basicBlock is the two-3×3-conv residual block of ResNet-18/34.
+func (b *builder) basicBlock(prefix string, x graph.NodeID, inPlanes, planes, stride int) (graph.NodeID, int) {
+	main := b.convBNRelu(prefix+"_c1", x, inPlanes, planes, 3, stride, 1, true)
+	main = b.convBNRelu(prefix+"_c2", main, planes, planes, 3, 1, 1, false)
+	skip := x
+	if stride != 1 || inPlanes != planes {
+		skip = b.convBNRelu(prefix+"_down", x, inPlanes, planes, 1, stride, 0, false)
+	}
+	sum := b.g.Add("add", b.name(prefix+"_add"), nil, main, skip)
+	out := b.g.Add("relu", b.name(prefix+"_out"), nil, sum)
+	return out, planes
+}
+
+// bottleneckBlock is the 1×1/3×3/1×1 block of ResNet-50/101.
+func (b *builder) bottleneckBlock(prefix string, x graph.NodeID, inPlanes, planes, stride int) (graph.NodeID, int) {
+	out := planes * 4
+	main := b.convBNRelu(prefix+"_c1", x, inPlanes, planes, 1, 1, 0, true)
+	main = b.convBNRelu(prefix+"_c2", main, planes, planes, 3, stride, 1, true)
+	main = b.convBNRelu(prefix+"_c3", main, planes, out, 1, 1, 0, false)
+	skip := x
+	if stride != 1 || inPlanes != out {
+		skip = b.convBNRelu(prefix+"_down", x, inPlanes, out, 1, stride, 0, false)
+	}
+	sum := b.g.Add("add", b.name(prefix+"_add"), nil, main, skip)
+	res := b.g.Add("relu", b.name(prefix+"_out"), nil, sum)
+	return res, out
+}

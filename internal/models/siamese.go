@@ -1,0 +1,87 @@
+package models
+
+import (
+	"fmt"
+
+	"duet/internal/graph"
+)
+
+// SiameseConfig parameterises the Siamese LSTM network for text similarity
+// (Neculoiu et al. 2016): two weight-independent recurrent branches whose
+// final states are compared by cosine similarity.
+type SiameseConfig struct {
+	Batch    int
+	SeqLen   int
+	Vocab    int
+	EmbedDim int
+	Hidden   int
+	Layers   int
+	ProjDim  int
+	// Bidirectional runs each LSTM layer forward and backward over the
+	// sequence and concatenates the final states, as the paper's reference
+	// implementation (deep-siamese-text-similarity) does.
+	Bidirectional bool
+	Seed          int64
+}
+
+// DefaultSiamese returns the Table I configuration: batch 1, seq len 80,
+// two stacked LSTM layers of hidden 320 per branch — recurrent branches
+// whose CPU and GPU costs are close enough that co-executing the two
+// branches pays off.
+func DefaultSiamese() SiameseConfig {
+	return SiameseConfig{
+		Batch:    1,
+		SeqLen:   80,
+		Vocab:    20000,
+		EmbedDim: 256,
+		Hidden:   320,
+		Layers:   2,
+		ProjDim:  128,
+		Seed:     11,
+	}
+}
+
+// Siamese builds the two-branch similarity graph. The paper's reference
+// implementation shares weights between branches; here each branch gets its
+// own constants so the two subgraphs are independently placeable — values
+// still flow identically, and sharing would only change memory, which the
+// device models do not charge for weights.
+func Siamese(cfg SiameseConfig) (*graph.Graph, error) {
+	if cfg.Layers < 1 {
+		return nil, fmt.Errorf("models: Siamese needs ≥1 LSTM layer")
+	}
+	b := newBuilder("siamese", cfg.Seed)
+
+	branch := func(side string) graph.NodeID {
+		ids := b.g.AddInput(side+".ids", cfg.Batch, cfg.SeqLen)
+		emb := b.embedding(side+"_embed", ids, cfg.Vocab, cfg.EmbedDim)
+		seq := emb
+		inDim := cfg.EmbedDim
+		if !cfg.Bidirectional {
+			for l := 0; l < cfg.Layers; l++ {
+				last := l == cfg.Layers-1
+				seq = b.lstm(fmt.Sprintf("%s_lstm%d", side, l), seq, inDim, cfg.Hidden, last)
+				inDim = cfg.Hidden
+			}
+			return b.dense(side+"_proj", seq, cfg.Hidden, cfg.ProjDim)
+		}
+		// Bidirectional: forward and time-reversed LSTM stacks whose final
+		// states concatenate into the branch representation.
+		fwd, bwd := seq, b.g.Add("reverse_time", b.name(side+"_rev"), nil, seq)
+		fwdDim, bwdDim := inDim, inDim
+		for l := 0; l < cfg.Layers; l++ {
+			last := l == cfg.Layers-1
+			fwd = b.lstm(fmt.Sprintf("%s_fwd%d", side, l), fwd, fwdDim, cfg.Hidden, last)
+			bwd = b.lstm(fmt.Sprintf("%s_bwd%d", side, l), bwd, bwdDim, cfg.Hidden, last)
+			fwdDim, bwdDim = cfg.Hidden, cfg.Hidden
+		}
+		cat := b.g.Add("concat", b.name(side+"_bicat"), graph.Attrs{"axis": 1}, fwd, bwd)
+		return b.dense(side+"_proj", cat, 2*cfg.Hidden, cfg.ProjDim)
+	}
+
+	left := branch("query")
+	right := branch("passage")
+	sim := b.g.Add("cosine_similarity", "similarity", nil, left, right)
+	b.g.SetOutputs(sim)
+	return b.g, nil
+}

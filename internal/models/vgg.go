@@ -1,0 +1,126 @@
+package models
+
+import (
+	"fmt"
+
+	"duet/internal/graph"
+)
+
+// VGGConfig parameterises VGG-16 (Simonyan & Zisserman 2015), one of the
+// sequential-chain networks the paper lists as well-served by
+// operators-in-sequence scheduling (§III-A).
+type VGGConfig struct {
+	Batch     int
+	ImageSize int
+	Classes   int
+	Seed      int64
+}
+
+// DefaultVGG returns VGG-16 at ImageNet resolution, batch 1.
+func DefaultVGG() VGGConfig {
+	return VGGConfig{Batch: 1, ImageSize: 224, Classes: 1000, Seed: 23}
+}
+
+// vgg16Stages lists (convs, channels) per stage.
+var vgg16Stages = []struct{ convs, channels int }{
+	{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512},
+}
+
+// VGG builds the VGG-16 graph: five conv stages with max-pooling, then
+// three fully connected layers.
+func VGG(cfg VGGConfig) (*graph.Graph, error) {
+	if cfg.ImageSize%32 != 0 {
+		return nil, fmt.Errorf("models: VGG image size %d must be divisible by 32", cfg.ImageSize)
+	}
+	b := newBuilder("vgg16", cfg.Seed)
+	x := b.g.AddInput("image", cfg.Batch, 3, cfg.ImageSize, cfg.ImageSize)
+	cur := x
+	in := 3
+	for si, stage := range vgg16Stages {
+		for ci := 0; ci < stage.convs; ci++ {
+			name := fmt.Sprintf("s%dc%d", si, ci)
+			w := b.weight(name+"_w", stage.channels, in, 3, 3)
+			conv := b.g.Add("conv2d", b.name(name), graph.Attrs{"stride": 1, "pad": 1}, cur, w)
+			cur = b.g.Add("relu", b.name(name+"_relu"), nil, conv)
+			in = stage.channels
+		}
+		cur = b.g.Add("maxpool2d", b.name(fmt.Sprintf("s%d_pool", si)), graph.Attrs{"kernel": 2, "stride": 2}, cur)
+	}
+	flat := b.g.Add("flatten", "flatten", nil, cur)
+	spatial := cfg.ImageSize / 32
+	dim := 512 * spatial * spatial
+	fc1 := b.denseRelu("fc1", flat, dim, 4096)
+	fc2 := b.denseRelu("fc2", fc1, 4096, 4096)
+	logits := b.dense("fc3", fc2, 4096, cfg.Classes)
+	out := b.g.Add("softmax", "probs", nil, logits)
+	b.g.SetOutputs(out)
+	return b.g, nil
+}
+
+// SqueezeNetConfig parameterises SqueezeNet 1.0 (Iandola et al. 2016).
+type SqueezeNetConfig struct {
+	Batch     int
+	ImageSize int
+	Classes   int
+	Seed      int64
+}
+
+// DefaultSqueezeNet returns SqueezeNet at ImageNet resolution, batch 1.
+func DefaultSqueezeNet() SqueezeNetConfig {
+	return SqueezeNetConfig{Batch: 1, ImageSize: 224, Classes: 1000, Seed: 29}
+}
+
+// fireSpec is one Fire module: squeeze channels and expand channels.
+type fireSpec struct{ squeeze, expand int }
+
+// SqueezeNet builds the SqueezeNet graph. Its Fire modules contain the
+// 1×1/3×3 expand fan-out — a narrow internal multi-path structure that,
+// like ResNet's downsample paths, yields no useful CPU work, so DUET's
+// fallback keeps the model on one device.
+func SqueezeNet(cfg SqueezeNetConfig) (*graph.Graph, error) {
+	b := newBuilder("squeezenet", cfg.Seed)
+	x := b.g.AddInput("image", cfg.Batch, 3, cfg.ImageSize, cfg.ImageSize)
+	w := b.weight("stem_w", 96, 3, 7, 7)
+	cur := b.g.Add("conv2d", "stem", graph.Attrs{"stride": 2, "pad": 3}, x, w)
+	cur = b.g.Add("relu", "stem_relu", nil, cur)
+	cur = b.g.Add("maxpool2d", "pool0", graph.Attrs{"kernel": 3, "stride": 2}, cur)
+
+	fires := []fireSpec{
+		{16, 64}, {16, 64}, {32, 128},
+	}
+	in := 96
+	for i, f := range fires {
+		cur, in = b.fire(fmt.Sprintf("fire%d", i+2), cur, in, f)
+	}
+	cur = b.g.Add("maxpool2d", "pool1", graph.Attrs{"kernel": 3, "stride": 2}, cur)
+	fires = []fireSpec{{32, 128}, {48, 192}, {48, 192}, {64, 256}}
+	for i, f := range fires {
+		cur, in = b.fire(fmt.Sprintf("fire%d", i+5), cur, in, f)
+	}
+	cur = b.g.Add("maxpool2d", "pool2", graph.Attrs{"kernel": 3, "stride": 2}, cur)
+	cur, in = b.fire("fire9", cur, in, fireSpec{64, 256})
+
+	wc := b.weight("head_w", cfg.Classes, in, 1, 1)
+	conv := b.g.Add("conv2d", "head_conv", graph.Attrs{"stride": 1, "pad": 0}, cur, wc)
+	relu := b.g.Add("relu", "head_relu", nil, conv)
+	pooled := b.g.Add("global_avg_pool", "gap", nil, relu)
+	out := b.g.Add("softmax", "probs", nil, pooled)
+	b.g.SetOutputs(out)
+	return b.g, nil
+}
+
+// fire adds one Fire module: 1×1 squeeze then concatenated 1×1 and 3×3
+// expands. Returns the output node and channel count.
+func (b *builder) fire(prefix string, x graph.NodeID, in int, f fireSpec) (graph.NodeID, int) {
+	ws := b.weight(prefix+"_sq_w", f.squeeze, in, 1, 1)
+	sq := b.g.Add("conv2d", b.name(prefix+"_sq"), graph.Attrs{"stride": 1, "pad": 0}, x, ws)
+	sq = b.g.Add("relu", b.name(prefix+"_sq_relu"), nil, sq)
+	w1 := b.weight(prefix+"_e1_w", f.expand, f.squeeze, 1, 1)
+	e1 := b.g.Add("conv2d", b.name(prefix+"_e1"), graph.Attrs{"stride": 1, "pad": 0}, sq, w1)
+	e1 = b.g.Add("relu", b.name(prefix+"_e1_relu"), nil, e1)
+	w3 := b.weight(prefix+"_e3_w", f.expand, f.squeeze, 3, 3)
+	e3 := b.g.Add("conv2d", b.name(prefix+"_e3"), graph.Attrs{"stride": 1, "pad": 1}, sq, w3)
+	e3 = b.g.Add("relu", b.name(prefix+"_e3_relu"), nil, e3)
+	cat := b.g.Add("concat", b.name(prefix+"_cat"), graph.Attrs{"axis": 1}, e1, e3)
+	return cat, 2 * f.expand
+}

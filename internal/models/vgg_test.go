@@ -1,0 +1,145 @@
+package models
+
+import (
+	"testing"
+
+	"duet/internal/compiler"
+	"duet/internal/partition"
+	"duet/internal/tensor"
+)
+
+func TestVGGBuildsAndInfers(t *testing.T) {
+	g, err := VGG(DefaultVGG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := compiler.InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	out := g.Node(g.Outputs()[0])
+	if !tensor.ShapeEq(out.Shape, []int{1, 1000}) {
+		t.Fatalf("output shape = %v", out.Shape)
+	}
+	// VGG-16 has ~138M parameters.
+	params := ParamCount(g)
+	if params < 130e6 || params > 145e6 {
+		t.Fatalf("VGG-16 params = %d, want ~138M", params)
+	}
+}
+
+func TestVGGIsSequentialChain(t *testing.T) {
+	g, err := VGG(DefaultVGG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compiler.InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// VGG has no parallel structure at all: a single sequential phase.
+	if len(p.Phases) != 1 || p.Phases[0].Kind != partition.Sequential {
+		t.Fatalf("VGG should partition into one sequential phase, got %d phases", len(p.Phases))
+	}
+}
+
+func TestVGGRejectsBadImageSize(t *testing.T) {
+	cfg := DefaultVGG()
+	cfg.ImageSize = 100
+	if _, err := VGG(cfg); err == nil {
+		t.Fatalf("expected image-size error")
+	}
+}
+
+func TestVGGSmallRealInference(t *testing.T) {
+	cfg := DefaultVGG()
+	cfg.ImageSize = 32
+	cfg.Classes = 5
+	g, err := VGG(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := compiler.Compile(g, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := m.Execute(map[string]*tensor.Tensor{"image": tensor.Full(0.1, 1, 3, 32, 32)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := outs[0].Sum(); s < 0.999 || s > 1.001 {
+		t.Fatalf("softmax sum = %v", s)
+	}
+}
+
+func TestSqueezeNetBuildsAndInfers(t *testing.T) {
+	g, err := SqueezeNet(DefaultSqueezeNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compiler.InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	out := g.Node(g.Outputs()[0])
+	if !tensor.ShapeEq(out.Shape, []int{1, 1000}) {
+		t.Fatalf("output shape = %v", out.Shape)
+	}
+	// SqueezeNet 1.0 has ~1.25M parameters (plus our 1000-class conv head).
+	params := ParamCount(g)
+	if params < 0.7e6 || params > 2e6 {
+		t.Fatalf("SqueezeNet params = %d, want ~1.2M", params)
+	}
+}
+
+func TestSqueezeNetFireFanOut(t *testing.T) {
+	g, err := SqueezeNet(DefaultSqueezeNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compiler.InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Fire modules create narrow multi-path phases (1×1 vs 3×3 expands).
+	multipath := 0
+	for _, ph := range p.Phases {
+		if ph.Kind == partition.MultiPath {
+			multipath++
+		}
+	}
+	if multipath == 0 {
+		t.Fatalf("SqueezeNet fire modules should yield multi-path phases")
+	}
+}
+
+func TestSqueezeNetSmallRealInference(t *testing.T) {
+	cfg := DefaultSqueezeNet()
+	cfg.ImageSize = 64
+	cfg.Classes = 7
+	g, err := SqueezeNet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := compiler.Compile(g, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := m.Execute(map[string]*tensor.Tensor{"image": tensor.Full(0.2, 1, 3, 64, 64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := outs[0].Sum(); s < 0.999 || s > 1.001 {
+		t.Fatalf("softmax sum = %v", s)
+	}
+}

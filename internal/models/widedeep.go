@@ -1,0 +1,122 @@
+package models
+
+import (
+	"fmt"
+
+	"duet/internal/graph"
+)
+
+// WideDeepConfig parameterises the Wide-and-Deep network (Cheng et al.
+// 2016; Fig. 2 of the paper): a wide linear layer, a deep FFN, a stacked
+// LSTM encoder, and a ResNet CNN encoder over heterogeneous contents,
+// concatenated into a joint head. Figs. 14-17 sweep RNNLayers, CNNDepth,
+// FFNHidden and Batch.
+type WideDeepConfig struct {
+	Batch int
+
+	// Wide component: a single linear layer over dense cross features.
+	WideFeatures int
+
+	// Deep component: an FFN over dense features.
+	DeepFeatures int
+	FFNWidth     int
+	FFNHidden    int // number of hidden layers (Fig. 16 sweep)
+
+	// RNN component: embedding + stacked LSTM over a token sequence.
+	SeqLen    int
+	Vocab     int
+	EmbedDim  int
+	RNNHidden int
+	RNNLayers int // Fig. 14 sweep
+	// RNNCell selects the recurrent cell: "lstm" (default) or "gru" — both
+	// named by the paper as GPU-hostile sequential operators (§III-B).
+	RNNCell string
+
+	// CNN component: ResNet encoder over an image.
+	CNNDepth  int // 18/34/50/101 (Fig. 15 sweep)
+	ImageSize int
+
+	Classes int
+	Seed    int64
+}
+
+// DefaultWideDeep returns the Table I configuration used throughout the
+// evaluation: batch 1, seq len 100, LSTM hidden 256 ×2, ResNet-18 at 224².
+func DefaultWideDeep() WideDeepConfig {
+	return WideDeepConfig{
+		Batch:        1,
+		WideFeatures: 256,
+		DeepFeatures: 256,
+		FFNWidth:     1024,
+		FFNHidden:    3,
+		SeqLen:       100,
+		Vocab:        10000,
+		EmbedDim:     256,
+		RNNHidden:    256,
+		RNNLayers:    2,
+		CNNDepth:     18,
+		ImageSize:    224,
+		Classes:      64,
+		Seed:         7,
+	}
+}
+
+// WideDeep builds the Wide-and-Deep graph.
+func WideDeep(cfg WideDeepConfig) (*graph.Graph, error) {
+	if cfg.RNNLayers < 1 || cfg.FFNHidden < 1 {
+		return nil, fmt.Errorf("models: WideDeep needs ≥1 RNN layer and ≥1 FFN hidden layer")
+	}
+	b := newBuilder("wide_and_deep", cfg.Seed)
+
+	// Wide: linear memorisation path.
+	wideX := b.g.AddInput("wide.x", cfg.Batch, cfg.WideFeatures)
+	wide := b.denseRelu("wide_fc", wideX, cfg.WideFeatures, 256)
+
+	// Deep: FFN generalisation path.
+	deepX := b.g.AddInput("deep.x", cfg.Batch, cfg.DeepFeatures)
+	deep := b.denseRelu("ffn_in", deepX, cfg.DeepFeatures, cfg.FFNWidth)
+	for i := 1; i < cfg.FFNHidden; i++ {
+		deep = b.denseRelu(fmt.Sprintf("ffn_h%d", i), deep, cfg.FFNWidth, cfg.FFNWidth)
+	}
+	deep = b.denseRelu("ffn_out", deep, cfg.FFNWidth, 256)
+
+	// RNN: stacked recurrent text encoder (LSTM by default, GRU optional).
+	cell := cfg.RNNCell
+	if cell == "" {
+		cell = "lstm"
+	}
+	if cell != "lstm" && cell != "gru" {
+		return nil, fmt.Errorf("models: unknown RNNCell %q (want lstm or gru)", cfg.RNNCell)
+	}
+	ids := b.g.AddInput("rnn.ids", cfg.Batch, cfg.SeqLen)
+	emb := b.embedding("rnn_embed", ids, cfg.Vocab, cfg.EmbedDim)
+	seq := emb
+	inDim := cfg.EmbedDim
+	for l := 0; l < cfg.RNNLayers; l++ {
+		last := l == cfg.RNNLayers-1
+		name := fmt.Sprintf("rnn_l%d", l)
+		if cell == "gru" {
+			seq = b.gru(name, seq, inDim, cfg.RNNHidden, last)
+		} else {
+			seq = b.lstm(name, seq, inDim, cfg.RNNHidden, last)
+		}
+		inDim = cfg.RNNHidden
+	}
+	rnn := seq // (B, H) after last layer
+
+	// CNN: ResNet image encoder.
+	img := b.g.AddInput("cnn.image", cfg.Batch, 3, cfg.ImageSize, cfg.ImageSize)
+	cnnFeat, cnnDim, err := resnetEncoder(b, "cnn", img, cfg.CNNDepth)
+	if err != nil {
+		return nil, err
+	}
+	cnn := b.denseRelu("cnn_proj", cnnFeat, cnnDim, 256)
+
+	// Joint head.
+	cat := b.g.Add("concat", "fuse", graph.Attrs{"axis": 1}, wide, deep, rnn, cnn)
+	joint := b.denseRelu("head_fc", cat, 256*3+cfg.RNNHidden, 512)
+	logits := b.dense("head_out", joint, 512, cfg.Classes)
+	out := b.g.Add("softmax", "probs", nil, logits)
+	b.g.SetOutputs(out)
+	return b.g, nil
+}

@@ -1,0 +1,69 @@
+package ops
+
+import (
+	"fmt"
+
+	"duet/internal/graph"
+	"duet/internal/tensor"
+)
+
+// unaryDef builds a registration for a pure elementwise unary operator.
+// flopsPerElem approximates transcendental cost (1 for relu, ~4 for tanh).
+func unaryDef(kind string, flopsPerElem float64, f func(*tensor.Tensor) *tensor.Tensor) *Def {
+	return &Def{
+		Kind:        kind,
+		Elementwise: true,
+		Infer: func(_ graph.Attrs, in [][]int) ([]int, error) {
+			if err := wantInputs(kind, in, 1); err != nil {
+				return nil, err
+			}
+			return cloneShape(in[0]), nil
+		},
+		Cost: func(_ graph.Attrs, _ [][]int, out []int) Cost {
+			n := numel(out)
+			return Cost{FLOPs: flopsPerElem * n, Bytes: 8 * n, Parallelism: n, Launches: 1, SeqSteps: 1}
+		},
+		Exec: func(_ graph.Attrs, in []*tensor.Tensor) *tensor.Tensor { return f(in[0]) },
+	}
+}
+
+// binaryDef builds a registration for an elementwise binary operator with
+// trailing-dimension broadcasting of the second operand.
+func binaryDef(kind string, f func(a, b *tensor.Tensor) *tensor.Tensor) *Def {
+	return &Def{
+		Kind:        kind,
+		Elementwise: true,
+		Infer: func(_ graph.Attrs, in [][]int) ([]int, error) {
+			if err := wantInputs(kind, in, 2); err != nil {
+				return nil, err
+			}
+			a, b := in[0], in[1]
+			if tensor.ShapeEq(a, b) {
+				return cloneShape(a), nil
+			}
+			if len(b) == 1 && len(a) > 0 && (b[0] == a[len(a)-1] || b[0] == 1) {
+				return cloneShape(a), nil
+			}
+			return nil, fmt.Errorf("ops: %s cannot broadcast %v with %v", kind, a, b)
+		},
+		Cost: func(_ graph.Attrs, _ [][]int, out []int) Cost {
+			n := numel(out)
+			return Cost{FLOPs: n, Bytes: 12 * n, Parallelism: n, Launches: 1, SeqSteps: 1}
+		},
+		Exec: func(_ graph.Attrs, in []*tensor.Tensor) *tensor.Tensor { return f(in[0], in[1]) },
+	}
+}
+
+func init() {
+	Register(unaryDef("relu", 1, tensor.ReLU))
+	Register(unaryDef("sigmoid", 4, tensor.Sigmoid))
+	Register(unaryDef("tanh", 4, tensor.Tanh))
+	Register(unaryDef("gelu", 8, tensor.GELU))
+	Register(unaryDef("exp", 4, tensor.Exp))
+	Register(unaryDef("sqrt", 2, tensor.Sqrt))
+	Register(binaryDef("add", tensor.Add))
+	Register(binaryDef("sub", tensor.Sub))
+	Register(binaryDef("mul", tensor.Mul))
+	Register(binaryDef("div", tensor.Div))
+	Register(binaryDef("maximum", tensor.Maximum))
+}

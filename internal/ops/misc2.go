@@ -1,0 +1,118 @@
+package ops
+
+import (
+	"fmt"
+
+	"duet/internal/graph"
+	"duet/internal/tensor"
+)
+
+func init() {
+	Register(&Def{
+		Kind: "reverse_time",
+		// reverse_time(x(B,T,D)) flips the sequence axis — the backward
+		// pass of a bidirectional RNN reads the sequence reversed.
+		Infer: func(_ graph.Attrs, in [][]int) ([]int, error) {
+			if err := wantInputs("reverse_time", in, 1); err != nil {
+				return nil, err
+			}
+			if err := wantRank("reverse_time", in, 0, 3); err != nil {
+				return nil, err
+			}
+			return cloneShape(in[0]), nil
+		},
+		Cost: func(_ graph.Attrs, _ [][]int, out []int) Cost {
+			n := numel(out)
+			return Cost{Bytes: 8 * n, Parallelism: n, Launches: 1, SeqSteps: 1}
+		},
+		Exec: func(_ graph.Attrs, in []*tensor.Tensor) *tensor.Tensor {
+			x := in[0]
+			b, t, d := x.Dim(0), x.Dim(1), x.Dim(2)
+			out := tensor.New(b, t, d)
+			for r := 0; r < b; r++ {
+				for s := 0; s < t; s++ {
+					src := x.Data()[(r*t+s)*d : (r*t+s+1)*d]
+					dst := out.Data()[(r*t+(t-1-s))*d : (r*t+(t-s))*d]
+					copy(dst, src)
+				}
+			}
+			return out
+		},
+	})
+
+	Register(&Def{
+		Kind: "avgpool2d",
+		// avgpool2d(x(N,C,H,W)) with attrs kernel, stride, pad. Padding
+		// cells are excluded from the divisor (count_include_pad=false).
+		Infer: func(attrs graph.Attrs, in [][]int) ([]int, error) {
+			if err := wantInputs("avgpool2d", in, 1); err != nil {
+				return nil, err
+			}
+			if err := wantRank("avgpool2d", in, 0, 4); err != nil {
+				return nil, err
+			}
+			k := attrs.Int("kernel", 2)
+			fake := []int{in[0][1], in[0][1], k, k}
+			out, err := convOutShape("avgpool2d", attrs, in[0], fake)
+			if err != nil {
+				return nil, err
+			}
+			out[1] = in[0][1]
+			return out, nil
+		},
+		Cost: func(attrs graph.Attrs, in [][]int, out []int) Cost {
+			k := float64(attrs.Int("kernel", 2))
+			outN := numel(out)
+			return Cost{
+				FLOPs:       outN * k * k,
+				Bytes:       4 * (numel(in[0]) + outN),
+				Parallelism: outN,
+				Launches:    1,
+				SeqSteps:    1,
+			}
+		},
+		Exec: func(attrs graph.Attrs, in []*tensor.Tensor) *tensor.Tensor {
+			return avgPool2D(in[0], attrs.Int("kernel", 2), attrs.Int("stride", 1), attrs.Int("pad", 0))
+		},
+	})
+}
+
+func avgPool2D(x *tensor.Tensor, kernel, stride, pad int) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := (h+2*pad-kernel)/stride + 1
+	ow := (w+2*pad-kernel)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("ops: avgpool2d empty output for %v", x.Shape()))
+	}
+	out := tensor.New(n, c, oh, ow)
+	tensor.ParallelFor(n*c, func(lo, hi int) {
+		for nc := lo; nc < hi; nc++ {
+			src := x.Data()[nc*h*w : (nc+1)*h*w]
+			dst := out.Data()[nc*oh*ow : (nc+1)*oh*ow]
+			for oi := 0; oi < oh; oi++ {
+				for oj := 0; oj < ow; oj++ {
+					var sum float64
+					count := 0
+					for ki := 0; ki < kernel; ki++ {
+						ii := oi*stride + ki - pad
+						if ii < 0 || ii >= h {
+							continue
+						}
+						for kj := 0; kj < kernel; kj++ {
+							jj := oj*stride + kj - pad
+							if jj < 0 || jj >= w {
+								continue
+							}
+							sum += float64(src[ii*w+jj])
+							count++
+						}
+					}
+					if count > 0 {
+						dst[oi*ow+oj] = float32(sum / float64(count))
+					}
+				}
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,352 @@
+package ops
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"duet/internal/graph"
+	"duet/internal/tensor"
+)
+
+func TestRegistryContainsCoreKinds(t *testing.T) {
+	for _, kind := range []string{
+		"relu", "sigmoid", "tanh", "gelu", "add", "sub", "mul", "div", "maximum",
+		"dense", "matmul", "batch_matmul", "transpose", "conv2d", "maxpool2d",
+		"global_avg_pool", "batchnorm2d", "lstm", "gru", "softmax", "layernorm",
+		"concat", "reshape", "flatten", "embedding", "cosine_similarity", "mha",
+	} {
+		if _, err := Lookup(kind); err != nil {
+			t.Errorf("missing operator %q", kind)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("warp_drive"); err == nil {
+		t.Fatalf("expected error for unknown kind")
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	MustLookup("warp_drive")
+}
+
+func TestKindsSorted(t *testing.T) {
+	ks := Kinds()
+	if len(ks) < 20 {
+		t.Fatalf("suspiciously few registered kinds: %d", len(ks))
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i-1] >= ks[i] {
+			t.Fatalf("Kinds not sorted: %q >= %q", ks[i-1], ks[i])
+		}
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on incomplete def")
+		}
+	}()
+	Register(&Def{Kind: "incomplete"})
+}
+
+func TestDenseInferAndExec(t *testing.T) {
+	d := MustLookup("dense")
+	out, err := d.Infer(nil, [][]int{{2, 3}, {4, 3}, {4}})
+	if err != nil || !tensor.ShapeEq(out, []int{2, 4}) {
+		t.Fatalf("dense infer = %v, %v", out, err)
+	}
+	if _, err := d.Infer(nil, [][]int{{2, 3}, {4, 5}}); err == nil {
+		t.Fatalf("dense should reject mismatched inner dims")
+	}
+	if _, err := d.Infer(nil, [][]int{{2, 3}, {4, 3}, {5}}); err == nil {
+		t.Fatalf("dense should reject bad bias")
+	}
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Rand(rng, 1, 2, 3)
+	w := tensor.Rand(rng, 1, 4, 3)
+	b := tensor.Rand(rng, 1, 4)
+	got := d.Exec(nil, []*tensor.Tensor{x, w, b})
+	want := tensor.Linear(x, w, b)
+	if !tensor.AllClose(got, want, 1e-6, 1e-6) {
+		t.Fatalf("dense exec mismatch")
+	}
+}
+
+func TestDenseCostScalesWithSize(t *testing.T) {
+	d := MustLookup("dense")
+	small := d.Cost(nil, [][]int{{1, 64}, {64, 64}}, []int{1, 64})
+	big := d.Cost(nil, [][]int{{1, 128}, {128, 128}}, []int{1, 128})
+	if big.FLOPs <= small.FLOPs || big.Bytes <= small.Bytes {
+		t.Fatalf("cost must grow with size: %+v vs %+v", small, big)
+	}
+	if small.FLOPs != 2*64*64 {
+		t.Fatalf("dense FLOPs = %v, want %v", small.FLOPs, 2*64*64)
+	}
+}
+
+func TestConv2DInfer(t *testing.T) {
+	d := MustLookup("conv2d")
+	attrs := graph.Attrs{"stride": 2, "pad": 1}
+	out, err := d.Infer(attrs, [][]int{{1, 3, 32, 32}, {16, 3, 3, 3}, {16}})
+	if err != nil || !tensor.ShapeEq(out, []int{1, 16, 16, 16}) {
+		t.Fatalf("conv2d infer = %v, %v", out, err)
+	}
+	if _, err := d.Infer(attrs, [][]int{{1, 4, 32, 32}, {16, 3, 3, 3}}); err == nil {
+		t.Fatalf("conv2d should reject channel mismatch")
+	}
+	if _, err := d.Infer(graph.Attrs{"stride": 0}, [][]int{{1, 3, 8, 8}, {4, 3, 3, 3}}); err == nil {
+		t.Fatalf("conv2d should reject stride 0")
+	}
+}
+
+func TestConv2DCostMatchesFormula(t *testing.T) {
+	d := MustLookup("conv2d")
+	in := [][]int{{1, 3, 8, 8}, {4, 3, 3, 3}}
+	out, err := d.Infer(graph.Attrs{"stride": 1, "pad": 1}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.Cost(graph.Attrs{"stride": 1, "pad": 1}, in, out)
+	wantFLOPs := 2.0 * float64(1*4*8*8) * 3 * 3 * 3
+	if math.Abs(c.FLOPs-wantFLOPs) > 1 {
+		t.Fatalf("conv2d FLOPs = %v, want %v", c.FLOPs, wantFLOPs)
+	}
+	if c.SeqSteps != 1 || c.Launches != 1 {
+		t.Fatalf("conv2d launch structure wrong: %+v", c)
+	}
+}
+
+func TestLSTMInferShapes(t *testing.T) {
+	d := MustLookup("lstm")
+	in := [][]int{{1, 10, 8}, {32, 8}, {32, 8}, {32}}
+	out, err := d.Infer(graph.Attrs{}, in)
+	if err != nil || !tensor.ShapeEq(out, []int{1, 10, 8}) {
+		t.Fatalf("lstm infer = %v, %v", out, err)
+	}
+	out, err = d.Infer(graph.Attrs{"last_only": 1}, in)
+	if err != nil || !tensor.ShapeEq(out, []int{1, 8}) {
+		t.Fatalf("lstm last_only infer = %v, %v", out, err)
+	}
+	if _, err := d.Infer(graph.Attrs{}, [][]int{{1, 10, 8}, {30, 8}, {32, 8}, {32}}); err == nil {
+		t.Fatalf("lstm should reject non-multiple-of-4 wx")
+	}
+}
+
+func TestLSTMSeqStepsEqualSeqLen(t *testing.T) {
+	d := MustLookup("lstm")
+	in := [][]int{{1, 100, 16}, {64, 16}, {64, 16}, {64}}
+	c := d.Cost(graph.Attrs{}, in, []int{1, 100, 16})
+	if c.SeqSteps != 100 {
+		t.Fatalf("lstm SeqSteps = %d, want 100", c.SeqSteps)
+	}
+	if c.Launches != 2 {
+		t.Fatalf("lstm Launches = %d, want 2 per step", c.Launches)
+	}
+}
+
+func TestLSTMExecMatchesCellLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b, seq, inDim, h := 2, 5, 3, 4
+	x := tensor.Rand(rng, 1, b, seq, inDim)
+	wx := tensor.Rand(rng, 1, 4*h, inDim)
+	wh := tensor.Rand(rng, 1, 4*h, h)
+	bias := tensor.Rand(rng, 1, 4*h)
+	d := MustLookup("lstm")
+	full := d.Exec(graph.Attrs{}, []*tensor.Tensor{x, wx, wh, bias})
+	last := d.Exec(graph.Attrs{"last_only": 1}, []*tensor.Tensor{x, wx, wh, bias})
+	// Reference: manual cell loop.
+	hs := tensor.New(b, h)
+	cs := tensor.New(b, h)
+	for s := 0; s < seq; s++ {
+		xt := tensor.New(b, inDim)
+		for r := 0; r < b; r++ {
+			copy(xt.Data()[r*inDim:(r+1)*inDim], x.Data()[(r*seq+s)*inDim:(r*seq+s+1)*inDim])
+		}
+		hs, cs = tensor.LSTMCell(xt, hs, cs, wx, wh, bias)
+	}
+	if !tensor.AllClose(last, hs, 1e-5, 1e-5) {
+		t.Fatalf("lstm last state mismatch: %g", tensor.MaxAbsDiff(last, hs))
+	}
+	// Last timestep of the full sequence must equal the final state.
+	for r := 0; r < b; r++ {
+		for j := 0; j < h; j++ {
+			if full.At(r, seq-1, j) != hs.At(r, j) {
+				t.Fatalf("full[%d,%d,%d] != last state", r, seq-1, j)
+			}
+		}
+	}
+}
+
+func TestGRUExecShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	x := tensor.Rand(rng, 1, 1, 6, 4)
+	wx := tensor.Rand(rng, 1, 9, 4)
+	wh := tensor.Rand(rng, 1, 9, 3)
+	bias := tensor.Rand(rng, 1, 9)
+	d := MustLookup("gru")
+	out := d.Exec(graph.Attrs{}, []*tensor.Tensor{x, wx, wh, bias})
+	if !tensor.ShapeEq(out.Shape(), []int{1, 6, 3}) {
+		t.Fatalf("gru output shape = %v", out.Shape())
+	}
+	for _, v := range out.Data() {
+		if v < -1 || v > 1 {
+			t.Fatalf("gru hidden out of range: %v", v)
+		}
+	}
+}
+
+func TestEmbeddingExec(t *testing.T) {
+	d := MustLookup("embedding")
+	ids := tensor.FromSlice([]float32{1, 0, 2}, 1, 3)
+	table := tensor.FromSlice([]float32{0, 0, 1, 1, 2, 2}, 3, 2)
+	out := d.Exec(nil, []*tensor.Tensor{ids, table})
+	if !tensor.ShapeEq(out.Shape(), []int{1, 3, 2}) {
+		t.Fatalf("embedding shape = %v", out.Shape())
+	}
+	if out.At(0, 0, 0) != 1 || out.At(0, 2, 1) != 2 {
+		t.Fatalf("embedding values wrong: %v", out)
+	}
+}
+
+func TestConcatInfer(t *testing.T) {
+	d := MustLookup("concat")
+	out, err := d.Infer(graph.Attrs{"axis": 1}, [][]int{{1, 2}, {1, 5}})
+	if err != nil || !tensor.ShapeEq(out, []int{1, 7}) {
+		t.Fatalf("concat infer = %v, %v", out, err)
+	}
+	if _, err := d.Infer(graph.Attrs{"axis": 0}, [][]int{{1, 2}, {1, 5}}); err == nil {
+		t.Fatalf("concat should reject mismatched non-axis dims")
+	}
+	if _, err := d.Infer(graph.Attrs{"axis": 5}, [][]int{{1, 2}}); err == nil {
+		t.Fatalf("concat should reject bad axis")
+	}
+}
+
+func TestReshapeInfer(t *testing.T) {
+	d := MustLookup("reshape")
+	out, err := d.Infer(graph.Attrs{"shape": []int{2, -1}}, [][]int{{1, 4, 3}})
+	if err != nil || !tensor.ShapeEq(out, []int{2, 6}) {
+		t.Fatalf("reshape infer = %v, %v", out, err)
+	}
+	if _, err := d.Infer(graph.Attrs{"shape": []int{5, -1}}, [][]int{{1, 4, 3}}); err == nil {
+		t.Fatalf("reshape should reject non-divisible inference")
+	}
+	if _, err := d.Infer(graph.Attrs{}, [][]int{{2, 2}}); err == nil {
+		t.Fatalf("reshape requires shape attr")
+	}
+}
+
+func TestFlattenInferAndExec(t *testing.T) {
+	d := MustLookup("flatten")
+	out, err := d.Infer(nil, [][]int{{2, 3, 4}})
+	if err != nil || !tensor.ShapeEq(out, []int{2, 12}) {
+		t.Fatalf("flatten infer = %v, %v", out, err)
+	}
+	x := tensor.Arange(24).Reshape(2, 3, 4)
+	got := d.Exec(nil, []*tensor.Tensor{x})
+	if !tensor.ShapeEq(got.Shape(), []int{2, 12}) {
+		t.Fatalf("flatten exec shape = %v", got.Shape())
+	}
+}
+
+func TestMHAInferAndExec(t *testing.T) {
+	d := MustLookup("mha")
+	dm := 8
+	in := [][]int{{1, 4, dm}, {dm, dm}, {dm, dm}, {dm, dm}, {dm, dm}, {dm}}
+	out, err := d.Infer(graph.Attrs{"heads": 2}, in)
+	if err != nil || !tensor.ShapeEq(out, []int{1, 4, dm}) {
+		t.Fatalf("mha infer = %v, %v", out, err)
+	}
+	if _, err := d.Infer(graph.Attrs{"heads": 3}, in); err == nil {
+		t.Fatalf("mha should reject heads not dividing dim")
+	}
+	rng := rand.New(rand.NewSource(20))
+	x := tensor.Rand(rng, 0.5, 1, 4, dm)
+	wq := tensor.Rand(rng, 0.5, dm, dm)
+	wk := tensor.Rand(rng, 0.5, dm, dm)
+	wv := tensor.Rand(rng, 0.5, dm, dm)
+	wo := tensor.Rand(rng, 0.5, dm, dm)
+	bias := tensor.Rand(rng, 0.5, dm)
+	got := d.Exec(graph.Attrs{"heads": 2}, []*tensor.Tensor{x, wq, wk, wv, wo, bias})
+	if !tensor.ShapeEq(got.Shape(), []int{1, 4, dm}) {
+		t.Fatalf("mha exec shape = %v", got.Shape())
+	}
+	// Single-head attention with T=1 reduces to x·wqᵀ-independent context:
+	// softmax over one score is 1, so out = (x·wvᵀ)·woᵀ + b.
+	x1 := tensor.Rand(rng, 0.5, 1, 1, dm)
+	got1 := d.Exec(graph.Attrs{"heads": 1}, []*tensor.Tensor{x1, wq, wk, wv, wo, bias})
+	xb := x1.Reshape(1, dm)
+	want := tensor.Add(tensor.MatMul(tensor.MatMul(xb, tensor.Transpose2D(wv)), tensor.Transpose2D(wo)), bias)
+	if !tensor.AllClose(got1.Reshape(1, dm), want, 1e-4, 1e-4) {
+		t.Fatalf("mha T=1 algebra mismatch: %g", tensor.MaxAbsDiff(got1.Reshape(1, dm), want))
+	}
+}
+
+func TestBatchNormInfer(t *testing.T) {
+	d := MustLookup("batchnorm2d")
+	in := [][]int{{1, 3, 4, 4}, {3}, {3}, {3}, {3}}
+	out, err := d.Infer(nil, in)
+	if err != nil || !tensor.ShapeEq(out, []int{1, 3, 4, 4}) {
+		t.Fatalf("batchnorm infer = %v, %v", out, err)
+	}
+	bad := [][]int{{1, 3, 4, 4}, {4}, {3}, {3}, {3}}
+	if _, err := d.Infer(nil, bad); err == nil {
+		t.Fatalf("batchnorm should reject mismatched params")
+	}
+}
+
+func TestCosineSimilarityOp(t *testing.T) {
+	d := MustLookup("cosine_similarity")
+	out, err := d.Infer(nil, [][]int{{3, 8}, {3, 8}})
+	if err != nil || !tensor.ShapeEq(out, []int{3, 1}) {
+		t.Fatalf("cosine infer = %v, %v", out, err)
+	}
+	if _, err := d.Infer(nil, [][]int{{3, 8}, {3, 9}}); err == nil {
+		t.Fatalf("cosine should reject mismatched shapes")
+	}
+}
+
+func TestCostAdd(t *testing.T) {
+	a := Cost{FLOPs: 10, Bytes: 20, Parallelism: 5, Launches: 1, SeqSteps: 1}
+	b := Cost{FLOPs: 1, Bytes: 2, Parallelism: 50, Launches: 2, SeqSteps: 7}
+	c := a.Add(b)
+	if c.FLOPs != 11 || c.Bytes != 22 || c.Parallelism != 50 || c.Launches != 3 || c.SeqSteps != 7 {
+		t.Fatalf("Cost.Add wrong: %+v", c)
+	}
+}
+
+func TestElementwiseFlags(t *testing.T) {
+	if !MustLookup("relu").Elementwise || MustLookup("relu").Anchor {
+		t.Fatalf("relu flags wrong")
+	}
+	if MustLookup("dense").Elementwise || !MustLookup("dense").Anchor {
+		t.Fatalf("dense flags wrong")
+	}
+	if !MustLookup("lstm").Anchor {
+		t.Fatalf("lstm should be an anchor")
+	}
+}
+
+func TestUnaryBinaryInferErrors(t *testing.T) {
+	relu := MustLookup("relu")
+	if _, err := relu.Infer(nil, [][]int{{1}, {1}}); err == nil {
+		t.Fatalf("relu should reject 2 inputs")
+	}
+	add := MustLookup("add")
+	if _, err := add.Infer(nil, [][]int{{2, 3}, {3, 2}}); err == nil {
+		t.Fatalf("add should reject non-broadcastable shapes")
+	}
+	out, err := add.Infer(nil, [][]int{{2, 3}, {3}})
+	if err != nil || !tensor.ShapeEq(out, []int{2, 3}) {
+		t.Fatalf("add broadcast infer = %v, %v", out, err)
+	}
+}

@@ -1,0 +1,164 @@
+package ops
+
+import (
+	"fmt"
+
+	"duet/internal/graph"
+	"duet/internal/tensor"
+)
+
+func init() {
+	Register(&Def{
+		Kind:   "lstm",
+		Anchor: true,
+		// lstm(x(B,T,In), wx(4H,In), wh(4H,H), bias(4H)) runs one LSTM layer
+		// over the full sequence from zero initial state. With attr
+		// last_only=1 the output is the final hidden state (B,H); otherwise
+		// the full hidden sequence (B,T,H).
+		Infer: func(attrs graph.Attrs, in [][]int) ([]int, error) {
+			if err := wantInputs("lstm", in, 4); err != nil {
+				return nil, err
+			}
+			if err := wantRank("lstm", in, 0, 3); err != nil {
+				return nil, err
+			}
+			b, t, inDim := in[0][0], in[0][1], in[0][2]
+			if len(in[1]) != 2 || in[1][1] != inDim || in[1][0]%4 != 0 {
+				return nil, fmt.Errorf("ops: lstm wx shape %v incompatible with input dim %d", in[1], inDim)
+			}
+			h := in[1][0] / 4
+			if len(in[2]) != 2 || in[2][0] != 4*h || in[2][1] != h {
+				return nil, fmt.Errorf("ops: lstm wh shape %v, want [%d %d]", in[2], 4*h, h)
+			}
+			if len(in[3]) != 1 || in[3][0] != 4*h {
+				return nil, fmt.Errorf("ops: lstm bias shape %v, want [%d]", in[3], 4*h)
+			}
+			if attrs.Int("last_only", 0) != 0 {
+				return []int{b, h}, nil
+			}
+			return []int{b, t, h}, nil
+		},
+		Cost: func(attrs graph.Attrs, in [][]int, out []int) Cost {
+			b, t, inDim := float64(in[0][0]), in[0][1], float64(in[0][2])
+			h := float64(in[1][0] / 4)
+			perStepFLOPs := 2*b*4*h*(inDim+h) + 30*b*h // gate GEMMs + pointwise
+			perStepBytes := 4 * (4*h*(inDim+h) + 8*b*h)
+			return Cost{
+				FLOPs:       float64(t) * perStepFLOPs,
+				Bytes:       float64(t) * perStepBytes,
+				Parallelism: b * 4 * h, // per-step independent gate elements
+				Launches:    2,         // fused gate GEMM + fused pointwise, per step
+				SeqSteps:    t,
+			}
+		},
+		Exec: func(attrs graph.Attrs, in []*tensor.Tensor) *tensor.Tensor {
+			return lstmForward(in[0], in[1], in[2], in[3], attrs.Int("last_only", 0) != 0)
+		},
+	})
+
+	Register(&Def{
+		Kind:   "gru",
+		Anchor: true,
+		// gru(x(B,T,In), wx(3H,In), wh(3H,H), bias(3H)); same conventions as
+		// lstm.
+		Infer: func(attrs graph.Attrs, in [][]int) ([]int, error) {
+			if err := wantInputs("gru", in, 4); err != nil {
+				return nil, err
+			}
+			if err := wantRank("gru", in, 0, 3); err != nil {
+				return nil, err
+			}
+			b, t, inDim := in[0][0], in[0][1], in[0][2]
+			if len(in[1]) != 2 || in[1][1] != inDim || in[1][0]%3 != 0 {
+				return nil, fmt.Errorf("ops: gru wx shape %v incompatible with input dim %d", in[1], inDim)
+			}
+			h := in[1][0] / 3
+			if len(in[2]) != 2 || in[2][0] != 3*h || in[2][1] != h {
+				return nil, fmt.Errorf("ops: gru wh shape %v, want [%d %d]", in[2], 3*h, h)
+			}
+			if len(in[3]) != 1 || in[3][0] != 3*h {
+				return nil, fmt.Errorf("ops: gru bias shape %v, want [%d]", in[3], 3*h)
+			}
+			if attrs.Int("last_only", 0) != 0 {
+				return []int{b, h}, nil
+			}
+			return []int{b, t, h}, nil
+		},
+		Cost: func(attrs graph.Attrs, in [][]int, out []int) Cost {
+			b, t, inDim := float64(in[0][0]), in[0][1], float64(in[0][2])
+			h := float64(in[1][0] / 3)
+			perStepFLOPs := 2*b*3*h*(inDim+h) + 24*b*h
+			perStepBytes := 4 * (3*h*(inDim+h) + 6*b*h)
+			return Cost{
+				FLOPs:       float64(t) * perStepFLOPs,
+				Bytes:       float64(t) * perStepBytes,
+				Parallelism: b * 3 * h,
+				Launches:    2,
+				SeqSteps:    t,
+			}
+		},
+		Exec: func(attrs graph.Attrs, in []*tensor.Tensor) *tensor.Tensor {
+			return gruForward(in[0], in[1], in[2], in[3], attrs.Int("last_only", 0) != 0)
+		},
+	})
+}
+
+func lstmForward(x, wx, wh, bias *tensor.Tensor, lastOnly bool) *tensor.Tensor {
+	b, t, inDim := x.Dim(0), x.Dim(1), x.Dim(2)
+	h := wx.Dim(0) / 4
+	hState := tensor.New(b, h)
+	cState := tensor.New(b, h)
+	var seq *tensor.Tensor
+	if !lastOnly {
+		seq = tensor.New(b, t, h)
+	}
+	for step := 0; step < t; step++ {
+		xt := timeSlice(x, b, t, inDim, step)
+		hState, cState = tensor.LSTMCell(xt, hState, cState, wx, wh, bias)
+		if !lastOnly {
+			storeTimeSlice(seq, hState, b, t, h, step)
+		}
+	}
+	if lastOnly {
+		return hState
+	}
+	return seq
+}
+
+func gruForward(x, wx, wh, bias *tensor.Tensor, lastOnly bool) *tensor.Tensor {
+	b, t, inDim := x.Dim(0), x.Dim(1), x.Dim(2)
+	h := wx.Dim(0) / 3
+	hState := tensor.New(b, h)
+	var seq *tensor.Tensor
+	if !lastOnly {
+		seq = tensor.New(b, t, h)
+	}
+	for step := 0; step < t; step++ {
+		xt := timeSlice(x, b, t, inDim, step)
+		hState = tensor.GRUCell(xt, hState, wx, wh, bias)
+		if !lastOnly {
+			storeTimeSlice(seq, hState, b, t, h, step)
+		}
+	}
+	if lastOnly {
+		return hState
+	}
+	return seq
+}
+
+// timeSlice copies x[:, step, :] of a (B,T,D) tensor into a (B,D) tensor.
+func timeSlice(x *tensor.Tensor, b, t, d, step int) *tensor.Tensor {
+	out := tensor.New(b, d)
+	for r := 0; r < b; r++ {
+		src := x.Data()[(r*t+step)*d : (r*t+step+1)*d]
+		copy(out.Data()[r*d:(r+1)*d], src)
+	}
+	return out
+}
+
+// storeTimeSlice writes h (B,D) into seq[:, step, :] of a (B,T,D) tensor.
+func storeTimeSlice(seq, h *tensor.Tensor, b, t, d, step int) {
+	for r := 0; r < b; r++ {
+		copy(seq.Data()[(r*t+step)*d:(r*t+step+1)*d], h.Data()[r*d:(r+1)*d])
+	}
+}

@@ -1,0 +1,111 @@
+package partition
+
+import (
+	"duet/internal/graph"
+)
+
+// BuildNested implements the multi-level partitioning the paper leaves as
+// future work (footnote 1): after the top-level phased partition, any
+// multi-path subgraph containing internal parallel structure is itself
+// re-partitioned, and its nested phases are spliced into the flat phase
+// sequence. The paper predicts — and the ablation experiment confirms —
+// that this decreases computational granularity and increases CPU-GPU
+// communication, so it exists for the study rather than as the default.
+//
+// maxNodes bounds which subgraphs are split: only multi-path-phase members
+// with more than maxNodes compute nodes are recursed into. depth bounds the
+// recursion.
+func BuildNested(g *graph.Graph, maxNodes, depth int) (*Partition, error) {
+	top, err := Build(g)
+	if err != nil {
+		return nil, err
+	}
+	if depth <= 0 {
+		return top, nil
+	}
+	var phases []Phase
+	for _, ph := range top.Phases {
+		if ph.Kind != MultiPath {
+			ph.Index = len(phases)
+			phases = append(phases, ph)
+			continue
+		}
+		// Split each oversized component by re-partitioning its member set
+		// against the parent graph. The nested phases of different
+		// components are merged positionally so components still run
+		// concurrently: nested phase i of every component lands in the same
+		// flat phase.
+		var perComponent [][]Phase
+		maxLen := 0
+		for _, sub := range ph.Subgraphs {
+			nested := nestedPhases(g, sub, maxNodes, depth)
+			perComponent = append(perComponent, nested)
+			if len(nested) > maxLen {
+				maxLen = len(nested)
+			}
+		}
+		for level := 0; level < maxLen; level++ {
+			merged := Phase{Index: len(phases)}
+			for _, nested := range perComponent {
+				if level < len(nested) {
+					merged.Subgraphs = append(merged.Subgraphs, nested[level].Subgraphs...)
+				}
+			}
+			if len(merged.Subgraphs) > 1 {
+				merged.Kind = MultiPath
+			} else {
+				merged.Kind = Sequential
+			}
+			phases = append(phases, merged)
+		}
+	}
+	return &Partition{Parent: g, Phases: phases}, nil
+}
+
+// nestedPhases re-partitions one subgraph's member set in the parent graph,
+// returning its nested phase list (each phase's subgraphs re-extracted from
+// the parent so boundary bookkeeping stays parent-relative). Subgraphs at
+// or below the size bound return themselves as a single phase.
+func nestedPhases(g *graph.Graph, sub *graph.Subgraph, maxNodes, depth int) []Phase {
+	if len(sub.Members) <= maxNodes || depth <= 0 {
+		return []Phase{{Subgraphs: []*graph.Subgraph{sub}, Kind: Sequential}}
+	}
+	segments := chainSegments(g, sub.Members, maxNodes)
+	if len(segments) <= 1 {
+		return []Phase{{Subgraphs: []*graph.Subgraph{sub}, Kind: Sequential}}
+	}
+	var phases []Phase
+	for _, seg := range segments {
+		set := make(map[graph.NodeID]bool, len(seg))
+		for _, id := range seg {
+			set[id] = true
+		}
+		nestedSub, err := graph.Extract(g, set)
+		if err != nil {
+			// A segment that cannot stand alone (shape bookkeeping) keeps
+			// the coarse subgraph; nesting is best-effort.
+			return []Phase{{Subgraphs: []*graph.Subgraph{sub}, Kind: Sequential}}
+		}
+		phases = append(phases, Phase{Subgraphs: []*graph.Subgraph{nestedSub}, Kind: Sequential})
+	}
+	return phases
+}
+
+// chainSegments slices a member list (parent topological order) into
+// dependency-closed segments of at most maxNodes nodes: a greedy cut that
+// respects the members' internal order, the simplest one-level nesting.
+func chainSegments(g *graph.Graph, members []graph.NodeID, maxNodes int) [][]graph.NodeID {
+	if maxNodes < 1 {
+		maxNodes = 1
+	}
+	var segments [][]graph.NodeID
+	for start := 0; start < len(members); start += maxNodes {
+		end := start + maxNodes
+		if end > len(members) {
+			end = len(members)
+		}
+		seg := append([]graph.NodeID(nil), members[start:end]...)
+		segments = append(segments, seg)
+	}
+	return segments
+}

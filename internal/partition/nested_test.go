@@ -1,0 +1,136 @@
+package partition
+
+import (
+	"testing"
+
+	"duet/internal/compiler"
+	"duet/internal/graph"
+	"duet/internal/models"
+)
+
+func wideDeepGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := models.WideDeep(models.DefaultWideDeep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compiler.InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildNestedDepthZeroEqualsBuild(t *testing.T) {
+	g := wideDeepGraph(t)
+	flat, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nested, err := BuildNested(g, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nested.Phases) != len(flat.Phases) {
+		t.Fatalf("depth 0 should match Build: %d vs %d phases", len(nested.Phases), len(flat.Phases))
+	}
+}
+
+func TestBuildNestedIncreasesSubgraphs(t *testing.T) {
+	g := wideDeepGraph(t)
+	flat, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nested, err := BuildNested(g, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nested.Subgraphs()) <= len(flat.Subgraphs()) {
+		t.Fatalf("nesting should split large subgraphs: %d vs %d", len(nested.Subgraphs()), len(flat.Subgraphs()))
+	}
+}
+
+func TestBuildNestedCoversAllComputeNodes(t *testing.T) {
+	g := wideDeepGraph(t)
+	nested, err := BuildNested(g, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[graph.NodeID]bool{}
+	for _, sub := range nested.Subgraphs() {
+		for _, id := range sub.Members {
+			if covered[id] {
+				t.Fatalf("node %d covered twice", id)
+			}
+			covered[id] = true
+		}
+	}
+	for _, n := range g.Nodes() {
+		if n.IsInput() || n.IsConst() {
+			continue
+		}
+		if !covered[n.ID] {
+			t.Fatalf("node %q not covered", n.Name)
+		}
+	}
+}
+
+func TestBuildNestedRespectsDependencies(t *testing.T) {
+	g := wideDeepGraph(t)
+	nested, err := BuildNested(g, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phaseOf := map[graph.NodeID]int{}
+	for _, ph := range nested.Phases {
+		for _, sub := range ph.Subgraphs {
+			for _, id := range sub.Members {
+				phaseOf[id] = ph.Index
+			}
+		}
+	}
+	for _, n := range g.Nodes() {
+		ph, ok := phaseOf[n.ID]
+		if !ok {
+			continue
+		}
+		for _, in := range n.Inputs {
+			if inPh, ok := phaseOf[in]; ok && inPh > ph {
+				t.Fatalf("node %q (phase %d) depends on later phase %d", n.Name, ph, inPh)
+			}
+		}
+	}
+}
+
+func TestBuildNestedIncreasesBoundaryTraffic(t *testing.T) {
+	g := wideDeepGraph(t)
+	flat, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nested, err := BuildNested(g, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(p *Partition) int {
+		total := 0
+		for _, s := range p.Subgraphs() {
+			total += s.InputBytes(g)
+		}
+		return total
+	}
+	if sum(nested) <= sum(flat) {
+		t.Fatalf("nesting should raise boundary traffic (the paper's footnote-1 concern): %d vs %d", sum(nested), sum(flat))
+	}
+}
+
+func TestChainSegments(t *testing.T) {
+	members := []graph.NodeID{1, 2, 3, 4, 5, 6, 7}
+	segs := chainSegments(nil, members, 3)
+	if len(segs) != 3 || len(segs[0]) != 3 || len(segs[2]) != 1 {
+		t.Fatalf("segments wrong: %v", segs)
+	}
+	if len(chainSegments(nil, members, 0)) != 7 {
+		t.Fatalf("maxNodes<1 should clamp to 1")
+	}
+}

@@ -1,0 +1,321 @@
+// Package partition implements DUET's coarse-grained multi-phase graph
+// partitioning (§IV-A). A computation DAG is cut into a totally ordered
+// sequence of phases: a *sequential* phase holds one chain subgraph through
+// which every dataflow path passes, while a *multi-path* phase holds several
+// independent subgraphs that may execute concurrently on different devices.
+// Subgraphs stay coarse so the DL compiler can still fuse inside them and so
+// CPU↔GPU traffic stays low.
+package partition
+
+import (
+	"fmt"
+
+	"duet/internal/graph"
+)
+
+// PhaseKind distinguishes the two phase categories of the paper.
+type PhaseKind int
+
+const (
+	// Sequential phases contain a single chain subgraph.
+	Sequential PhaseKind = iota
+	// MultiPath phases contain two or more independent subgraphs.
+	MultiPath
+)
+
+// String returns "sequential" or "multi-path".
+func (k PhaseKind) String() string {
+	if k == Sequential {
+		return "sequential"
+	}
+	return "multi-path"
+}
+
+// Phase is one totally ordered step of the phased schedule.
+type Phase struct {
+	Index     int
+	Kind      PhaseKind
+	Subgraphs []*graph.Subgraph
+}
+
+// Partition is the phased decomposition of a parent graph.
+type Partition struct {
+	Parent *graph.Graph
+	Phases []Phase
+}
+
+// Subgraphs returns every subgraph across all phases, in phase order.
+func (p *Partition) Subgraphs() []*graph.Subgraph {
+	var all []*graph.Subgraph
+	for _, ph := range p.Phases {
+		all = append(all, ph.Subgraphs...)
+	}
+	return all
+}
+
+// PhaseOf returns the phase index containing the subgraph at flat index i
+// of Subgraphs().
+func (p *Partition) PhaseOf(i int) int {
+	for _, ph := range p.Phases {
+		if i < len(ph.Subgraphs) {
+			return ph.Index
+		}
+		i -= len(ph.Subgraphs)
+	}
+	panic(fmt.Sprintf("partition: subgraph index %d out of range", i))
+}
+
+// Build partitions g into phases. Shapes must be inferred (boundary
+// placeholders need them). The algorithm finds *synchronization points* —
+// compute nodes through which every producer-consumer path crosses a given
+// topological cut — in one topological scan; runs of synchronization points
+// become sequential phases and the intervals between them split into
+// weakly-connected components, the independent subgraphs of a multi-path
+// phase. Shared producers are replicated as boundary placeholders per
+// subgraph, all fed from the same value stream (§IV-A's replicated
+// placeholders).
+func Build(g *graph.Graph) (*Partition, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	// Compute nodes in topological order.
+	var compute []graph.NodeID
+	pos := make(map[graph.NodeID]int)
+	for _, id := range g.TopoSort() {
+		n := g.Node(id)
+		if n.IsInput() || n.IsConst() {
+			continue
+		}
+		pos[id] = len(compute)
+		compute = append(compute, id)
+	}
+	if len(compute) == 0 {
+		return nil, fmt.Errorf("partition: graph %q has no compute nodes", g.Name)
+	}
+
+	// A node is a synchronization point iff every other compute node is its
+	// ancestor or its descendant — no independent work exists beside it.
+	// Computed with transitive-closure bitsets over compute nodes.
+	n := len(compute)
+	words := (n + 63) / 64
+	desc := make([][]uint64, n) // descendants of i (excluding i)
+	ancCt := make([]int, n)     // ancestor counts
+	descCt := make([]int, n)    // descendant counts
+	anc := make([][]uint64, n)  // ancestors of i (excluding i)
+	for i := range desc {
+		desc[i] = make([]uint64, words)
+		anc[i] = make([]uint64, words)
+	}
+	// Ancestors propagate forward in topo order.
+	for i, id := range compute {
+		for _, in := range g.Node(id).Inputs {
+			if p, ok := pos[in]; ok {
+				anc[i][p/64] |= 1 << (uint(p) % 64)
+				for w := 0; w < words; w++ {
+					anc[i][w] |= anc[p][w]
+				}
+			}
+		}
+	}
+	// Descendants propagate backward.
+	for i := n - 1; i >= 0; i-- {
+		id := compute[i]
+		for _, in := range g.Node(id).Inputs {
+			if p, ok := pos[in]; ok {
+				desc[p][i/64] |= 1 << (uint(i) % 64)
+				for w := 0; w < words; w++ {
+					desc[p][w] |= desc[i][w]
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		ancCt[i] = popcount(anc[i])
+		descCt[i] = popcount(desc[i])
+	}
+	sync := make([]bool, n)
+	for i := 0; i < n; i++ {
+		sync[i] = ancCt[i]+descCt[i] == n-1
+	}
+
+	// Group positions into phases: runs of sync nodes form sequential
+	// phases; runs of non-sync nodes split into components.
+	var phases []Phase
+	flush := func(members []graph.NodeID, kind PhaseKind) error {
+		if len(members) == 0 {
+			return nil
+		}
+		var groups [][]graph.NodeID
+		if kind == Sequential {
+			groups = [][]graph.NodeID{members}
+		} else {
+			groups = components(g, members)
+		}
+		ph := Phase{Index: len(phases)}
+		for _, grp := range groups {
+			set := make(map[graph.NodeID]bool, len(grp))
+			for _, id := range grp {
+				set[id] = true
+			}
+			sub, err := graph.Extract(g, set)
+			if err != nil {
+				return err
+			}
+			ph.Subgraphs = append(ph.Subgraphs, sub)
+		}
+		if len(ph.Subgraphs) > 1 {
+			ph.Kind = MultiPath
+		} else {
+			ph.Kind = Sequential
+		}
+		phases = append(phases, ph)
+		return nil
+	}
+
+	var run []graph.NodeID
+	runSync := true
+	for i, id := range compute {
+		if i == 0 {
+			runSync = sync[i]
+			run = append(run, id)
+			continue
+		}
+		if sync[i] == runSync {
+			run = append(run, id)
+			continue
+		}
+		kind := MultiPath
+		if runSync {
+			kind = Sequential
+		}
+		if err := flush(run, kind); err != nil {
+			return nil, err
+		}
+		run = []graph.NodeID{id}
+		runSync = sync[i]
+	}
+	kind := MultiPath
+	if runSync {
+		kind = Sequential
+	}
+	if err := flush(run, kind); err != nil {
+		return nil, err
+	}
+
+	return &Partition{Parent: g, Phases: phases}, nil
+}
+
+// components splits members into weakly-connected components, considering
+// only edges between member compute nodes, preserving topological order
+// inside each component and ordering components by their first node.
+func components(g *graph.Graph, members []graph.NodeID) [][]graph.NodeID {
+	member := make(map[graph.NodeID]bool, len(members))
+	for _, id := range members {
+		member[id] = true
+	}
+	parent := make(map[graph.NodeID]graph.NodeID, len(members))
+	var find func(graph.NodeID) graph.NodeID
+	find = func(x graph.NodeID) graph.NodeID {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b graph.NodeID) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for _, id := range members {
+		parent[id] = id
+	}
+	for _, id := range members {
+		for _, in := range g.Node(id).Inputs {
+			if member[in] {
+				union(in, id)
+			}
+		}
+	}
+	order := make(map[graph.NodeID][]graph.NodeID)
+	var roots []graph.NodeID
+	for _, id := range members { // members are in topo order
+		r := find(id)
+		if _, seen := order[r]; !seen {
+			roots = append(roots, r)
+		}
+		order[r] = append(order[r], id)
+	}
+	out := make([][]graph.NodeID, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, order[r])
+	}
+	return out
+}
+
+// Validate checks the partition invariants: phases cover every compute node
+// exactly once, subgraphs within a phase are mutually independent, and no
+// subgraph depends on a later phase.
+func (p *Partition) Validate() error {
+	seen := make(map[graph.NodeID]int)
+	for _, ph := range p.Phases {
+		for _, sub := range ph.Subgraphs {
+			for _, id := range sub.Members {
+				if prev, dup := seen[id]; dup {
+					return fmt.Errorf("partition: node %d in phases %d and %d", id, prev, ph.Index)
+				}
+				seen[id] = ph.Index
+			}
+		}
+		if ph.Kind == MultiPath {
+			for i := 0; i < len(ph.Subgraphs); i++ {
+				for j := i + 1; j < len(ph.Subgraphs); j++ {
+					a := memberSet(ph.Subgraphs[i])
+					b := memberSet(ph.Subgraphs[j])
+					if !p.Parent.Independent(a, b) {
+						return fmt.Errorf("partition: phase %d subgraphs %d and %d are dependent", ph.Index, i, j)
+					}
+				}
+			}
+		}
+	}
+	for _, n := range p.Parent.Nodes() {
+		if n.IsInput() || n.IsConst() {
+			continue
+		}
+		if _, ok := seen[n.ID]; !ok {
+			return fmt.Errorf("partition: compute node %q not covered", n.Name)
+		}
+	}
+	// Dependencies must not point forward across phases.
+	for _, n := range p.Parent.Nodes() {
+		ph, ok := seen[n.ID]
+		if !ok {
+			continue
+		}
+		for _, in := range n.Inputs {
+			if inPh, ok := seen[in]; ok && inPh > ph {
+				return fmt.Errorf("partition: node %q (phase %d) consumes phase %d", n.Name, ph, inPh)
+			}
+		}
+	}
+	return nil
+}
+
+func popcount(bits []uint64) int {
+	c := 0
+	for _, w := range bits {
+		for ; w != 0; w &= w - 1 {
+			c++
+		}
+	}
+	return c
+}
+
+func memberSet(s *graph.Subgraph) map[graph.NodeID]bool {
+	set := make(map[graph.NodeID]bool, len(s.Members))
+	for _, id := range s.Members {
+		set[id] = true
+	}
+	return set
+}

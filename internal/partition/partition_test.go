@@ -1,0 +1,286 @@
+package partition
+
+import (
+	"testing"
+
+	"duet/internal/compiler"
+	"duet/internal/graph"
+	"duet/internal/tensor"
+)
+
+// wideDeepSkeleton builds a Wide&Deep-shaped DAG: four independent branches
+// (two-op chains) joined by a concat and a head — one multi-path phase
+// between sequential boundaries.
+func wideDeepSkeleton(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New("wd-skeleton")
+	var tails []graph.NodeID
+	for _, branch := range []string{"wide", "ffn", "rnn", "cnn"} {
+		in := g.AddInput(branch+".x", 1, 8)
+		a := g.Add("relu", branch+".a", nil, in)
+		b := g.Add("sigmoid", branch+".b", nil, a)
+		tails = append(tails, b)
+	}
+	cat := g.Add("concat", "cat", graph.Attrs{"axis": 1}, tails...)
+	w := g.AddConst("w", tensor.Ones(4, 32))
+	head := g.Add("dense", "head", nil, cat, w)
+	out := g.Add("softmax", "out", nil, head)
+	g.SetOutputs(out)
+	if err := compiler.InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// chainGraph builds a purely sequential model (ResNet-like shape).
+func chainGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New("chain")
+	in := g.AddInput("x", 1, 8)
+	prev := in
+	for _, name := range []string{"a", "b", "c", "d"} {
+		prev = g.Add("relu", name, nil, prev)
+	}
+	g.SetOutputs(prev)
+	if err := compiler.InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// multiHead builds an MT-DNN-shaped DAG: shared chain then N independent
+// heads with no final join.
+func multiHead(t *testing.T, heads int) *graph.Graph {
+	t.Helper()
+	g := graph.New("mtdnn-skeleton")
+	in := g.AddInput("x", 1, 8)
+	shared := g.Add("relu", "shared1", nil, in)
+	shared = g.Add("sigmoid", "shared2", nil, shared)
+	var outs []graph.NodeID
+	for i := 0; i < heads; i++ {
+		h := g.Add("relu", "head"+string(rune('a'+i)), nil, shared)
+		h2 := g.Add("softmax", "out"+string(rune('a'+i)), nil, h)
+		outs = append(outs, h2)
+	}
+	g.SetOutputs(outs...)
+	if err := compiler.InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildWideDeepPhases(t *testing.T) {
+	g := wideDeepSkeleton(t)
+	p, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Phases) != 2 {
+		t.Fatalf("phases = %d, want 2 (branches, then join chain)", len(p.Phases))
+	}
+	if p.Phases[0].Kind != MultiPath || len(p.Phases[0].Subgraphs) != 4 {
+		t.Fatalf("phase 0: kind=%v subgraphs=%d, want multi-path with 4", p.Phases[0].Kind, len(p.Phases[0].Subgraphs))
+	}
+	if p.Phases[1].Kind != Sequential || len(p.Phases[1].Subgraphs) != 1 {
+		t.Fatalf("phase 1: kind=%v subgraphs=%d, want sequential with 1", p.Phases[1].Kind, len(p.Phases[1].Subgraphs))
+	}
+	// The join subgraph must contain concat, dense, softmax.
+	join := p.Phases[1].Subgraphs[0]
+	if len(join.Members) != 3 {
+		t.Fatalf("join members = %d, want 3", len(join.Members))
+	}
+}
+
+func TestBuildChainIsOneSequentialPhase(t *testing.T) {
+	g := chainGraph(t)
+	p, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Phases) != 1 || p.Phases[0].Kind != Sequential {
+		t.Fatalf("chain should be one sequential phase, got %d phases", len(p.Phases))
+	}
+	if len(p.Phases[0].Subgraphs[0].Members) != 4 {
+		t.Fatalf("chain subgraph should hold all 4 nodes")
+	}
+}
+
+func TestBuildMultiHeadTail(t *testing.T) {
+	g := multiHead(t, 3)
+	p, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Phases) != 2 {
+		t.Fatalf("phases = %d, want 2", len(p.Phases))
+	}
+	if p.Phases[0].Kind != Sequential {
+		t.Fatalf("shared encoder should be sequential")
+	}
+	if p.Phases[1].Kind != MultiPath || len(p.Phases[1].Subgraphs) != 3 {
+		t.Fatalf("heads phase: %v with %d subgraphs, want multi-path 3", p.Phases[1].Kind, len(p.Phases[1].Subgraphs))
+	}
+}
+
+func TestBuildDiamondJoinsAtSync(t *testing.T) {
+	g := graph.New("diamond")
+	in := g.AddInput("x", 1, 4)
+	a := g.Add("relu", "a", nil, in)
+	b := g.Add("relu", "b", nil, a)
+	c := g.Add("sigmoid", "c", nil, a)
+	d := g.Add("add", "d", nil, b, c)
+	g.SetOutputs(d)
+	if err := compiler.InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// a | {b, c} | d
+	if len(p.Phases) != 3 {
+		t.Fatalf("phases = %d, want 3", len(p.Phases))
+	}
+	if p.Phases[1].Kind != MultiPath || len(p.Phases[1].Subgraphs) != 2 {
+		t.Fatalf("middle phase should be multi-path with 2 subgraphs")
+	}
+}
+
+func TestPhaseKindsAlternate(t *testing.T) {
+	g := wideDeepSkeleton(t)
+	p, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(p.Phases); i++ {
+		if p.Phases[i].Kind == p.Phases[i-1].Kind {
+			t.Fatalf("phases %d and %d share kind %v", i-1, i, p.Phases[i].Kind)
+		}
+	}
+}
+
+func TestPartitionCoversAllComputeNodes(t *testing.T) {
+	for _, build := range []func(*testing.T) *graph.Graph{wideDeepSkeleton, chainGraph} {
+		g := build(t)
+		p, err := Build(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		for _, sub := range p.Subgraphs() {
+			count += len(sub.Members)
+		}
+		compute := 0
+		for _, n := range g.Nodes() {
+			if !n.IsInput() && !n.IsConst() {
+				compute++
+			}
+		}
+		if count != compute {
+			t.Fatalf("%s: partition covers %d of %d compute nodes", g.Name, count, compute)
+		}
+	}
+}
+
+func TestBuildEmptyGraphErrors(t *testing.T) {
+	g := graph.New("empty")
+	in := g.AddInput("x", 1)
+	g.SetOutputs(in)
+	if _, err := Build(g); err == nil {
+		t.Fatalf("expected error for graph without compute nodes")
+	}
+}
+
+func TestPhaseOf(t *testing.T) {
+	g := wideDeepSkeleton(t)
+	p, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PhaseOf(0) != 0 || p.PhaseOf(3) != 0 || p.PhaseOf(4) != 1 {
+		t.Fatalf("PhaseOf mapping wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for out-of-range index")
+		}
+	}()
+	p.PhaseOf(99)
+}
+
+func TestPhaseKindString(t *testing.T) {
+	if Sequential.String() != "sequential" || MultiPath.String() != "multi-path" {
+		t.Fatalf("PhaseKind strings wrong")
+	}
+}
+
+func TestSubgraphExecutionEquivalence(t *testing.T) {
+	// Executing the partition phase-by-phase must reproduce the whole-graph
+	// result exactly.
+	g := wideDeepSkeleton(t)
+	whole, err := compiler.Compile(g, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[string]*tensor.Tensor{}
+	for _, id := range g.InputIDs() {
+		n := g.Node(id)
+		inputs[n.Name] = tensor.Full(0.5, n.Shape...)
+	}
+	wantOuts, err := whole.Execute(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := map[graph.NodeID]*tensor.Tensor{}
+	for _, id := range g.InputIDs() {
+		values[id] = inputs[g.Node(id).Name]
+	}
+	for _, sub := range p.Subgraphs() {
+		m, err := compiler.Compile(sub.Graph, compiler.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		subIn := map[string]*tensor.Tensor{}
+		for _, pid := range sub.BoundaryInputs {
+			subIn["in."+g.Node(pid).Name] = values[pid]
+		}
+		// Placeholders named after original inputs keep their own name.
+		for _, n := range sub.Graph.Nodes() {
+			if n.IsInput() {
+				if _, ok := subIn[n.Name]; !ok {
+					// in.<name> convention covers everything; nothing else
+					// should appear.
+					t.Fatalf("unexpected placeholder %q", n.Name)
+				}
+			}
+		}
+		outs, err := m.Execute(subIn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, pid := range sub.Outputs {
+			values[pid] = outs[i]
+		}
+	}
+	gotOut := values[g.Outputs()[0]]
+	if !tensor.AllClose(gotOut, wantOuts[0], 1e-5, 1e-5) {
+		t.Fatalf("partitioned execution diverges: %g", tensor.MaxAbsDiff(gotOut, wantOuts[0]))
+	}
+}

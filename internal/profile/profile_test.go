@@ -1,0 +1,187 @@
+package profile
+
+import (
+	"testing"
+
+	"duet/internal/compiler"
+	"duet/internal/device"
+	"duet/internal/graph"
+	"duet/internal/models"
+	"duet/internal/partition"
+	"duet/internal/tensor"
+)
+
+func wideDeepPartition(t *testing.T) (*graph.Graph, *partition.Partition) {
+	t.Helper()
+	g, err := models.WideDeep(models.DefaultWideDeep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compiler.InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, p
+}
+
+func TestProfileAllWideDeep(t *testing.T) {
+	g, p := wideDeepPartition(t)
+	prof := New(device.NewPlatform(0))
+	prof.Runs = 5
+	records, err := prof.ProfileAll(g, p.Subgraphs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(p.Subgraphs()) {
+		t.Fatalf("records = %d, want %d", len(records), len(p.Subgraphs()))
+	}
+	for i, r := range records {
+		if r.Index != i {
+			t.Fatalf("record %d has index %d", i, r.Index)
+		}
+		if r.Time[device.CPU] <= 0 || r.Time[device.GPU] <= 0 {
+			t.Fatalf("record %d has non-positive times: %+v", i, r)
+		}
+		if r.Kernels < 1 {
+			t.Fatalf("record %d has no kernels", i)
+		}
+	}
+}
+
+func TestProfileReproducesTableIIHeterogeneity(t *testing.T) {
+	// The headline observation (Table II): the RNN subgraph is faster on
+	// CPU, the CNN subgraph is much faster on GPU.
+	g, p := wideDeepPartition(t)
+	prof := New(device.NewPlatform(0))
+	prof.Runs = 3
+	records, err := prof.ProfileAll(g, p.Subgraphs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rnn, cnn *Record
+	for i := range records {
+		switch {
+		case contains(records[i].Summary, "lstm"):
+			rnn = &records[i]
+		case contains(records[i].Summary, "conv2d"):
+			cnn = &records[i]
+		}
+	}
+	if rnn == nil || cnn == nil {
+		t.Fatalf("missing rnn or cnn subgraph in records")
+	}
+	if rnn.Faster() != device.CPU {
+		t.Fatalf("RNN subgraph should profile faster on CPU: %+v", rnn.Time)
+	}
+	if cnn.Faster() != device.GPU {
+		t.Fatalf("CNN subgraph should profile faster on GPU: %+v", cnn.Time)
+	}
+	if cnn.Time[device.CPU] < 5*cnn.Time[device.GPU] {
+		t.Fatalf("CNN CPU/GPU ratio too small: %+v", cnn.Time)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestProfileDeterministicNoiseless(t *testing.T) {
+	g, p := wideDeepPartition(t)
+	prof := New(device.NewPlatform(0))
+	prof.Runs = 2
+	a, err := prof.ProfileSubgraph(g, p.Subgraphs()[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := prof.ProfileSubgraph(g, p.Subgraphs()[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Time != b.Time {
+		t.Fatalf("noiseless profiling not deterministic: %+v vs %+v", a.Time, b.Time)
+	}
+}
+
+func TestProfileRecordsIOBytes(t *testing.T) {
+	g, p := wideDeepPartition(t)
+	prof := New(device.NewPlatform(0))
+	prof.Runs = 1
+	subs := p.Subgraphs()
+	last := len(subs) - 1
+	rec, err := prof.ProfileSubgraph(g, subs[last], last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The join subgraph consumes the four branch outputs.
+	if rec.InBytes != subs[last].InputBytes(g) || rec.InBytes <= 0 {
+		t.Fatalf("InBytes = %d", rec.InBytes)
+	}
+	if rec.OutBytes <= 0 {
+		t.Fatalf("OutBytes = %d", rec.OutBytes)
+	}
+}
+
+func TestFusionChangesProfiledTime(t *testing.T) {
+	// Compiler-awareness: profiling unfused code must report more time on
+	// the GPU (more launches) than profiling fused code — the reason DUET
+	// includes the compiler in the loop (§IV-B).
+	g, p := wideDeepPartition(t)
+	var cnnSub = p.Subgraphs()[3]
+	fused := &Profiler{Platform: device.NewPlatform(0), Options: compiler.DefaultOptions(), Runs: 1}
+	unfused := &Profiler{Platform: device.NewPlatform(0), Options: compiler.Options{}, Runs: 1}
+	fr, err := fused.ProfileSubgraph(g, cnnSub, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ur, err := unfused.ProfileSubgraph(g, cnnSub, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Kernels >= ur.Kernels {
+		t.Fatalf("fusion should reduce kernels: %d vs %d", fr.Kernels, ur.Kernels)
+	}
+	if fr.Time[device.GPU] >= ur.Time[device.GPU] {
+		t.Fatalf("fusion should reduce GPU time: %v vs %v", fr.Time[device.GPU], ur.Time[device.GPU])
+	}
+}
+
+func TestRecordHelpers(t *testing.T) {
+	r := Record{Time: [2]float64{2, 1}}
+	if r.Faster() != device.GPU || r.Best() != 1 || r.TimeOn(device.CPU) != 2 {
+		t.Fatalf("record helpers wrong: %+v", r)
+	}
+	r = Record{Time: [2]float64{1, 1}}
+	if r.Faster() != device.CPU {
+		t.Fatalf("tie should prefer CPU (host-resident)")
+	}
+}
+
+func TestProfilerZeroRunsClamped(t *testing.T) {
+	g, p := wideDeepPartition(t)
+	prof := &Profiler{Platform: device.NewPlatform(0), Options: compiler.DefaultOptions(), Runs: 0}
+	if _, err := prof.ProfileSubgraph(g, p.Subgraphs()[0], 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileErrorOnBadSubgraph(t *testing.T) {
+	g := graph.New("bad")
+	x := g.AddInput("x", 1, 4)
+	w := g.AddConst("w", tensor.Ones(3, 5)) // wrong inner dim
+	d := g.Add("dense", "d", nil, x, w)
+	g.SetOutputs(d)
+	g.Node(d).Shape = []int{1, 3}
+	sub := &graph.Subgraph{Graph: g}
+	prof := New(device.NewPlatform(0))
+	if _, err := prof.ProfileSubgraph(g, sub, 0); err == nil {
+		t.Fatalf("expected compile error")
+	}
+}

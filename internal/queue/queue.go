@@ -1,0 +1,120 @@
+// Package queue provides the shared-memory synchronization queue of DUET's
+// executor (§IV-D): a bounded lock-free multi-producer multi-consumer ring
+// buffer (Vyukov's bounded MPMC queue). Each device worker consumes one
+// queue; any worker may produce into any queue when it triggers a
+// dependent subgraph, so the producer side must be multi-writer.
+package queue
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+type cell struct {
+	seq atomic.Uint64
+	val int64
+}
+
+// Queue is a bounded lock-free MPMC queue of int job IDs.
+// Construct with New; the zero value is not usable.
+type Queue struct {
+	cells  []cell
+	mask   uint64
+	head   atomic.Uint64 // next position to pop
+	tail   atomic.Uint64 // next position to push
+	closed atomic.Bool
+}
+
+// New returns a queue with capacity rounded up to the next power of two.
+// The minimum size is 2: the cell-sequence scheme cannot distinguish a
+// full from an empty single-cell ring.
+func New(capacity int) *Queue {
+	if capacity < 2 {
+		capacity = 2
+	}
+	size := 2
+	for size < capacity {
+		size <<= 1
+	}
+	q := &Queue{cells: make([]cell, size), mask: uint64(size - 1)}
+	for i := range q.cells {
+		q.cells[i].seq.Store(uint64(i))
+	}
+	return q
+}
+
+// Cap returns the queue capacity.
+func (q *Queue) Cap() int { return len(q.cells) }
+
+// Len returns the approximate number of queued items.
+func (q *Queue) Len() int {
+	d := int64(q.tail.Load()) - int64(q.head.Load())
+	if d < 0 {
+		return 0
+	}
+	return int(d)
+}
+
+// Push enqueues v; it returns false when the queue is full or closed.
+func (q *Queue) Push(v int) bool {
+	if q.closed.Load() {
+		return false
+	}
+	pos := q.tail.Load()
+	for {
+		c := &q.cells[pos&q.mask]
+		seq := c.seq.Load()
+		switch {
+		case seq == pos:
+			if q.tail.CompareAndSwap(pos, pos+1) {
+				c.val = int64(v)
+				c.seq.Store(pos + 1) // publish
+				return true
+			}
+			pos = q.tail.Load()
+		case seq < pos:
+			return false // full: consumer hasn't freed this cell yet
+		default:
+			pos = q.tail.Load()
+		}
+	}
+}
+
+// MustPush enqueues v and panics if the queue is full or closed — for
+// callers that size the queue to the total job count up front (the engine
+// does).
+func (q *Queue) MustPush(v int) {
+	if !q.Push(v) {
+		panic(fmt.Sprintf("queue: push to full or closed queue (cap %d)", len(q.cells)))
+	}
+}
+
+// Pop dequeues the next value. ok=false means the queue is currently empty;
+// done=true additionally means the queue is closed and drained, so no
+// further values will ever arrive.
+func (q *Queue) Pop() (v int, ok, done bool) {
+	pos := q.head.Load()
+	for {
+		c := &q.cells[pos&q.mask]
+		seq := c.seq.Load()
+		switch {
+		case seq == pos+1: // cell holds a published value
+			if q.head.CompareAndSwap(pos, pos+1) {
+				v = int(c.val)
+				c.seq.Store(pos + uint64(len(q.cells))) // free the cell
+				return v, true, false
+			}
+			pos = q.head.Load()
+		case seq <= pos: // empty at this position
+			if q.closed.Load() && q.tail.Load() == pos {
+				return 0, false, true
+			}
+			return 0, false, false
+		default:
+			pos = q.head.Load()
+		}
+	}
+}
+
+// Close marks the end of the stream; pushes after Close return false.
+func (q *Queue) Close() { q.closed.Store(true) }

@@ -1,0 +1,221 @@
+package queue
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPushPopFIFO(t *testing.T) {
+	q := New(8)
+	for i := 0; i < 8; i++ {
+		if !q.Push(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if q.Push(99) {
+		t.Fatalf("push to full queue should fail")
+	}
+	for i := 0; i < 8; i++ {
+		v, ok, done := q.Pop()
+		if !ok || done || v != i {
+			t.Fatalf("pop %d = (%d, %v, %v)", i, v, ok, done)
+		}
+	}
+	if _, ok, done := q.Pop(); ok || done {
+		t.Fatalf("empty open queue should report (false, false)")
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	if New(5).Cap() != 8 || New(8).Cap() != 8 || New(0).Cap() != 2 || New(1).Cap() != 2 {
+		t.Fatalf("capacity rounding wrong")
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	q := New(4)
+	q.MustPush(1)
+	q.Close()
+	if q.Push(2) {
+		t.Fatalf("push after close should fail")
+	}
+	v, ok, done := q.Pop()
+	if !ok || v != 1 || done {
+		t.Fatalf("queued item must drain after close")
+	}
+	if _, ok, done := q.Pop(); ok || !done {
+		t.Fatalf("drained closed queue should report done")
+	}
+}
+
+func TestMustPushPanicsWhenFull(t *testing.T) {
+	q := New(2)
+	q.MustPush(1)
+	q.MustPush(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	q.MustPush(3)
+}
+
+func TestLen(t *testing.T) {
+	q := New(4)
+	if q.Len() != 0 {
+		t.Fatalf("empty Len = %d", q.Len())
+	}
+	q.MustPush(1)
+	q.MustPush(2)
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	q.Pop()
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	q := New(4)
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 3; i++ {
+			q.MustPush(round*10 + i)
+		}
+		for i := 0; i < 3; i++ {
+			v, ok, _ := q.Pop()
+			if !ok || v != round*10+i {
+				t.Fatalf("round %d pop %d = (%d, %v)", round, i, v, ok)
+			}
+		}
+	}
+}
+
+func TestConcurrentProducersSingleConsumer(t *testing.T) {
+	const producers = 4
+	const perProducer = 10000
+	q := New(producers * perProducer)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				for !q.Push(p*perProducer + i) {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		q.Close()
+	}()
+
+	seen := make([]bool, producers*perProducer)
+	count := 0
+	lastPerProducer := make([]int, producers)
+	for i := range lastPerProducer {
+		lastPerProducer[i] = -1
+	}
+	for {
+		v, ok, done := q.Pop()
+		if done {
+			break
+		}
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if seen[v] {
+			t.Fatalf("value %d popped twice", v)
+		}
+		seen[v] = true
+		// Per-producer FIFO: values from one producer arrive in order.
+		p := v / perProducer
+		if v%perProducer <= lastPerProducer[p] {
+			t.Fatalf("producer %d order violated: %d after %d", p, v%perProducer, lastPerProducer[p])
+		}
+		lastPerProducer[p] = v % perProducer
+		count++
+	}
+	if count != producers*perProducer {
+		t.Fatalf("popped %d of %d values", count, producers*perProducer)
+	}
+}
+
+func TestConcurrentMPMC(t *testing.T) {
+	const producers, consumers = 3, 3
+	const perProducer = 5000
+	q := New(64)
+	var produced, consumed atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				for !q.Push(i) {
+					runtime.Gosched()
+				}
+				produced.Add(1)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		q.Close()
+		close(done)
+	}()
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				_, ok, fin := q.Pop()
+				if fin {
+					return
+				}
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				consumed.Add(1)
+			}
+		}()
+	}
+	<-done
+	cwg.Wait()
+	if consumed.Load() != produced.Load() || consumed.Load() != producers*perProducer {
+		t.Fatalf("consumed %d, produced %d, want %d", consumed.Load(), produced.Load(), producers*perProducer)
+	}
+}
+
+func BenchmarkQueueVsChannel(b *testing.B) {
+	b.Run("mpmc-queue", func(b *testing.B) {
+		q := New(1024)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if q.Push(1) {
+					q.Pop()
+				}
+			}
+		})
+	})
+	b.Run("channel", func(b *testing.B) {
+		ch := make(chan int, 1024)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				select {
+				case ch <- 1:
+					<-ch
+				default:
+				}
+			}
+		})
+	})
+}

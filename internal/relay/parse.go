@@ -1,0 +1,337 @@
+package relay
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"duet/internal/graph"
+)
+
+// Parse reads a module in the package grammar. It returns a descriptive
+// error (with byte offset) on malformed input.
+func Parse(src string) (*Module, error) {
+	p := &parser{src: src}
+	m, err := p.module()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, p.errf("trailing input")
+	}
+	return m, nil
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("relay: parse error at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		// Line comments: // ... \n
+		if c == '/' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '/' {
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+			continue
+		}
+		break
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) expect(tok string) error {
+	p.skipSpace()
+	if !strings.HasPrefix(p.src[p.pos:], tok) {
+		return p.errf("expected %q", tok)
+	}
+	p.pos += len(tok)
+	return nil
+}
+
+func (p *parser) accept(tok string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := rune(p.src[p.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '.' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", p.errf("expected identifier")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) int() (int, error) {
+	p.skipSpace()
+	start := p.pos
+	if p.peek() == '-' {
+		p.pos++
+	}
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start || (p.pos == start+1 && p.src[start] == '-') {
+		return 0, p.errf("expected integer")
+	}
+	return strconv.Atoi(p.src[start:p.pos])
+}
+
+func (p *parser) module() (*Module, error) {
+	if err := p.expect("fn"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	m := &Module{}
+	for !p.accept(")") {
+		if len(m.Params) > 0 {
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		param, err := p.param()
+		if err != nil {
+			return nil, err
+		}
+		m.Params = append(m.Params, param)
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() == '(' {
+			break // tuple result
+		}
+		if p.peek() != '%' {
+			return nil, p.errf("expected binding or result")
+		}
+		// Distinguish binding (%name = ...) from result (%name) / (tuple).
+		save := p.pos
+		p.pos++
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept("=") {
+			b, err := p.bindingTail(name)
+			if err != nil {
+				return nil, err
+			}
+			m.Bindings = append(m.Bindings, b)
+			continue
+		}
+		// Single-name result.
+		p.pos = save
+		break
+	}
+	// Result: %name or ( %a, %b, ... ).
+	p.skipSpace()
+	if p.accept("(") {
+		for !p.accept(")") {
+			if len(m.Results) > 0 {
+				if err := p.expect(","); err != nil {
+					return nil, err
+				}
+				// allow trailing comma
+				if p.accept(")") {
+					break
+				}
+			}
+			if err := p.expect("%"); err != nil {
+				return nil, err
+			}
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			m.Results = append(m.Results, name)
+		}
+	} else {
+		if err := p.expect("%"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		m.Results = append(m.Results, name)
+	}
+	if err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	if len(m.Results) == 0 {
+		return nil, p.errf("module has no results")
+	}
+	return m, nil
+}
+
+func (p *parser) param() (Param, error) {
+	if err := p.expect("%"); err != nil {
+		return Param{}, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return Param{}, err
+	}
+	if err := p.expect(":"); err != nil {
+		return Param{}, err
+	}
+	if err := p.expect("Tensor"); err != nil {
+		return Param{}, err
+	}
+	if err := p.expect("["); err != nil {
+		return Param{}, err
+	}
+	if err := p.expect("("); err != nil {
+		return Param{}, err
+	}
+	var shape []int
+	for !p.accept(")") {
+		if len(shape) > 0 {
+			if err := p.expect(","); err != nil {
+				return Param{}, err
+			}
+		}
+		d, err := p.int()
+		if err != nil {
+			return Param{}, err
+		}
+		shape = append(shape, d)
+	}
+	if err := p.expect("]"); err != nil {
+		return Param{}, err
+	}
+	return Param{Name: name, Shape: shape}, nil
+}
+
+func (p *parser) bindingTail(name string) (Binding, error) {
+	op, err := p.ident()
+	if err != nil {
+		return Binding{}, err
+	}
+	if err := p.expect("("); err != nil {
+		return Binding{}, err
+	}
+	b := Binding{Name: name, Op: op, Attrs: graph.Attrs{}}
+	for !p.accept(")") {
+		if len(b.Args) > 0 {
+			if err := p.expect(","); err != nil {
+				return Binding{}, err
+			}
+		}
+		p.skipSpace()
+		var arg Arg
+		switch p.peek() {
+		case '%':
+			p.pos++
+			arg.Name, err = p.ident()
+		case '@':
+			p.pos++
+			arg.IsConst = true
+			arg.Name, err = p.ident()
+		default:
+			return Binding{}, p.errf("expected %%ref or @const argument")
+		}
+		if err != nil {
+			return Binding{}, err
+		}
+		b.Args = append(b.Args, arg)
+	}
+	if p.accept("{") {
+		first := true
+		for !p.accept("}") {
+			if !first {
+				if err := p.expect(","); err != nil {
+					return Binding{}, err
+				}
+			}
+			first = false
+			key, err := p.ident()
+			if err != nil {
+				return Binding{}, err
+			}
+			if err := p.expect("="); err != nil {
+				return Binding{}, err
+			}
+			val, err := p.attrValue()
+			if err != nil {
+				return Binding{}, err
+			}
+			b.Attrs[key] = val
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return Binding{}, err
+	}
+	return b, nil
+}
+
+func (p *parser) attrValue() (interface{}, error) {
+	p.skipSpace()
+	switch {
+	case p.peek() == '[':
+		p.pos++
+		var xs []int
+		for !p.accept("]") {
+			if len(xs) > 0 {
+				if err := p.expect(","); err != nil {
+					return nil, err
+				}
+			}
+			v, err := p.int()
+			if err != nil {
+				return nil, err
+			}
+			xs = append(xs, v)
+		}
+		return xs, nil
+	case p.peek() == '"':
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != '"' {
+			p.pos++
+		}
+		if p.pos == len(p.src) {
+			return nil, p.errf("unterminated string")
+		}
+		s := p.src[start:p.pos]
+		p.pos++
+		return s, nil
+	default:
+		return p.int()
+	}
+}

@@ -1,0 +1,156 @@
+package runtime
+
+import (
+	"testing"
+
+	"duet/internal/compiler"
+	"duet/internal/device"
+	"duet/internal/graph"
+	"duet/internal/partition"
+	"duet/internal/tensor"
+)
+
+func TestConcurrentMatchesSerialOnChain(t *testing.T) {
+	// A pure chain admits no overlap; both executors must agree closely.
+	g := graph.New("chain")
+	x := g.AddInput("x", 1, 512)
+	w := g.AddConst("w", tensor.Full(0.01, 512, 512))
+	prev := x
+	for _, name := range []string{"a", "b", "c"} {
+		d := g.Add("dense", name, nil, prev, w)
+		prev = g.Add("relu", name+"_r", nil, d)
+	}
+	g.SetOutputs(prev)
+	if err := compiler.InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(p, device.NewPlatform(0), compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	place := Uniform(e.NumSubgraphs(), device.CPU)
+	serial, err := e.Run(nil, place, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := e.RunConcurrent(place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := conc.Latency / serial.Latency
+	if rel < 0.98 || rel > 1.02 {
+		t.Fatalf("chain latency should match: serial %v vs concurrent %v", serial.Latency, conc.Latency)
+	}
+}
+
+// staggered builds a DAG where serial flat-order queueing blocks ready
+// work: branch A's CPU tail waits on a GPU producer while branch B is ready
+// immediately; both tails share the CPU.
+func staggered(t *testing.T) (*Engine, Placement) {
+	t.Helper()
+	g := graph.New("staggered")
+	xa := g.AddInput("xa", 1, 2048)
+	xb := g.AddInput("xb", 1, 2048)
+	w := g.AddConst("w", tensor.Full(0.001, 2048, 2048))
+	// Branch A: GPU-placed producer then CPU-placed consumer.
+	a1 := g.Add("dense", "a1", nil, xa, w)
+	a2 := g.Add("sigmoid", "a2s", nil, a1)
+	// Branch B: straight CPU work.
+	b1 := g.Add("dense", "b1", nil, xb, w)
+	b2 := g.Add("tanh", "b2t", nil, b1)
+	cat := g.Add("concat", "cat", graph.Attrs{"axis": 1}, a2, b2)
+	g.SetOutputs(cat)
+	if err := compiler.InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(p, device.NewPlatform(0), compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumSubgraphs() != 3 {
+		t.Fatalf("expected 3 subgraphs, got %d", e.NumSubgraphs())
+	}
+	// Subgraph 0 = branch A (GPU), 1 = branch B (CPU), 2 = head (CPU).
+	return e, Placement{device.GPU, device.CPU, device.CPU}
+}
+
+func TestConcurrentNeverSlowerOnIndependentWork(t *testing.T) {
+	e, place := staggered(t)
+	serial, err := e.Run(nil, place, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := e.RunConcurrent(place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conc.Latency > serial.Latency*1.02 {
+		t.Fatalf("concurrency should not slow independent work: %v vs %v", conc.Latency, serial.Latency)
+	}
+}
+
+func TestConcurrentStartsReadyWorkImmediately(t *testing.T) {
+	e, place := staggered(t)
+	conc, err := e.RunConcurrent(place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Branch B (CPU) must start at ~0 even though branch A (flat-order
+	// first) is still waiting for its own inputs to reach the GPU.
+	for _, s := range conc.Timeline {
+		if s.Device == "cpu0" && s.Start < 1e-6 {
+			return
+		}
+	}
+	var starts []Span
+	for _, s := range conc.Timeline {
+		starts = append(starts, s)
+	}
+	t.Fatalf("no CPU work started immediately: %+v", starts)
+}
+
+func TestConcurrentDeterministic(t *testing.T) {
+	e, place := staggered(t)
+	a, err := e.RunConcurrent(place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.RunConcurrent(place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Latency != b.Latency {
+		t.Fatalf("noiseless concurrent runs differ: %v vs %v", a.Latency, b.Latency)
+	}
+}
+
+func TestConcurrentPlacementLengthError(t *testing.T) {
+	e, _ := staggered(t)
+	if _, err := e.RunConcurrent(Placement{device.CPU}); err == nil {
+		t.Fatalf("expected placement-length error")
+	}
+}
+
+func TestMeasureConcurrentSampleCount(t *testing.T) {
+	e, place := staggered(t)
+	samples, err := e.MeasureConcurrent(place, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 7 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	for _, s := range samples {
+		if s <= 0 {
+			t.Fatalf("non-positive latency %v", s)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package runtime is DUET's heterogeneous execution engine (§IV-D). One
+// worker per device consumes subgraphs from its synchronization queue,
+// executes their compiled kernels, and triggers dependents; values crossing
+// devices pay the interconnect cost. Time advances on the virtual clock of
+// the device models while tensor values are (optionally) computed for real,
+// so co-executed results can be checked bit-for-bit against single-device
+// execution.
+package runtime
+
+import (
+	"fmt"
+
+	"duet/internal/compiler"
+	"duet/internal/device"
+	"duet/internal/graph"
+	"duet/internal/ops"
+	"duet/internal/partition"
+	"duet/internal/tensor"
+	"duet/internal/vclock"
+)
+
+// syncQueueOverhead models one push+pop through the shared-memory
+// synchronization queue between the scheduler and a device worker.
+const syncQueueOverhead vclock.Seconds = 2e-6
+
+// Placement maps each flat subgraph index (partition.Subgraphs() order) to
+// the device kind that executes it.
+type Placement []device.Kind
+
+// Clone returns a copy of the placement.
+func (p Placement) Clone() Placement {
+	return append(Placement(nil), p...)
+}
+
+// String renders the placement compactly, e.g. "CGGC".
+func (p Placement) String() string {
+	b := make([]byte, len(p))
+	for i, k := range p {
+		if k == device.CPU {
+			b[i] = 'C'
+		} else {
+			b[i] = 'G'
+		}
+	}
+	return string(b)
+}
+
+// Uniform returns a placement assigning every one of n subgraphs to kind.
+func Uniform(n int, kind device.Kind) Placement {
+	p := make(Placement, n)
+	for i := range p {
+		p[i] = kind
+	}
+	return p
+}
+
+// Span records one executed subgraph or transfer on the timeline.
+type Span struct {
+	Label  string
+	Device string
+	Start  vclock.Seconds
+	End    vclock.Seconds
+}
+
+// Result is the outcome of one engine run.
+type Result struct {
+	// Outputs holds the declared graph outputs (nil when values were not
+	// materialised).
+	Outputs []*tensor.Tensor
+	// Latency is the virtual end-to-end time of the run.
+	Latency vclock.Seconds
+	// Timeline lists executed subgraphs and transfers in start order.
+	Timeline []Span
+}
+
+// Engine executes a partitioned model on the coupled CPU-GPU platform.
+type Engine struct {
+	Parent    *graph.Graph
+	Partition *partition.Partition
+	Platform  *device.Platform
+
+	subgraphs []*graph.Subgraph
+	modules   []*compiler.Module
+	// tuned holds per-subgraph, per-device-kind kernel costs after
+	// low-level schedule selection (the target-dependent back-end step).
+	tuned [][2][]ops.Cost
+}
+
+// New compiles every subgraph of the partition under opt and returns an
+// engine ready to execute placements.
+func New(p *partition.Partition, plat *device.Platform, opt compiler.Options) (*Engine, error) {
+	e := &Engine{Parent: p.Parent, Partition: p, Platform: plat, subgraphs: p.Subgraphs()}
+	for _, sub := range e.subgraphs {
+		m, err := compiler.Compile(sub.Graph, opt)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: compiling subgraph %s: %w", sub.Graph.Name, err)
+		}
+		e.modules = append(e.modules, m)
+		e.tuned = append(e.tuned, [2][]ops.Cost{
+			device.CPU: compiler.TunedCosts(m, plat.CPU),
+			device.GPU: compiler.TunedCosts(m, plat.GPU),
+		})
+	}
+	return e, nil
+}
+
+// KernelCosts returns subgraph i's kernel costs as lowered for the given
+// device kind.
+func (e *Engine) KernelCosts(i int, kind device.Kind) []ops.Cost {
+	return e.tuned[i][kind]
+}
+
+// NumSubgraphs returns the number of schedulable subgraphs.
+func (e *Engine) NumSubgraphs() int { return len(e.subgraphs) }
+
+// Subgraphs exposes the flat subgraph list (partition order).
+func (e *Engine) Subgraphs() []*graph.Subgraph { return e.subgraphs }
+
+// Module returns the compiled module of subgraph i.
+func (e *Engine) Module(i int) *compiler.Module { return e.modules[i] }
+
+// Run executes the model under the given placement. inputs are keyed by the
+// parent graph's input names; pass withValues=false for timing-only runs
+// (inputs may then be nil).
+func (e *Engine) Run(inputs map[string]*tensor.Tensor, place Placement, withValues bool) (*Result, error) {
+	if len(place) != len(e.subgraphs) {
+		return nil, fmt.Errorf("runtime: placement covers %d subgraphs, want %d", len(place), len(e.subgraphs))
+	}
+
+	// Host-resident runtime inputs: available on CPU at t=0, on GPU after a
+	// transfer. readyAt[id][kind] is when the value of parent node id is
+	// usable on that device; -1 marks "not yet there".
+	type avail [2]vclock.Seconds
+	ready := make(map[graph.NodeID]*avail, e.Parent.Len())
+	producedOn := make(map[graph.NodeID]device.Kind)
+	markReady := func(id graph.NodeID, kind device.Kind, t vclock.Seconds) {
+		a, ok := ready[id]
+		if !ok {
+			a = &avail{-1, -1}
+			ready[id] = a
+		}
+		a[kind] = t
+	}
+	for _, id := range e.Parent.InputIDs() {
+		markReady(id, device.CPU, 0)
+		producedOn[id] = device.CPU
+	}
+
+	var values map[graph.NodeID]*tensor.Tensor
+	if withValues {
+		values = make(map[graph.NodeID]*tensor.Tensor)
+		for _, id := range e.Parent.InputIDs() {
+			n := e.Parent.Node(id)
+			v, ok := inputs[n.Name]
+			if !ok {
+				return nil, fmt.Errorf("runtime: missing input %q", n.Name)
+			}
+			if !tensor.ShapeEq(v.Shape(), n.Shape) {
+				return nil, fmt.Errorf("runtime: input %q has shape %v, want %v", n.Name, v.Shape(), n.Shape)
+			}
+			values[id] = v
+		}
+	}
+
+	res := &Result{}
+	deviceFree := [2]vclock.Seconds{0, 0}
+	link := e.Platform.Link
+
+	// ensureOn returns when value id becomes usable on kind, scheduling a
+	// transfer if it lives on the other device only.
+	ensureOn := func(id graph.NodeID, kind device.Kind) (vclock.Seconds, error) {
+		a, ok := ready[id]
+		if !ok {
+			return 0, fmt.Errorf("runtime: value of node %q consumed before production", e.Parent.Node(id).Name)
+		}
+		if a[kind] >= 0 {
+			return a[kind], nil
+		}
+		other := device.CPU
+		if kind == device.CPU {
+			other = device.GPU
+		}
+		if a[other] < 0 {
+			return 0, fmt.Errorf("runtime: value of node %q unavailable on both devices", e.Parent.Node(id).Name)
+		}
+		bytes := e.Parent.DataSize(id)
+		dur := link.SampleTransferTime(bytes)
+		start := a[other]
+		end := start + dur
+		a[kind] = end
+		res.Timeline = append(res.Timeline, Span{
+			Label:  fmt.Sprintf("xfer:%s→%s:%s", other, kind, e.Parent.Node(id).Name),
+			Device: link.Name,
+			Start:  start,
+			End:    end,
+		})
+		return end, nil
+	}
+
+	// Execute subgraphs in partition order; a device runs its assigned
+	// subgraphs serially (footnote 2: sequential execution per device).
+	for i, sub := range e.subgraphs {
+		kind := place[i]
+		dev := e.Platform.Device(kind)
+		start := deviceFree[kind]
+		for _, pid := range sub.BoundaryInputs {
+			t, err := ensureOn(pid, kind)
+			if err != nil {
+				return nil, err
+			}
+			if t > start {
+				start = t
+			}
+		}
+		start += syncQueueOverhead
+
+		dur := vclock.Seconds(0)
+		for _, c := range e.tuned[i][kind] {
+			dur += dev.SampleKernelTime(c)
+		}
+		end := start + dur
+		deviceFree[kind] = end
+		res.Timeline = append(res.Timeline, Span{
+			Label:  sub.Graph.Name + " [" + sub.Summary() + "]",
+			Device: dev.Name,
+			Start:  start,
+			End:    end,
+		})
+		for _, pid := range sub.Outputs {
+			markReady(pid, kind, end)
+			producedOn[pid] = kind
+		}
+
+		if withValues {
+			subIn := make(map[string]*tensor.Tensor, len(sub.BoundaryInputs))
+			for _, pid := range sub.BoundaryInputs {
+				subIn["in."+e.Parent.Node(pid).Name] = values[pid]
+			}
+			outs, err := e.modules[i].Execute(subIn)
+			if err != nil {
+				return nil, fmt.Errorf("runtime: executing %s: %w", sub.Graph.Name, err)
+			}
+			for oi, pid := range sub.Outputs {
+				values[pid] = outs[oi]
+			}
+		}
+	}
+
+	// The result is consumed on the host: outputs produced on the GPU pay a
+	// final transfer back.
+	finish := vclock.Seconds(0)
+	for _, o := range e.Parent.Outputs() {
+		t, err := ensureOn(o, device.CPU)
+		if err != nil {
+			return nil, err
+		}
+		if t > finish {
+			finish = t
+		}
+	}
+	res.Latency = finish
+	if withValues {
+		for _, o := range e.Parent.Outputs() {
+			res.Outputs = append(res.Outputs, values[o])
+		}
+	}
+	return res, nil
+}
+
+// MeasureLatency performs runs timing-only executions and returns every
+// sample — the engine-level analogue of the paper's 5000-run measurement.
+func (e *Engine) MeasureLatency(place Placement, runs int) ([]vclock.Seconds, error) {
+	samples := make([]vclock.Seconds, 0, runs)
+	for r := 0; r < runs; r++ {
+		res, err := e.Run(nil, place, false)
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, res.Latency)
+	}
+	return samples, nil
+}

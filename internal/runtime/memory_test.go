@@ -1,0 +1,104 @@
+package runtime
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"duet/internal/device"
+)
+
+func TestMemoryAllCPU(t *testing.T) {
+	p, _ := branchy(t)
+	e := newEngine(t, p, 0)
+	rep, err := e.Memory(Uniform(e.NumSubgraphs(), device.CPU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WeightBytes[device.GPU] != 0 {
+		t.Fatalf("all-CPU placement put weights on GPU: %+v", rep)
+	}
+	// Two 1024×1024 float32 weight matrices = 8 MiB.
+	if rep.WeightBytes[device.CPU] != 2*1024*1024*4 {
+		t.Fatalf("CPU weights = %d", rep.WeightBytes[device.CPU])
+	}
+	if rep.TransferBytes != 0 {
+		t.Fatalf("all-CPU placement should transfer nothing, got %d", rep.TransferBytes)
+	}
+}
+
+func TestMemorySplitPlacement(t *testing.T) {
+	p, _ := branchy(t)
+	e := newEngine(t, p, 0)
+	place := Placement{device.CPU, device.GPU, device.CPU}
+	rep, err := e.Memory(place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WeightBytes[device.CPU] == 0 || rep.WeightBytes[device.GPU] == 0 {
+		t.Fatalf("split placement should spread weights: %+v", rep)
+	}
+	// Branch B's input goes CPU→GPU and its output GPU→CPU: 2 crossings of
+	// a (1,1024) tensor.
+	if rep.TransferBytes != 2*1024*4 {
+		t.Fatalf("TransferBytes = %d, want %d", rep.TransferBytes, 2*1024*4)
+	}
+	if rep.Total(device.CPU) <= rep.WeightBytes[device.CPU] {
+		t.Fatalf("Total must include activations")
+	}
+	if !strings.Contains(rep.String(), "MiB") {
+		t.Fatalf("String format wrong: %s", rep.String())
+	}
+}
+
+func TestMemoryPlacementLengthError(t *testing.T) {
+	p, _ := branchy(t)
+	e := newEngine(t, p, 0)
+	if _, err := e.Memory(Placement{device.CPU}); err == nil {
+		t.Fatalf("expected length error")
+	}
+}
+
+func TestChromeTrace(t *testing.T) {
+	p, _ := branchy(t)
+	e := newEngine(t, p, 0)
+	res, err := e.Run(nil, Placement{device.CPU, device.GPU, device.CPU}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := res.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			Dur   float64 `json:"dur"`
+			TID   int     `json:"tid"`
+			Cat   string  `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != len(res.Timeline) {
+		t.Fatalf("events = %d, spans = %d", len(parsed.TraceEvents), len(res.Timeline))
+	}
+	tids := map[int]bool{}
+	cats := map[string]bool{}
+	for _, ev := range parsed.TraceEvents {
+		if ev.Phase != "X" || ev.Dur < 0 {
+			t.Fatalf("bad event: %+v", ev)
+		}
+		tids[ev.TID] = true
+		cats[ev.Cat] = true
+	}
+	// CPU, GPU and the interconnect each get a track.
+	if len(tids) != 3 {
+		t.Fatalf("expected 3 tracks, got %d", len(tids))
+	}
+	if !cats["compute"] || !cats["transfer"] {
+		t.Fatalf("missing categories: %v", cats)
+	}
+}

@@ -1,0 +1,153 @@
+package runtime
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"duet/internal/device"
+	"duet/internal/graph"
+	"duet/internal/queue"
+	"duet/internal/tensor"
+)
+
+// RunParallel executes the placement with real host concurrency: one worker
+// goroutine per device consumes subgraph jobs from its synchronization
+// queue as dependencies resolve and executes their tensor math — the
+// paper's two-process busy-loop architecture (§IV-D, Fig. 9). Outputs are
+// identical to Run's; reported virtual time comes from the same
+// deterministic timing pass (host wall-clock parallelism does not affect
+// the modelled latency, it just computes values faster on multi-core
+// hosts).
+func (e *Engine) RunParallel(inputs map[string]*tensor.Tensor, place Placement) (*Result, error) {
+	timing, err := e.Run(nil, place, false)
+	if err != nil {
+		return nil, err
+	}
+
+	n := len(e.subgraphs)
+	values := make(map[graph.NodeID]*tensor.Tensor, e.Parent.Len())
+	for _, id := range e.Parent.InputIDs() {
+		node := e.Parent.Node(id)
+		v, ok := inputs[node.Name]
+		if !ok {
+			return nil, fmt.Errorf("runtime: missing input %q", node.Name)
+		}
+		if !tensor.ShapeEq(v.Shape(), node.Shape) {
+			return nil, fmt.Errorf("runtime: input %q has shape %v, want %v", node.Name, v.Shape(), node.Shape)
+		}
+		values[id] = v
+	}
+
+	// Dependency bookkeeping: pending[i] counts unresolved producer
+	// subgraphs; dependents[p] lists consumers of p's outputs.
+	producerOf := make(map[graph.NodeID]int, e.Parent.Len())
+	for i, sub := range e.subgraphs {
+		for _, pid := range sub.Outputs {
+			producerOf[pid] = i
+		}
+	}
+	pending := make([]int, n)
+	dependents := make([][]int, n)
+	for i, sub := range e.subgraphs {
+		seen := map[int]bool{}
+		for _, pid := range sub.BoundaryInputs {
+			p, ok := producerOf[pid]
+			if !ok {
+				continue // graph input, already available
+			}
+			if !seen[p] {
+				seen[p] = true
+				pending[i]++
+				dependents[p] = append(dependents[p], i)
+			}
+		}
+	}
+
+	// One shared-memory synchronization queue per device worker (§IV-D:
+	// "the synchronization queue is implemented as a shared memory queue
+	// for high efficiency"); workers poll in a busy loop exactly as the
+	// paper's executor does.
+	queues := [2]*queue.Queue{queue.New(n + 1), queue.New(n + 1)}
+	var mu sync.Mutex // guards values and pending
+	var wg sync.WaitGroup
+	wg.Add(n)
+	errCh := make(chan error, n)
+
+	enqueue := func(i int) { queues[place[i]].MustPush(i) }
+
+	worker := func(kind device.Kind) {
+		for {
+			i, ok, done := queues[kind].Pop()
+			if done {
+				return
+			}
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			sub := e.subgraphs[i]
+			mu.Lock()
+			subIn := make(map[string]*tensor.Tensor, len(sub.BoundaryInputs))
+			for _, pid := range sub.BoundaryInputs {
+				subIn["in."+e.Parent.Node(pid).Name] = values[pid]
+			}
+			mu.Unlock()
+			outs, err := e.modules[i].Execute(subIn)
+			if err != nil {
+				// Record the failure but keep the pipeline draining:
+				// dependents receive zero placeholders so every queued job
+				// completes and Wait cannot deadlock. The error is returned
+				// after the drain.
+				errCh <- fmt.Errorf("runtime: executing %s: %w", sub.Graph.Name, err)
+				outs = make([]*tensor.Tensor, len(sub.Outputs))
+				for oi, pid := range sub.Outputs {
+					outs[oi] = tensor.New(e.Parent.Node(pid).Shape...)
+				}
+			}
+			mu.Lock()
+			for oi, pid := range sub.Outputs {
+				values[pid] = outs[oi]
+			}
+			var nowReady []int
+			for _, c := range dependents[i] {
+				pending[c]--
+				if pending[c] == 0 {
+					nowReady = append(nowReady, c)
+				}
+			}
+			mu.Unlock()
+			for _, c := range nowReady {
+				enqueue(c)
+			}
+			wg.Done()
+		}
+	}
+	// Seed the queues before the workers start so the initial pending reads
+	// race with nothing (queues are buffered to n, so this cannot block).
+	for i := 0; i < n; i++ {
+		if pending[i] == 0 {
+			enqueue(i)
+		}
+	}
+	go worker(device.CPU)
+	go worker(device.GPU)
+	wg.Wait()
+	queues[device.CPU].Close()
+	queues[device.GPU].Close()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	res := &Result{Latency: timing.Latency, Timeline: timing.Timeline}
+	for _, o := range e.Parent.Outputs() {
+		v, ok := values[o]
+		if !ok {
+			return nil, fmt.Errorf("runtime: output %q never produced", e.Parent.Node(o).Name)
+		}
+		res.Outputs = append(res.Outputs, v)
+	}
+	return res, nil
+}

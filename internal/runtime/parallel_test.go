@@ -1,0 +1,73 @@
+package runtime
+
+import (
+	"testing"
+
+	"duet/internal/device"
+	"duet/internal/tensor"
+)
+
+func TestRunParallelMatchesSerialValues(t *testing.T) {
+	p, inputs := branchy(t)
+	e := newEngine(t, p, 0)
+	n := e.NumSubgraphs()
+	for mask := 0; mask < 1<<n; mask++ {
+		place := make(Placement, n)
+		for i := range place {
+			if mask&(1<<i) != 0 {
+				place[i] = device.GPU
+			}
+		}
+		serial, err := e.Run(inputs, place, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := e.RunParallel(inputs, place)
+		if err != nil {
+			t.Fatalf("placement %s: %v", place, err)
+		}
+		if !tensor.AllClose(par.Outputs[0], serial.Outputs[0], 0, 0) {
+			t.Fatalf("placement %s: parallel execution changed values", place)
+		}
+		if par.Latency <= 0 || len(par.Timeline) == 0 {
+			t.Fatalf("missing timing data")
+		}
+	}
+}
+
+func TestRunParallelRepeatedRunsDeterministic(t *testing.T) {
+	p, inputs := branchy(t)
+	e := newEngine(t, p, 0)
+	place := Placement{device.CPU, device.GPU, device.CPU}
+	a, err := e.RunParallel(inputs, place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		b, err := e.RunParallel(inputs, place)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tensor.AllClose(a.Outputs[0], b.Outputs[0], 0, 0) {
+			t.Fatalf("trial %d: outputs vary across parallel runs", trial)
+		}
+	}
+}
+
+func TestRunParallelMissingInput(t *testing.T) {
+	p, _ := branchy(t)
+	e := newEngine(t, p, 0)
+	_, err := e.RunParallel(map[string]*tensor.Tensor{}, Uniform(e.NumSubgraphs(), device.CPU))
+	if err == nil {
+		t.Fatalf("expected missing-input error")
+	}
+}
+
+func TestRunParallelBadShape(t *testing.T) {
+	p, inputs := branchy(t)
+	e := newEngine(t, p, 0)
+	bad := map[string]*tensor.Tensor{"xa": tensor.New(2, 1024), "xb": inputs["xb"]}
+	if _, err := e.RunParallel(bad, Uniform(e.NumSubgraphs(), device.CPU)); err == nil {
+		t.Fatalf("expected shape error")
+	}
+}

@@ -1,0 +1,111 @@
+package runtime
+
+import (
+	"fmt"
+
+	"duet/internal/device"
+	"duet/internal/graph"
+	"duet/internal/vclock"
+)
+
+// PipelineResult summarises a back-to-back multi-request run.
+type PipelineResult struct {
+	// Requests is the number of simulated requests.
+	Requests int
+	// Makespan is the time from the first request's start to the last
+	// request's completion.
+	Makespan vclock.Seconds
+	// Throughput is Requests / Makespan in requests per second.
+	Throughput float64
+	// MeanLatency is the mean per-request completion time (queueing
+	// included; all requests are available at t=0).
+	MeanLatency vclock.Seconds
+}
+
+// MeasurePipelined simulates `requests` back-to-back inferences under the
+// placement without resetting the device clocks between requests: request
+// r+1's subgraphs queue behind request r's on each device, so a
+// heterogeneous placement overlaps one request's CPU phase with the next
+// request's GPU phase. This is the throughput view of co-execution — the
+// latency view is Run. Timing-only.
+func (e *Engine) MeasurePipelined(place Placement, requests int) (*PipelineResult, error) {
+	if len(place) != len(e.subgraphs) {
+		return nil, errPlacement(len(place), len(e.subgraphs))
+	}
+	if requests < 1 {
+		requests = 1
+	}
+	link := e.Platform.Link
+	deviceFree := [2]vclock.Seconds{}
+	var makespan vclock.Seconds
+	var latencySum vclock.Seconds
+
+	for r := 0; r < requests; r++ {
+		type avail [2]vclock.Seconds
+		ready := make(map[graph.NodeID]*avail, e.Parent.Len())
+		for _, id := range e.Parent.InputIDs() {
+			ready[id] = &avail{0, -1}
+		}
+		ensureOn := func(id graph.NodeID, kind device.Kind) vclock.Seconds {
+			a := ready[id]
+			if a[kind] >= 0 {
+				return a[kind]
+			}
+			other := device.CPU
+			if kind == device.CPU {
+				other = device.GPU
+			}
+			a[kind] = a[other] + link.SampleTransferTime(e.Parent.DataSize(id))
+			return a[kind]
+		}
+		for i, sub := range e.subgraphs {
+			kind := place[i]
+			dev := e.Platform.Device(kind)
+			start := deviceFree[kind]
+			for _, pid := range sub.BoundaryInputs {
+				if t := ensureOn(pid, kind); t > start {
+					start = t
+				}
+			}
+			start += syncQueueOverhead
+			var dur vclock.Seconds
+			for _, c := range e.tuned[i][kind] {
+				dur += dev.SampleKernelTime(c)
+			}
+			end := start + dur
+			deviceFree[kind] = end
+			for _, pid := range sub.Outputs {
+				a, ok := ready[pid]
+				if !ok {
+					a = &avail{-1, -1}
+					ready[pid] = a
+				}
+				a[kind] = end
+			}
+		}
+		var finish vclock.Seconds
+		for _, o := range e.Parent.Outputs() {
+			if t := ensureOn(o, device.CPU); t > finish {
+				finish = t
+			}
+		}
+		latencySum += finish
+		if finish > makespan {
+			makespan = finish
+		}
+	}
+
+	res := &PipelineResult{
+		Requests:    requests,
+		Makespan:    makespan,
+		MeanLatency: latencySum / vclock.Seconds(requests),
+	}
+	if makespan > 0 {
+		res.Throughput = float64(requests) / makespan
+	}
+	return res, nil
+}
+
+func errPlacement(got, want int) error {
+	return fmt.Errorf("runtime: placement covers %d subgraphs, want %d", got, want)
+}

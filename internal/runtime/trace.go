@@ -1,0 +1,52 @@
+package runtime
+
+import (
+	"encoding/json"
+	"strings"
+)
+
+// traceEvent is one Chrome trace-event ("catapult") entry. Timestamps are
+// microseconds.
+type traceEvent struct {
+	Name  string  `json:"name"`
+	Phase string  `json:"ph"`
+	TS    float64 `json:"ts"`
+	Dur   float64 `json:"dur"`
+	PID   int     `json:"pid"`
+	TID   int     `json:"tid"`
+	Cat   string  `json:"cat"`
+}
+
+// ChromeTrace renders a run's timeline in the Chrome trace-event JSON
+// format (load via chrome://tracing or https://ui.perfetto.dev), with one
+// track per device plus one for the interconnect.
+func (r *Result) ChromeTrace() ([]byte, error) {
+	tids := map[string]int{}
+	nextTID := 1
+	events := make([]traceEvent, 0, len(r.Timeline))
+	for _, s := range r.Timeline {
+		tid, ok := tids[s.Device]
+		if !ok {
+			tid = nextTID
+			nextTID++
+			tids[s.Device] = tid
+		}
+		cat := "compute"
+		if strings.HasPrefix(s.Label, "xfer:") {
+			cat = "transfer"
+		}
+		events = append(events, traceEvent{
+			Name:  s.Label,
+			Phase: "X",
+			TS:    s.Start * 1e6,
+			Dur:   (s.End - s.Start) * 1e6,
+			PID:   1,
+			TID:   tid,
+			Cat:   cat,
+		})
+	}
+	return json.MarshalIndent(map[string]interface{}{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	}, "", "  ")
+}

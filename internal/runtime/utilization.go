@@ -1,0 +1,90 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"duet/internal/vclock"
+)
+
+// Utilization summarises how a run used the platform: per-track busy time
+// and the fraction of the makespan during which the CPU and GPU computed
+// concurrently — the overlap DUET exists to create.
+type Utilization struct {
+	// Busy maps each track (device or link name) to its total busy time.
+	Busy map[string]vclock.Seconds
+	// Makespan is the run's end-to-end latency.
+	Makespan vclock.Seconds
+	// Overlap is the total time during which two or more compute tracks
+	// were simultaneously busy.
+	Overlap vclock.Seconds
+}
+
+// BusyFraction returns a track's busy share of the makespan.
+func (u Utilization) BusyFraction(track string) float64 {
+	if u.Makespan <= 0 {
+		return 0
+	}
+	return u.Busy[track] / u.Makespan
+}
+
+// OverlapFraction returns the co-execution share of the makespan.
+func (u Utilization) OverlapFraction() float64 {
+	if u.Makespan <= 0 {
+		return 0
+	}
+	return u.Overlap / u.Makespan
+}
+
+// String renders the utilization summary.
+func (u Utilization) String() string {
+	tracks := make([]string, 0, len(u.Busy))
+	for t := range u.Busy {
+		tracks = append(tracks, t)
+	}
+	sort.Strings(tracks)
+	var b strings.Builder
+	for i, t := range tracks {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %.0f%%", t, u.BusyFraction(t)*100)
+	}
+	fmt.Fprintf(&b, "; co-execution %.0f%% of %.3fms", u.OverlapFraction()*100, u.Makespan*1e3)
+	return b.String()
+}
+
+// Utilization analyses the run's timeline. Transfer spans count toward
+// their link track's busy time but not toward compute overlap.
+func (r *Result) Utilization() Utilization {
+	u := Utilization{Busy: map[string]vclock.Seconds{}, Makespan: r.Latency}
+	type event struct {
+		t     vclock.Seconds
+		delta int
+	}
+	var events []event
+	for _, s := range r.Timeline {
+		u.Busy[s.Device] += s.End - s.Start
+		if strings.HasPrefix(s.Label, "xfer:") {
+			continue
+		}
+		events = append(events, event{s.Start, +1}, event{s.End, -1})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		return events[i].delta < events[j].delta // close before open at ties
+	})
+	depth := 0
+	var last vclock.Seconds
+	for _, ev := range events {
+		if depth >= 2 {
+			u.Overlap += ev.t - last
+		}
+		depth += ev.delta
+		last = ev.t
+	}
+	return u
+}

@@ -1,0 +1,57 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"duet/internal/device"
+)
+
+func TestUtilizationSplitPlacementOverlaps(t *testing.T) {
+	p, _ := branchy(t)
+	e := newEngine(t, p, 0)
+	res, err := e.Run(nil, Placement{device.CPU, device.GPU, device.CPU}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := res.Utilization()
+	if u.Makespan != res.Latency {
+		t.Fatalf("makespan mismatch")
+	}
+	if u.Overlap <= 0 {
+		t.Fatalf("split placement should co-execute, overlap = %v", u.Overlap)
+	}
+	if u.OverlapFraction() <= 0 || u.OverlapFraction() > 1 {
+		t.Fatalf("overlap fraction %v out of range", u.OverlapFraction())
+	}
+	if u.BusyFraction("cpu0") <= 0 || u.BusyFraction("gpu0") <= 0 {
+		t.Fatalf("both devices should be busy: %+v", u.Busy)
+	}
+	if !strings.Contains(u.String(), "co-execution") {
+		t.Fatalf("String format: %s", u.String())
+	}
+}
+
+func TestUtilizationUniformPlacementNoOverlap(t *testing.T) {
+	p, _ := branchy(t)
+	e := newEngine(t, p, 0)
+	res, err := e.Run(nil, Uniform(e.NumSubgraphs(), device.CPU), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := res.Utilization()
+	if u.Overlap != 0 {
+		t.Fatalf("single-device run reports overlap %v", u.Overlap)
+	}
+	if u.BusyFraction("gpu0") != 0 {
+		t.Fatalf("GPU should be idle")
+	}
+}
+
+func TestUtilizationEmptyResult(t *testing.T) {
+	var r Result
+	u := r.Utilization()
+	if u.Overlap != 0 || u.OverlapFraction() != 0 || u.BusyFraction("cpu0") != 0 {
+		t.Fatalf("empty result should be all zeros: %+v", u)
+	}
+}

@@ -1,0 +1,130 @@
+package schedule
+
+import (
+	"fmt"
+	"math"
+
+	"duet/internal/device"
+	"duet/internal/runtime"
+	"duet/internal/vclock"
+)
+
+// DPOptions configures the analytic dynamic-programming placement.
+type DPOptions struct {
+	// Link estimates cross-device transfer cost from byte volume. The paper
+	// notes (§IV-C) that analytically modelled communication carries
+	// estimation error — which is why DUET prefers measured correction;
+	// this implementation exists as the comparison point.
+	Link *device.Link
+}
+
+// DynamicProgramming computes a placement by exact dynamic programming over
+// phases (the analytic alternative to greedy-correction that §IV-C
+// discusses, after Jia et al.'s DP device-placement formulation).
+//
+// State: after each phase, the location (device) of the phase's published
+// frontier. For a sequential phase the subgraph runs wholly on one device;
+// for a multi-path phase every assignment of its subgraphs to devices is
+// enumerated (phases are small by construction). Transition cost combines
+// profiled execution time with estimated transfer cost for boundary values
+// that change device. The estimate deliberately ignores queueing and
+// overlap effects — exactly the modelling error the paper attributes to
+// analytic approaches.
+func (s *Scheduler) DynamicProgramming(opt DPOptions) (runtime.Placement, error) {
+	if opt.Link == nil {
+		return nil, fmt.Errorf("schedule: DynamicProgramming requires a link model")
+	}
+	ranges := s.flatIndexRanges()
+	n := len(s.Records)
+	place := make(runtime.Placement, n)
+
+	// dp[k] = best accumulated cost with the previous phase's frontier on
+	// device k; choice[phase][k] records the arg-min assignment mask.
+	dp := [2]vclock.Seconds{0, 0}
+	type decision struct {
+		mask [2]uint32 // best assignment mask given frontier k
+		prev [2]device.Kind
+	}
+	decisions := make([]decision, len(s.Partition.Phases))
+
+	for pi := range s.Partition.Phases {
+		lo, hi := ranges[pi][0], ranges[pi][1]
+		width := hi - lo
+		if width > 20 {
+			return nil, fmt.Errorf("schedule: phase %d too wide for DP (%d subgraphs)", pi, width)
+		}
+		var next [2]vclock.Seconds
+		for k := range next {
+			next[k] = math.Inf(1)
+		}
+		var dec decision
+		for mask := uint32(0); mask < 1<<width; mask++ {
+			// Phase makespan per device under this assignment.
+			var load [2]vclock.Seconds
+			var outBytes [2]int
+			for i := 0; i < width; i++ {
+				kind := device.CPU
+				if mask&(1<<i) != 0 {
+					kind = device.GPU
+				}
+				rec := s.Records[lo+i]
+				load[kind] += rec.TimeOn(kind)
+				outBytes[kind] += rec.OutBytes
+			}
+			makespan := load[device.CPU]
+			if load[device.GPU] > makespan {
+				makespan = load[device.GPU]
+			}
+			for prev := 0; prev < 2; prev++ {
+				if math.IsInf(dp[prev], 1) {
+					continue
+				}
+				// Transfer estimate: inputs crossing from the previous
+				// frontier to subgraphs on the other device.
+				var xfer vclock.Seconds
+				for i := 0; i < width; i++ {
+					kind := device.CPU
+					if mask&(1<<i) != 0 {
+						kind = device.GPU
+					}
+					if int(kind) != prev {
+						xfer += opt.Link.TransferTime(s.Records[lo+i].InBytes)
+					}
+				}
+				cost := dp[prev] + makespan + xfer
+				// The next frontier is the device holding the majority of
+				// output bytes (values the following phase will consume).
+				frontier := device.CPU
+				if outBytes[device.GPU] > outBytes[device.CPU] {
+					frontier = device.GPU
+				}
+				if cost < next[frontier] {
+					next[frontier] = cost
+					dec.mask[frontier] = mask
+					dec.prev[frontier] = device.Kind(prev)
+				}
+			}
+		}
+		decisions[pi] = dec
+		dp = next
+	}
+
+	// Backtrack from the cheaper terminal frontier.
+	frontier := device.CPU
+	if dp[device.GPU] < dp[device.CPU] {
+		frontier = device.GPU
+	}
+	for pi := len(s.Partition.Phases) - 1; pi >= 0; pi-- {
+		lo, hi := ranges[pi][0], ranges[pi][1]
+		mask := decisions[pi].mask[frontier]
+		for i := 0; i < hi-lo; i++ {
+			if mask&(1<<i) != 0 {
+				place[lo+i] = device.GPU
+			} else {
+				place[lo+i] = device.CPU
+			}
+		}
+		frontier = decisions[pi].prev[frontier]
+	}
+	return place, nil
+}

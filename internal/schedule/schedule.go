@@ -1,0 +1,263 @@
+// Package schedule implements DUET's greedy-correction subgraph scheduling
+// (§IV-C, Algorithm 1) and the comparison baselines evaluated in the paper
+// (Random, Round-Robin, Random+Correction, exhaustive Ideal, Fig. 13).
+//
+// Greedy-correction proceeds in three steps: (1) pin the critical path onto
+// each subgraph's fastest device, (2) greedily place remaining multi-path
+// subgraphs to minimise the growth of the critical path, then (3) correct
+// the placement per multi-path phase with latency-measured swaps — a
+// Kernighan-Lin-style refinement whose objective is end-to-end latency
+// rather than edge cut.
+package schedule
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"duet/internal/device"
+	"duet/internal/partition"
+	"duet/internal/profile"
+	"duet/internal/runtime"
+	"duet/internal/vclock"
+)
+
+// Measure evaluates the end-to-end latency of a placement. Implementations
+// typically average a handful of engine runs; the scheduler treats it as an
+// oracle, exactly like the paper's measure_latency.
+type Measure func(runtime.Placement) (vclock.Seconds, error)
+
+// EngineMeasure adapts an engine into a Measure averaging `runs` samples.
+func EngineMeasure(e *runtime.Engine, runs int) Measure {
+	return func(p runtime.Placement) (vclock.Seconds, error) {
+		samples, err := e.MeasureLatency(p, runs)
+		if err != nil {
+			return 0, err
+		}
+		return vclock.Mean(samples), nil
+	}
+}
+
+// Scheduler binds a partition, its profiled records, and a latency oracle.
+type Scheduler struct {
+	Partition *partition.Partition
+	Records   []profile.Record
+	Measure   Measure
+	// MaxCorrectionRounds bounds step-3 sweeps per phase (paper: terminate
+	// after x rounds without improvement; one full sweep without gain stops
+	// here).
+	MaxCorrectionRounds int
+}
+
+// New returns a scheduler with default correction bounds.
+func New(p *partition.Partition, records []profile.Record, measure Measure) (*Scheduler, error) {
+	n := len(p.Subgraphs())
+	if len(records) != n {
+		return nil, fmt.Errorf("schedule: %d records for %d subgraphs", len(records), n)
+	}
+	return &Scheduler{Partition: p, Records: records, Measure: measure, MaxCorrectionRounds: 8}, nil
+}
+
+// flatIndexRanges returns, per phase, the [lo, hi) flat subgraph range.
+func (s *Scheduler) flatIndexRanges() [][2]int {
+	var out [][2]int
+	i := 0
+	for _, ph := range s.Partition.Phases {
+		out = append(out, [2]int{i, i + len(ph.Subgraphs)})
+		i += len(ph.Subgraphs)
+	}
+	return out
+}
+
+// Greedy runs steps 1 and 2 of Algorithm 1 and returns the initial
+// placement.
+func (s *Scheduler) Greedy() runtime.Placement {
+	n := len(s.Records)
+	place := make(runtime.Placement, n)
+	ranges := s.flatIndexRanges()
+	for pi, ph := range s.Partition.Phases {
+		lo, hi := ranges[pi][0], ranges[pi][1]
+		if ph.Kind == partition.Sequential || hi-lo == 1 {
+			// Step 1: a sequential-phase subgraph is on the critical path by
+			// definition; give it its fastest device.
+			for i := lo; i < hi; i++ {
+				place[i] = s.Records[i].Faster()
+			}
+			continue
+		}
+		// Step 1 (multi-path): the subgraph with the maximum best-case cost
+		// anchors the phase's critical path; pin it to its faster device.
+		crit := lo
+		for i := lo + 1; i < hi; i++ {
+			if s.Records[i].Best() > s.Records[crit].Best() {
+				crit = i
+			}
+		}
+		place[crit] = s.Records[crit].Faster()
+		load := [2]vclock.Seconds{}
+		load[place[crit]] = s.Records[crit].Best()
+
+		// Step 2: remaining subgraphs in decreasing cost order, each to the
+		// device that minimises the phase makespan (the increase of the
+		// critical path).
+		rest := make([]int, 0, hi-lo-1)
+		for i := lo; i < hi; i++ {
+			if i != crit {
+				rest = append(rest, i)
+			}
+		}
+		sort.Slice(rest, func(a, b int) bool {
+			return s.Records[rest[a]].Best() > s.Records[rest[b]].Best()
+		})
+		for _, i := range rest {
+			rec := s.Records[i]
+			bestKind := device.CPU
+			bestMakespan := vclock.Seconds(-1)
+			for _, kind := range []device.Kind{device.CPU, device.GPU} {
+				l := load
+				l[kind] += rec.TimeOn(kind)
+				makespan := l[device.CPU]
+				if l[device.GPU] > makespan {
+					makespan = l[device.GPU]
+				}
+				if bestMakespan < 0 || makespan < bestMakespan {
+					bestMakespan = makespan
+					bestKind = kind
+				}
+			}
+			place[i] = bestKind
+			load[bestKind] += rec.TimeOn(bestKind)
+		}
+	}
+	return place
+}
+
+// Correct runs step 3 on the given placement: for every multi-path phase it
+// repeatedly applies the single swap or move that most reduces measured
+// end-to-end latency, until a sweep yields no gain (or the round budget is
+// exhausted). The input placement is not mutated.
+func (s *Scheduler) Correct(initial runtime.Placement) (runtime.Placement, error) {
+	place := initial.Clone()
+	cur, err := s.Measure(place)
+	if err != nil {
+		return nil, err
+	}
+	ranges := s.flatIndexRanges()
+	for pi, ph := range s.Partition.Phases {
+		if ph.Kind != partition.MultiPath {
+			continue
+		}
+		lo, hi := ranges[pi][0], ranges[pi][1]
+		for round := 0; round < s.MaxCorrectionRounds; round++ {
+			bestGain := vclock.Seconds(0)
+			var bestPlace runtime.Placement
+			var bestLat vclock.Seconds
+			try := func(cand runtime.Placement) error {
+				lat, err := s.Measure(cand)
+				if err != nil {
+					return err
+				}
+				if gain := cur - lat; gain > bestGain {
+					bestGain = gain
+					bestPlace = cand
+					bestLat = lat
+				}
+				return nil
+			}
+			// Single moves (the paper's "one of the subgraphs could be
+			// empty") and pair swaps across devices.
+			for i := lo; i < hi; i++ {
+				cand := place.Clone()
+				cand[i] = other(cand[i])
+				if err := try(cand); err != nil {
+					return nil, err
+				}
+				for j := i + 1; j < hi; j++ {
+					if place[j] == place[i] {
+						continue
+					}
+					swap := place.Clone()
+					swap[i], swap[j] = swap[j], swap[i]
+					if err := try(swap); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if bestPlace == nil {
+				break
+			}
+			place = bestPlace
+			cur = bestLat
+		}
+	}
+	return place, nil
+}
+
+func other(k device.Kind) device.Kind {
+	if k == device.CPU {
+		return device.GPU
+	}
+	return device.CPU
+}
+
+// GreedyCorrection runs the full Algorithm 1.
+func (s *Scheduler) GreedyCorrection() (runtime.Placement, error) {
+	return s.Correct(s.Greedy())
+}
+
+// Random assigns each subgraph to a uniformly random device.
+func (s *Scheduler) Random(rng *rand.Rand) runtime.Placement {
+	place := make(runtime.Placement, len(s.Records))
+	for i := range place {
+		if rng.Intn(2) == 1 {
+			place[i] = device.GPU
+		}
+	}
+	return place
+}
+
+// RandomCorrection applies step-3 correction to a random initialisation.
+func (s *Scheduler) RandomCorrection(rng *rand.Rand) (runtime.Placement, error) {
+	return s.Correct(s.Random(rng))
+}
+
+// RoundRobin alternates subgraphs between CPU and GPU in flat order.
+func (s *Scheduler) RoundRobin() runtime.Placement {
+	place := make(runtime.Placement, len(s.Records))
+	for i := range place {
+		if i%2 == 1 {
+			place[i] = device.GPU
+		}
+	}
+	return place
+}
+
+// Ideal exhaustively enumerates every placement and returns the measured
+// optimum. Finding the optimal schedule is NP-hard in general; this is only
+// feasible for small subgraph counts (the paper does the same to validate
+// greedy-correction empirically) and refuses more than 20 subgraphs.
+func (s *Scheduler) Ideal() (runtime.Placement, vclock.Seconds, error) {
+	n := len(s.Records)
+	if n > 20 {
+		return nil, 0, fmt.Errorf("schedule: Ideal is infeasible for %d subgraphs", n)
+	}
+	var best runtime.Placement
+	bestLat := vclock.Seconds(-1)
+	for mask := 0; mask < 1<<n; mask++ {
+		place := make(runtime.Placement, n)
+		for i := range place {
+			if mask&(1<<i) != 0 {
+				place[i] = device.GPU
+			}
+		}
+		lat, err := s.Measure(place)
+		if err != nil {
+			return nil, 0, err
+		}
+		if bestLat < 0 || lat < bestLat {
+			bestLat = lat
+			best = place
+		}
+	}
+	return best, bestLat, nil
+}

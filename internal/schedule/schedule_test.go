@@ -1,0 +1,271 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+
+	"duet/internal/compiler"
+	"duet/internal/device"
+	"duet/internal/models"
+	"duet/internal/partition"
+	"duet/internal/profile"
+	"duet/internal/runtime"
+	"duet/internal/vclock"
+)
+
+// rig builds the full scheduling stack for a model graph with a noiseless
+// platform.
+func rig(t *testing.T, build func() (interface{ Validate() error }, error)) (*Scheduler, *runtime.Engine) {
+	t.Helper()
+	g, err := models.WideDeep(models.DefaultWideDeep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compiler.InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := runtime.New(p, device.NewPlatform(0), compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := profile.New(device.NewPlatform(0))
+	prof.Runs = 1
+	records, err := prof.ProfileAll(g, p.Subgraphs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(p, records, EngineMeasure(engine, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, engine
+}
+
+func measure(t *testing.T, s *Scheduler, p runtime.Placement) vclock.Seconds {
+	t.Helper()
+	lat, err := s.Measure(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lat
+}
+
+func TestGreedyPlacesHeterogeneously(t *testing.T) {
+	s, _ := rig(t, nil)
+	place := s.Greedy()
+	hasCPU, hasGPU := false, false
+	for _, k := range place {
+		if k == device.CPU {
+			hasCPU = true
+		} else {
+			hasGPU = true
+		}
+	}
+	if !hasCPU || !hasGPU {
+		t.Fatalf("greedy placement on Wide&Deep should use both devices: %s", place)
+	}
+}
+
+func TestGreedyBeatsUniformOnWideDeep(t *testing.T) {
+	s, _ := rig(t, nil)
+	greedy := measure(t, s, s.Greedy())
+	n := len(s.Records)
+	cpu := measure(t, s, runtime.Uniform(n, device.CPU))
+	gpu := measure(t, s, runtime.Uniform(n, device.GPU))
+	if greedy >= cpu || greedy >= gpu {
+		t.Fatalf("greedy (%v) should beat uniform cpu (%v) and gpu (%v)", greedy, cpu, gpu)
+	}
+}
+
+func TestCorrectionNeverHurts(t *testing.T) {
+	s, _ := rig(t, nil)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5; trial++ {
+		start := s.Random(rng)
+		before := measure(t, s, start)
+		corrected, err := s.Correct(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := measure(t, s, corrected)
+		if after > before+1e-12 {
+			t.Fatalf("correction worsened latency: %v -> %v (start %s)", before, after, start)
+		}
+	}
+}
+
+func TestCorrectDoesNotMutateInput(t *testing.T) {
+	s, _ := rig(t, nil)
+	start := s.RoundRobin()
+	want := start.String()
+	if _, err := s.Correct(start); err != nil {
+		t.Fatal(err)
+	}
+	if start.String() != want {
+		t.Fatalf("Correct mutated its input")
+	}
+}
+
+func TestGreedyCorrectionMatchesIdeal(t *testing.T) {
+	// The paper verifies empirically that greedy-correction finds the
+	// optimal schedule when the subgraph count is small (§VI-C).
+	s, _ := rig(t, nil)
+	gc, err := s.GreedyCorrection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcLat := measure(t, s, gc)
+	_, idealLat, err := s.Ideal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gcLat > idealLat*1.02 {
+		t.Fatalf("greedy-correction %v not within 2%% of ideal %v", gcLat, idealLat)
+	}
+}
+
+func TestSchedulerOrderingFig13(t *testing.T) {
+	// Fig. 13's ordering: correction-based schedules beat Random and
+	// Round-Robin (averaged over several random draws).
+	s, _ := rig(t, nil)
+	rng := rand.New(rand.NewSource(9))
+	var randomSum vclock.Seconds
+	const draws = 8
+	for i := 0; i < draws; i++ {
+		randomSum += measure(t, s, s.Random(rng))
+	}
+	randomMean := randomSum / draws
+	rr := measure(t, s, s.RoundRobin())
+	rc, err := s.RandomCorrection(rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcLat := measure(t, s, rc)
+	gc, err := s.GreedyCorrection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcLat := measure(t, s, gc)
+	if gcLat > rcLat*1.05 {
+		t.Fatalf("greedy+correction (%v) should be ≤ random+correction (%v)", gcLat, rcLat)
+	}
+	if rcLat >= randomMean {
+		t.Fatalf("random+correction (%v) should beat plain random (%v)", rcLat, randomMean)
+	}
+	if gcLat >= rr {
+		t.Fatalf("greedy+correction (%v) should beat round-robin (%v)", gcLat, rr)
+	}
+}
+
+func TestRandomIsSeeded(t *testing.T) {
+	s, _ := rig(t, nil)
+	a := s.Random(rand.New(rand.NewSource(5)))
+	b := s.Random(rand.New(rand.NewSource(5)))
+	if a.String() != b.String() {
+		t.Fatalf("random placement not deterministic under seed")
+	}
+}
+
+func TestRoundRobinAlternates(t *testing.T) {
+	s, _ := rig(t, nil)
+	p := s.RoundRobin()
+	for i := range p {
+		want := device.CPU
+		if i%2 == 1 {
+			want = device.GPU
+		}
+		if p[i] != want {
+			t.Fatalf("round-robin wrong at %d: %s", i, p)
+		}
+	}
+}
+
+func TestIdealRefusesLargeSearch(t *testing.T) {
+	s, _ := rig(t, nil)
+	// Inflate the record count artificially.
+	big := &Scheduler{Partition: s.Partition, Records: make([]profile.Record, 25), Measure: s.Measure}
+	if _, _, err := big.Ideal(); err == nil {
+		t.Fatalf("expected feasibility error")
+	}
+}
+
+func TestNewValidatesRecordCount(t *testing.T) {
+	s, _ := rig(t, nil)
+	if _, err := New(s.Partition, s.Records[:1], s.Measure); err == nil {
+		t.Fatalf("expected record-count error")
+	}
+}
+
+func TestSchedulerOnSequentialOnlyModel(t *testing.T) {
+	// VGG partitions into a single sequential subgraph: greedy must pick its
+	// faster device and correction must be a no-op.
+	g, err := models.VGG(models.DefaultVGG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compiler.InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := runtime.New(p, device.NewPlatform(0), compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := profile.New(device.NewPlatform(0))
+	prof.Runs = 1
+	records, err := prof.ProfileAll(g, p.Subgraphs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(p, records, EngineMeasure(engine, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy := s.Greedy()
+	if len(greedy) != 1 || greedy[0] != device.GPU {
+		t.Fatalf("VGG greedy = %s, want single-GPU", greedy)
+	}
+	corrected, err := s.Correct(greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrected.String() != greedy.String() {
+		t.Fatalf("correction changed a sequential-only placement: %s -> %s", greedy, corrected)
+	}
+}
+
+func TestCorrectionBudgetRespected(t *testing.T) {
+	s, _ := rig(t, nil)
+	s.MaxCorrectionRounds = 0
+	start := s.RoundRobin()
+	out, err := s.Correct(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != start.String() {
+		t.Fatalf("zero-round correction must be identity: %s -> %s", start, out)
+	}
+}
+
+func TestGreedyCriticalPathAnchoring(t *testing.T) {
+	// In Wide&Deep's multi-path phase the costliest subgraph (the CNN) must
+	// sit on its faster device after greedy step 1.
+	s, _ := rig(t, nil)
+	place := s.Greedy()
+	crit := 0
+	for i := 1; i < len(s.Records); i++ {
+		if s.Partition.PhaseOf(i) == 0 && s.Records[i].Best() > s.Records[crit].Best() {
+			crit = i
+		}
+	}
+	if place[crit] != s.Records[crit].Faster() {
+		t.Fatalf("critical subgraph %d not on its faster device", crit)
+	}
+}

@@ -1,0 +1,56 @@
+// Package stats aggregates latency samples into the summary statistics the
+// paper reports: means for Fig. 11/13-17 and P50/P99/P99.9 tails for
+// Fig. 12.
+package stats
+
+import (
+	"fmt"
+
+	"duet/internal/vclock"
+)
+
+// Summary condenses a latency distribution.
+type Summary struct {
+	N    int
+	Mean vclock.Seconds
+	Min  vclock.Seconds
+	Max  vclock.Seconds
+	P50  vclock.Seconds
+	P99  vclock.Seconds
+	P999 vclock.Seconds
+}
+
+// Summarize computes a Summary. It panics on empty input: an experiment
+// that produced no samples is a harness bug.
+func Summarize(samples []vclock.Seconds) Summary {
+	if len(samples) == 0 {
+		panic("stats: no samples")
+	}
+	s := Summary{
+		N:    len(samples),
+		Mean: vclock.Mean(samples),
+		Min:  vclock.Percentile(samples, 0),
+		Max:  vclock.Percentile(samples, 100),
+		P50:  vclock.Percentile(samples, 50),
+		P99:  vclock.Percentile(samples, 99),
+		P999: vclock.Percentile(samples, 99.9),
+	}
+	return s
+}
+
+// Ms formats a duration in milliseconds.
+func Ms(t vclock.Seconds) string { return fmt.Sprintf("%.3f", t*1e3) }
+
+// String renders the summary in milliseconds.
+func (s Summary) String() string {
+	return fmt.Sprintf("mean=%sms p50=%sms p99=%sms p99.9=%sms (n=%d)",
+		Ms(s.Mean), Ms(s.P50), Ms(s.P99), Ms(s.P999), s.N)
+}
+
+// Speedup returns base/target (how many times faster target is than base).
+func Speedup(base, target vclock.Seconds) float64 {
+	if target == 0 {
+		return 0
+	}
+	return base / target
+}

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	samples := make([]float64, 1000)
+	for i := range samples {
+		samples[i] = float64(i+1) / 1000 // 0.001 .. 1.000
+	}
+	s := Summarize(samples)
+	if s.N != 1000 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.Min != 0.001 || s.Max != 1.0 {
+		t.Fatalf("min/max wrong: %v %v", s.Min, s.Max)
+	}
+	if s.P50 != 0.5 {
+		t.Fatalf("P50 = %v", s.P50)
+	}
+	if s.P99 != 0.99 {
+		t.Fatalf("P99 = %v", s.P99)
+	}
+	if s.P999 != 0.999 {
+		t.Fatalf("P999 = %v", s.P999)
+	}
+	if s.Mean < 0.5 || s.Mean > 0.501 {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{0.001, 0.002})
+	str := s.String()
+	for _, frag := range []string{"mean=", "p50=", "p99=", "n=2"} {
+		if !strings.Contains(str, frag) {
+			t.Fatalf("String missing %q: %s", frag, str)
+		}
+	}
+}
+
+func TestMs(t *testing.T) {
+	if Ms(0.0015) != "1.500" {
+		t.Fatalf("Ms = %q", Ms(0.0015))
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(2, 1) != 2 {
+		t.Fatalf("Speedup wrong")
+	}
+	if Speedup(1, 0) != 0 {
+		t.Fatalf("zero target should yield 0")
+	}
+}

@@ -1,0 +1,89 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Kernel micro-benchmarks for the host tensor engine. These measure real
+// wall-clock performance of the Go kernels (not virtual time) — useful when
+// porting the engine to new hardware or tuning block sizes.
+
+func BenchmarkMatMul(b *testing.B) {
+	for _, n := range []int{64, 256, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			x := Rand(rng, 1, n, n)
+			y := Rand(rng, 1, n, n)
+			b.SetBytes(int64(8 * n * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMul(x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkGEMV(b *testing.B) {
+	// The batch-1 dense-layer shape that dominates inference.
+	rng := rand.New(rand.NewSource(2))
+	x := Rand(rng, 1, 1, 1024)
+	w := Rand(rng, 1, 1024, 1024)
+	bias := Rand(rng, 1, 1024)
+	b.SetBytes(4 * 1024 * 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Linear(x, w, bias)
+	}
+}
+
+func BenchmarkConv2D(b *testing.B) {
+	for _, size := range []int{28, 56} {
+		b.Run(fmt.Sprintf("hw=%d", size), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			x := Rand(rng, 1, 1, 64, size, size)
+			w := Rand(rng, 1, 64, 64, 3, 3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Conv2D(x, w, nil, 1, 1)
+			}
+		})
+	}
+}
+
+func BenchmarkLSTMCell(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	h := 256
+	x := Rand(rng, 1, 1, h)
+	h0 := Rand(rng, 1, 1, h)
+	c0 := Rand(rng, 1, 1, h)
+	wx := Rand(rng, 1, 4*h, h)
+	wh := Rand(rng, 1, 4*h, h)
+	bias := Rand(rng, 1, 4*h)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LSTMCell(x, h0, c0, wx, wh, bias)
+	}
+}
+
+func BenchmarkSoftmax(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	x := Rand(rng, 1, 64, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Softmax(x)
+	}
+}
+
+func BenchmarkParallelForOverhead(b *testing.B) {
+	buf := make([]float32, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ParallelFor(len(buf), func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				buf[j]++
+			}
+		})
+	}
+}

@@ -1,0 +1,202 @@
+package tensor
+
+import "fmt"
+
+// Conv2D computes a 2-D convolution in NCHW layout via im2col + GEMM.
+// x is (N, Cin, H, W); w is (Cout, Cin, KH, KW). stride and pad apply to
+// both spatial dimensions. bias (Cout) may be nil.
+func Conv2D(x, w, bias *Tensor, stride, pad int) *Tensor {
+	if len(x.shape) != 4 || len(w.shape) != 4 {
+		panic(fmt.Sprintf("tensor: Conv2D requires 4-D x and w, got %v, %v", x.shape, w.shape))
+	}
+	n, cin, h, wd := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	cout, cin2, kh, kw := w.shape[0], w.shape[1], w.shape[2], w.shape[3]
+	if cin != cin2 {
+		panic(fmt.Sprintf("tensor: Conv2D channel mismatch: x has %d, w expects %d", cin, cin2))
+	}
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (wd+2*pad-kw)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Conv2D produces empty output for x %v, w %v, stride %d, pad %d", x.shape, w.shape, stride, pad))
+	}
+	out := New(n, cout, oh, ow)
+
+	colRows := cin * kh * kw
+	colCols := oh * ow
+	wmat := w.Reshape(cout, colRows) // (Cout, Cin*KH*KW)
+
+	for b := 0; b < n; b++ {
+		col := im2col(x.data[b*cin*h*wd:(b+1)*cin*h*wd], cin, h, wd, kh, kw, stride, pad, oh, ow)
+		// out[b] (Cout × OH*OW) = wmat (Cout × colRows) · col (colRows × colCols)
+		dst := out.data[b*cout*oh*ow : (b+1)*cout*oh*ow]
+		gemm(dst, wmat.data, col, cout, colCols, colRows)
+		if bias != nil {
+			for c := 0; c < cout; c++ {
+				bv := bias.data[c]
+				row := dst[c*colCols : (c+1)*colCols]
+				for i := range row {
+					row[i] += bv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// im2col unrolls one image (Cin, H, W) into a (Cin*KH*KW, OH*OW) matrix.
+func im2col(img []float32, cin, h, w, kh, kw, stride, pad, oh, ow int) []float32 {
+	col := make([]float32, cin*kh*kw*oh*ow)
+	ParallelFor(cin, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			chImg := img[c*h*w : (c+1)*h*w]
+			for ki := 0; ki < kh; ki++ {
+				for kj := 0; kj < kw; kj++ {
+					rowBase := ((c*kh+ki)*kw + kj) * oh * ow
+					for oi := 0; oi < oh; oi++ {
+						ii := oi*stride + ki - pad
+						dst := col[rowBase+oi*ow : rowBase+(oi+1)*ow]
+						if ii < 0 || ii >= h {
+							continue // stays zero (padding)
+						}
+						srcRow := chImg[ii*w : (ii+1)*w]
+						for oj := 0; oj < ow; oj++ {
+							jj := oj*stride + kj - pad
+							if jj >= 0 && jj < w {
+								dst[oj] = srcRow[jj]
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return col
+}
+
+// Conv2DNaive is a direct reference convolution used by tests to validate
+// the im2col path.
+func Conv2DNaive(x, w, bias *Tensor, stride, pad int) *Tensor {
+	n, cin, h, wd := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	cout, _, kh, kw := w.shape[0], w.shape[1], w.shape[2], w.shape[3]
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (wd+2*pad-kw)/stride + 1
+	out := New(n, cout, oh, ow)
+	for b := 0; b < n; b++ {
+		for co := 0; co < cout; co++ {
+			for oi := 0; oi < oh; oi++ {
+				for oj := 0; oj < ow; oj++ {
+					var s float32
+					for ci := 0; ci < cin; ci++ {
+						for ki := 0; ki < kh; ki++ {
+							ii := oi*stride + ki - pad
+							if ii < 0 || ii >= h {
+								continue
+							}
+							for kj := 0; kj < kw; kj++ {
+								jj := oj*stride + kj - pad
+								if jj < 0 || jj >= wd {
+									continue
+								}
+								s += x.At(b, ci, ii, jj) * w.At(co, ci, ki, kj)
+							}
+						}
+					}
+					if bias != nil {
+						s += bias.data[co]
+					}
+					out.Set(s, b, co, oi, oj)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MaxPool2D applies max pooling with the given square kernel and stride on
+// an NCHW tensor.
+func MaxPool2D(x *Tensor, kernel, stride, pad int) *Tensor {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh := (h+2*pad-kernel)/stride + 1
+	ow := (w+2*pad-kernel)/stride + 1
+	out := New(n, c, oh, ow)
+	ParallelFor(n*c, func(lo, hi int) {
+		for nc := lo; nc < hi; nc++ {
+			src := x.data[nc*h*w : (nc+1)*h*w]
+			dst := out.data[nc*oh*ow : (nc+1)*oh*ow]
+			for oi := 0; oi < oh; oi++ {
+				for oj := 0; oj < ow; oj++ {
+					best := float32(-3.4e38)
+					for ki := 0; ki < kernel; ki++ {
+						ii := oi*stride + ki - pad
+						if ii < 0 || ii >= h {
+							continue
+						}
+						for kj := 0; kj < kernel; kj++ {
+							jj := oj*stride + kj - pad
+							if jj < 0 || jj >= w {
+								continue
+							}
+							if v := src[ii*w+jj]; v > best {
+								best = v
+							}
+						}
+					}
+					dst[oi*ow+oj] = best
+				}
+			}
+		}
+	})
+	return out
+}
+
+// GlobalAvgPool2D averages each channel's spatial plane: (N,C,H,W) → (N,C).
+func GlobalAvgPool2D(x *Tensor) *Tensor {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	out := New(n, c)
+	plane := h * w
+	ParallelFor(n*c, func(lo, hi int) {
+		for nc := lo; nc < hi; nc++ {
+			var s float64
+			for _, v := range x.data[nc*plane : (nc+1)*plane] {
+				s += float64(v)
+			}
+			out.data[nc] = float32(s / float64(plane))
+		}
+	})
+	return out
+}
+
+// BatchNorm2D applies inference-mode batch normalisation on NCHW input using
+// per-channel scale gamma, shift beta, running mean and variance.
+func BatchNorm2D(x, gamma, beta, mean, variance *Tensor, eps float32) *Tensor {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	out := New(x.shape...)
+	plane := h * w
+	ParallelFor(n*c, func(lo, hi int) {
+		for nc := lo; nc < hi; nc++ {
+			ch := nc % c
+			g, b := gamma.data[ch], beta.data[ch]
+			m, v := mean.data[ch], variance.data[ch]
+			inv := g / sqrt32(v+eps)
+			src := x.data[nc*plane : (nc+1)*plane]
+			dst := out.data[nc*plane : (nc+1)*plane]
+			for i, xv := range src {
+				dst[i] = (xv-m)*inv + b
+			}
+		}
+	})
+	return out
+}
+
+func sqrt32(x float32) float32 {
+	// Newton iterations on a float64 seed keep this dependency-free and exact
+	// enough for normalisation denominators.
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 16; i++ {
+		z = 0.5 * (z + x/z)
+	}
+	return z
+}

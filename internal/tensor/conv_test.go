@@ -1,0 +1,134 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestConv2DMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cases := []struct {
+		n, cin, h, w, cout, k, stride, pad int
+	}{
+		{1, 1, 5, 5, 1, 3, 1, 0},
+		{1, 3, 8, 8, 4, 3, 1, 1},
+		{2, 2, 7, 9, 3, 3, 2, 1},
+		{1, 4, 6, 6, 8, 1, 1, 0},
+		{1, 3, 11, 11, 2, 5, 2, 2},
+		{1, 2, 16, 16, 4, 7, 2, 3},
+	}
+	for _, c := range cases {
+		x := Rand(rng, 1, c.n, c.cin, c.h, c.w)
+		w := Rand(rng, 1, c.cout, c.cin, c.k, c.k)
+		bias := Rand(rng, 1, c.cout)
+		got := Conv2D(x, w, bias, c.stride, c.pad)
+		want := Conv2DNaive(x, w, bias, c.stride, c.pad)
+		if !AllClose(got, want, 1e-4, 1e-4) {
+			t.Fatalf("Conv2D %+v diverges from naive by %g", c, MaxAbsDiff(got, want))
+		}
+	}
+}
+
+func TestConv2DNilBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	x := Rand(rng, 1, 1, 2, 5, 5)
+	w := Rand(rng, 1, 3, 2, 3, 3)
+	got := Conv2D(x, w, nil, 1, 1)
+	want := Conv2DNaive(x, w, nil, 1, 1)
+	if !AllClose(got, want, 1e-4, 1e-4) {
+		t.Fatalf("nil-bias conv mismatch")
+	}
+}
+
+func TestConv2DOutputShape(t *testing.T) {
+	x := New(2, 3, 32, 32)
+	w := New(16, 3, 3, 3)
+	out := Conv2D(x, w, nil, 2, 1)
+	if !ShapeEq(out.Shape(), []int{2, 16, 16, 16}) {
+		t.Fatalf("conv output shape = %v, want [2 16 16 16]", out.Shape())
+	}
+}
+
+func TestConv2DChannelMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "channel mismatch")
+	Conv2D(New(1, 3, 8, 8), New(4, 2, 3, 3), nil, 1, 1)
+}
+
+func TestConv2DEmptyOutputPanics(t *testing.T) {
+	defer expectPanic(t, "empty output")
+	Conv2D(New(1, 1, 2, 2), New(1, 1, 5, 5), nil, 1, 0)
+}
+
+func TestMaxPool2D(t *testing.T) {
+	x := FromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 1, 4, 4)
+	out := MaxPool2D(x, 2, 2, 0)
+	want := FromSlice([]float32{6, 8, 14, 16}, 1, 1, 2, 2)
+	if !AllClose(out, want, 0, 0) {
+		t.Fatalf("MaxPool2D = %v, want %v", out, want)
+	}
+}
+
+func TestMaxPool2DWithPadding(t *testing.T) {
+	x := FromSlice([]float32{-1, -2, -3, -4}, 1, 1, 2, 2)
+	out := MaxPool2D(x, 3, 2, 1)
+	// Padding cells are skipped (not treated as zero), so maxima stay negative.
+	if out.At(0, 0, 0, 0) != -1 {
+		t.Fatalf("padded MaxPool wrong: %v", out)
+	}
+}
+
+func TestGlobalAvgPool2D(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 10, 20, 30, 40}, 1, 2, 2, 2)
+	out := GlobalAvgPool2D(x)
+	if !ShapeEq(out.Shape(), []int{1, 2}) || out.At(0, 0) != 2.5 || out.At(0, 1) != 25 {
+		t.Fatalf("GlobalAvgPool2D = %v", out)
+	}
+}
+
+func TestBatchNorm2DIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	x := Rand(rng, 1, 1, 3, 4, 4)
+	gamma := Ones(3)
+	beta := New(3)
+	mean := New(3)
+	variance := Ones(3)
+	out := BatchNorm2D(x, gamma, beta, mean, variance, 0)
+	if !AllClose(out, x, 1e-5, 1e-5) {
+		t.Fatalf("identity batchnorm changed values by %g", MaxAbsDiff(out, x))
+	}
+}
+
+func TestBatchNorm2DShiftScale(t *testing.T) {
+	x := Full(2, 1, 1, 2, 2)
+	gamma := Full(3, 1)
+	beta := Full(1, 1)
+	mean := Full(2, 1)
+	variance := Ones(1)
+	out := BatchNorm2D(x, gamma, beta, mean, variance, 0)
+	// (2-2)/1*3+1 = 1 everywhere.
+	if out.At(0, 0, 0, 0) != 1 {
+		t.Fatalf("batchnorm math wrong: %v", out)
+	}
+}
+
+func TestSqrt32(t *testing.T) {
+	for _, v := range []float32{0, 1, 2, 4, 100, 1e-4} {
+		got := sqrt32(v)
+		want := float32(0)
+		if v > 0 {
+			want = float32(float64(v))
+			_ = want
+		}
+		if v == 4 && got != 2 {
+			t.Fatalf("sqrt32(4) = %v", got)
+		}
+		if got*got-v > 1e-3*v+1e-6 || v-got*got > 1e-3*v+1e-6 {
+			t.Fatalf("sqrt32(%v)=%v, square %v", v, got, got*got)
+		}
+	}
+}

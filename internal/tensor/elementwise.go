@@ -1,0 +1,178 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Apply returns a new tensor with f applied to every element.
+func (t *Tensor) Apply(f func(float32) float32) *Tensor {
+	out := New(t.shape...)
+	ParallelFor(len(t.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.data[i] = f(t.data[i])
+		}
+	})
+	return out
+}
+
+// ApplyInPlace applies f to every element in place and returns t.
+func (t *Tensor) ApplyInPlace(f func(float32) float32) *Tensor {
+	ParallelFor(len(t.data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.data[i] = f(t.data[i])
+		}
+	})
+	return t
+}
+
+func binaryOp(a, b *Tensor, name string, f func(x, y float32) float32) *Tensor {
+	if a.SameShape(b) {
+		out := New(a.shape...)
+		ParallelFor(len(a.data), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out.data[i] = f(a.data[i], b.data[i])
+			}
+		})
+		return out
+	}
+	// Row-vector broadcast: b of shape [k] combined with a of shape [..., k].
+	if len(b.shape) == 1 && a.Dim(-1) == b.shape[0] {
+		k := b.shape[0]
+		out := New(a.shape...)
+		ParallelFor(len(a.data), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out.data[i] = f(a.data[i], b.data[i%k])
+			}
+		})
+		return out
+	}
+	// Scalar broadcast.
+	if b.Numel() == 1 {
+		s := b.data[0]
+		return a.Apply(func(x float32) float32 { return f(x, s) })
+	}
+	panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", name, a.shape, b.shape))
+}
+
+// Add returns a + b with trailing-dimension or scalar broadcasting of b.
+func Add(a, b *Tensor) *Tensor {
+	return binaryOp(a, b, "Add", func(x, y float32) float32 { return x + y })
+}
+
+// Sub returns a - b with trailing-dimension or scalar broadcasting of b.
+func Sub(a, b *Tensor) *Tensor {
+	return binaryOp(a, b, "Sub", func(x, y float32) float32 { return x - y })
+}
+
+// Mul returns the elementwise product with broadcasting of b.
+func Mul(a, b *Tensor) *Tensor {
+	return binaryOp(a, b, "Mul", func(x, y float32) float32 { return x * y })
+}
+
+// Div returns the elementwise quotient with broadcasting of b.
+func Div(a, b *Tensor) *Tensor {
+	return binaryOp(a, b, "Div", func(x, y float32) float32 { return x / y })
+}
+
+// Maximum returns the elementwise maximum with broadcasting of b.
+func Maximum(a, b *Tensor) *Tensor {
+	return binaryOp(a, b, "Maximum", func(x, y float32) float32 {
+		if x > y {
+			return x
+		}
+		return y
+	})
+}
+
+// Scale returns t * s.
+func (t *Tensor) Scale(s float32) *Tensor {
+	return t.Apply(func(x float32) float32 { return x * s })
+}
+
+// ReLU returns max(x, 0) elementwise.
+func ReLU(t *Tensor) *Tensor {
+	return t.Apply(func(x float32) float32 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
+}
+
+// Sigmoid returns 1/(1+exp(-x)) elementwise.
+func Sigmoid(t *Tensor) *Tensor {
+	return t.Apply(func(x float32) float32 {
+		return float32(1 / (1 + math.Exp(-float64(x))))
+	})
+}
+
+// Tanh returns tanh(x) elementwise.
+func Tanh(t *Tensor) *Tensor {
+	return t.Apply(func(x float32) float32 { return float32(math.Tanh(float64(x))) })
+}
+
+// Exp returns exp(x) elementwise.
+func Exp(t *Tensor) *Tensor {
+	return t.Apply(func(x float32) float32 { return float32(math.Exp(float64(x))) })
+}
+
+// Sqrt returns sqrt(x) elementwise.
+func Sqrt(t *Tensor) *Tensor {
+	return t.Apply(func(x float32) float32 { return float32(math.Sqrt(float64(x))) })
+}
+
+// GELU returns the Gaussian error linear unit (tanh approximation), the
+// activation used by Transformer feed-forward blocks (MT-DNN).
+func GELU(t *Tensor) *Tensor {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	return t.Apply(func(x float32) float32 {
+		xf := float64(x)
+		return float32(0.5 * xf * (1 + math.Tanh(c*(xf+0.044715*xf*xf*xf))))
+	})
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements (0 for empty tensors).
+func (t *Tensor) Mean() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.data))
+}
+
+// Max returns the largest element. Panics on empty tensors.
+func (t *Tensor) Max() float32 {
+	if len(t.data) == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	m := t.data[0]
+	for _, v := range t.data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the flat index of the largest element.
+func (t *Tensor) ArgMax() int {
+	if len(t.data) == 0 {
+		panic("tensor: ArgMax of empty tensor")
+	}
+	best, bi := t.data[0], 0
+	for i, v := range t.data[1:] {
+		if v > best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}

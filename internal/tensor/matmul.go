@@ -1,0 +1,178 @@
+package tensor
+
+import "fmt"
+
+// gemm block sizes tuned for L1-resident panels of float32.
+const (
+	blockM = 64
+	blockN = 64
+	blockK = 128
+)
+
+// MatMul returns the matrix product a(M×K) · b(K×N). Rows of the output are
+// computed in parallel with a cache-blocked inner kernel.
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires 2-D operands, got %v × %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimensions differ: %v × %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	gemm(out.data, a.data, b.data, m, n, k)
+	return out
+}
+
+// gemm computes C += A·B for row-major matrices (C is assumed zeroed).
+func gemm(c, a, b []float32, m, n, k int) {
+	// Parallelize over blocks of rows of C.
+	nBlocks := (m + blockM - 1) / blockM
+	ParallelFor(nBlocks, func(blo, bhi int) {
+		for bi := blo; bi < bhi; bi++ {
+			i0 := bi * blockM
+			i1 := i0 + blockM
+			if i1 > m {
+				i1 = m
+			}
+			for k0 := 0; k0 < k; k0 += blockK {
+				k1 := k0 + blockK
+				if k1 > k {
+					k1 = k
+				}
+				for j0 := 0; j0 < n; j0 += blockN {
+					j1 := j0 + blockN
+					if j1 > n {
+						j1 = n
+					}
+					microKernel(c, a, b, n, k, i0, i1, j0, j1, k0, k1)
+				}
+			}
+		}
+	})
+}
+
+// microKernel updates C[i0:i1, j0:j1] += A[i0:i1, k0:k1] · B[k0:k1, j0:j1].
+// The inner loop runs along contiguous rows of B and C so the compiler can
+// keep the accumulation streaming.
+func microKernel(c, a, b []float32, n, k, i0, i1, j0, j1, k0, k1 int) {
+	for i := i0; i < i1; i++ {
+		arow := a[i*k : i*k+k1]
+		crow := c[i*n+j0 : i*n+j1]
+		for kk := k0; kk < k1; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b[kk*n+j0 : kk*n+j1]
+			for j := range crow {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulNaive is a reference triple-loop implementation used by tests to
+// validate the blocked kernel.
+func MatMulNaive(a, b *Tensor) *Tensor {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for kk := 0; kk < k; kk++ {
+				s += a.data[i*k+kk] * b.data[kk*n+j]
+			}
+			out.data[i*n+j] = s
+		}
+	}
+	return out
+}
+
+// Linear returns x·wᵀ + bias for x(M×K), w(N×K), bias(N) — the dense-layer
+// convention used throughout the model zoo. bias may be nil.
+func Linear(x, w, bias *Tensor) *Tensor {
+	if len(x.shape) != 2 || len(w.shape) != 2 {
+		panic(fmt.Sprintf("tensor: Linear requires 2-D operands, got %v, %v", x.shape, w.shape))
+	}
+	m, k := x.shape[0], x.shape[1]
+	n, k2 := w.shape[0], w.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: Linear inner dimensions differ: x %v, w %v", x.shape, w.shape))
+	}
+	out := New(m, n)
+	ParallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xrow := x.data[i*k : (i+1)*k]
+			orow := out.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				wrow := w.data[j*k : (j+1)*k]
+				var s float32
+				for kk := range xrow {
+					s += xrow[kk] * wrow[kk]
+				}
+				orow[j] = s
+			}
+			if bias != nil {
+				for j := 0; j < n; j++ {
+					orow[j] += bias.data[j]
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Transpose2D returns the transpose of a 2-D tensor.
+func Transpose2D(t *Tensor) *Tensor {
+	if len(t.shape) != 2 {
+		panic("tensor: Transpose2D requires a 2-D tensor")
+	}
+	m, n := t.shape[0], t.shape[1]
+	out := New(n, m)
+	ParallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				out.data[j*m+i] = t.data[i*n+j]
+			}
+		}
+	})
+	return out
+}
+
+// BatchMatMul multiplies two 3-D tensors batchwise: a(B×M×K) · b(B×K×N).
+func BatchMatMul(a, b *Tensor) *Tensor {
+	if len(a.shape) != 3 || len(b.shape) != 3 || a.shape[0] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: BatchMatMul requires matching 3-D operands, got %v × %v", a.shape, b.shape))
+	}
+	bs, m, k := a.shape[0], a.shape[1], a.shape[2]
+	if b.shape[1] != k {
+		panic(fmt.Sprintf("tensor: BatchMatMul inner dimensions differ: %v × %v", a.shape, b.shape))
+	}
+	n := b.shape[2]
+	out := New(bs, m, n)
+	ParallelFor(bs, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sa := a.data[i*m*k : (i+1)*m*k]
+			sb := b.data[i*k*n : (i+1)*k*n]
+			sc := out.data[i*m*n : (i+1)*m*n]
+			for r := 0; r < m; r++ {
+				arow := sa[r*k : (r+1)*k]
+				crow := sc[r*n : (r+1)*n]
+				for kk := 0; kk < k; kk++ {
+					av := arow[kk]
+					if av == 0 {
+						continue
+					}
+					brow := sb[kk*n : (kk+1)*n]
+					for j := range crow {
+						crow[j] += av * brow[j]
+					}
+				}
+			}
+		}
+	})
+	return out
+}

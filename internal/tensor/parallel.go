@@ -1,0 +1,42 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum amount of work (loop iterations) below
+// which kernels run serially; goroutine fan-out costs more than it saves on
+// small tensors, and inference batch sizes are typically 1.
+const parallelThreshold = 1 << 12
+
+// ParallelFor splits [0, n) into contiguous chunks and runs body on each
+// chunk, using up to GOMAXPROCS goroutines. body receives [lo, hi).
+// Small ranges run inline on the calling goroutine.
+func ParallelFor(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if n < parallelThreshold || workers == 1 {
+		body(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

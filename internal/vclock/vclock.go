@@ -1,0 +1,94 @@
+// Package vclock provides virtual time and seeded noise for the device
+// models. All experiment latencies are measured on this clock, so results
+// are deterministic under a seed and independent of the host machine, while
+// real tensor math still runs on the host for numerical correctness.
+package vclock
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Seconds is a duration/timestamp in virtual seconds.
+type Seconds = float64
+
+// Noise perturbs modelled durations with multiplicative log-normal jitter
+// plus rare interference spikes, reproducing the run-to-run variance that
+// gives real systems their P99/P99.9 tails (paper Fig. 12).
+type Noise struct {
+	rng *rand.Rand
+	// Sigma is the log-normal standard deviation (e.g. 0.02 → ±2% typical).
+	Sigma float64
+	// SpikeProb is the per-sample probability of an interference spike.
+	SpikeProb float64
+	// SpikeScale is the maximum extra multiplier a spike adds (uniform in
+	// [0, SpikeScale]).
+	SpikeScale float64
+}
+
+// NewNoise returns a seeded noise source.
+func NewNoise(seed int64, sigma, spikeProb, spikeScale float64) *Noise {
+	return &Noise{rng: rand.New(rand.NewSource(seed)), Sigma: sigma, SpikeProb: spikeProb, SpikeScale: spikeScale}
+}
+
+// Zero returns a noise source that never perturbs (for deterministic
+// schedule search, where the paper also uses averaged measurements).
+func Zero() *Noise { return &Noise{} }
+
+// Perturb returns t scaled by the sampled jitter. A nil or zero source
+// returns t unchanged.
+func (n *Noise) Perturb(t Seconds) Seconds {
+	if n == nil || n.rng == nil {
+		return t
+	}
+	f := math.Exp(n.rng.NormFloat64() * n.Sigma)
+	if n.SpikeProb > 0 && n.rng.Float64() < n.SpikeProb {
+		f *= 1 + n.rng.Float64()*n.SpikeScale
+	}
+	return t * f
+}
+
+// Fork derives an independent deterministic noise source; workers get one
+// each so goroutine scheduling cannot reorder RNG draws between devices.
+func (n *Noise) Fork(salt int64) *Noise {
+	if n == nil || n.rng == nil {
+		return Zero()
+	}
+	return &Noise{rng: rand.New(rand.NewSource(n.rng.Int63() ^ salt)), Sigma: n.Sigma, SpikeProb: n.SpikeProb, SpikeScale: n.SpikeScale}
+}
+
+// Percentile returns the p-th percentile (0..100) of samples using
+// nearest-rank on a sorted copy. It panics on empty input.
+func Percentile(samples []Seconds, p float64) Seconds {
+	if len(samples) == 0 {
+		panic("vclock: percentile of no samples")
+	}
+	s := append([]Seconds(nil), samples...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	// The 1e-9 guard keeps exact ranks (e.g. 99.9% of 1000 = 999) from
+	// rounding up through floating-point error.
+	rank := int(math.Ceil(p/100*float64(len(s))-1e-9)) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s[rank]
+}
+
+// Mean returns the arithmetic mean of samples (0 for empty).
+func Mean(samples []Seconds) Seconds {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	return sum / float64(len(samples))
+}

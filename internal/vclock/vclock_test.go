@@ -1,0 +1,108 @@
+package vclock
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZeroNoiseIsIdentity(t *testing.T) {
+	n := Zero()
+	for _, v := range []float64{0, 1e-6, 1, 1e3} {
+		if n.Perturb(v) != v {
+			t.Fatalf("Zero noise changed %v", v)
+		}
+	}
+	var nilNoise *Noise
+	if nilNoise.Perturb(5) != 5 {
+		t.Fatalf("nil noise must be identity")
+	}
+}
+
+func TestNoiseDeterministicUnderSeed(t *testing.T) {
+	a := NewNoise(42, 0.05, 0.01, 2)
+	b := NewNoise(42, 0.05, 0.01, 2)
+	for i := 0; i < 100; i++ {
+		if a.Perturb(1) != b.Perturb(1) {
+			t.Fatalf("noise diverged at sample %d", i)
+		}
+	}
+}
+
+func TestNoiseCentredAroundOne(t *testing.T) {
+	n := NewNoise(7, 0.02, 0, 0)
+	var sum float64
+	const samples = 20000
+	for i := 0; i < samples; i++ {
+		sum += n.Perturb(1)
+	}
+	mean := sum / samples
+	if math.Abs(mean-1) > 0.01 {
+		t.Fatalf("jitter mean = %v, want ~1", mean)
+	}
+}
+
+func TestNoiseSpikesRaiseTail(t *testing.T) {
+	n := NewNoise(9, 0.01, 0.01, 3)
+	samples := make([]float64, 10000)
+	for i := range samples {
+		samples[i] = n.Perturb(1)
+	}
+	p50 := Percentile(samples, 50)
+	p999 := Percentile(samples, 99.9)
+	if p999 < 1.5*p50 {
+		t.Fatalf("spikes should fatten the tail: p50=%v p99.9=%v", p50, p999)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	base := NewNoise(1, 0.05, 0, 0)
+	f1 := base.Fork(1)
+	f2 := base.Fork(2)
+	same := true
+	for i := 0; i < 20; i++ {
+		if f1.Perturb(1) != f2.Perturb(1) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("forked noise sources should differ")
+	}
+	if Zero().Fork(3).Perturb(2) != 2 {
+		t.Fatalf("fork of zero noise must stay zero")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []float64{5, 1, 4, 2, 3}
+	if Percentile(s, 0) != 1 || Percentile(s, 100) != 5 {
+		t.Fatalf("extremes wrong")
+	}
+	if Percentile(s, 50) != 3 {
+		t.Fatalf("p50 = %v, want 3", Percentile(s, 50))
+	}
+	if Percentile(s, 99) != 5 {
+		t.Fatalf("p99 = %v, want 5", Percentile(s, 99))
+	}
+	// Input must not be mutated.
+	if s[0] != 5 {
+		t.Fatalf("Percentile mutated input")
+	}
+}
+
+func TestPercentileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatalf("Mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatalf("Mean of empty should be 0")
+	}
+}

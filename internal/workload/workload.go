@@ -1,0 +1,57 @@
+// Package workload generates deterministic, seeded inference inputs for the
+// model zoo — the query streams driving every experiment.
+package workload
+
+import (
+	"math/rand"
+
+	"duet/internal/models"
+	"duet/internal/tensor"
+)
+
+// ids returns a (batch, seqLen) tensor of integer token ids < vocab, stored
+// as float32 (the embedding operator's input convention).
+func ids(rng *rand.Rand, batch, seqLen, vocab int) *tensor.Tensor {
+	t := tensor.New(batch, seqLen)
+	d := t.Data()
+	for i := range d {
+		d[i] = float32(rng.Intn(vocab))
+	}
+	return t
+}
+
+// WideDeepInputs generates one Wide&Deep query batch.
+func WideDeepInputs(cfg models.WideDeepConfig, seed int64) map[string]*tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	return map[string]*tensor.Tensor{
+		"wide.x":    tensor.Rand(rng, 1, cfg.Batch, cfg.WideFeatures),
+		"deep.x":    tensor.Rand(rng, 1, cfg.Batch, cfg.DeepFeatures),
+		"rnn.ids":   ids(rng, cfg.Batch, cfg.SeqLen, cfg.Vocab),
+		"cnn.image": tensor.Rand(rng, 1, cfg.Batch, 3, cfg.ImageSize, cfg.ImageSize),
+	}
+}
+
+// SiameseInputs generates one query/passage pair.
+func SiameseInputs(cfg models.SiameseConfig, seed int64) map[string]*tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	return map[string]*tensor.Tensor{
+		"query.ids":   ids(rng, cfg.Batch, cfg.SeqLen, cfg.Vocab),
+		"passage.ids": ids(rng, cfg.Batch, cfg.SeqLen, cfg.Vocab),
+	}
+}
+
+// MTDNNInputs generates one token sequence.
+func MTDNNInputs(cfg models.MTDNNConfig, seed int64) map[string]*tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	return map[string]*tensor.Tensor{
+		"tokens": ids(rng, cfg.Batch, cfg.SeqLen, cfg.Vocab),
+	}
+}
+
+// ResNetInputs generates one image batch.
+func ResNetInputs(cfg models.ResNetConfig, seed int64) map[string]*tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	return map[string]*tensor.Tensor{
+		"image": tensor.Rand(rng, 1, cfg.Batch, 3, cfg.ImageSize, cfg.ImageSize),
+	}
+}

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"testing"
+
+	"duet/internal/compiler"
+	"duet/internal/models"
+	"duet/internal/tensor"
+)
+
+func TestWideDeepInputsMatchModel(t *testing.T) {
+	cfg := models.DefaultWideDeep()
+	g, err := models.WideDeep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compiler.InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	inputs := WideDeepInputs(cfg, 1)
+	for _, id := range g.InputIDs() {
+		n := g.Node(id)
+		in, ok := inputs[n.Name]
+		if !ok {
+			t.Fatalf("missing input %q", n.Name)
+		}
+		if !tensor.ShapeEq(in.Shape(), n.Shape) {
+			t.Fatalf("input %q shape %v, want %v", n.Name, in.Shape(), n.Shape)
+		}
+	}
+}
+
+func TestIdsWithinVocab(t *testing.T) {
+	cfg := models.DefaultSiamese()
+	inputs := SiameseInputs(cfg, 9)
+	for name, in := range inputs {
+		for _, v := range in.Data() {
+			if v < 0 || int(v) >= cfg.Vocab || v != float32(int(v)) {
+				t.Fatalf("%s contains invalid id %v", name, v)
+			}
+		}
+	}
+}
+
+func TestInputsDeterministic(t *testing.T) {
+	cfg := models.DefaultMTDNN()
+	a := MTDNNInputs(cfg, 5)
+	b := MTDNNInputs(cfg, 5)
+	if !tensor.AllClose(a["tokens"], b["tokens"], 0, 0) {
+		t.Fatalf("inputs differ under same seed")
+	}
+	c := MTDNNInputs(cfg, 6)
+	if tensor.AllClose(a["tokens"], c["tokens"], 0, 0) {
+		t.Fatalf("different seeds should differ")
+	}
+}
+
+func TestResNetInputs(t *testing.T) {
+	cfg := models.DefaultResNet(18)
+	in := ResNetInputs(cfg, 2)
+	if !tensor.ShapeEq(in["image"].Shape(), []int{1, 3, 224, 224}) {
+		t.Fatalf("image shape = %v", in["image"].Shape())
+	}
+}

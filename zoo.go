@@ -1,0 +1,77 @@
+package duet
+
+import (
+	"duet/internal/models"
+	"duet/internal/workload"
+)
+
+// Model zoo: the paper's evaluation networks, re-exported with their
+// default (Table I) configurations and matching seeded input generators.
+
+// WideDeepConfig parameterises the Wide-and-Deep network.
+type WideDeepConfig = models.WideDeepConfig
+
+// SiameseConfig parameterises the Siamese LSTM similarity network.
+type SiameseConfig = models.SiameseConfig
+
+// MTDNNConfig parameterises the multi-task Transformer network.
+type MTDNNConfig = models.MTDNNConfig
+
+// ResNetConfig parameterises the ResNet family.
+type ResNetConfig = models.ResNetConfig
+
+// VGGConfig parameterises VGG-16.
+type VGGConfig = models.VGGConfig
+
+// SqueezeNetConfig parameterises SqueezeNet 1.0.
+type SqueezeNetConfig = models.SqueezeNetConfig
+
+// GoogLeNetConfig parameterises GoogLeNet (Inception v1).
+type GoogLeNetConfig = models.GoogLeNetConfig
+
+// Model builders and default configurations.
+var (
+	// WideDeep builds the Wide-and-Deep graph (wide linear + FFN + stacked
+	// LSTM + ResNet encoder, concatenated into a joint head).
+	WideDeep = models.WideDeep
+	// DefaultWideDeep is the paper's Wide&Deep configuration.
+	DefaultWideDeep = models.DefaultWideDeep
+	// Siamese builds the two-branch LSTM similarity network.
+	Siamese = models.Siamese
+	// DefaultSiamese is the paper's Siamese configuration.
+	DefaultSiamese = models.DefaultSiamese
+	// MTDNN builds the multi-task Transformer with independent task heads.
+	MTDNN = models.MTDNN
+	// DefaultMTDNN is the paper's MT-DNN configuration.
+	DefaultMTDNN = models.DefaultMTDNN
+	// ResNet builds a standalone ResNet classifier (18/34/50/101).
+	ResNet = models.ResNet
+	// DefaultResNet is the traditional-model configuration of Table III.
+	DefaultResNet = models.DefaultResNet
+	// VGG builds the VGG-16 sequential CNN.
+	VGG = models.VGG
+	// DefaultVGG is VGG-16 at ImageNet resolution.
+	DefaultVGG = models.DefaultVGG
+	// SqueezeNet builds the SqueezeNet 1.0 CNN with Fire modules.
+	SqueezeNet = models.SqueezeNet
+	// DefaultSqueezeNet is SqueezeNet at ImageNet resolution.
+	DefaultSqueezeNet = models.DefaultSqueezeNet
+	// GoogLeNet builds the Inception v1 CNN with 4-way fan-out modules.
+	GoogLeNet = models.GoogLeNet
+	// DefaultGoogLeNet is GoogLeNet at ImageNet resolution.
+	DefaultGoogLeNet = models.DefaultGoogLeNet
+	// ParamCount returns the total weight-element count of a graph.
+	ParamCount = models.ParamCount
+)
+
+// Seeded workload generators matching the zoo models' input names.
+var (
+	// WideDeepInputs generates one Wide&Deep query batch.
+	WideDeepInputs = workload.WideDeepInputs
+	// SiameseInputs generates one query/passage pair.
+	SiameseInputs = workload.SiameseInputs
+	// MTDNNInputs generates one token sequence.
+	MTDNNInputs = workload.MTDNNInputs
+	// ResNetInputs generates one image batch.
+	ResNetInputs = workload.ResNetInputs
+)
