@@ -1,14 +1,21 @@
 GO ?= go
 
-.PHONY: all build test test-race test-short bench experiments quick-experiments report fuzz clean
+.PHONY: all build check test test-race test-short bench experiments quick-experiments report fuzz clean
 
-all: build test
+all: build check
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
-test:
+## Full verification gate: vet plus the race-enabled test suite. The default
+## `make` target runs this, so concurrency regressions (executor workers,
+## health tracker, MPMC queue) cannot slip through a plain build.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+test: check
 	$(GO) test ./...
 
 test-race:

@@ -2,10 +2,13 @@
 // with latency SLAs for online serving (§II-A); this example feeds a DUET
 // engine a Poisson request stream on the virtual clock and reports waiting
 // + service percentiles against the SLA for increasing offered load,
-// comparing DUET's placement with single-device TVM-GPU execution.
+// comparing DUET's placement with single-device TVM-GPU execution. A second
+// table injects runtime faults and compares DUET's failover policy against
+// the abort-and-retry-whole-request strategy it replaces.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -18,8 +21,9 @@ import (
 
 func main() {
 	var (
-		requests = flag.Int("requests", 4000, "requests per load point")
-		slaMs    = flag.Float64("sla", 15, "latency SLA in milliseconds")
+		requests  = flag.Int("requests", 4000, "requests per load point")
+		slaMs     = flag.Float64("sla", 15, "latency SLA in milliseconds")
+		faultRate = flag.Float64("fault-rate", 0.01, "per-kernel/per-transfer fault probability for the fault table")
 	)
 	flag.Parse()
 
@@ -41,9 +45,32 @@ func main() {
 	fmt.Printf("%8s | %22s | %22s\n", "", "DUET", "TVM-GPU")
 	fmt.Printf("%8s | %7s %7s %6s | %7s %7s %6s\n", "load", "p50", "p99", "SLA%", "p50", "p99", "SLA%")
 
+	duetSvc := func() (duet.Seconds, error) {
+		res, err := engine.Runtime.Run(nil, engine.Placement, false)
+		if err != nil {
+			return 0, err
+		}
+		return res.Latency, nil
+	}
+	gpuSvc := func() (duet.Seconds, error) {
+		res, err := engine.Runtime.Run(nil, gpuPlace, false)
+		if err != nil {
+			return 0, err
+		}
+		return res.Latency, nil
+	}
+
 	for _, qps := range []float64{25, 50, 75, 100, 125, 150} {
-		d := simulate(engine, engine.Placement, qps, *requests, 1)
-		gp := simulate(engine, gpuPlace, qps, *requests, 2)
+		d, err := simulate(duetSvc, qps, *requests, 1)
+		if err != nil {
+			log.Printf("load %.0f/s: DUET run failed, skipping point: %v", qps, err)
+			continue
+		}
+		gp, err := simulate(gpuSvc, qps, *requests, 2)
+		if err != nil {
+			log.Printf("load %.0f/s: TVM-GPU run failed, skipping point: %v", qps, err)
+			continue
+		}
 		fmt.Printf("%5.0f/s | %6.2fms %6.2fms %5.1f%% | %6.2fms %6.2fms %5.1f%%\n",
 			qps,
 			d.p50*1e3, d.p99*1e3, d.slaFrac(*slaMs)*100,
@@ -51,15 +78,78 @@ func main() {
 	}
 	fmt.Println("\nDUET's lower service time keeps the queue stable at loads where the")
 	fmt.Println("single-device server saturates and response times blow up.")
+
+	// --- SLA under faults ---------------------------------------------------
+	// The same queue, but kernels and transfers now fail with the given
+	// probability. The failover policy survives a fault inside the request
+	// (retry + migrate + degrade); the abort strategy re-runs the whole
+	// request and pays the wasted time again.
+	fmt.Printf("\nWith faults injected (rate %.3f per kernel/transfer):\n\n", *faultRate)
+	fmt.Printf("%8s | %22s | %22s\n", "", "DUET failover", "abort-and-retry")
+	fmt.Printf("%8s | %7s %7s %6s | %7s %7s %6s\n", "load", "p50", "p99", "SLA%", "p50", "p99", "SLA%")
+
+	specs := []duet.FaultSpec{
+		duet.FaultKernelFailures(duet.CPU, *faultRate),
+		duet.FaultKernelFailures(duet.GPU, *faultRate),
+		duet.FaultTransferFailures(*faultRate),
+	}
+	for _, qps := range []float64{50, 75, 100, 125, 150} {
+		failPol := duet.DefaultFaultPolicy()
+		failPol.Injector = duet.NewFaultInjector(31, specs...)
+		abortPol := duet.FaultPolicy{Injector: duet.NewFaultInjector(31, specs...)}
+		fo, err := simulate(resilientService(engine, engine.Placement, failPol), qps, *requests, 3)
+		if err != nil {
+			log.Printf("load %.0f/s: failover run failed, skipping point: %v", qps, err)
+			continue
+		}
+		ab, err := simulate(resilientService(engine, engine.Placement, abortPol), qps, *requests, 4)
+		if err != nil {
+			log.Printf("load %.0f/s: abort run failed, skipping point: %v", qps, err)
+			continue
+		}
+		fmt.Printf("%5.0f/s | %6.2fms %6.2fms %5.1f%% | %6.2fms %6.2fms %5.1f%%\n",
+			qps,
+			fo.p50*1e3, fo.p99*1e3, fo.slaFrac(*slaMs)*100,
+			ab.p50*1e3, ab.p99*1e3, ab.slaFrac(*slaMs)*100)
+	}
+	fmt.Println("\nFailover confines each fault to one subgraph; aborting re-pays the whole")
+	fmt.Println("request per fault, so every fault inflates service time by a full run and")
+	fmt.Println("the queue destabilises at loads the failover server still sustains.")
+}
+
+// resilientService returns a service-time sampler that restarts the whole
+// request when the policy's own fault tolerance is exhausted, accumulating
+// the wasted virtual time — what a serving layer in front of the engine
+// would do.
+func resilientService(engine *duet.Engine, place duet.Placement, pol duet.FaultPolicy) func() (duet.Seconds, error) {
+	const restartLimit = 25
+	return func() (duet.Seconds, error) {
+		total := duet.Seconds(0)
+		for attempt := 0; ; attempt++ {
+			res, err := engine.Runtime.RunWithPolicy(nil, place, pol)
+			if err == nil {
+				return total + res.Latency, nil
+			}
+			if !errors.Is(err, duet.ErrFaultExhausted) {
+				return 0, err
+			}
+			total += res.Latency
+			if attempt >= restartLimit {
+				return total, nil // served far past SLA; count the miss
+			}
+		}
+	}
 }
 
 type result struct {
 	responses []float64
 	p50, p99  float64
-	sla       float64
 }
 
 func (r result) slaFrac(slaMs float64) float64 {
+	if len(r.responses) == 0 {
+		return 0
+	}
 	ok := 0
 	for _, t := range r.responses {
 		if t*1e3 <= slaMs {
@@ -70,29 +160,45 @@ func (r result) slaFrac(slaMs float64) float64 {
 }
 
 // simulate runs an M/G/1 queue: Poisson arrivals at qps, service sampled
-// from the engine's noisy virtual-clock latency, FIFO single server (the
-// engine serves one request at a time, like the paper's deployment).
-func simulate(engine *duet.Engine, place duet.Placement, qps float64, n int, seed int64) result {
+// from the provided sampler on the engine's virtual clock, FIFO single
+// server (the engine serves one request at a time, like the paper's
+// deployment). A sampler error aborts only this load point; the caller
+// decides whether to continue the sweep.
+func simulate(service func() (duet.Seconds, error), qps float64, n int, seed int64) (result, error) {
+	if n <= 0 {
+		return result{}, fmt.Errorf("simulate: need at least one request, got %d", n)
+	}
 	rng := rand.New(rand.NewSource(seed))
 	arrival := 0.0
 	serverFree := 0.0
 	responses := make([]float64, 0, n)
 	for i := 0; i < n; i++ {
 		arrival += rng.ExpFloat64() / qps
-		res, err := engine.Runtime.Run(nil, place, false)
+		svc, err := service()
 		if err != nil {
-			log.Fatal(err)
+			return result{}, fmt.Errorf("simulate: request %d: %w", i, err)
 		}
 		start := math.Max(arrival, serverFree)
-		finish := start + res.Latency
+		finish := start + svc
 		serverFree = finish
 		responses = append(responses, finish-arrival)
 	}
 	sorted := append([]float64(nil), responses...)
 	sort.Float64s(sorted)
+	// Nearest-rank percentiles, clamped so tiny n cannot index past the end.
+	idx := func(p float64) int {
+		i := int(math.Ceil(p/100*float64(n))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		return i
+	}
 	return result{
 		responses: responses,
-		p50:       sorted[n/2],
-		p99:       sorted[n*99/100],
-	}
+		p50:       sorted[idx(50)],
+		p99:       sorted[idx(99)],
+	}, nil
 }

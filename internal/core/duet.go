@@ -202,6 +202,24 @@ func (e *Engine) InferParallel(inputs map[string]*tensor.Tensor) (*runtime.Resul
 	return e.Runtime.RunParallel(inputs, e.Placement)
 }
 
+// InferWithPolicy runs one real inference under a fault-tolerance policy:
+// injected faults are survived by retries, failover migration, and
+// circuit-breaker degradation as the policy allows. Outputs remain
+// bit-identical to Infer's (values are computed on the host after each
+// subgraph's attempts succeed).
+func (e *Engine) InferWithPolicy(inputs map[string]*tensor.Tensor, pol runtime.Policy) (*runtime.Result, error) {
+	if inputs == nil {
+		inputs = map[string]*tensor.Tensor{}
+	}
+	return e.Runtime.RunWithPolicy(inputs, e.Placement, pol)
+}
+
+// MeasureWithPolicy samples end-to-end latency for the chosen placement
+// under a fault-tolerance policy (timing-only runs).
+func (e *Engine) MeasureWithPolicy(pol runtime.Policy, runs int) ([]vclock.Seconds, error) {
+	return e.Runtime.MeasureWithPolicy(e.Placement, pol, runs)
+}
+
 // Measure samples end-to-end latency for the chosen placement.
 func (e *Engine) Measure(runs int) ([]vclock.Seconds, error) {
 	return e.Runtime.MeasureLatency(e.Placement, runs)

@@ -16,7 +16,7 @@ import (
 func tiny() Config { return Config{Seed: 42, Runs: 40, ProfileRuns: 3} }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"fig4", "fig5", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tab1", "tab2", "tab3"}
+	want := []string{"fig4", "fig5", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tab1", "tab2", "tab3", "abl9"}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("experiment %s not registered", id)
@@ -60,6 +60,32 @@ func TestFig11ShapeMatchesPaper(t *testing.T) {
 		if r.DUET.Mean >= r.FrameworkGPU.Mean || r.DUET.Mean >= r.FrameworkCPU.Mean {
 			t.Errorf("%s: DUET should beat both frameworks", r.Model)
 		}
+	}
+}
+
+func TestFaultSweepFailoverBeatsAbort(t *testing.T) {
+	rows, sla, err := FaultSweepData(tiny(), []float64{0, 0.01, 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sla <= 0 {
+		t.Fatalf("nonsense SLA %v", sla)
+	}
+	for _, r := range rows {
+		if r.Rate == 0 {
+			if r.FailoverSLA < 0.99 || r.AbortSLA < 0.99 {
+				t.Errorf("fault-free attainment should be ~100%%: failover %.2f abort %.2f", r.FailoverSLA, r.AbortSLA)
+			}
+			continue
+		}
+		if r.FailoverSLA < r.AbortSLA {
+			t.Errorf("rate %.3f: failover SLA %.2f below abort SLA %.2f", r.Rate, r.FailoverSLA, r.AbortSLA)
+		}
+	}
+	// At the harshest rate the gap must be strict — failover visibly wins.
+	last := rows[len(rows)-1]
+	if last.FailoverSLA <= last.AbortSLA {
+		t.Errorf("rate %.3f: failover (%.2f) should strictly beat abort (%.2f)", last.Rate, last.FailoverSLA, last.AbortSLA)
 	}
 }
 

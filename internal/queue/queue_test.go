@@ -195,6 +195,73 @@ func TestConcurrentMPMC(t *testing.T) {
 	}
 }
 
+func TestConcurrentMPMCExactMultiset(t *testing.T) {
+	// Unlike TestConcurrentMPMC's total counts, this verifies the exact
+	// multiset: every tagged value is delivered to exactly one consumer —
+	// no loss, no duplication — even with a small ring forcing wrap-around
+	// contention. Run under -race this is the queue's main torture test.
+	const producers, consumers = 4, 4
+	const perProducer = 5000
+	q := New(32)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				for !q.Push(p*perProducer + i) {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		q.Close()
+	}()
+
+	got := make([][]int, consumers)
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func(c int) {
+			defer cwg.Done()
+			for {
+				v, ok, fin := q.Pop()
+				if fin {
+					return
+				}
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				got[c] = append(got[c], v)
+			}
+		}(c)
+	}
+	cwg.Wait()
+
+	counts := make([]int, producers*perProducer)
+	total := 0
+	for c := range got {
+		for _, v := range got[c] {
+			if v < 0 || v >= len(counts) {
+				t.Fatalf("consumer %d popped out-of-range value %d", c, v)
+			}
+			counts[v]++
+			total++
+		}
+	}
+	if total != producers*perProducer {
+		t.Fatalf("popped %d values, want %d", total, producers*perProducer)
+	}
+	for v, n := range counts {
+		if n != 1 {
+			t.Fatalf("value %d delivered %d times, want exactly once", v, n)
+		}
+	}
+}
+
 func BenchmarkQueueVsChannel(b *testing.B) {
 	b.Run("mpmc-queue", func(b *testing.B) {
 		q := New(1024)

@@ -17,8 +17,8 @@ import (
 // subgraph starts the moment its inputs are available rather than when the
 // device drains its queue. Timing-only; real values come from Run.
 func (e *Engine) RunConcurrent(place Placement) (*Result, error) {
-	if len(place) != len(e.subgraphs) {
-		return nil, fmt.Errorf("runtime: placement covers %d subgraphs, want %d", len(place), len(e.subgraphs))
+	if err := validatePlacement(place, len(e.subgraphs)); err != nil {
+		return nil, err
 	}
 
 	n := len(e.subgraphs)

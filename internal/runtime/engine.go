@@ -32,17 +32,37 @@ func (p Placement) Clone() Placement {
 	return append(Placement(nil), p...)
 }
 
-// String renders the placement compactly, e.g. "CGGC".
+// String renders the placement compactly, e.g. "CGGC". Unknown device kinds
+// render as '?' so corrupted placements are visible in logs instead of
+// silently reading as GPU.
 func (p Placement) String() string {
 	b := make([]byte, len(p))
 	for i, k := range p {
-		if k == device.CPU {
+		switch k {
+		case device.CPU:
 			b[i] = 'C'
-		} else {
+		case device.GPU:
 			b[i] = 'G'
+		default:
+			b[i] = '?'
 		}
 	}
 	return string(b)
+}
+
+// validatePlacement checks that place covers n subgraphs and contains only
+// known device kinds, so a corrupted placement fails with a descriptive
+// error instead of an index panic deep in the engine.
+func validatePlacement(place Placement, n int) error {
+	if len(place) != n {
+		return fmt.Errorf("runtime: placement covers %d subgraphs, want %d", len(place), n)
+	}
+	for i, k := range place {
+		if k != device.CPU && k != device.GPU {
+			return fmt.Errorf("runtime: placement[%d] has unknown device kind %d (want CPU or GPU)", i, int(k))
+		}
+	}
+	return nil
 }
 
 // Uniform returns a placement assigning every one of n subgraphs to kind.
@@ -71,6 +91,9 @@ type Result struct {
 	Latency vclock.Seconds
 	// Timeline lists executed subgraphs and transfers in start order.
 	Timeline []Span
+	// Faults summarises fault-tolerance activity (non-nil only for
+	// RunWithPolicy runs).
+	Faults *FaultReport
 }
 
 // Engine executes a partitioned model on the coupled CPU-GPU platform.
@@ -123,8 +146,8 @@ func (e *Engine) Module(i int) *compiler.Module { return e.modules[i] }
 // parent graph's input names; pass withValues=false for timing-only runs
 // (inputs may then be nil).
 func (e *Engine) Run(inputs map[string]*tensor.Tensor, place Placement, withValues bool) (*Result, error) {
-	if len(place) != len(e.subgraphs) {
-		return nil, fmt.Errorf("runtime: placement covers %d subgraphs, want %d", len(place), len(e.subgraphs))
+	if err := validatePlacement(place, len(e.subgraphs)); err != nil {
+		return nil, err
 	}
 
 	// Host-resident runtime inputs: available on CPU at t=0, on GPU after a

@@ -1,0 +1,129 @@
+package runtime
+
+import (
+	"sync"
+
+	"duet/internal/device"
+	"duet/internal/vclock"
+)
+
+// breakerState is the per-device circuit-breaker state.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// HealthTracker is a per-device failure counter and circuit breaker. After
+// Threshold consecutive failures on a device the breaker opens and the
+// device is reported unavailable — the runtime analogue of the paper's
+// static single-device fallback (§IV-C), applied to the *remaining*
+// placement mid-request. After Probation virtual seconds the breaker
+// half-opens: the next caller is admitted as a probe, and its success closes
+// the breaker (re-admission) while its failure re-opens it for another
+// probation window.
+//
+// The tracker is safe for concurrent use so a serving layer can share one
+// across requests; the engine's own timing pass uses it serially.
+type HealthTracker struct {
+	mu        sync.Mutex
+	threshold int
+	probation vclock.Seconds
+	consec    [2]int
+	state     [2]breakerState
+	retryAt   [2]vclock.Seconds
+	trips     int
+	readmits  int
+}
+
+// NewHealthTracker returns a tracker tripping after threshold consecutive
+// failures and probing again after probation virtual seconds. A threshold
+// ≤ 0 disables the breaker: every device is always available.
+func NewHealthTracker(threshold int, probation vclock.Seconds) *HealthTracker {
+	return &HealthTracker{threshold: threshold, probation: probation}
+}
+
+// Available reports whether kind may be scheduled at virtual time now. An
+// open breaker whose probation has expired half-opens and admits the caller
+// as a probe.
+func (h *HealthTracker) Available(kind device.Kind, now vclock.Seconds) bool {
+	if h == nil || h.threshold <= 0 {
+		return true
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch h.state[kind] {
+	case breakerClosed, breakerHalfOpen:
+		return true
+	default: // open
+		if now >= h.retryAt[kind] {
+			h.state[kind] = breakerHalfOpen
+			return true
+		}
+		return false
+	}
+}
+
+// Failure records a failed attempt on kind at virtual time now and reports
+// whether this failure tripped (or re-tripped) the breaker.
+func (h *HealthTracker) Failure(kind device.Kind, now vclock.Seconds) bool {
+	if h == nil || h.threshold <= 0 {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.consec[kind]++
+	if h.state[kind] == breakerHalfOpen {
+		// The probe failed: back to open for another probation window.
+		h.state[kind] = breakerOpen
+		h.retryAt[kind] = now + h.probation
+		h.trips++
+		return true
+	}
+	if h.state[kind] == breakerClosed && h.consec[kind] >= h.threshold {
+		h.state[kind] = breakerOpen
+		h.retryAt[kind] = now + h.probation
+		h.trips++
+		return true
+	}
+	return false
+}
+
+// Success records a completed attempt on kind; a half-open breaker closes
+// (the device is re-admitted).
+func (h *HealthTracker) Success(kind device.Kind) {
+	if h == nil || h.threshold <= 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.consec[kind] = 0
+	if h.state[kind] != breakerClosed {
+		if h.state[kind] == breakerHalfOpen {
+			h.readmits++
+		}
+		h.state[kind] = breakerClosed
+	}
+}
+
+// Trips returns how many times any breaker opened.
+func (h *HealthTracker) Trips() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.trips
+}
+
+// Readmissions returns how many probes closed an open breaker.
+func (h *HealthTracker) Readmissions() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.readmits
+}

@@ -32,8 +32,11 @@ func (r *Result) ChromeTrace() ([]byte, error) {
 			tids[s.Device] = tid
 		}
 		cat := "compute"
-		if strings.HasPrefix(s.Label, "xfer:") {
+		switch {
+		case strings.HasPrefix(s.Label, "xfer:"):
 			cat = "transfer"
+		case strings.HasPrefix(s.Label, "fault:"), strings.HasPrefix(s.Label, "backoff:"):
+			cat = "fault"
 		}
 		events = append(events, traceEvent{
 			Name:  s.Label,
