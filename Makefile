@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check test test-race test-short bench experiments quick-experiments report fuzz clean
+.PHONY: all build check fmt-check test test-race test-short bench bench-obs experiments quick-experiments report fuzz clean
 
 all: build check
 
@@ -8,12 +8,20 @@ build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
-## Full verification gate: vet plus the race-enabled test suite. The default
-## `make` target runs this, so concurrency regressions (executor workers,
-## health tracker, MPMC queue) cannot slip through a plain build.
-check:
+## Full verification gate: formatting, vet, and the race-enabled test suite.
+## The default `make` target runs this, so concurrency regressions (executor
+## workers, health tracker, MPMC queue, metrics registry) cannot slip through
+## a plain build. The obs package gets an extra high-iteration race pass: it
+## is touched from every worker goroutine in the runtime.
+check: fmt-check
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -race -count=2 ./internal/obs/...
+
+## Fail if any file is not gofmt-clean.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test: check
 	$(GO) test ./...
@@ -42,6 +50,11 @@ report:
 ## Check a fresh run against a stored baseline report.
 compare: report.json
 	$(GO) run ./cmd/duet-bench -compare report.json
+
+## Regenerate the observability baseline: metrics snapshot of a fully
+## exercised instrumented engine plus the scheduler's placement audit.
+bench-obs:
+	$(GO) run ./cmd/duet-bench -quick -obs BENCH_obs.json
 
 ## Fuzz the Relay parser for 30s.
 fuzz:

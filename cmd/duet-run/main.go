@@ -19,6 +19,7 @@ import (
 	"duet/internal/device"
 	"duet/internal/graph"
 	"duet/internal/models"
+	"duet/internal/obs"
 	"duet/internal/profile"
 	"duet/internal/stats"
 	"duet/internal/tensor"
@@ -36,6 +37,8 @@ func main() {
 		dot      = flag.String("dot", "", "write the model graph (with placement labels) in Graphviz dot form to this file")
 		parallel = flag.Bool("parallel", false, "execute tensor math with per-device worker goroutines (InferParallel)")
 		profiles = flag.String("profiles", "", "reuse persisted profiling records (from duet-profile -out) instead of re-profiling")
+		metrics  = flag.String("metrics", "", "print collected metrics after the run: 'prom' (Prometheus text format) or 'json' (snapshot)")
+		audit    = flag.Bool("audit", false, "print the scheduler's placement audit (device choices, swap sequence, predicted vs measured critical path)")
 	)
 	flag.Parse()
 
@@ -65,6 +68,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "duet-run:", err)
 		os.Exit(1)
+	}
+
+	var reg *obs.Registry
+	if *metrics != "" {
+		if *metrics != "prom" && *metrics != "json" {
+			fmt.Fprintf(os.Stderr, "duet-run: -metrics must be 'prom' or 'json', got %q\n", *metrics)
+			os.Exit(2)
+		}
+		reg = obs.NewRegistry()
+		engine.Instrument(reg)
 	}
 
 	fmt.Printf("model %s: %d nodes, %.1fM params, %d subgraphs, placement %s (fellback=%v)\n",
@@ -120,6 +133,33 @@ func main() {
 	mem, err := engine.Runtime.Memory(engine.Placement)
 	if err == nil {
 		fmt.Printf("\nmemory footprint: %s\n", mem)
+	}
+
+	if *audit {
+		a, err := engine.ScheduleAudit()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "duet-run: audit:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if err := a.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "duet-run: audit:", err)
+			os.Exit(1)
+		}
+	}
+
+	if reg != nil {
+		fmt.Println("\nmetrics:")
+		var err error
+		if *metrics == "json" {
+			err = reg.WriteJSON(os.Stdout)
+		} else {
+			err = reg.WritePrometheus(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "duet-run: metrics:", err)
+			os.Exit(1)
+		}
 	}
 
 	if *dot != "" {

@@ -37,8 +37,11 @@ import (
 	"duet/internal/faults"
 	"duet/internal/graph"
 	"duet/internal/modelio"
+	"duet/internal/obs"
 	"duet/internal/relay"
 	"duet/internal/runtime"
+	"duet/internal/schedule"
+	"duet/internal/stats"
 	"duet/internal/tensor"
 	"duet/internal/vclock"
 )
@@ -145,6 +148,45 @@ var (
 	// recovering after a duration.
 	FaultOutage = faults.Outage
 )
+
+// LatencySummary is the percentile summary of a latency sample set
+// (mean, min/max, P50/P99/P99.9).
+type LatencySummary = stats.Summary
+
+// Summarize computes the latency summary of samples; it panics on an empty
+// slice (use TrySummarize in serving paths). The input is never mutated.
+func Summarize(samples []Seconds) LatencySummary { return stats.Summarize(samples) }
+
+// TrySummarize is the non-panicking Summarize: ok is false (and the
+// summary zero) for an empty sample set.
+func TrySummarize(samples []Seconds) (LatencySummary, bool) { return stats.TrySummarize(samples) }
+
+// Metrics is a concurrency-safe metrics registry (counters, gauges,
+// exact-quantile latency histograms). Attach one to a built engine with
+// Engine.Instrument, then export it with Metrics.WritePrometheus (text
+// exposition format), Metrics.WriteJSON, or Metrics.Snapshot.
+type Metrics = obs.Registry
+
+// MetricsSnapshot is a point-in-time JSON-marshalable view of a Metrics
+// registry.
+type MetricsSnapshot = obs.Snapshot
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// TraceSpan is one interval on a named track in a request trace.
+type TraceSpan = obs.Span
+
+// RequestTrace is a concurrency-safe span recorder for one request; export
+// with RequestTrace.ChromeTrace.
+type RequestTrace = obs.Trace
+
+// NewRequestTrace returns an empty request trace.
+func NewRequestTrace() *RequestTrace { return obs.NewTrace() }
+
+// ScheduleAudit is the structured decision trail of one greedy-correction
+// scheduling run; obtain one from Engine.ScheduleAudit.
+type ScheduleAudit = schedule.Audit
 
 // NewGraph returns an empty model graph.
 func NewGraph(name string) *Graph { return graph.New(name) }

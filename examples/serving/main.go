@@ -35,6 +35,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	reg := duet.NewMetrics()
+	engine.Instrument(reg)
 	n := engine.Runtime.NumSubgraphs()
 	gpuPlace := make(duet.Placement, n)
 	for i := range gpuPlace {
@@ -78,6 +80,7 @@ func main() {
 	}
 	fmt.Println("\nDUET's lower service time keeps the queue stable at loads where the")
 	fmt.Println("single-device server saturates and response times blow up.")
+	liveTable(reg)
 
 	// --- SLA under faults ---------------------------------------------------
 	// The same queue, but kernels and transfers now fail with the given
@@ -115,6 +118,52 @@ func main() {
 	fmt.Println("\nFailover confines each fault to one subgraph; aborting re-pays the whole")
 	fmt.Println("request per fault, so every fault inflates service time by a full run and")
 	fmt.Println("the queue destabilises at loads the failover server still sustains.")
+	liveTable(reg)
+}
+
+// liveTable renders the engine's cumulative metrics from a registry
+// snapshot — the view a serving dashboard would poll between load points.
+func liveTable(reg *duet.Metrics) {
+	s := reg.Snapshot()
+	fmt.Println("\nengine metrics (cumulative):")
+	fmt.Printf("  %-34s %12s\n", "series", "value")
+	for _, name := range []string{
+		`duet_runs_total{path="run"}`,
+		`duet_runs_total{path="policy"}`,
+		"duet_run_errors_total",
+		"duet_exhausted_total",
+		`duet_retries_total{kind="kernel"}`,
+		`duet_retries_total{kind="transfer"}`,
+		"duet_failovers_total",
+		"duet_breaker_trips_total",
+		"duet_degraded_total",
+	} {
+		if v, ok := s.Counters[name]; ok && v != 0 {
+			fmt.Printf("  %-34s %12d\n", name, v)
+		}
+	}
+	for _, name := range []string{
+		`duet_device_busy_seconds_total{device="cpu0"}`,
+		`duet_device_busy_seconds_total{device="gpu0"}`,
+		`duet_device_busy_seconds_total{device="pcie3"}`,
+	} {
+		if v, ok := s.Gauges[name]; ok {
+			fmt.Printf("  %-34s %11.3fs\n", name, v)
+		}
+	}
+	hists := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		hists = append(hists, name)
+	}
+	sort.Strings(hists)
+	for _, name := range hists {
+		h := s.Histograms[name]
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %-34s n=%d p50=%.2fms p99=%.2fms p99.9=%.2fms\n",
+			name, h.Count, h.P50*1e3, h.P99*1e3, h.P999*1e3)
+	}
 }
 
 // resilientService returns a service-time sampler that restarts the whole
@@ -183,22 +232,13 @@ func simulate(service func() (duet.Seconds, error), qps float64, n int, seed int
 		serverFree = finish
 		responses = append(responses, finish-arrival)
 	}
-	sorted := append([]float64(nil), responses...)
-	sort.Float64s(sorted)
-	// Nearest-rank percentiles, clamped so tiny n cannot index past the end.
-	idx := func(p float64) int {
-		i := int(math.Ceil(p/100*float64(n))) - 1
-		if i < 0 {
-			i = 0
-		}
-		if i >= n {
-			i = n - 1
-		}
-		return i
+	s, ok := duet.TrySummarize(responses)
+	if !ok {
+		return result{}, fmt.Errorf("simulate: no responses collected")
 	}
 	return result{
 		responses: responses,
-		p50:       sorted[idx(50)],
-		p99:       sorted[idx(99)],
+		p50:       s.P50,
+		p99:       s.P99,
 	}, nil
 }

@@ -11,6 +11,7 @@ import (
 	"duet/internal/compiler"
 	"duet/internal/device"
 	"duet/internal/graph"
+	"duet/internal/obs"
 	"duet/internal/partition"
 	"duet/internal/profile"
 	"duet/internal/runtime"
@@ -187,6 +188,28 @@ func (e *Engine) applyFallback() error {
 		}
 	}
 	return nil
+}
+
+// Instrument attaches a metrics registry to the evaluation runtime: run
+// counts, latency histograms, per-device busy seconds, fault-tolerance
+// activity, and synchronization-queue depths are recorded into reg for
+// every subsequent Infer/Measure call. Passing nil detaches. The search
+// engine stays uninstrumented so schedule-search runs do not pollute
+// serving metrics.
+func (e *Engine) Instrument(reg *obs.Registry) { e.Runtime.Instrument(reg) }
+
+// Registry returns the attached metrics registry (nil when uninstrumented).
+func (e *Engine) Registry() *obs.Registry { return e.Runtime.Registry() }
+
+// ScheduleAudit re-runs greedy-correction scheduling with the decision
+// trail enabled and returns the audit: per-subgraph device choices with
+// both profiled costs, the accepted swap sequence, and predicted vs
+// measured critical path. The search engine is noiseless, so the audit
+// reproduces the placement Build chose (before any single-device
+// fallback).
+func (e *Engine) ScheduleAudit() (*schedule.Audit, error) {
+	_, audit, err := e.Scheduler.GreedyCorrectionAudit()
+	return audit, err
 }
 
 // Infer runs one real inference (values materialised) under the chosen

@@ -131,14 +131,21 @@ func runModel(spec modelSpec, cfg Config) (*ModelRun, error) {
 	if err != nil {
 		return nil, err
 	}
+	// TrySummarize instead of Summarize: a degenerate configuration (zero
+	// runs, or a sweep point whose window drained empty) yields zero
+	// summaries rather than a panic deep inside an experiment driver.
+	summarize := func(samples []vclock.Seconds) stats.Summary {
+		s, _ := stats.TrySummarize(samples)
+		return s
+	}
 	return &ModelRun{
 		Model:        spec.Name,
 		Framework:    spec.Framework,
-		FrameworkCPU: stats.Summarize(fw.Measure(device.CPU, cfg.Runs)),
-		FrameworkGPU: stats.Summarize(fw.Measure(device.GPU, cfg.Runs)),
-		TVMCPU:       stats.Summarize(tvmCPU),
-		TVMGPU:       stats.Summarize(tvmGPU),
-		DUET:         stats.Summarize(duet),
+		FrameworkCPU: summarize(fw.Measure(device.CPU, cfg.Runs)),
+		FrameworkGPU: summarize(fw.Measure(device.GPU, cfg.Runs)),
+		TVMCPU:       summarize(tvmCPU),
+		TVMGPU:       summarize(tvmGPU),
+		DUET:         summarize(duet),
 		Placement:    e.Placement.String(),
 		FellBack:     e.FellBack,
 		Engine:       e,

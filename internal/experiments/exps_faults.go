@@ -62,8 +62,12 @@ func measureWithRestart(rt *runtime.Engine, place runtime.Placement, pol runtime
 	return samples, nil
 }
 
-// attainment is the fraction of samples meeting the SLA.
+// attainment is the fraction of samples meeting the SLA (0 for an empty
+// window, e.g. a sweep point under a full device outage).
 func attainment(samples []vclock.Seconds, sla vclock.Seconds) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
 	ok := 0
 	for _, s := range samples {
 		if s <= sla {

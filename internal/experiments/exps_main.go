@@ -85,7 +85,10 @@ func Fig5(cfg Config, w io.Writer) error {
 		for i := range samples {
 			samples[i] = plat.Link.SampleTransferTime(size)
 		}
-		s := stats.Summarize(samples)
+		s, ok := stats.TrySummarize(samples)
+		if !ok {
+			continue // zero-run smoke config: nothing to report for this size
+		}
 		fmt.Fprintf(w, "%12d %14s %14s %14s\n", size, ms(plat.Link.TransferTime(size)), ms(s.Mean), ms(s.P99))
 	}
 	return nil

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// baseName strips a series' label set: `a_total{x="y"}` → `a_total`.
+func baseName(series string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i]
+	}
+	return series
+}
+
+// splitSeries separates a series into its metric name and label set (the
+// latter including braces, or empty): `a{x="y"}` → (`a`, `{x="y"}`).
+func splitSeries(series string) (base, labels string) {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i], series[i:]
+	}
+	return series, ""
+}
+
+// suffixed moves a histogram suffix inside the series' label position:
+// (`a{x="y"}`, `_sum`) → `a_sum{x="y"}` — the exposition format requires
+// the suffix on the metric name, not after the labels.
+func suffixed(series, suffix string) string {
+	base, labels := splitSeries(series)
+	return base + suffix + labels
+}
+
+// withLabel appends one label to a series name, merging into an existing
+// label set: `a{x="y"}` + (le, 5) → `a{x="y",le="5"}`.
+func withLabel(series, key, value string) string {
+	label := key + `="` + escapeLabel(value) + `"`
+	if strings.HasSuffix(series, "}") {
+		return series[:len(series)-1] + "," + label + "}"
+	}
+	return series + "{" + label + "}"
+}
+
+// formatBound renders a bucket upper bound the way Prometheus expects
+// ("+Inf" for the overflow bucket, shortest float otherwise).
+func formatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%g", b)
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (v0.0.4): counters as `# TYPE ... counter`, gauges as gauges, and
+// histograms as cumulative `_bucket{le=...}` series with `_sum` and
+// `_count`. Series are ordered by name so the output is diffable. A nil
+// registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		counters = append(counters, name)
+	}
+	gauges := make([]string, 0, len(r.gauges))
+	for name := range r.gauges {
+		gauges = append(gauges, name)
+	}
+	hists := make([]string, 0, len(r.histograms))
+	for name := range r.histograms {
+		hists = append(hists, name)
+	}
+	r.mu.Unlock()
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(hists)
+
+	typed := map[string]bool{}
+	writeType := func(series, kind string) error {
+		base := baseName(series)
+		if typed[base] {
+			return nil
+		}
+		typed[base] = true
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		return err
+	}
+
+	for _, name := range counters {
+		if err := writeType(name, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, r.Counter(name).Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range gauges {
+		if err := writeType(name, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %g\n", name, r.Gauge(name).Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range hists {
+		if err := writeType(name, "histogram"); err != nil {
+			return err
+		}
+		h := r.Histogram(name)
+		bounds, cum := h.buckets()
+		for i, b := range bounds {
+			series := withLabel(suffixed(name, "_bucket"), "le", formatBound(b))
+			if _, err := fmt.Fprintf(w, "%s %d\n", series, cum[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %g\n", suffixed(name, "_sum"), h.Sum()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", suffixed(name, "_count"), h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HistogramSnapshot is the JSON form of one histogram's summary.
+type HistogramSnapshot struct {
+	Count int     `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// Snapshot is a point-in-time JSON-marshalable view of a registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every instrument's current value. A nil registry
+// returns an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for name, h := range r.histograms {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+
+	if len(counters) > 0 {
+		s.Counters = make(map[string]int64, len(counters))
+		for name, c := range counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(gauges))
+		for name, g := range gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(hists))
+		for name, h := range hists {
+			hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+			if hs.Count > 0 {
+				hs.Mean = hs.Sum / float64(hs.Count)
+				hs.Min, _ = h.Quantile(0)
+				hs.Max, _ = h.Quantile(100)
+				hs.P50, _ = h.Quantile(50)
+				hs.P99, _ = h.Quantile(99)
+				hs.P999, _ = h.Quantile(99.9)
+			}
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

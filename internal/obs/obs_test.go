@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"duet/internal/stats"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("runs_total")
+	c.Inc()
+	c.Add(4)
+	if got := r.Counter("runs_total").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("depth")
+	g.Set(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %v, want 2", got)
+	}
+	g.Max(10)
+	g.Max(7)
+	if got := g.Value(); got != 10 {
+		t.Fatalf("gauge after Max = %v, want 10", got)
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.Histogram("z").Observe(1)
+	if _, ok := r.Histogram("z").Quantile(50); ok {
+		t.Fatalf("nil histogram reported samples")
+	}
+	if r.Counter("x").Value() != 0 || r.Gauge("y").Value() != 0 {
+		t.Fatalf("nil instruments must read as zero")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", snap)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry exposition: err=%v out=%q", err, sb.String())
+	}
+}
+
+// TestHistogramAgreesWithSummarize is the acceptance check: histogram
+// P50/P99/P99.9 must agree exactly with stats.Summarize on identical
+// samples.
+func TestHistogramAgreesWithSummarize(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 10, 999, 1000, 5000} {
+		h := newHistogram(nil)
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = rng.ExpFloat64() * 1e-3
+			h.Observe(samples[i])
+		}
+		s := stats.Summarize(samples)
+		for _, q := range []struct {
+			p    float64
+			want float64
+		}{{0, s.Min}, {50, s.P50}, {99, s.P99}, {99.9, s.P999}, {100, s.Max}} {
+			got, ok := h.Quantile(q.p)
+			if !ok {
+				t.Fatalf("n=%d p=%v: no samples", n, q.p)
+			}
+			if got != q.want {
+				t.Fatalf("n=%d p=%v: histogram %v != Summarize %v", n, q.p, got, q.want)
+			}
+		}
+		if h.Count() != n {
+			t.Fatalf("count = %d, want %d", h.Count(), n)
+		}
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(3)
+	if h.Count() != 2 || h.Sum() != 3.5 {
+		t.Fatalf("count/sum = %d/%v", h.Count(), h.Sum())
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("reset did not clear: %d/%v", h.Count(), h.Sum())
+	}
+	if _, ok := h.Quantile(50); ok {
+		t.Fatalf("quantile after reset should report no samples")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	got := Series("duet_runs_total", "device", "cpu0", "model", "wide&deep")
+	want := `duet_runs_total{device="cpu0",model="wide&deep"}`
+	if got != want {
+		t.Fatalf("Series = %s, want %s", got, want)
+	}
+	if Series("plain") != "plain" {
+		t.Fatalf("label-free series changed: %s", Series("plain"))
+	}
+	// Keys sort canonically regardless of argument order.
+	if Series("m", "b", "2", "a", "1") != `m{a="1",b="2"}` {
+		t.Fatalf("labels not sorted: %s", Series("m", "b", "2", "a", "1"))
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("duet_runs_total").Add(3)
+	r.Counter(Series("duet_faults_total", "kind", "kernel")).Add(2)
+	r.Gauge(Series("duet_busy_seconds", "device", "cpu0")).Set(0.25)
+	h := r.Histogram("duet_latency_seconds", 0.001, 0.01)
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(0.5)
+	hl := r.Histogram(Series("duet_wait_seconds", "path", "policy"), 0.1)
+	hl.Observe(0.05)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE duet_runs_total counter",
+		"duet_runs_total 3",
+		`duet_faults_total{kind="kernel"} 2`,
+		"# TYPE duet_busy_seconds gauge",
+		`duet_busy_seconds{device="cpu0"} 0.25`,
+		"# TYPE duet_latency_seconds histogram",
+		`duet_latency_seconds_bucket{le="0.001"} 1`,
+		`duet_latency_seconds_bucket{le="0.01"} 2`,
+		`duet_latency_seconds_bucket{le="+Inf"} 3`,
+		"duet_latency_seconds_sum 0.5055",
+		"duet_latency_seconds_count 3",
+		// A labelled histogram keeps the suffix on the metric name and
+		// merges le into the existing label set.
+		"# TYPE duet_wait_seconds histogram",
+		`duet_wait_seconds_bucket{path="policy",le="0.1"} 1`,
+		`duet_wait_seconds_bucket{path="policy",le="+Inf"} 1`,
+		`duet_wait_seconds_sum{path="policy"} 0.05`,
+		`duet_wait_seconds_count{path="policy"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(1)
+	r.Gauge("g").Set(2.5)
+	h := r.Histogram("h")
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(sb.String()), &snap); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if snap.Counters["c"] != 1 || snap.Gauges["g"] != 2.5 {
+		t.Fatalf("snapshot values wrong: %+v", snap)
+	}
+	hs := snap.Histograms["h"]
+	if hs.Count != 100 || hs.P50 != 50 || hs.P99 != 99 || hs.Min != 1 || hs.Max != 100 {
+		t.Fatalf("histogram snapshot wrong: %+v", hs)
+	}
+}
+
+// TestConcurrency hammers every instrument from many goroutines; run under
+// -race this is the registry's race-cleanliness check.
+func TestConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Gauge("m").Max(rng.Float64())
+				r.Histogram("h").Observe(rng.Float64())
+				if i%97 == 0 {
+					r.Snapshot()
+					r.Histogram("h").Quantile(99)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8*500 {
+		t.Fatalf("lost counter increments: %d", got)
+	}
+	if got := r.Gauge("g").Value(); got != 8*500 {
+		t.Fatalf("lost gauge adds: %v", got)
+	}
+	if got := r.Histogram("h").Count(); got != 8*500 {
+		t.Fatalf("lost observations: %d", got)
+	}
+}

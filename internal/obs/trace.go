@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// Span is one interval on a named track — a kernel, a transfer, a fault,
+// a backoff pause, or a whole request. Times are in (virtual) seconds.
+type Span struct {
+	// Name labels the span (subgraph name, "xfer:cpu0→gpu0:x", ...).
+	Name string `json:"name"`
+	// Track is the resource the span occupied (device, link, or a logical
+	// track like "requests").
+	Track string `json:"track"`
+	// Category groups spans for rendering: "compute", "transfer", "fault",
+	// "request", ... Free-form; the Chrome export passes it through.
+	Category string  `json:"category"`
+	Start    float64 `json:"start"`
+	End      float64 `json:"end"`
+}
+
+// Duration returns End-Start.
+func (s Span) Duration() float64 { return s.End - s.Start }
+
+// Trace is a concurrency-safe span recorder for one request (or one
+// experiment window). The zero value is ready to use; a nil *Trace is a
+// no-op recorder.
+type Trace struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Record appends one span. No-op on a nil trace.
+func (t *Trace) Record(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in record order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Len returns the number of recorded spans.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// traceEvent is one Chrome trace-event ("catapult") entry. Timestamps are
+// microseconds.
+type traceEvent struct {
+	Name  string  `json:"name"`
+	Phase string  `json:"ph"`
+	TS    float64 `json:"ts"`
+	Dur   float64 `json:"dur"`
+	PID   int     `json:"pid"`
+	TID   int     `json:"tid"`
+	Cat   string  `json:"cat"`
+}
+
+// ChromeTrace renders spans in the Chrome trace-event JSON format (load
+// via chrome://tracing or https://ui.perfetto.dev), one thread per track
+// in first-appearance order.
+func ChromeTrace(spans []Span) ([]byte, error) {
+	tids := map[string]int{}
+	nextTID := 1
+	events := make([]traceEvent, 0, len(spans))
+	for _, s := range spans {
+		tid, ok := tids[s.Track]
+		if !ok {
+			tid = nextTID
+			nextTID++
+			tids[s.Track] = tid
+		}
+		cat := s.Category
+		if cat == "" {
+			cat = "compute"
+		}
+		events = append(events, traceEvent{
+			Name:  s.Name,
+			Phase: "X",
+			TS:    s.Start * 1e6,
+			Dur:   (s.End - s.Start) * 1e6,
+			PID:   1,
+			TID:   tid,
+			Cat:   cat,
+		})
+	}
+	return json.MarshalIndent(map[string]interface{}{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	}, "", "  ")
+}
+
+// ChromeTrace renders the recorded spans; see the package-level function.
+func (t *Trace) ChromeTrace() ([]byte, error) { return ChromeTrace(t.Spans()) }

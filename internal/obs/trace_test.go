@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestTraceRecordAndChrome(t *testing.T) {
+	tr := NewTrace()
+	tr.Record(Span{Name: "rnn_0", Track: "cpu0", Category: "compute", Start: 0, End: 1e-3})
+	tr.Record(Span{Name: "xfer:cpu0→gpu0:x", Track: "pcie", Category: "transfer", Start: 1e-3, End: 1.5e-3})
+	tr.Record(Span{Name: "fault:kernel:conv_1", Track: "gpu0", Category: "fault", Start: 1.5e-3, End: 2e-3})
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	data, err := tr.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			TID  int     `json:"tid"`
+			Cat  string  `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("events = %d", len(doc.TraceEvents))
+	}
+	cats := map[string]bool{}
+	tracks := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.Dur < 0 || ev.TS < 0 {
+			t.Fatalf("malformed event %+v", ev)
+		}
+		cats[ev.Cat] = true
+		tracks[ev.TID] = true
+	}
+	for _, c := range []string{"compute", "transfer", "fault"} {
+		if !cats[c] {
+			t.Fatalf("category %s missing", c)
+		}
+	}
+	if len(tracks) != 3 {
+		t.Fatalf("expected 3 distinct tracks, got %d", len(tracks))
+	}
+}
+
+func TestNilTrace(t *testing.T) {
+	var tr *Trace
+	tr.Record(Span{Name: "x"})
+	if tr.Len() != 0 || tr.Spans() != nil {
+		t.Fatalf("nil trace recorded something")
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Record(Span{Name: "s", Track: "cpu0", Start: float64(i), End: float64(i + 1)})
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 8*200 {
+		t.Fatalf("lost spans: %d", tr.Len())
+	}
+}

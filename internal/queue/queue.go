@@ -8,6 +8,8 @@ package queue
 import (
 	"fmt"
 	"sync/atomic"
+
+	"duet/internal/obs"
 )
 
 type cell struct {
@@ -23,6 +25,14 @@ type Queue struct {
 	head   atomic.Uint64 // next position to pop
 	tail   atomic.Uint64 // next position to push
 	closed atomic.Bool
+
+	// Observability (all nil until Instrument): recording through a nil
+	// instrument is a no-op, so the uninstrumented fast path pays only a
+	// nil check.
+	pushes   *obs.Counter
+	pops     *obs.Counter
+	depth    *obs.Gauge
+	depthMax *obs.Gauge
 }
 
 // New returns a queue with capacity rounded up to the next power of two.
@@ -41,6 +51,21 @@ func New(capacity int) *Queue {
 		q.cells[i].seq.Store(uint64(i))
 	}
 	return q
+}
+
+// Instrument attaches per-queue metrics under the given queue label:
+// duet_queue_pushes_total / duet_queue_pops_total counters and the
+// duet_queue_depth / duet_queue_depth_max gauges. Attach before the queue
+// is shared between goroutines (instrument pointers are written without
+// synchronization, exactly like the rest of construction).
+func (q *Queue) Instrument(reg *obs.Registry, name string) {
+	if q == nil || reg == nil {
+		return
+	}
+	q.pushes = reg.Counter(obs.Series("duet_queue_pushes_total", "queue", name))
+	q.pops = reg.Counter(obs.Series("duet_queue_pops_total", "queue", name))
+	q.depth = reg.Gauge(obs.Series("duet_queue_depth", "queue", name))
+	q.depthMax = reg.Gauge(obs.Series("duet_queue_depth_max", "queue", name))
 }
 
 // Cap returns the queue capacity.
@@ -69,6 +94,10 @@ func (q *Queue) Push(v int) bool {
 			if q.tail.CompareAndSwap(pos, pos+1) {
 				c.val = int64(v)
 				c.seq.Store(pos + 1) // publish
+				q.pushes.Inc()
+				d := float64(q.Len())
+				q.depth.Set(d)
+				q.depthMax.Max(d)
 				return true
 			}
 			pos = q.tail.Load()
@@ -102,6 +131,8 @@ func (q *Queue) Pop() (v int, ok, done bool) {
 			if q.head.CompareAndSwap(pos, pos+1) {
 				v = int(c.val)
 				c.seq.Store(pos + uint64(len(q.cells))) // free the cell
+				q.pops.Inc()
+				q.depth.Set(float64(q.Len()))
 				return v, true, false
 			}
 			pos = q.head.Load()

@@ -107,6 +107,9 @@ type Engine struct {
 	// tuned holds per-subgraph, per-device-kind kernel costs after
 	// low-level schedule selection (the target-dependent back-end step).
 	tuned [][2][]ops.Cost
+	// m holds the resolved observability instruments (all nil until
+	// Instrument attaches a registry; recording through nil is a no-op).
+	m engineMetrics
 }
 
 // New compiles every subgraph of the partition under opt and returns an
@@ -146,6 +149,17 @@ func (e *Engine) Module(i int) *compiler.Module { return e.modules[i] }
 // parent graph's input names; pass withValues=false for timing-only runs
 // (inputs may then be nil).
 func (e *Engine) Run(inputs map[string]*tensor.Tensor, place Placement, withValues bool) (*Result, error) {
+	res, err := e.run(inputs, place, withValues)
+	if err != nil {
+		e.m.runErrors.Inc()
+		return res, err
+	}
+	e.m.runs.Inc()
+	e.m.latency.Observe(res.Latency)
+	return res, nil
+}
+
+func (e *Engine) run(inputs map[string]*tensor.Tensor, place Placement, withValues bool) (*Result, error) {
 	if err := validatePlacement(place, len(e.subgraphs)); err != nil {
 		return nil, err
 	}
@@ -211,6 +225,7 @@ func (e *Engine) Run(inputs map[string]*tensor.Tensor, place Placement, withValu
 		start := a[other]
 		end := start + dur
 		a[kind] = end
+		e.m.linkBusy.Add(dur)
 		res.Timeline = append(res.Timeline, Span{
 			Label:  fmt.Sprintf("xfer:%s→%s:%s", other, kind, e.Parent.Node(id).Name),
 			Device: link.Name,
@@ -243,6 +258,7 @@ func (e *Engine) Run(inputs map[string]*tensor.Tensor, place Placement, withValu
 		}
 		end := start + dur
 		deviceFree[kind] = end
+		e.m.deviceBusy[kind].Add(dur)
 		res.Timeline = append(res.Timeline, Span{
 			Label:  sub.Graph.Name + " [" + sub.Summary() + "]",
 			Device: dev.Name,

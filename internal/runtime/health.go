@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"duet/internal/device"
+	"duet/internal/obs"
 	"duet/internal/vclock"
 )
 
@@ -15,6 +16,27 @@ const (
 	breakerOpen
 	breakerHalfOpen
 )
+
+// String names the state for metric labels and logs.
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// kindLabel is the metric label for a device kind (the tracker predates
+// any particular platform, so it labels by kind, not device name).
+func kindLabel(k device.Kind) string {
+	if k == device.GPU {
+		return "gpu"
+	}
+	return "cpu"
+}
 
 // HealthTracker is a per-device failure counter and circuit breaker. After
 // Threshold consecutive failures on a device the breaker opens and the
@@ -36,6 +58,12 @@ type HealthTracker struct {
 	retryAt   [2]vclock.Seconds
 	trips     int
 	readmits  int
+
+	// Observability (nil when uninstrumented): breaker state gauges
+	// (0=closed, 1=open, 2=half-open), per-transition counters, and a
+	// readmission counter.
+	reg        *obs.Registry
+	stateGauge [2]*obs.Gauge
 }
 
 // NewHealthTracker returns a tracker tripping after threshold consecutive
@@ -43,6 +71,39 @@ type HealthTracker struct {
 // ≤ 0 disables the breaker: every device is always available.
 func NewHealthTracker(threshold int, probation vclock.Seconds) *HealthTracker {
 	return &HealthTracker{threshold: threshold, probation: probation}
+}
+
+// Instrument attaches a metrics registry: breaker state per device kind
+// (duet_breaker_state, 0=closed/1=open/2=half-open), transition counts
+// (duet_breaker_transitions_total{device,to}) and probe re-admissions
+// (duet_readmissions_total). The tracker owns the readmission counter —
+// engines must not fold the cumulative FaultReport.Readmissions into a
+// registry, because a shared tracker reports it across runs. Re-attaching
+// the same registry is a no-op; nil is ignored.
+func (h *HealthTracker) Instrument(reg *obs.Registry) {
+	if h == nil || reg == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.reg == reg {
+		return
+	}
+	h.reg = reg
+	for _, k := range []device.Kind{device.CPU, device.GPU} {
+		h.stateGauge[k] = reg.Gauge(obs.Series("duet_breaker_state", "device", kindLabel(k)))
+		h.stateGauge[k].Set(float64(h.state[k]))
+	}
+}
+
+// setState records a breaker transition and its metrics. Callers hold h.mu.
+func (h *HealthTracker) setState(kind device.Kind, s breakerState) {
+	h.state[kind] = s
+	h.stateGauge[kind].Set(float64(s))
+	if h.reg != nil {
+		h.reg.Counter(obs.Series("duet_breaker_transitions_total",
+			"device", kindLabel(kind), "to", s.String())).Inc()
+	}
 }
 
 // Available reports whether kind may be scheduled at virtual time now. An
@@ -59,7 +120,7 @@ func (h *HealthTracker) Available(kind device.Kind, now vclock.Seconds) bool {
 		return true
 	default: // open
 		if now >= h.retryAt[kind] {
-			h.state[kind] = breakerHalfOpen
+			h.setState(kind, breakerHalfOpen)
 			return true
 		}
 		return false
@@ -77,13 +138,13 @@ func (h *HealthTracker) Failure(kind device.Kind, now vclock.Seconds) bool {
 	h.consec[kind]++
 	if h.state[kind] == breakerHalfOpen {
 		// The probe failed: back to open for another probation window.
-		h.state[kind] = breakerOpen
+		h.setState(kind, breakerOpen)
 		h.retryAt[kind] = now + h.probation
 		h.trips++
 		return true
 	}
 	if h.state[kind] == breakerClosed && h.consec[kind] >= h.threshold {
-		h.state[kind] = breakerOpen
+		h.setState(kind, breakerOpen)
 		h.retryAt[kind] = now + h.probation
 		h.trips++
 		return true
@@ -103,8 +164,11 @@ func (h *HealthTracker) Success(kind device.Kind) {
 	if h.state[kind] != breakerClosed {
 		if h.state[kind] == breakerHalfOpen {
 			h.readmits++
+			if h.reg != nil {
+				h.reg.Counter("duet_readmissions_total").Inc()
+			}
 		}
-		h.state[kind] = breakerClosed
+		h.setState(kind, breakerClosed)
 	}
 }
 

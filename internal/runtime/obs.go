@@ -1,0 +1,84 @@
+package runtime
+
+import (
+	"duet/internal/device"
+	"duet/internal/obs"
+)
+
+// engineMetrics caches the engine's resolved instruments so the hot paths
+// pay one registry lookup per instrument at Instrument time, and only a
+// nil check per event afterwards. The zero value (uninstrumented engine)
+// is all-nil: every recording call is a no-op.
+type engineMetrics struct {
+	reg *obs.Registry
+
+	runs       *obs.Counter   // duet_runs_total{path=run}
+	policyRuns *obs.Counter   // duet_runs_total{path=policy}
+	runErrors  *obs.Counter   // duet_run_errors_total
+	exhausted  *obs.Counter   // duet_exhausted_total
+	latency    *obs.Histogram // duet_latency_seconds{path=run}
+	policyLat  *obs.Histogram // duet_latency_seconds{path=policy}
+
+	deviceBusy [2]*obs.Gauge // duet_device_busy_seconds_total{device=...}
+	linkBusy   *obs.Gauge    // duet_device_busy_seconds_total{device=<link>}
+
+	kernelFaults    *obs.Counter // duet_faults_total{kind=kernel}
+	transferFaults  *obs.Counter // duet_faults_total{kind=transfer}
+	retries         *obs.Counter // duet_retries_total{kind=kernel}
+	transferRetries *obs.Counter // duet_retries_total{kind=transfer}
+	failovers       *obs.Counter // duet_failovers_total
+	breakerTrips    *obs.Counter // duet_breaker_trips_total
+	degraded        *obs.Counter // duet_degraded_total
+}
+
+// Instrument attaches a metrics registry to the engine. Subsequent Run /
+// RunWithPolicy / RunParallel calls record run counts, latency histograms,
+// per-device busy seconds, fault-tolerance activity, and (for RunParallel)
+// synchronization-queue depths into reg. Passing nil detaches. The engine
+// is not safe for concurrent Instrument against in-flight runs; attach
+// once at setup, the way core.Build's callers do.
+func (e *Engine) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		e.m = engineMetrics{}
+		return
+	}
+	m := engineMetrics{
+		reg:        reg,
+		runs:       reg.Counter(obs.Series("duet_runs_total", "path", "run")),
+		policyRuns: reg.Counter(obs.Series("duet_runs_total", "path", "policy")),
+		runErrors:  reg.Counter("duet_run_errors_total"),
+		exhausted:  reg.Counter("duet_exhausted_total"),
+		latency:    reg.Histogram(obs.Series("duet_latency_seconds", "path", "run")),
+		policyLat:  reg.Histogram(obs.Series("duet_latency_seconds", "path", "policy")),
+
+		kernelFaults:    reg.Counter(obs.Series("duet_faults_total", "kind", "kernel")),
+		transferFaults:  reg.Counter(obs.Series("duet_faults_total", "kind", "transfer")),
+		retries:         reg.Counter(obs.Series("duet_retries_total", "kind", "kernel")),
+		transferRetries: reg.Counter(obs.Series("duet_retries_total", "kind", "transfer")),
+		failovers:       reg.Counter("duet_failovers_total"),
+		breakerTrips:    reg.Counter("duet_breaker_trips_total"),
+		degraded:        reg.Counter("duet_degraded_total"),
+	}
+	for _, kind := range []device.Kind{device.CPU, device.GPU} {
+		name := e.Platform.Device(kind).Name
+		m.deviceBusy[kind] = reg.Gauge(obs.Series("duet_device_busy_seconds_total", "device", name))
+	}
+	m.linkBusy = reg.Gauge(obs.Series("duet_device_busy_seconds_total", "device", e.Platform.Link.Name))
+	e.m = m
+}
+
+// Registry returns the attached metrics registry (nil when the engine is
+// uninstrumented).
+func (e *Engine) Registry() *obs.Registry { return e.m.reg }
+
+// recordPolicyReport folds one RunWithPolicy fault report into the
+// registry. All fields are no-ops when uninstrumented.
+func (m *engineMetrics) recordPolicyReport(rep *FaultReport) {
+	m.kernelFaults.Add(int64(rep.KernelFaults))
+	m.transferFaults.Add(int64(rep.TransferFaults))
+	m.retries.Add(int64(rep.Retries))
+	m.transferRetries.Add(int64(rep.TransferRetries))
+	m.failovers.Add(int64(rep.Failovers))
+	m.breakerTrips.Add(int64(rep.BreakerTrips))
+	m.degraded.Add(int64(rep.Degraded))
+}

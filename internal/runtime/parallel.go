@@ -69,6 +69,10 @@ func (e *Engine) RunParallel(inputs map[string]*tensor.Tensor, place Placement) 
 	// for high efficiency"); workers poll in a busy loop exactly as the
 	// paper's executor does.
 	queues := [2]*queue.Queue{queue.New(n + 1), queue.New(n + 1)}
+	if e.m.reg != nil {
+		queues[device.CPU].Instrument(e.m.reg, e.Platform.Device(device.CPU).Name)
+		queues[device.GPU].Instrument(e.m.reg, e.Platform.Device(device.GPU).Name)
+	}
 	var mu sync.Mutex // guards values and pending
 	var wg sync.WaitGroup
 	wg.Add(n)

@@ -124,6 +124,23 @@ func other(k device.Kind) device.Kind {
 // to a fault-free run. Result.Faults summarises the tolerance activity, and
 // fault/backoff intervals appear on Result.Timeline.
 func (e *Engine) RunWithPolicy(inputs map[string]*tensor.Tensor, place Placement, pol Policy) (*Result, error) {
+	res, err := e.runWithPolicy(inputs, place, pol)
+	if res != nil && res.Faults != nil {
+		e.m.recordPolicyReport(res.Faults)
+	}
+	if err != nil {
+		e.m.runErrors.Inc()
+		if errors.Is(err, ErrExhausted) {
+			e.m.exhausted.Inc()
+		}
+		return res, err
+	}
+	e.m.policyRuns.Inc()
+	e.m.policyLat.Observe(res.Latency)
+	return res, nil
+}
+
+func (e *Engine) runWithPolicy(inputs map[string]*tensor.Tensor, place Placement, pol Policy) (*Result, error) {
 	if err := validatePlacement(place, len(e.subgraphs)); err != nil {
 		return nil, err
 	}
@@ -137,6 +154,7 @@ func (e *Engine) RunWithPolicy(inputs map[string]*tensor.Tensor, place Placement
 	if health == nil {
 		health = NewHealthTracker(pol.BreakerThreshold, pol.Probation)
 	}
+	health.Instrument(e.m.reg)
 	rep := &FaultReport{FinalPlacement: place.Clone()}
 
 	type avail [2]vclock.Seconds
@@ -200,6 +218,7 @@ func (e *Engine) RunWithPolicy(inputs map[string]*tensor.Tensor, place Placement
 		for retry := 0; ; retry++ {
 			dur, f := link.SampleTransferTimeAt(bytes, src, kind, start)
 			end := start + dur
+			e.m.linkBusy.Add(dur)
 			if !f.Fail {
 				a[kind] = end
 				res.Timeline = append(res.Timeline, Span{
@@ -283,6 +302,7 @@ func (e *Engine) RunWithPolicy(inputs map[string]*tensor.Tensor, place Placement
 						break
 					}
 				}
+				e.m.deviceBusy[kind].Add(cursor - start)
 				if !failed {
 					deviceFree[kind] = cursor
 					res.Timeline = append(res.Timeline, Span{
@@ -323,6 +343,7 @@ func (e *Engine) RunWithPolicy(inputs map[string]*tensor.Tensor, place Placement
 						End:    deviceFree[kind] + b,
 					})
 					deviceFree[kind] += b
+					e.m.deviceBusy[kind].Add(b)
 				}
 				retry++
 				rep.Retries++

@@ -1,55 +1,43 @@
 package runtime
 
 import (
-	"encoding/json"
 	"strings"
+
+	"duet/internal/obs"
 )
 
-// traceEvent is one Chrome trace-event ("catapult") entry. Timestamps are
-// microseconds.
-type traceEvent struct {
-	Name  string  `json:"name"`
-	Phase string  `json:"ph"`
-	TS    float64 `json:"ts"`
-	Dur   float64 `json:"dur"`
-	PID   int     `json:"pid"`
-	TID   int     `json:"tid"`
-	Cat   string  `json:"cat"`
+// spanCategory classifies a timeline label for trace rendering: transfers
+// (including faulted ones re-labelled "fault:<cause>:xfer:..."), fault and
+// backoff intervals, and plain compute.
+func spanCategory(label string) string {
+	switch {
+	case strings.HasPrefix(label, "xfer:"):
+		return "transfer"
+	case strings.HasPrefix(label, "fault:"), strings.HasPrefix(label, "backoff:"):
+		return "fault"
+	default:
+		return "compute"
+	}
+}
+
+// ObsSpans converts the run's timeline into obs spans, one track per
+// device plus one for the interconnect.
+func (r *Result) ObsSpans() []obs.Span {
+	spans := make([]obs.Span, 0, len(r.Timeline))
+	for _, s := range r.Timeline {
+		spans = append(spans, obs.Span{
+			Name:     s.Label,
+			Track:    s.Device,
+			Category: spanCategory(s.Label),
+			Start:    float64(s.Start),
+			End:      float64(s.End),
+		})
+	}
+	return spans
 }
 
 // ChromeTrace renders a run's timeline in the Chrome trace-event JSON
-// format (load via chrome://tracing or https://ui.perfetto.dev), with one
-// track per device plus one for the interconnect.
+// format (load via chrome://tracing or https://ui.perfetto.dev).
 func (r *Result) ChromeTrace() ([]byte, error) {
-	tids := map[string]int{}
-	nextTID := 1
-	events := make([]traceEvent, 0, len(r.Timeline))
-	for _, s := range r.Timeline {
-		tid, ok := tids[s.Device]
-		if !ok {
-			tid = nextTID
-			nextTID++
-			tids[s.Device] = tid
-		}
-		cat := "compute"
-		switch {
-		case strings.HasPrefix(s.Label, "xfer:"):
-			cat = "transfer"
-		case strings.HasPrefix(s.Label, "fault:"), strings.HasPrefix(s.Label, "backoff:"):
-			cat = "fault"
-		}
-		events = append(events, traceEvent{
-			Name:  s.Label,
-			Phase: "X",
-			TS:    s.Start * 1e6,
-			Dur:   (s.End - s.Start) * 1e6,
-			PID:   1,
-			TID:   tid,
-			Cat:   cat,
-		})
-	}
-	return json.MarshalIndent(map[string]interface{}{
-		"traceEvents":     events,
-		"displayTimeUnit": "ms",
-	}, "", "  ")
+	return obs.ChromeTrace(r.ObsSpans())
 }

@@ -55,21 +55,68 @@ func (u Utilization) String() string {
 	return b.String()
 }
 
-// Utilization analyses the run's timeline. Transfer spans count toward
-// their link track's busy time but not toward compute overlap.
+// interval is a half-open busy window on one track.
+type interval struct {
+	start, end vclock.Seconds
+}
+
+// mergeIntervals unions possibly overlapping intervals into disjoint ones,
+// dropping zero-width entries. The input slice is sorted in place.
+func mergeIntervals(ivs []interval) []interval {
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].start < ivs[j].start })
+	merged := ivs[:0]
+	for _, iv := range ivs {
+		if iv.end <= iv.start {
+			continue // zero-width (or malformed) spans occupy no time
+		}
+		if n := len(merged); n > 0 && iv.start <= merged[n-1].end {
+			if iv.end > merged[n-1].end {
+				merged[n-1].end = iv.end
+			}
+			continue
+		}
+		merged = append(merged, iv)
+	}
+	return merged
+}
+
+// Utilization analyses the run's timeline. Transfer spans (including
+// faulted transfer attempts) count toward their link track's busy time but
+// not toward compute overlap. Per-track busy time is the union of the
+// track's spans, not their sum: concurrent transfers on the interconnect
+// and processor-shared subgraphs in RunConcurrent overlap within one
+// track, and double-counting them would report busy fractions above 1.
 func (r *Result) Utilization() Utilization {
 	u := Utilization{Busy: map[string]vclock.Seconds{}, Makespan: r.Latency}
+	byTrack := map[string][]interval{}
+	compute := map[string][]interval{}
+	for _, s := range r.Timeline {
+		byTrack[s.Device] = append(byTrack[s.Device], interval{s.Start, s.End})
+		if strings.Contains(s.Label, "xfer:") {
+			continue
+		}
+		compute[s.Device] = append(compute[s.Device], interval{s.Start, s.End})
+	}
+	for track, ivs := range byTrack {
+		busy := vclock.Seconds(0)
+		for _, iv := range mergeIntervals(ivs) {
+			busy += iv.end - iv.start
+		}
+		u.Busy[track] = busy
+	}
+
+	// Overlap sweep over the merged per-track compute intervals: each track
+	// contributes depth ≤ 1, so only genuine cross-device co-execution
+	// counts — not two subgraphs sharing one device.
 	type event struct {
 		t     vclock.Seconds
 		delta int
 	}
 	var events []event
-	for _, s := range r.Timeline {
-		u.Busy[s.Device] += s.End - s.Start
-		if strings.HasPrefix(s.Label, "xfer:") {
-			continue
+	for _, ivs := range compute {
+		for _, iv := range mergeIntervals(ivs) {
+			events = append(events, event{iv.start, +1}, event{iv.end, -1})
 		}
-		events = append(events, event{s.Start, +1}, event{s.End, -1})
 	}
 	sort.Slice(events, func(i, j int) bool {
 		if events[i].t != events[j].t {

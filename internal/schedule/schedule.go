@@ -72,16 +72,45 @@ func (s *Scheduler) flatIndexRanges() [][2]int {
 // Greedy runs steps 1 and 2 of Algorithm 1 and returns the initial
 // placement.
 func (s *Scheduler) Greedy() runtime.Placement {
+	return s.greedy(nil)
+}
+
+// greedy is the audited implementation of steps 1-2; a may be nil.
+func (s *Scheduler) greedy(a *Audit) runtime.Placement {
 	n := len(s.Records)
 	place := make(runtime.Placement, n)
+	subs := s.Partition.Subgraphs()
+	record := func(i int, reason string) {
+		if a == nil {
+			return
+		}
+		a.Subgraphs = append(a.Subgraphs, SubgraphAudit{
+			Index:      i,
+			Name:       subs[i].Graph.Name,
+			CPUSeconds: s.Records[i].TimeOn(device.CPU),
+			GPUSeconds: s.Records[i].TimeOn(device.GPU),
+			Chosen:     kindName(place[i]),
+			Reason:     reason,
+		})
+	}
 	ranges := s.flatIndexRanges()
 	for pi, ph := range s.Partition.Phases {
 		lo, hi := ranges[pi][0], ranges[pi][1]
 		if ph.Kind == partition.Sequential || hi-lo == 1 {
 			// Step 1: a sequential-phase subgraph is on the critical path by
 			// definition; give it its fastest device.
+			span := vclock.Seconds(0)
 			for i := lo; i < hi; i++ {
 				place[i] = s.Records[i].Faster()
+				span += s.Records[i].Best()
+				record(i, ReasonSequential)
+			}
+			if a != nil {
+				a.Phases = append(a.Phases, PhaseAudit{
+					Index: pi, Kind: ph.Kind.String(), Lo: lo, Hi: hi,
+					Critical: -1, PredictedMakespan: span,
+				})
+				a.PredictedCritical += span
 			}
 			continue
 		}
@@ -94,6 +123,7 @@ func (s *Scheduler) Greedy() runtime.Placement {
 			}
 		}
 		place[crit] = s.Records[crit].Faster()
+		record(crit, ReasonCriticalPin)
 		load := [2]vclock.Seconds{}
 		load[place[crit]] = s.Records[crit].Best()
 
@@ -127,7 +157,27 @@ func (s *Scheduler) Greedy() runtime.Placement {
 			}
 			place[i] = bestKind
 			load[bestKind] += rec.TimeOn(bestKind)
+			record(i, ReasonGreedyBalance)
 		}
+		if a != nil {
+			makespan := load[device.CPU]
+			if load[device.GPU] > makespan {
+				makespan = load[device.GPU]
+			}
+			a.Phases = append(a.Phases, PhaseAudit{
+				Index: pi, Kind: ph.Kind.String(), Lo: lo, Hi: hi,
+				Critical: crit, PredictedMakespan: makespan,
+			})
+			a.PredictedCritical += makespan
+		}
+	}
+	if a != nil {
+		// Greedy emits audits in placement order, not flat order, for
+		// multi-path phases (critical pin first, then decreasing cost);
+		// restore flat order so readers can index by subgraph.
+		sort.Slice(a.Subgraphs, func(x, y int) bool {
+			return a.Subgraphs[x].Index < a.Subgraphs[y].Index
+		})
 	}
 	return place
 }
@@ -137,10 +187,19 @@ func (s *Scheduler) Greedy() runtime.Placement {
 // end-to-end latency, until a sweep yields no gain (or the round budget is
 // exhausted). The input placement is not mutated.
 func (s *Scheduler) Correct(initial runtime.Placement) (runtime.Placement, error) {
+	return s.correct(initial, nil)
+}
+
+// correct is the audited implementation of step 3; a may be nil.
+func (s *Scheduler) correct(initial runtime.Placement, a *Audit) (runtime.Placement, error) {
 	place := initial.Clone()
 	cur, err := s.Measure(place)
 	if err != nil {
 		return nil, err
+	}
+	if a != nil {
+		a.InitialMeasured = cur
+		a.FinalMeasured = cur
 	}
 	ranges := s.flatIndexRanges()
 	for pi, ph := range s.Partition.Phases {
@@ -152,7 +211,8 @@ func (s *Scheduler) Correct(initial runtime.Placement) (runtime.Placement, error
 			bestGain := vclock.Seconds(0)
 			var bestPlace runtime.Placement
 			var bestLat vclock.Seconds
-			try := func(cand runtime.Placement) error {
+			bestMove := SwapAudit{Phase: pi, Round: round}
+			try := func(cand runtime.Placement, kind string, i, j int) error {
 				lat, err := s.Measure(cand)
 				if err != nil {
 					return err
@@ -161,6 +221,7 @@ func (s *Scheduler) Correct(initial runtime.Placement) (runtime.Placement, error
 					bestGain = gain
 					bestPlace = cand
 					bestLat = lat
+					bestMove.Kind, bestMove.I, bestMove.J = kind, i, j
 				}
 				return nil
 			}
@@ -169,7 +230,7 @@ func (s *Scheduler) Correct(initial runtime.Placement) (runtime.Placement, error
 			for i := lo; i < hi; i++ {
 				cand := place.Clone()
 				cand[i] = other(cand[i])
-				if err := try(cand); err != nil {
+				if err := try(cand, "move", i, -1); err != nil {
 					return nil, err
 				}
 				for j := i + 1; j < hi; j++ {
@@ -178,13 +239,22 @@ func (s *Scheduler) Correct(initial runtime.Placement) (runtime.Placement, error
 					}
 					swap := place.Clone()
 					swap[i], swap[j] = swap[j], swap[i]
-					if err := try(swap); err != nil {
+					if err := try(swap, "swap", i, j); err != nil {
 						return nil, err
 					}
 				}
 			}
 			if bestPlace == nil {
 				break
+			}
+			if a != nil {
+				bestMove.Before = place.String()
+				bestMove.After = bestPlace.String()
+				bestMove.LatBefore = cur
+				bestMove.LatAfter = bestLat
+				bestMove.Gain = bestGain
+				a.Swaps = append(a.Swaps, bestMove)
+				a.FinalMeasured = bestLat
 			}
 			place = bestPlace
 			cur = bestLat

@@ -5,6 +5,7 @@ package stats
 
 import (
 	"fmt"
+	"sort"
 
 	"duet/internal/vclock"
 )
@@ -21,21 +22,36 @@ type Summary struct {
 }
 
 // Summarize computes a Summary. It panics on empty input: an experiment
-// that produced no samples is a harness bug.
+// that produced no samples is a harness bug. The caller's slice is never
+// mutated or reordered.
 func Summarize(samples []vclock.Seconds) Summary {
-	if len(samples) == 0 {
+	s, ok := TrySummarize(samples)
+	if !ok {
 		panic("stats: no samples")
 	}
-	s := Summary{
-		N:    len(samples),
-		Mean: vclock.Mean(samples),
-		Min:  vclock.Percentile(samples, 0),
-		Max:  vclock.Percentile(samples, 100),
-		P50:  vclock.Percentile(samples, 50),
-		P99:  vclock.Percentile(samples, 99),
-		P999: vclock.Percentile(samples, 99.9),
-	}
 	return s
+}
+
+// TrySummarize computes a Summary, reporting ok=false instead of panicking
+// on empty input — for serving paths where a measurement window can
+// legitimately hold zero samples (e.g. a full device outage). It sorts one
+// private copy and indexes every percentile out of it, rather than paying
+// a copy+sort per percentile.
+func TrySummarize(samples []vclock.Seconds) (Summary, bool) {
+	if len(samples) == 0 {
+		return Summary{}, false
+	}
+	sorted := append([]vclock.Seconds(nil), samples...)
+	sort.Float64s(sorted)
+	return Summary{
+		N:    len(sorted),
+		Mean: vclock.Mean(sorted),
+		Min:  sorted[0],
+		Max:  sorted[len(sorted)-1],
+		P50:  vclock.SortedPercentile(sorted, 50),
+		P99:  vclock.SortedPercentile(sorted, 99),
+		P999: vclock.SortedPercentile(sorted, 99.9),
+	}, true
 }
 
 // Ms formats a duration in milliseconds.

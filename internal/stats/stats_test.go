@@ -1,8 +1,11 @@
 package stats
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
+
+	"duet/internal/vclock"
 )
 
 func TestSummarize(t *testing.T) {
@@ -38,6 +41,105 @@ func TestSummarizeEmptyPanics(t *testing.T) {
 		}
 	}()
 	Summarize(nil)
+}
+
+func TestTrySummarizeEmpty(t *testing.T) {
+	if _, ok := TrySummarize(nil); ok {
+		t.Fatalf("empty input must report ok=false")
+	}
+	if _, ok := TrySummarize([]float64{}); ok {
+		t.Fatalf("empty input must report ok=false")
+	}
+	s, ok := TrySummarize([]float64{0.25})
+	if !ok || s.N != 1 || s.P50 != 0.25 || s.P999 != 0.25 {
+		t.Fatalf("single sample: %+v ok=%v", s, ok)
+	}
+}
+
+// TestSummarizeDoesNotMutateCaller pins Summarize's no-reorder contract:
+// the single internal sort must happen on a private copy.
+func TestSummarizeDoesNotMutateCaller(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	samples := make([]float64, 500)
+	for i := range samples {
+		samples[i] = rng.Float64()
+	}
+	orig := append([]float64(nil), samples...)
+	_ = Summarize(samples)
+	for i := range samples {
+		if samples[i] != orig[i] {
+			t.Fatalf("Summarize reordered the caller's slice at %d", i)
+		}
+	}
+	_ = vclock.Percentile(samples, 99)
+	for i := range samples {
+		if samples[i] != orig[i] {
+			t.Fatalf("Percentile reordered the caller's slice at %d", i)
+		}
+	}
+}
+
+// TestSummarizeMatchesPercentile pins the single-sort fast path to the
+// five-call vclock.Percentile baseline it replaced.
+func TestSummarizeMatchesPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{1, 3, 100, 1000, 4999} {
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = rng.ExpFloat64()
+		}
+		s := Summarize(samples)
+		if s.Min != vclock.Percentile(samples, 0) ||
+			s.Max != vclock.Percentile(samples, 100) ||
+			s.P50 != vclock.Percentile(samples, 50) ||
+			s.P99 != vclock.Percentile(samples, 99) ||
+			s.P999 != vclock.Percentile(samples, 99.9) {
+			t.Fatalf("n=%d: summary diverges from Percentile baseline: %+v", n, s)
+		}
+	}
+}
+
+// summarizeFiveSort replicates the pre-fix implementation (one copy+sort
+// per percentile) as the benchmark baseline.
+func summarizeFiveSort(samples []vclock.Seconds) Summary {
+	return Summary{
+		N:    len(samples),
+		Mean: vclock.Mean(samples),
+		Min:  vclock.Percentile(samples, 0),
+		Max:  vclock.Percentile(samples, 100),
+		P50:  vclock.Percentile(samples, 50),
+		P99:  vclock.Percentile(samples, 99),
+		P999: vclock.Percentile(samples, 99.9),
+	}
+}
+
+func benchSamples(n int) []vclock.Seconds {
+	rng := rand.New(rand.NewSource(42))
+	s := make([]vclock.Seconds, n)
+	for i := range s {
+		s[i] = rng.ExpFloat64() * 1e-3
+	}
+	return s
+}
+
+// BenchmarkSummarize vs BenchmarkSummarizeFiveSortBaseline proves the
+// single-sort fix wins (one copy+sort and one allocation instead of five).
+func BenchmarkSummarize(b *testing.B) {
+	samples := benchSamples(5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Summarize(samples)
+	}
+}
+
+func BenchmarkSummarizeFiveSortBaseline(b *testing.B) {
+	samples := benchSamples(5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = summarizeFiveSort(samples)
+	}
 }
 
 func TestSummaryString(t *testing.T) {

@@ -59,26 +59,37 @@ func (n *Noise) Fork(salt int64) *Noise {
 }
 
 // Percentile returns the p-th percentile (0..100) of samples using
-// nearest-rank on a sorted copy. It panics on empty input.
+// nearest-rank on a sorted copy. It panics on empty input and never
+// mutates the caller's slice. Callers needing several percentiles of the
+// same data should sort once and use SortedPercentile.
 func Percentile(samples []Seconds, p float64) Seconds {
 	if len(samples) == 0 {
 		panic("vclock: percentile of no samples")
 	}
 	s := append([]Seconds(nil), samples...)
 	sort.Float64s(s)
+	return SortedPercentile(s, p)
+}
+
+// SortedPercentile returns the p-th percentile (0..100) by nearest rank of
+// an already ascending-sorted slice. It panics on empty input.
+func SortedPercentile(sorted []Seconds, p float64) Seconds {
+	if len(sorted) == 0 {
+		panic("vclock: percentile of no samples")
+	}
 	if p <= 0 {
-		return s[0]
+		return sorted[0]
 	}
 	if p >= 100 {
-		return s[len(s)-1]
+		return sorted[len(sorted)-1]
 	}
 	// The 1e-9 guard keeps exact ranks (e.g. 99.9% of 1000 = 999) from
 	// rounding up through floating-point error.
-	rank := int(math.Ceil(p/100*float64(len(s))-1e-9)) - 1
+	rank := int(math.Ceil(p/100*float64(len(sorted))-1e-9)) - 1
 	if rank < 0 {
 		rank = 0
 	}
-	return s[rank]
+	return sorted[rank]
 }
 
 // Mean returns the arithmetic mean of samples (0 for empty).
