@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check fmt-check test test-race test-short bench bench-obs experiments quick-experiments report fuzz clean
+.PHONY: all build check fmt-check test test-race test-short bench bench-obs bench-kernels experiments quick-experiments report fuzz clean
 
 all: build check
 
@@ -13,10 +13,14 @@ build:
 ## workers, health tracker, MPMC queue, metrics registry) cannot slip through
 ## a plain build. The obs package gets an extra high-iteration race pass: it
 ## is touched from every worker goroutine in the runtime.
+## The allocation guard runs without -race: the race detector makes
+## sync.Pool randomly drop Puts, so arena accounting is only meaningful in
+## a plain build (the test skips itself under -race).
 check: fmt-check
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -race -count=2 ./internal/obs/...
+	$(GO) test -count=1 -run TestArenaCutsSteadyStateAllocs ./internal/runtime/
 
 ## Fail if any file is not gofmt-clean.
 fmt-check:
@@ -55,6 +59,11 @@ compare: report.json
 ## exercised instrumented engine plus the scheduler's placement audit.
 bench-obs:
 	$(GO) run ./cmd/duet-bench -quick -obs BENCH_obs.json
+
+## Regenerate the kernel benchmark baseline: the packed/blocked × pool/serial
+## matrix over matmul, linear, and conv2d shapes.
+bench-kernels:
+	$(GO) run ./cmd/duet-bench -kernels BENCH_kernels.json
 
 ## Fuzz the Relay parser for 30s.
 fuzz:

@@ -28,6 +28,7 @@ func main() {
 		seed      = flag.Int64("seed", 42, "noise/workload seed")
 		jsonPath  = flag.String("json", "", "write a machine-readable report of the quantitative experiments to this file")
 		obsPath   = flag.String("obs", "", "write the observability report (metrics snapshot + scheduler audit) to this file")
+		kernPath  = flag.String("kernels", "", "write the tensor-kernel benchmark matrix (packed/blocked × pool/serial) to this file")
 		compare   = flag.String("compare", "", "baseline report JSON to diff a fresh run against (exits 1 on regression)")
 		tolerance = flag.Float64("tolerance", 0.05, "relative change beyond which -compare flags a regression")
 	)
@@ -70,6 +71,26 @@ func main() {
 		if regressions := experiments.CompareReports(&baseline, fresh, *tolerance, os.Stdout); regressions > 0 {
 			os.Exit(1)
 		}
+		return
+	}
+
+	if *kernPath != "" {
+		report, err := experiments.BuildKernelsReport(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "duet-bench: kernels report: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*kernPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "duet-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := report.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "duet-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote kernel benchmarks to %s\n", *kernPath)
 		return
 	}
 

@@ -5,6 +5,7 @@ import (
 
 	"duet/internal/graph"
 	"duet/internal/ops"
+	"duet/internal/tensor"
 )
 
 // Kernel is one launchable unit in a compiled module: an anchor operator
@@ -16,6 +17,68 @@ type Kernel struct {
 	Name  string
 	Nodes []graph.NodeID // execution order; Nodes[0] is the group leader
 	Cost  ops.Cost
+	// Fused, when non-nil, lowers the whole group to a single fused-epilogue
+	// GEMM call (tensor.LinearEpInto) instead of op-by-op dispatch. Only set
+	// when the epilogue kernel reproduces the group bit-exactly.
+	Fused *FusedLinear
+}
+
+// FusedLinear is the lowered form of a dense-led fusion group whose epilogue
+// the tensor layer implements natively: dense, dense+bias-add, dense+act and
+// dense+bias-add+act all collapse to one LinearEpInto call, eliminating the
+// intermediate activation tensors entirely.
+type FusedLinear struct {
+	X, W    graph.NodeID
+	Bias    graph.NodeID // valid only when HasBias
+	HasBias bool
+	Ep      tensor.Epilogue
+}
+
+// lowerFusedLinear matches a fusion group against the epilogue patterns the
+// GEMM kernel supports. Lowering is all-or-nothing: if any group member
+// falls outside [dense][, add(·, bias[N])][, relu|sigmoid], the group keeps
+// generic op-by-op dispatch. A bias add folds only when the dense carries no
+// bias operand of its own, and only in the canonical add(tail, bias) operand
+// order — bias length must equal the dense output width exactly (scalar
+// broadcasts stay generic).
+func lowerFusedLinear(g *graph.Graph, group []graph.NodeID) *FusedLinear {
+	lead := g.Node(group[0])
+	if lead.Op != "dense" {
+		return nil
+	}
+	f := &FusedLinear{X: lead.Inputs[0], W: lead.Inputs[1]}
+	if len(lead.Inputs) == 3 {
+		f.HasBias, f.Bias = true, lead.Inputs[2]
+	}
+	tail := group[0]
+	i := 1
+	if i < len(group) {
+		n := g.Node(group[i])
+		if n.Op == "add" && !f.HasBias && n.Inputs[0] == tail {
+			if b := g.Node(n.Inputs[1]); len(b.Shape) == 1 && len(lead.Shape) == 2 && b.Shape[0] == lead.Shape[1] {
+				f.HasBias, f.Bias = true, n.Inputs[1]
+				tail = group[i]
+				i++
+			}
+		}
+	}
+	if i < len(group) {
+		n := g.Node(group[i])
+		if len(n.Inputs) == 1 && n.Inputs[0] == tail {
+			switch n.Op {
+			case "relu":
+				f.Ep = tensor.EpReLU
+				i++
+			case "sigmoid":
+				f.Ep = tensor.EpSigmoid
+				i++
+			}
+		}
+	}
+	if i != len(group) {
+		return nil
+	}
+	return f
 }
 
 // Fuse groups the graph's compute nodes into kernels. When enabled, an
@@ -112,6 +175,7 @@ func Fuse(g *graph.Graph, enabled bool) []Kernel {
 			Name:  g.Node(group[0]).Name,
 			Nodes: group,
 			Cost:  cost,
+			Fused: lowerFusedLinear(g, group),
 		})
 	}
 	return kernels

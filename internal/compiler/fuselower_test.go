@@ -1,0 +1,213 @@
+package compiler
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"duet/internal/graph"
+	"duet/internal/tensor"
+)
+
+// fuseLower compiles g with only fusion enabled and returns the kernel that
+// publishes the graph's (single) output.
+func fuseLower(t *testing.T, g *graph.Graph) *Kernel {
+	t.Helper()
+	if err := InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	kernels := Fuse(g, true)
+	out := g.Outputs()[0]
+	for i := range kernels {
+		if kernels[i].Output() == out {
+			return &kernels[i]
+		}
+	}
+	t.Fatalf("no kernel publishes the graph output")
+	return nil
+}
+
+func denseBase(rng *rand.Rand, withBias bool) (*graph.Graph, graph.NodeID) {
+	g := graph.New("fl")
+	x := g.AddInput("x", 2, 8)
+	w := g.AddConst("w", tensor.Rand(rng, 0.5, 6, 8))
+	ins := []graph.NodeID{x, w}
+	if withBias {
+		ins = append(ins, g.AddConst("b", tensor.Rand(rng, 0.5, 6)))
+	}
+	d := g.Add("dense", "d", nil, ins...)
+	return g, d
+}
+
+func TestFusedLinearLowering(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+
+	t.Run("dense_alone", func(t *testing.T) {
+		g, d := denseBase(rng, false)
+		g.SetOutputs(d)
+		k := fuseLower(t, g)
+		f := k.Fused
+		if f == nil || f.HasBias || f.Ep != tensor.EpNone {
+			t.Fatalf("lowering = %+v, want biasless EpNone", f)
+		}
+	})
+
+	t.Run("dense_own_bias", func(t *testing.T) {
+		g, d := denseBase(rng, true)
+		g.SetOutputs(d)
+		k := fuseLower(t, g)
+		f := k.Fused
+		if f == nil || !f.HasBias || f.Ep != tensor.EpNone {
+			t.Fatalf("lowering = %+v, want bias from dense operand", f)
+		}
+	})
+
+	t.Run("dense_add_folds_bias", func(t *testing.T) {
+		g, d := denseBase(rng, false)
+		b := g.AddConst("b2", tensor.Rand(rng, 0.5, 6))
+		a := g.Add("add", "a", nil, d, b)
+		g.SetOutputs(a)
+		k := fuseLower(t, g)
+		f := k.Fused
+		if f == nil || !f.HasBias || f.Bias != b || f.Ep != tensor.EpNone {
+			t.Fatalf("lowering = %+v, want folded bias %d", f, b)
+		}
+	})
+
+	t.Run("dense_relu", func(t *testing.T) {
+		g, d := denseBase(rng, true)
+		r := g.Add("relu", "r", nil, d)
+		g.SetOutputs(r)
+		k := fuseLower(t, g)
+		f := k.Fused
+		if f == nil || !f.HasBias || f.Ep != tensor.EpReLU {
+			t.Fatalf("lowering = %+v, want bias + EpReLU", f)
+		}
+	})
+
+	t.Run("dense_add_sigmoid", func(t *testing.T) {
+		g, d := denseBase(rng, false)
+		b := g.AddConst("b2", tensor.Rand(rng, 0.5, 6))
+		a := g.Add("add", "a", nil, d, b)
+		s := g.Add("sigmoid", "s", nil, a)
+		g.SetOutputs(s)
+		k := fuseLower(t, g)
+		f := k.Fused
+		if f == nil || !f.HasBias || f.Bias != b || f.Ep != tensor.EpSigmoid {
+			t.Fatalf("lowering = %+v, want folded bias + EpSigmoid", f)
+		}
+	})
+
+	// Rejections: each of these must keep generic op-by-op dispatch.
+
+	t.Run("reject_double_bias", func(t *testing.T) {
+		g, d := denseBase(rng, true)
+		b := g.AddConst("b2", tensor.Rand(rng, 0.5, 6))
+		a := g.Add("add", "a", nil, d, b)
+		g.SetOutputs(a)
+		if k := fuseLower(t, g); k.Fused != nil {
+			t.Fatalf("dense-with-bias + add lowered to %+v, want nil", k.Fused)
+		}
+	})
+
+	t.Run("reject_swapped_add_operands", func(t *testing.T) {
+		g, d := denseBase(rng, false)
+		b := g.AddConst("b2", tensor.Rand(rng, 0.5, 2, 6))
+		a := g.Add("add", "a", nil, b, d) // add(other, tail): not canonical order
+		g.SetOutputs(a)
+		if k := fuseLower(t, g); k.Fused != nil {
+			t.Fatalf("swapped add lowered to %+v, want nil", k.Fused)
+		}
+	})
+
+	t.Run("reject_scalar_bias", func(t *testing.T) {
+		g, d := denseBase(rng, false)
+		b := g.AddConst("b2", tensor.Rand(rng, 0.5, 1)) // broadcasts, width ≠ 6
+		a := g.Add("add", "a", nil, d, b)
+		g.SetOutputs(a)
+		if k := fuseLower(t, g); k.Fused != nil {
+			t.Fatalf("scalar-broadcast add lowered to %+v, want nil", k.Fused)
+		}
+	})
+
+	t.Run("reject_unsupported_activation", func(t *testing.T) {
+		g, d := denseBase(rng, true)
+		r := g.Add("tanh", "r", nil, d)
+		g.SetOutputs(r)
+		if k := fuseLower(t, g); k.Fused != nil {
+			t.Fatalf("dense+tanh lowered to %+v, want nil", k.Fused)
+		}
+	})
+
+	t.Run("reject_trailing_op_after_activation", func(t *testing.T) {
+		g, d := denseBase(rng, true)
+		r := g.Add("relu", "r", nil, d)
+		s := g.Add("exp", "s", nil, r)
+		g.SetOutputs(s)
+		if k := fuseLower(t, g); k.Fused != nil {
+			t.Fatalf("dense+relu+exp lowered to %+v, want nil", k.Fused)
+		}
+	})
+
+	t.Run("reject_non_dense_leader", func(t *testing.T) {
+		g := graph.New("fl")
+		x := g.AddInput("x", 2, 8)
+		r := g.Add("relu", "r", nil, x)
+		g.SetOutputs(r)
+		if k := fuseLower(t, g); k.Fused != nil {
+			t.Fatalf("relu leader lowered to %+v, want nil", k.Fused)
+		}
+	})
+}
+
+// TestExecuteArenaMatchesExecute runs the same module through the plain and
+// arena executors and demands bit-identical outputs — the arena path (fused
+// epilogues, buffer recycling, early release) must not change a single ULP.
+func TestExecuteArenaMatchesExecute(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := graph.New("mix")
+	x := g.AddInput("x", 3, 8)
+	w1 := g.AddConst("w1", tensor.Rand(rng, 0.5, 16, 8))
+	b1 := g.AddConst("b1", tensor.Rand(rng, 0.5, 16))
+	d1 := g.Add("dense", "d1", nil, x, w1)
+	a1 := g.Add("add", "a1", nil, d1, b1)
+	r1 := g.Add("relu", "r1", nil, a1)
+	w2 := g.AddConst("w2", tensor.Rand(rng, 0.5, 4, 16))
+	b2 := g.AddConst("b2", tensor.Rand(rng, 0.5, 4))
+	d2 := g.Add("dense", "d2", nil, r1, w2, b2)
+	s2 := g.Add("sigmoid", "s2", nil, d2)
+	fl := g.Add("flatten", "fl", nil, s2)
+	sm := g.Add("softmax", "sm", nil, fl)
+	g.SetOutputs(sm, r1) // r1 doubles as a declared output: must survive release
+	if err := InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Compile(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[string]*tensor.Tensor{"x": tensor.Rand(rng, 1, 3, 8)}
+	want, err := m.Execute(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := tensor.NewArena()
+	for round := 0; round < 3; round++ { // round 2+ exercises recycled buffers
+		got, err := m.ExecuteArena(inputs, ar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d outputs, want %d", round, len(got), len(want))
+		}
+		for i := range want {
+			wd, gd := want[i].Data(), got[i].Data()
+			for j := range wd {
+				if math.Float32bits(wd[j]) != math.Float32bits(gd[j]) {
+					t.Fatalf("round %d: output %d element %d = %v, want %v (bit-exact)",
+						round, i, j, gd[j], wd[j])
+				}
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package compiler
 
 import (
 	"fmt"
+	"sync"
 
 	"duet/internal/graph"
 	"duet/internal/ops"
@@ -14,6 +15,47 @@ type Module struct {
 	Graph   *graph.Graph
 	Kernels []Kernel
 	Opt     Options
+
+	planOnce sync.Once
+	plan     releasePlan
+}
+
+// releasePlan is the static part of the arena executor's liveness tracking,
+// computed once per module: how many times each node's value is read (plus a
+// sentinel read for declared outputs, which must survive the run), and which
+// nodes are safe to recycle at all. Inputs and constants belong to the
+// caller; alias ops (reshape/flatten) share storage with their operand, so
+// neither an alias output nor anything an alias op reads may be recycled.
+type releasePlan struct {
+	uses       []int  // indexed by NodeID: consumer edges + output sentinel
+	releasable []bool // indexed by NodeID
+}
+
+func (m *Module) releasePlan() *releasePlan {
+	m.planOnce.Do(func() {
+		g := m.Graph
+		uses := make([]int, g.Len())
+		releasable := make([]bool, g.Len())
+		for _, n := range g.Nodes() {
+			releasable[n.ID] = !n.IsInput() && !n.IsConst()
+			if def, err := ops.Lookup(n.Op); err == nil && def.Alias {
+				releasable[n.ID] = false
+				for _, in := range n.Inputs {
+					releasable[in] = false
+				}
+			}
+		}
+		for _, n := range g.Nodes() {
+			for _, in := range n.Inputs {
+				uses[in]++
+			}
+		}
+		for _, o := range g.Outputs() {
+			uses[o]++
+		}
+		m.plan = releasePlan{uses: uses, releasable: releasable}
+	})
+	return &m.plan
 }
 
 // Compile optimizes the graph under opt and lowers it to kernels. The input
@@ -77,6 +119,75 @@ func (m *Module) Execute(inputs map[string]*tensor.Tensor) ([]*tensor.Tensor, er
 	}
 	for i := range m.Kernels {
 		m.RunKernel(&m.Kernels[i], env)
+	}
+	outs := make([]*tensor.Tensor, len(m.Graph.Outputs()))
+	for i, o := range m.Graph.Outputs() {
+		outs[i] = env[o]
+	}
+	return outs, nil
+}
+
+// ExecuteArena runs the whole module with intermediates drawn from ar,
+// releasing each value back to the arena as soon as its last consumer has
+// read it — a warm run recycles nearly every activation buffer. Fused
+// kernels dispatch straight to the epilogue GEMM without materializing
+// group intermediates. A nil arena degrades to Execute.
+func (m *Module) ExecuteArena(inputs map[string]*tensor.Tensor, ar *tensor.Arena) ([]*tensor.Tensor, error) {
+	if ar == nil {
+		return m.Execute(inputs)
+	}
+	env, err := m.NewEnv(inputs)
+	if err != nil {
+		return nil, err
+	}
+	plan := m.releasePlan()
+	uses := make([]int, len(plan.uses))
+	copy(uses, plan.uses)
+	// One input-slice buffer for the whole run; op Exec functions read it
+	// during the call and must not retain it.
+	var in []*tensor.Tensor
+	consume := func(id graph.NodeID) {
+		uses[id]--
+		if uses[id] == 0 && plan.releasable[id] {
+			ar.Release(env[id])
+			delete(env, id)
+		}
+	}
+	for i := range m.Kernels {
+		k := &m.Kernels[i]
+		if f := k.Fused; f != nil {
+			var bias *tensor.Tensor
+			if f.HasBias {
+				bias = env[f.Bias]
+			}
+			env[k.Output()] = tensor.LinearEpInto(nil, env[f.X], env[f.W], bias, f.Ep, ar)
+			consume(f.X)
+			consume(f.W)
+			if f.HasBias {
+				consume(f.Bias)
+			}
+			continue
+		}
+		for _, id := range k.Nodes {
+			n := m.Graph.Node(id)
+			def := ops.MustLookup(n.Op)
+			in = in[:0]
+			for _, inID := range n.Inputs {
+				v, ok := env[inID]
+				if !ok {
+					panic(fmt.Sprintf("compiler: kernel %s reads %q before it is computed", k.Name, m.Graph.Node(inID).Name))
+				}
+				in = append(in, v)
+			}
+			if def.ExecArena != nil {
+				env[id] = def.ExecArena(n.Attrs, in, ar)
+			} else {
+				env[id] = def.Exec(n.Attrs, in)
+			}
+			for _, inID := range n.Inputs {
+				consume(inID)
+			}
+		}
 	}
 	outs := make([]*tensor.Tensor, len(m.Graph.Outputs()))
 	for i, o := range m.Graph.Outputs() {

@@ -9,12 +9,15 @@ import "duet/internal/vclock"
 // parameters below rather than being hard-coded per-model.
 const (
 	// CPU: a many-core server part running TVM-generated vectorized code.
-	// Effective (not theoretical-peak) conv/GEMM throughput.
+	// Effective (not theoretical-peak) conv/GEMM throughput. Launch and
+	// dispatch reflect the persistent-worker-pool substrate: handing a kernel
+	// body to already-running workers over a channel is cheaper than the
+	// goroutine spawn the previous calibration assumed.
 	cpuPeakFLOPS   = 125e9
 	cpuMemBW       = 100e9
-	cpuLaunch      = 2e-6
+	cpuLaunch      = 1.5e-6
 	cpuParallelSat = 32
-	cpuDispatch    = 3e-6
+	cpuDispatch    = 2.5e-6
 
 	// GPU: TITAN V-class. Peak is enormous but a kernel only approaches it
 	// with ~10^6 independent work items; batch-1 GEMV gets a tiny fraction.

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	goruntime "runtime"
+	"time"
+
+	"duet/internal/tensor"
+)
+
+// KernelBench is one measured cell of the kernel benchmark matrix: a kernel
+// family at one shape, executed by one code path (packed register-blocked
+// GEMM vs the legacy cache-blocked loop) on one threading substrate (the
+// persistent worker pool vs forced-serial execution).
+type KernelBench struct {
+	Kernel  string  `json:"kernel"`  // matmul | linear | conv2d
+	Shape   string  `json:"shape"`   // human-readable problem size
+	Variant string  `json:"variant"` // packed | blocked
+	Threads string  `json:"threads"` // pool | serial
+	Iters   int     `json:"iters"`
+	NsPerOp float64 `json:"ns_per_op"`
+	GFLOPS  float64 `json:"gflops"`
+}
+
+// KernelsReport is the committed BENCH_kernels.json artifact: the full
+// benchmark matrix plus the host context it was measured on, so kernel-level
+// regressions are diffable across revisions the same way BENCH_obs.json
+// tracks metric shape.
+type KernelsReport struct {
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Quick      bool          `json:"quick"`
+	Benches    []KernelBench `json:"benches"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *KernelsReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// benchBudget is the per-cell sampling budget at paper scale; quick mode
+// runs every cell once.
+const benchBudget = 300 * time.Millisecond
+
+// timeKernel samples f until the budget is spent (at least once) and
+// returns the iteration count and mean ns/op.
+func timeKernel(quick bool, f func()) (int, float64) {
+	f() // warm up: pack caches, arena pools, worker pool spin-up
+	iters := 0
+	var elapsed time.Duration
+	for elapsed < benchBudget && iters < 50 {
+		start := time.Now()
+		f()
+		elapsed += time.Since(start)
+		iters++
+		if quick {
+			break
+		}
+	}
+	return iters, float64(elapsed.Nanoseconds()) / float64(iters)
+}
+
+// BuildKernelsReport measures the tensor-layer compute kernels across the
+// packed/blocked × pool/serial matrix. cfg.Runs below the Default scale
+// (i.e. Quick) switches to single-iteration sampling.
+func BuildKernelsReport(cfg Config) (*KernelsReport, error) {
+	quick := cfg.Runs < Default().Runs
+	rep := &KernelsReport{GoMaxProcs: goruntime.GOMAXPROCS(0), Quick: quick}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	type threading struct {
+		name    string
+		workers int
+	}
+	threadings := []threading{{"pool", 0}, {"serial", 1}}
+	defer tensor.SetMaxWorkers(0)
+
+	record := func(kernel, shape, variant, threads string, flops float64, f func()) {
+		iters, ns := timeKernel(quick, f)
+		rep.Benches = append(rep.Benches, KernelBench{
+			Kernel: kernel, Shape: shape, Variant: variant, Threads: threads,
+			Iters: iters, NsPerOp: ns, GFLOPS: flops / ns,
+		})
+	}
+
+	// Square matmul across the acceptance sizes.
+	for _, n := range []int{64, 128, 256, 512} {
+		a := tensor.Rand(rng, 1, n, n)
+		b := tensor.Rand(rng, 1, n, n)
+		shape := fmt.Sprintf("%dx%dx%d", n, n, n)
+		flops := 2 * float64(n) * float64(n) * float64(n)
+		for _, th := range threadings {
+			tensor.SetMaxWorkers(th.workers)
+			record("matmul", shape, "packed", th.name, flops, func() { tensor.MatMul(a, b) })
+			record("matmul", shape, "blocked", th.name, flops, func() { tensor.MatMulBlocked(a, b) })
+		}
+	}
+
+	// Linear layers: the serving-relevant small-batch GEMMs. The weight is
+	// pinned like every graph constant, so the packed variant measures the
+	// warm pack-cache path the engine actually runs — without it, small-M
+	// shapes would charge a full weight repack to every call.
+	for _, s := range [][3]int{{1, 1024, 1024}, {8, 512, 512}, {32, 256, 1024}} {
+		bsz, k, n := s[0], s[1], s[2]
+		x := tensor.Rand(rng, 1, bsz, k)
+		w := tensor.Rand(rng, 1, n, k).MarkPinned()
+		bias := tensor.Rand(rng, 1, n)
+		shape := fmt.Sprintf("B%d K%d N%d", bsz, k, n)
+		flops := 2 * float64(bsz) * float64(k) * float64(n)
+		for _, th := range threadings {
+			tensor.SetMaxWorkers(th.workers)
+			record("linear", shape, "packed", th.name, flops, func() { tensor.Linear(x, w, bias) })
+			record("linear", shape, "blocked", th.name, flops, func() { tensor.LinearBlocked(x, w, bias) })
+		}
+	}
+
+	// Conv2D at two CNN-trunk shapes.
+	for _, s := range [][4]int{{16, 32, 28, 3}, {32, 64, 14, 3}} {
+		cin, cout, hw, kk := s[0], s[1], s[2], s[3]
+		x := tensor.Rand(rng, 1, 1, cin, hw, hw)
+		w := tensor.Rand(rng, 1, cout, cin, kk, kk)
+		shape := fmt.Sprintf("%dx%dx%dx%d k%d", cin, cout, hw, hw, kk)
+		flops := 2 * float64(cout) * float64(cin) * float64(kk*kk) * float64(hw*hw)
+		for _, th := range threadings {
+			tensor.SetMaxWorkers(th.workers)
+			record("conv2d", shape, "packed", th.name, flops, func() { tensor.Conv2D(x, w, nil, 1, kk/2) })
+			record("conv2d", shape, "blocked", th.name, flops, func() { tensor.Conv2DBlocked(x, w, nil, 1, kk/2) })
+		}
+	}
+
+	tensor.SetMaxWorkers(0)
+	return rep, nil
+}

@@ -121,10 +121,12 @@ func (g *Graph) AddInput(name string, shape ...int) NodeID {
 	return id
 }
 
-// AddConst adds a constant (weight) node holding v.
+// AddConst adds a constant (weight) node holding v. The payload is pinned:
+// its storage has stable identity for the lifetime of the graph, which lets
+// the GEMM weight pack cache key on it and the arena refuse to recycle it.
 func (g *Graph) AddConst(name string, v *tensor.Tensor) NodeID {
 	id := g.Add(OpConst, name, Attrs{})
-	g.nodes[id].Value = v
+	g.nodes[id].Value = v.MarkPinned()
 	g.nodes[id].Shape = append([]int(nil), v.Shape()...)
 	return id
 }

@@ -70,6 +70,13 @@ func init() {
 			}
 			return tensor.Conv2D(in[0], in[1], bias, attrs.Int("stride", 1), attrs.Int("pad", 0))
 		},
+		ExecArena: func(attrs graph.Attrs, in []*tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+			var bias *tensor.Tensor
+			if len(in) == 3 {
+				bias = in[2]
+			}
+			return tensor.Conv2DInto(nil, in[0], in[1], bias, attrs.Int("stride", 1), attrs.Int("pad", 0), ar)
+		},
 	})
 
 	Register(&Def{
@@ -104,6 +111,9 @@ func init() {
 		Exec: func(attrs graph.Attrs, in []*tensor.Tensor) *tensor.Tensor {
 			return tensor.MaxPool2D(in[0], attrs.Int("kernel", 2), attrs.Int("stride", 1), attrs.Int("pad", 0))
 		},
+		ExecArena: func(attrs graph.Attrs, in []*tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+			return tensor.MaxPool2DInto(nil, in[0], attrs.Int("kernel", 2), attrs.Int("stride", 1), attrs.Int("pad", 0), ar)
+		},
 	})
 
 	Register(&Def{
@@ -123,6 +133,9 @@ func init() {
 		},
 		Exec: func(_ graph.Attrs, in []*tensor.Tensor) *tensor.Tensor {
 			return tensor.GlobalAvgPool2D(in[0])
+		},
+		ExecArena: func(_ graph.Attrs, in []*tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+			return tensor.GlobalAvgPool2DInto(nil, in[0], ar)
 		},
 	})
 
@@ -153,6 +166,10 @@ func init() {
 		Exec: func(attrs graph.Attrs, in []*tensor.Tensor) *tensor.Tensor {
 			eps := float32(attrs.Int("eps_micro", 10)) * 1e-6
 			return tensor.BatchNorm2D(in[0], in[1], in[2], in[3], in[4], eps)
+		},
+		ExecArena: func(attrs graph.Attrs, in []*tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+			eps := float32(attrs.Int("eps_micro", 10)) * 1e-6
+			return tensor.BatchNorm2DInto(nil, in[0], in[1], in[2], in[3], in[4], eps, ar)
 		},
 	})
 }

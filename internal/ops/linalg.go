@@ -51,6 +51,13 @@ func init() {
 			}
 			return tensor.Linear(in[0], in[1], bias)
 		},
+		ExecArena: func(_ graph.Attrs, in []*tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+			var bias *tensor.Tensor
+			if len(in) == 3 {
+				bias = in[2]
+			}
+			return tensor.LinearEpInto(nil, in[0], in[1], bias, tensor.EpNone, ar)
+		},
 	})
 
 	Register(&Def{
@@ -84,6 +91,9 @@ func init() {
 		},
 		Exec: func(_ graph.Attrs, in []*tensor.Tensor) *tensor.Tensor {
 			return tensor.MatMul(in[0], in[1])
+		},
+		ExecArena: func(_ graph.Attrs, in []*tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+			return tensor.MatMulInto(nil, in[0], in[1], ar)
 		},
 	})
 
@@ -119,6 +129,9 @@ func init() {
 		Exec: func(_ graph.Attrs, in []*tensor.Tensor) *tensor.Tensor {
 			return tensor.BatchMatMul(in[0], in[1])
 		},
+		ExecArena: func(_ graph.Attrs, in []*tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+			return tensor.BatchMatMulInto(nil, in[0], in[1], ar)
+		},
 	})
 
 	Register(&Def{
@@ -138,6 +151,9 @@ func init() {
 		},
 		Exec: func(_ graph.Attrs, in []*tensor.Tensor) *tensor.Tensor {
 			return tensor.Transpose2D(in[0])
+		},
+		ExecArena: func(_ graph.Attrs, in []*tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+			return tensor.Transpose2DInto(nil, in[0], ar)
 		},
 	})
 }

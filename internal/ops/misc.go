@@ -25,6 +25,9 @@ func init() {
 			return Cost{FLOPs: 6 * n, Bytes: 8 * n, Parallelism: n, Launches: 1, SeqSteps: 1}
 		},
 		Exec: func(_ graph.Attrs, in []*tensor.Tensor) *tensor.Tensor { return tensor.Softmax(in[0]) },
+		ExecArena: func(_ graph.Attrs, in []*tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+			return tensor.SoftmaxInto(nil, in[0], ar)
+		},
 	})
 
 	Register(&Def{
@@ -51,6 +54,10 @@ func init() {
 		Exec: func(attrs graph.Attrs, in []*tensor.Tensor) *tensor.Tensor {
 			eps := float32(attrs.Int("eps_micro", 10)) * 1e-6
 			return tensor.LayerNorm(in[0], in[1], in[2], eps)
+		},
+		ExecArena: func(attrs graph.Attrs, in []*tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+			eps := float32(attrs.Int("eps_micro", 10)) * 1e-6
+			return tensor.LayerNormInto(nil, in[0], in[1], in[2], eps, ar)
 		},
 	})
 
@@ -90,6 +97,9 @@ func init() {
 		},
 		Exec: func(attrs graph.Attrs, in []*tensor.Tensor) *tensor.Tensor {
 			return tensor.Concat(attrs.Int("axis", -1), in...)
+		},
+		ExecArena: func(attrs graph.Attrs, in []*tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+			return tensor.ConcatInto(nil, attrs.Int("axis", -1), ar, in...)
 		},
 	})
 
@@ -139,6 +149,7 @@ func init() {
 		Exec: func(attrs graph.Attrs, in []*tensor.Tensor) *tensor.Tensor {
 			return in[0].Reshape(attrs.Ints("shape")...)
 		},
+		Alias: true,
 	})
 
 	Register(&Def{
@@ -163,6 +174,7 @@ func init() {
 		Exec: func(_ graph.Attrs, in []*tensor.Tensor) *tensor.Tensor {
 			return in[0].Reshape(in[0].Dim(0), -1)
 		},
+		Alias: true,
 	})
 
 	Register(&Def{
@@ -194,6 +206,15 @@ func init() {
 			out := tensor.Embedding(table, ids)
 			return out.Reshape(idsT.Dim(0), idsT.Dim(1), table.Dim(1))
 		},
+		ExecArena: func(_ graph.Attrs, in []*tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+			idsT, table := in[0], in[1]
+			ids := make([]int, idsT.Numel())
+			for i, v := range idsT.Data() {
+				ids[i] = int(v)
+			}
+			out := tensor.EmbeddingInto(nil, table, ids, ar)
+			return out.Reshape(idsT.Dim(0), idsT.Dim(1), table.Dim(1))
+		},
 	})
 
 	Register(&Def{
@@ -216,6 +237,9 @@ func init() {
 		},
 		Exec: func(_ graph.Attrs, in []*tensor.Tensor) *tensor.Tensor {
 			return tensor.CosineSimilarity(in[0], in[1])
+		},
+		ExecArena: func(_ graph.Attrs, in []*tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+			return tensor.CosineSimilarityInto(nil, in[0], in[1], ar)
 		},
 	})
 
@@ -258,44 +282,64 @@ func init() {
 			}
 		},
 		Exec: func(attrs graph.Attrs, in []*tensor.Tensor) *tensor.Tensor {
-			return mhaForward(in[0], in[1], in[2], in[3], in[4], in[5], attrs.Int("heads", 1))
+			return mhaForward(in[0], in[1], in[2], in[3], in[4], in[5], attrs.Int("heads", 1), nil)
+		},
+		ExecArena: func(attrs graph.Attrs, in []*tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+			return mhaForward(in[0], in[1], in[2], in[3], in[4], in[5], attrs.Int("heads", 1), ar)
 		},
 	})
 }
 
-// mhaForward computes multi-head self-attention for x (B,T,D).
-func mhaForward(x, wq, wk, wv, wo, bias *tensor.Tensor, heads int) *tensor.Tensor {
+// mhaForward computes multi-head self-attention for x (B,T,D) with every
+// intermediate drawn from ar (nil degrades to plain allocation). The x·wᵀ
+// products go through the dense kernel, so the pinned projection weights
+// are packed once and cached across calls.
+func mhaForward(x, wq, wk, wv, wo, bias *tensor.Tensor, heads int, ar *tensor.Arena) *tensor.Tensor {
 	b, t, d := x.Dim(0), x.Dim(1), x.Dim(2)
 	hd := d / heads
 	scale := float32(1 / sqrtf(float64(hd)))
-	out := tensor.New(b, t, d)
+	out := ar.NewNoZero(b, t, d)
 	for bi := 0; bi < b; bi++ {
 		xb := tensor.FromSlice(x.Data()[bi*t*d:(bi+1)*t*d], t, d)
-		q := tensor.MatMul(xb, tensor.Transpose2D(wq))
-		k := tensor.MatMul(xb, tensor.Transpose2D(wk))
-		v := tensor.MatMul(xb, tensor.Transpose2D(wv))
-		ctx := tensor.New(t, d)
+		q := tensor.LinearEpInto(nil, xb, wq, nil, tensor.EpNone, ar)
+		k := tensor.LinearEpInto(nil, xb, wk, nil, tensor.EpNone, ar)
+		v := tensor.LinearEpInto(nil, xb, wv, nil, tensor.EpNone, ar)
+		ctx := ar.NewNoZero(t, d)
 		for h := 0; h < heads; h++ {
-			qh := sliceCols(q, h*hd, hd)
-			kh := sliceCols(k, h*hd, hd)
-			vh := sliceCols(v, h*hd, hd)
-			scores := tensor.MatMul(qh, tensor.Transpose2D(kh)).Scale(scale)
-			attn := tensor.Softmax(scores)
-			ch := tensor.MatMul(attn, vh)
+			qh := sliceCols(q, h*hd, hd, ar)
+			kh := sliceCols(k, h*hd, hd, ar)
+			vh := sliceCols(v, h*hd, hd, ar)
+			// scores = qh·khᵀ — the dense kernel packs kh transposed.
+			scores := tensor.LinearEpInto(nil, qh, kh, nil, tensor.EpNone, ar)
+			tensor.ScaleInto(scores, scores, scale, ar)
+			attn := tensor.SoftmaxInto(nil, scores, ar)
+			ch := tensor.MatMulInto(nil, attn, vh, ar)
 			for r := 0; r < t; r++ {
 				copy(ctx.Data()[r*d+h*hd:r*d+(h+1)*hd], ch.Data()[r*hd:(r+1)*hd])
 			}
+			ar.Release(qh)
+			ar.Release(kh)
+			ar.Release(vh)
+			ar.Release(scores)
+			ar.Release(attn)
+			ar.Release(ch)
 		}
-		proj := tensor.Add(tensor.MatMul(ctx, tensor.Transpose2D(wo)), bias)
+		ar.Release(q)
+		ar.Release(k)
+		ar.Release(v)
+		proj := tensor.LinearEpInto(nil, ctx, wo, nil, tensor.EpNone, ar)
+		tensor.AddInto(proj, proj, bias, ar)
 		copy(out.Data()[bi*t*d:(bi+1)*t*d], proj.Data())
+		ar.Release(ctx)
+		ar.Release(proj)
 	}
 	return out
 }
 
 // sliceCols copies columns [start, start+n) of a 2-D tensor.
-func sliceCols(t2 *tensor.Tensor, start, n int) *tensor.Tensor {
+func sliceCols(t2 *tensor.Tensor, start, n int, ar *tensor.Arena) *tensor.Tensor {
 	rows, cols := t2.Dim(0), t2.Dim(1)
-	out := tensor.New(rows, n)
+	out := ar.NewNoZero(rows, n)
 	for r := 0; r < rows; r++ {
 		copy(out.Data()[r*n:(r+1)*n], t2.Data()[r*cols+start:r*cols+start+n])
 	}

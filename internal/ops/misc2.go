@@ -26,17 +26,10 @@ func init() {
 			return Cost{Bytes: 8 * n, Parallelism: n, Launches: 1, SeqSteps: 1}
 		},
 		Exec: func(_ graph.Attrs, in []*tensor.Tensor) *tensor.Tensor {
-			x := in[0]
-			b, t, d := x.Dim(0), x.Dim(1), x.Dim(2)
-			out := tensor.New(b, t, d)
-			for r := 0; r < b; r++ {
-				for s := 0; s < t; s++ {
-					src := x.Data()[(r*t+s)*d : (r*t+s+1)*d]
-					dst := out.Data()[(r*t+(t-1-s))*d : (r*t+(t-s))*d]
-					copy(dst, src)
-				}
-			}
-			return out
+			return reverseTime(in[0], nil)
+		},
+		ExecArena: func(_ graph.Attrs, in []*tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+			return reverseTime(in[0], ar)
 		},
 	})
 
@@ -72,19 +65,36 @@ func init() {
 			}
 		},
 		Exec: func(attrs graph.Attrs, in []*tensor.Tensor) *tensor.Tensor {
-			return avgPool2D(in[0], attrs.Int("kernel", 2), attrs.Int("stride", 1), attrs.Int("pad", 0))
+			return avgPool2D(in[0], attrs.Int("kernel", 2), attrs.Int("stride", 1), attrs.Int("pad", 0), nil)
+		},
+		ExecArena: func(attrs graph.Attrs, in []*tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+			return avgPool2D(in[0], attrs.Int("kernel", 2), attrs.Int("stride", 1), attrs.Int("pad", 0), ar)
 		},
 	})
 }
 
-func avgPool2D(x *tensor.Tensor, kernel, stride, pad int) *tensor.Tensor {
+// reverseTime flips the sequence axis of a (B,T,D) tensor.
+func reverseTime(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+	b, t, d := x.Dim(0), x.Dim(1), x.Dim(2)
+	out := ar.NewNoZero(b, t, d)
+	for r := 0; r < b; r++ {
+		for s := 0; s < t; s++ {
+			src := x.Data()[(r*t+s)*d : (r*t+s+1)*d]
+			dst := out.Data()[(r*t+(t-1-s))*d : (r*t+(t-s))*d]
+			copy(dst, src)
+		}
+	}
+	return out
+}
+
+func avgPool2D(x *tensor.Tensor, kernel, stride, pad int, ar *tensor.Arena) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	oh := (h+2*pad-kernel)/stride + 1
 	ow := (w+2*pad-kernel)/stride + 1
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("ops: avgpool2d empty output for %v", x.Shape()))
 	}
-	out := tensor.New(n, c, oh, ow)
+	out := ar.New(n, c, oh, ow)
 	tensor.ParallelFor(n*c, func(lo, hi int) {
 		for nc := lo; nc < hi; nc++ {
 			src := x.Data()[nc*h*w : (nc+1)*h*w]

@@ -61,6 +61,16 @@ type Def struct {
 	Cost func(attrs graph.Attrs, in [][]int, out []int) Cost
 	// Exec computes the operator on the host tensor engine.
 	Exec func(attrs graph.Attrs, in []*tensor.Tensor) *tensor.Tensor
+	// ExecArena computes the operator with its output and internal
+	// intermediates drawn from ar, letting the executor recycle activation
+	// buffers across runs. Optional: ops without one fall back to Exec.
+	// A nil arena degrades to plain allocation, so ExecArena(attrs, in, nil)
+	// and Exec(attrs, in) are interchangeable.
+	ExecArena func(attrs graph.Attrs, in []*tensor.Tensor, ar *tensor.Arena) *tensor.Tensor
+	// Alias marks ops whose output shares storage with an input (reshape,
+	// flatten). The executor must neither recycle an alias output nor
+	// release the aliased input while the view is live.
+	Alias bool
 	// Elementwise ops can fuse into a preceding anchor's epilogue.
 	Elementwise bool
 	// Anchor ops (dense, conv2d, lstm, ...) can host a fusion group.

@@ -1,0 +1,66 @@
+package runtime
+
+import (
+	"testing"
+
+	"duet/internal/compiler"
+	"duet/internal/device"
+	"duet/internal/models"
+	"duet/internal/partition"
+	"duet/internal/tensor"
+	"duet/internal/workload"
+)
+
+// TestArenaCutsSteadyStateAllocs is the allocation regression guard for the
+// arena executor: a warm end-to-end Run of a zoo model must allocate at most
+// half of what the same run costs with the arena disabled. It runs under
+// `make check`, so a change that silently stops recycling activation buffers
+// fails the gate rather than just showing up in benchmarks.
+func TestArenaCutsSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop Puts at random; allocation accounting is only meaningful without -race (make check runs a plain pass)")
+	}
+	cfg := models.SiameseConfig{
+		Batch: 1, SeqLen: 32, Vocab: 500, EmbedDim: 64,
+		Hidden: 96, Layers: 2, ProjDim: 48, Seed: 11,
+	}
+	g, err := models.Siamese(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compiler.InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	p, err := partition.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, p, 0)
+	inputs := workload.SiameseInputs(cfg, 7)
+	place := Uniform(e.NumSubgraphs(), device.CPU)
+
+	run := func() {
+		if _, err := e.Run(inputs, place, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Warm both substrates: arena pools fill, weight packs cache, the worker
+	// pool spins up. Only steady state is guarded.
+	run()
+	run()
+	withArena := testing.AllocsPerRun(5, run)
+
+	e.SetArena(nil)
+	run()
+	withoutArena := testing.AllocsPerRun(5, run)
+	e.SetArena(tensor.NewArena())
+
+	if withoutArena == 0 {
+		t.Fatal("baseline run reports zero allocations; guard is measuring nothing")
+	}
+	if withArena > withoutArena/2 {
+		t.Fatalf("warm run allocates %.0f objects with the arena, want ≤ half of the %.0f without it",
+			withArena, withoutArena)
+	}
+}

@@ -110,12 +110,16 @@ type Engine struct {
 	// m holds the resolved observability instruments (all nil until
 	// Instrument attaches a registry; recording through nil is a no-op).
 	m engineMetrics
+	// arena recycles activation buffers across value-carrying runs. Created
+	// by New; SetArena(nil) reverts to plain allocation (the pre-arena
+	// baseline, useful for allocation A/B measurements).
+	arena *tensor.Arena
 }
 
 // New compiles every subgraph of the partition under opt and returns an
 // engine ready to execute placements.
 func New(p *partition.Partition, plat *device.Platform, opt compiler.Options) (*Engine, error) {
-	e := &Engine{Parent: p.Parent, Partition: p, Platform: plat, subgraphs: p.Subgraphs()}
+	e := &Engine{Parent: p.Parent, Partition: p, Platform: plat, subgraphs: p.Subgraphs(), arena: tensor.NewArena()}
 	for _, sub := range e.subgraphs {
 		m, err := compiler.Compile(sub.Graph, opt)
 		if err != nil {
@@ -145,6 +149,13 @@ func (e *Engine) Subgraphs() []*graph.Subgraph { return e.subgraphs }
 // Module returns the compiled module of subgraph i.
 func (e *Engine) Module(i int) *compiler.Module { return e.modules[i] }
 
+// SetArena replaces the engine's activation arena. Pass nil to disable
+// buffer recycling and execute with plain allocation.
+func (e *Engine) SetArena(ar *tensor.Arena) { e.arena = ar }
+
+// Arena returns the engine's activation arena (nil when disabled).
+func (e *Engine) Arena() *tensor.Arena { return e.arena }
+
 // Run executes the model under the given placement. inputs are keyed by the
 // parent graph's input names; pass withValues=false for timing-only runs
 // (inputs may then be nil).
@@ -156,6 +167,7 @@ func (e *Engine) Run(inputs map[string]*tensor.Tensor, place Placement, withValu
 	}
 	e.m.runs.Inc()
 	e.m.latency.Observe(res.Latency)
+	e.m.recordMemory(e.arena)
 	return res, nil
 }
 
@@ -184,6 +196,7 @@ func (e *Engine) run(inputs map[string]*tensor.Tensor, place Placement, withValu
 	}
 
 	var values map[graph.NodeID]*tensor.Tensor
+	var boundaryUses map[graph.NodeID]int
 	if withValues {
 		values = make(map[graph.NodeID]*tensor.Tensor)
 		for _, id := range e.Parent.InputIDs() {
@@ -196,6 +209,9 @@ func (e *Engine) run(inputs map[string]*tensor.Tensor, place Placement, withValu
 				return nil, fmt.Errorf("runtime: input %q has shape %v, want %v", n.Name, v.Shape(), n.Shape)
 			}
 			values[id] = v
+		}
+		if e.arena != nil {
+			boundaryUses = e.boundaryUses()
 		}
 	}
 
@@ -275,13 +291,14 @@ func (e *Engine) run(inputs map[string]*tensor.Tensor, place Placement, withValu
 			for _, pid := range sub.BoundaryInputs {
 				subIn["in."+e.Parent.Node(pid).Name] = values[pid]
 			}
-			outs, err := e.modules[i].Execute(subIn)
+			outs, err := e.modules[i].ExecuteArena(subIn, e.arena)
 			if err != nil {
 				return nil, fmt.Errorf("runtime: executing %s: %w", sub.Graph.Name, err)
 			}
 			for oi, pid := range sub.Outputs {
 				values[pid] = outs[oi]
 			}
+			e.releaseConsumed(sub.BoundaryInputs, boundaryUses, values)
 		}
 	}
 
@@ -304,6 +321,59 @@ func (e *Engine) run(inputs map[string]*tensor.Tensor, place Placement, withValu
 		}
 	}
 	return res, nil
+}
+
+// boundaryUses counts, per parent node, how many subgraphs consume its value
+// as a boundary input — the engine-level analogue of the module executor's
+// release plan. Parent inputs and declared outputs get a sentinel use so
+// they always survive the run (they belong to the caller).
+func (e *Engine) boundaryUses() map[graph.NodeID]int {
+	uses := make(map[graph.NodeID]int, e.Parent.Len())
+	for _, sub := range e.subgraphs {
+		for _, pid := range sub.BoundaryInputs {
+			uses[pid]++
+		}
+	}
+	for _, id := range e.Parent.InputIDs() {
+		uses[id]++
+	}
+	for _, o := range e.Parent.Outputs() {
+		uses[o]++
+	}
+	return uses
+}
+
+// releaseConsumed returns cross-subgraph intermediate values to the arena
+// once their last consuming subgraph has executed. A value still referenced
+// by an aliasing view elsewhere in values (a subgraph whose output is a
+// reshape of its input shares storage with it) is left to the garbage
+// collector instead. No-op when the arena is disabled or bookkeeping was
+// not requested.
+func (e *Engine) releaseConsumed(consumed []graph.NodeID, uses map[graph.NodeID]int, values map[graph.NodeID]*tensor.Tensor) {
+	if e.arena == nil || uses == nil {
+		return
+	}
+	for _, pid := range consumed {
+		uses[pid]--
+		if uses[pid] != 0 {
+			continue
+		}
+		v := values[pid]
+		if v == nil || len(v.Data()) == 0 {
+			continue
+		}
+		shared := false
+		for oid, o := range values {
+			if oid != pid && o != nil && len(o.Data()) > 0 && &o.Data()[0] == &v.Data()[0] {
+				shared = true
+				break
+			}
+		}
+		if !shared {
+			e.arena.Release(v)
+			delete(values, pid)
+		}
+	}
 }
 
 // MeasureLatency performs runs timing-only executions and returns every

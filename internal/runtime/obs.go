@@ -3,6 +3,7 @@ package runtime
 import (
 	"duet/internal/device"
 	"duet/internal/obs"
+	"duet/internal/tensor"
 )
 
 // engineMetrics caches the engine's resolved instruments so the hot paths
@@ -21,6 +22,14 @@ type engineMetrics struct {
 
 	deviceBusy [2]*obs.Gauge // duet_device_busy_seconds_total{device=...}
 	linkBusy   *obs.Gauge    // duet_device_busy_seconds_total{device=<link>}
+
+	arenaHits      *obs.Gauge // duet_arena_events_total{event=hit}
+	arenaMisses    *obs.Gauge // duet_arena_events_total{event=miss}
+	arenaRecycled  *obs.Gauge // duet_arena_events_total{event=recycled}
+	arenaDiscarded *obs.Gauge // duet_arena_events_total{event=discarded}
+	packHits       *obs.Gauge // duet_packcache_events_total{event=hit}
+	packMisses     *obs.Gauge // duet_packcache_events_total{event=miss}
+	packBytes      *obs.Gauge // duet_packcache_bytes
 
 	kernelFaults    *obs.Counter // duet_faults_total{kind=kernel}
 	transferFaults  *obs.Counter // duet_faults_total{kind=transfer}
@@ -51,6 +60,14 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 		latency:    reg.Histogram(obs.Series("duet_latency_seconds", "path", "run")),
 		policyLat:  reg.Histogram(obs.Series("duet_latency_seconds", "path", "policy")),
 
+		arenaHits:      reg.Gauge(obs.Series("duet_arena_events_total", "event", "hit")),
+		arenaMisses:    reg.Gauge(obs.Series("duet_arena_events_total", "event", "miss")),
+		arenaRecycled:  reg.Gauge(obs.Series("duet_arena_events_total", "event", "recycled")),
+		arenaDiscarded: reg.Gauge(obs.Series("duet_arena_events_total", "event", "discarded")),
+		packHits:       reg.Gauge(obs.Series("duet_packcache_events_total", "event", "hit")),
+		packMisses:     reg.Gauge(obs.Series("duet_packcache_events_total", "event", "miss")),
+		packBytes:      reg.Gauge("duet_packcache_bytes"),
+
 		kernelFaults:    reg.Counter(obs.Series("duet_faults_total", "kind", "kernel")),
 		transferFaults:  reg.Counter(obs.Series("duet_faults_total", "kind", "transfer")),
 		retries:         reg.Counter(obs.Series("duet_retries_total", "kind", "kernel")),
@@ -70,6 +87,27 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 // Registry returns the attached metrics registry (nil when the engine is
 // uninstrumented).
 func (e *Engine) Registry() *obs.Registry { return e.m.reg }
+
+// recordMemory publishes the arena's and the weight pack cache's cumulative
+// event counts as gauges. Called after each value-carrying run; both sources
+// are monotonic counters sampled at run granularity, so Set (not Add) is
+// correct. No-op when uninstrumented or when the arena is disabled.
+func (m *engineMetrics) recordMemory(ar *tensor.Arena) {
+	if m.reg == nil {
+		return
+	}
+	if ar != nil {
+		s := ar.Stats()
+		m.arenaHits.Set(float64(s.Hits))
+		m.arenaMisses.Set(float64(s.Misses))
+		m.arenaRecycled.Set(float64(s.Recycled))
+		m.arenaDiscarded.Set(float64(s.Discarded))
+	}
+	p := tensor.PackCacheSnapshot()
+	m.packHits.Set(float64(p.Hits))
+	m.packMisses.Set(float64(p.Misses))
+	m.packBytes.Set(float64(p.Bytes))
+}
 
 // recordPolicyReport folds one RunWithPolicy fault report into the
 // registry. All fields are no-ops when uninstrumented.

@@ -97,7 +97,7 @@ func (e *Engine) RunParallel(inputs map[string]*tensor.Tensor, place Placement) 
 				subIn["in."+e.Parent.Node(pid).Name] = values[pid]
 			}
 			mu.Unlock()
-			outs, err := e.modules[i].Execute(subIn)
+			outs, err := e.modules[i].ExecuteArena(subIn, e.arena)
 			if err != nil {
 				// Record the failure but keep the pipeline draining:
 				// dependents receive zero placeholders so every queued job

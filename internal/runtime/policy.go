@@ -137,6 +137,7 @@ func (e *Engine) RunWithPolicy(inputs map[string]*tensor.Tensor, place Placement
 	}
 	e.m.policyRuns.Inc()
 	e.m.policyLat.Observe(res.Latency)
+	e.m.recordMemory(e.arena)
 	return res, nil
 }
 
@@ -367,7 +368,7 @@ func (e *Engine) runWithPolicy(inputs map[string]*tensor.Tensor, place Placement
 			for _, pid := range sub.BoundaryInputs {
 				subIn["in."+e.Parent.Node(pid).Name] = values[pid]
 			}
-			outs, err := e.modules[i].Execute(subIn)
+			outs, err := e.modules[i].ExecuteArena(subIn, e.arena)
 			if err != nil {
 				return res, fmt.Errorf("runtime: executing %s: %w", sub.Graph.Name, err)
 			}

@@ -1,0 +1,8 @@
+//go:build race
+
+package runtime
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, which makes sync.Pool randomly drop Puts and so invalidates
+// arena allocation accounting.
+const raceEnabled = true

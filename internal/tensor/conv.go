@@ -6,6 +6,98 @@ import "fmt"
 // x is (N, Cin, H, W); w is (Cout, Cin, KH, KW). stride and pad apply to
 // both spatial dimensions. bias (Cout) may be nil.
 func Conv2D(x, w, bias *Tensor, stride, pad int) *Tensor {
+	return Conv2DInto(nil, x, w, bias, stride, pad, nil)
+}
+
+// Conv2DInto computes Conv2D into out (allocated from ar when nil). The
+// image patches are unrolled directly into the packed tile-major B layout
+// (one scratch buffer reused across the batch) and multiplied by the filter
+// matrix through the packed GEMM; the per-channel bias rides on the same
+// output pass.
+func Conv2DInto(out *Tensor, x, w, bias *Tensor, stride, pad int, ar *Arena) *Tensor {
+	if len(x.shape) != 4 || len(w.shape) != 4 {
+		panic(fmt.Sprintf("tensor: Conv2D requires 4-D x and w, got %v, %v", x.shape, w.shape))
+	}
+	n, cin, h, wd := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	cout, cin2, kh, kw := w.shape[0], w.shape[1], w.shape[2], w.shape[3]
+	if cin != cin2 {
+		panic(fmt.Sprintf("tensor: Conv2D channel mismatch: x has %d, w expects %d", cin, cin2))
+	}
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (wd+2*pad-kw)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Conv2D produces empty output for x %v, w %v, stride %d, pad %d", x.shape, w.shape, stride, pad))
+	}
+	if out == nil {
+		out = ar.New(n, cout, oh, ow)
+	} else {
+		want := []int{n, cout, oh, ow}
+		if !ShapeEq(out.shape, want) {
+			panic(fmt.Sprintf("tensor: Conv2DInto destination %v, want %v", out.shape, want))
+		}
+		clear(out.data)
+	}
+
+	colRows := cin * kh * kw // K of the GEMM
+	colCols := oh * ow       // N of the GEMM
+	col, scratch := ar.grabScratch(packedSize(colRows, colCols))
+	for b := 0; b < n; b++ {
+		im2colPacked(col, x.data[b*cin*h*wd:(b+1)*cin*h*wd], cin, h, wd, kh, kw, stride, pad, oh, ow)
+		// out[b] (Cout × OH*OW) = w (Cout × colRows) · col (colRows × colCols)
+		dst := out.data[b*cout*oh*ow : (b+1)*cout*oh*ow]
+		gemmPacked(dst, w.data, col, cout, colCols, colRows)
+		if bias != nil {
+			for c := 0; c < cout; c++ {
+				bv := bias.data[c]
+				row := dst[c*colCols : (c+1)*colCols]
+				for i := range row {
+					row[i] += bv
+				}
+			}
+		}
+	}
+	ar.dropScratch(scratch)
+	return out
+}
+
+// im2colPacked unrolls one image (Cin, H, W) straight into the packed
+// tile-major panel layout consumed by gemmPacked, skipping the intermediate
+// row-major column matrix entirely. The buffer is cleared first; only
+// in-bounds pixels are written, so padding stays zero.
+func im2colPacked(bp, img []float32, cin, h, w, kh, kw, stride, pad, oh, ow int) {
+	colRows := cin * kh * kw
+	clear(bp[:packedSize(colRows, oh*ow)])
+	panelStride := colRows * nr
+	ParallelFor(cin, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			chImg := img[c*h*w : (c+1)*h*w]
+			for ki := 0; ki < kh; ki++ {
+				for kj := 0; kj < kw; kj++ {
+					kk := (c*kh+ki)*kw + kj
+					for oi := 0; oi < oh; oi++ {
+						ii := oi*stride + ki - pad
+						if ii < 0 || ii >= h {
+							continue // stays zero (padding)
+						}
+						srcRow := chImg[ii*w : (ii+1)*w]
+						for oj := 0; oj < ow; oj++ {
+							jj := oj*stride + kj - pad
+							if jj < 0 || jj >= w {
+								continue
+							}
+							j := oi*ow + oj
+							bp[(j/nr)*panelStride+kk*nr+j%nr] = srcRow[jj]
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// Conv2DBlocked is the previous im2col + blocked-GEMM convolution, kept as
+// the unpacked baseline for the kernel benchmark suite.
+func Conv2DBlocked(x, w, bias *Tensor, stride, pad int) *Tensor {
 	if len(x.shape) != 4 || len(w.shape) != 4 {
 		panic(fmt.Sprintf("tensor: Conv2D requires 4-D x and w, got %v, %v", x.shape, w.shape))
 	}
@@ -23,13 +115,10 @@ func Conv2D(x, w, bias *Tensor, stride, pad int) *Tensor {
 
 	colRows := cin * kh * kw
 	colCols := oh * ow
-	wmat := w.Reshape(cout, colRows) // (Cout, Cin*KH*KW)
-
 	for b := 0; b < n; b++ {
 		col := im2col(x.data[b*cin*h*wd:(b+1)*cin*h*wd], cin, h, wd, kh, kw, stride, pad, oh, ow)
-		// out[b] (Cout × OH*OW) = wmat (Cout × colRows) · col (colRows × colCols)
 		dst := out.data[b*cout*oh*ow : (b+1)*cout*oh*ow]
-		gemm(dst, wmat.data, col, cout, colCols, colRows)
+		gemmBlocked(dst, w.data, col, cout, colCols, colRows)
 		if bias != nil {
 			for c := 0; c < cout; c++ {
 				bv := bias.data[c]
@@ -115,10 +204,19 @@ func Conv2DNaive(x, w, bias *Tensor, stride, pad int) *Tensor {
 // MaxPool2D applies max pooling with the given square kernel and stride on
 // an NCHW tensor.
 func MaxPool2D(x *Tensor, kernel, stride, pad int) *Tensor {
+	return MaxPool2DInto(nil, x, kernel, stride, pad, nil)
+}
+
+// MaxPool2DInto applies max pooling into out (allocated from ar when nil).
+func MaxPool2DInto(out *Tensor, x *Tensor, kernel, stride, pad int, ar *Arena) *Tensor {
 	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
 	oh := (h+2*pad-kernel)/stride + 1
 	ow := (w+2*pad-kernel)/stride + 1
-	out := New(n, c, oh, ow)
+	if out == nil {
+		out = ar.NewNoZero(n, c, oh, ow)
+	} else if !ShapeEq(out.shape, []int{n, c, oh, ow}) {
+		panic(fmt.Sprintf("tensor: MaxPool2DInto destination %v, want %v", out.shape, []int{n, c, oh, ow}))
+	}
 	ParallelFor(n*c, func(lo, hi int) {
 		for nc := lo; nc < hi; nc++ {
 			src := x.data[nc*h*w : (nc+1)*h*w]
@@ -150,9 +248,17 @@ func MaxPool2D(x *Tensor, kernel, stride, pad int) *Tensor {
 }
 
 // GlobalAvgPool2D averages each channel's spatial plane: (N,C,H,W) → (N,C).
-func GlobalAvgPool2D(x *Tensor) *Tensor {
+func GlobalAvgPool2D(x *Tensor) *Tensor { return GlobalAvgPool2DInto(nil, x, nil) }
+
+// GlobalAvgPool2DInto averages each channel's spatial plane into out
+// (allocated from ar when nil).
+func GlobalAvgPool2DInto(out *Tensor, x *Tensor, ar *Arena) *Tensor {
 	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
-	out := New(n, c)
+	if out == nil {
+		out = ar.NewNoZero(n, c)
+	} else if !ShapeEq(out.shape, []int{n, c}) {
+		panic(fmt.Sprintf("tensor: GlobalAvgPool2DInto destination %v, want %v", out.shape, []int{n, c}))
+	}
 	plane := h * w
 	ParallelFor(n*c, func(lo, hi int) {
 		for nc := lo; nc < hi; nc++ {
@@ -169,8 +275,18 @@ func GlobalAvgPool2D(x *Tensor) *Tensor {
 // BatchNorm2D applies inference-mode batch normalisation on NCHW input using
 // per-channel scale gamma, shift beta, running mean and variance.
 func BatchNorm2D(x, gamma, beta, mean, variance *Tensor, eps float32) *Tensor {
+	return BatchNorm2DInto(nil, x, gamma, beta, mean, variance, eps, nil)
+}
+
+// BatchNorm2DInto applies inference-mode batch normalisation into out
+// (allocated from ar when nil).
+func BatchNorm2DInto(out *Tensor, x, gamma, beta, mean, variance *Tensor, eps float32, ar *Arena) *Tensor {
 	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
-	out := New(x.shape...)
+	if out == nil {
+		out = ar.NewNoZero(x.shape...)
+	} else if !ShapeEq(out.shape, x.shape) {
+		panic(fmt.Sprintf("tensor: BatchNorm2DInto destination %v, want %v", out.shape, x.shape))
+	}
 	plane := h * w
 	ParallelFor(n*c, func(lo, hi int) {
 		for nc := lo; nc < hi; nc++ {

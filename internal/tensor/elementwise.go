@@ -1,19 +1,10 @@
 package tensor
 
-import (
-	"fmt"
-	"math"
-)
+import "math"
 
 // Apply returns a new tensor with f applied to every element.
 func (t *Tensor) Apply(f func(float32) float32) *Tensor {
-	out := New(t.shape...)
-	ParallelFor(len(t.data), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out.data[i] = f(t.data[i])
-		}
-	})
-	return out
+	return applyInto(nil, t, nil, f)
 }
 
 // ApplyInPlace applies f to every element in place and returns t.
@@ -27,32 +18,7 @@ func (t *Tensor) ApplyInPlace(f func(float32) float32) *Tensor {
 }
 
 func binaryOp(a, b *Tensor, name string, f func(x, y float32) float32) *Tensor {
-	if a.SameShape(b) {
-		out := New(a.shape...)
-		ParallelFor(len(a.data), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				out.data[i] = f(a.data[i], b.data[i])
-			}
-		})
-		return out
-	}
-	// Row-vector broadcast: b of shape [k] combined with a of shape [..., k].
-	if len(b.shape) == 1 && a.Dim(-1) == b.shape[0] {
-		k := b.shape[0]
-		out := New(a.shape...)
-		ParallelFor(len(a.data), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				out.data[i] = f(a.data[i], b.data[i%k])
-			}
-		})
-		return out
-	}
-	// Scalar broadcast.
-	if b.Numel() == 1 {
-		s := b.data[0]
-		return a.Apply(func(x float32) float32 { return f(x, s) })
-	}
-	panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", name, a.shape, b.shape))
+	return binaryOpInto(nil, a, b, nil, name, f)
 }
 
 // Add returns a + b with trailing-dimension or scalar broadcasting of b.

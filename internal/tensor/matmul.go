@@ -2,16 +2,50 @@ package tensor
 
 import "fmt"
 
-// gemm block sizes tuned for L1-resident panels of float32.
+// Packed-GEMM geometry. The microkernel computes an mr×nr tile of C with
+// explicit scalar accumulators; B is repacked into tile-major panels of nr
+// columns so the innermost loads are contiguous regardless of N. packKC
+// bounds the K-extent touched per panel sweep (keeps the active A rows and
+// B panel L1/L2-resident) and packMC is the row granularity handed to the
+// worker pool, aligned to whole microkernel tiles.
+const (
+	mr     = 4
+	nr     = 8
+	packKC = 256
+	packMC = 64
+)
+
+// Legacy block sizes for the previous cache-blocked kernel, kept as a
+// benchmark baseline (see MatMulBlocked).
 const (
 	blockM = 64
 	blockN = 64
 	blockK = 128
 )
 
-// MatMul returns the matrix product a(M×K) · b(K×N). Rows of the output are
-// computed in parallel with a cache-blocked inner kernel.
-func MatMul(a, b *Tensor) *Tensor {
+// Epilogue selects a fused post-GEMM transform applied to each output row
+// in the same pass that adds the bias, so fused Linear+activation pairs
+// skip a full tensor materialization.
+type Epilogue int
+
+const (
+	// EpNone applies only the bias (if any).
+	EpNone Epilogue = iota
+	// EpReLU applies max(x, 0) after the bias.
+	EpReLU
+	// EpSigmoid applies 1/(1+exp(-x)) after the bias.
+	EpSigmoid
+)
+
+// MatMul returns the matrix product a(M×K) · b(K×N).
+func MatMul(a, b *Tensor) *Tensor { return MatMulInto(nil, a, b, nil) }
+
+// MatMulInto computes a(M×K) · b(K×N) through the packed kernel. When out
+// is nil a destination is taken from ar (or the plain allocator if ar is
+// nil); otherwise out must already have shape M×N and is overwritten.
+// Accumulation per output element is strictly k-ascending into a single
+// accumulator, so results are bit-identical to MatMulNaive.
+func MatMulInto(out *Tensor, a, b *Tensor, ar *Arena) *Tensor {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		panic(fmt.Sprintf("tensor: MatMul requires 2-D operands, got %v × %v", a.shape, b.shape))
 	}
@@ -20,61 +54,379 @@ func MatMul(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul inner dimensions differ: %v × %v", a.shape, b.shape))
 	}
-	out := New(m, n)
-	gemm(out.data, a.data, b.data, m, n, k)
+	if out == nil {
+		out = ar.New(m, n)
+	} else {
+		if len(out.shape) != 2 || out.shape[0] != m || out.shape[1] != n {
+			panic(fmt.Sprintf("tensor: MatMulInto destination %v, want [%d %d]", out.shape, m, n))
+		}
+		clear(out.data)
+	}
+	if m == 0 || n == 0 {
+		return out
+	}
+	bp, scratch := packedB(b, k, n, false, ar)
+	gemmPacked(out.data, a.data, bp, m, n, k)
+	ar.dropScratch(scratch)
 	return out
 }
 
-// gemm computes C += A·B for row-major matrices (C is assumed zeroed).
-func gemm(c, a, b []float32, m, n, k int) {
-	// Parallelize over blocks of rows of C.
-	nBlocks := (m + blockM - 1) / blockM
-	ParallelFor(nBlocks, func(blo, bhi int) {
-		for bi := blo; bi < bhi; bi++ {
-			i0 := bi * blockM
-			i1 := i0 + blockM
-			if i1 > m {
-				i1 = m
-			}
-			for k0 := 0; k0 < k; k0 += blockK {
-				k1 := k0 + blockK
-				if k1 > k {
-					k1 = k
-				}
-				for j0 := 0; j0 < n; j0 += blockN {
-					j1 := j0 + blockN
-					if j1 > n {
-						j1 = n
-					}
-					microKernel(c, a, b, n, k, i0, i1, j0, j1, k0, k1)
-				}
+// Linear returns x·wᵀ + bias for x(M×K), w(N×K), bias(N) — the dense-layer
+// convention used throughout the model zoo. bias may be nil.
+func Linear(x, w, bias *Tensor) *Tensor {
+	return LinearEpInto(nil, x, w, bias, EpNone, nil)
+}
+
+// LinearEp returns epilogue(x·wᵀ + bias): the fused dense kernel.
+func LinearEp(x, w, bias *Tensor, ep Epilogue) *Tensor {
+	return LinearEpInto(nil, x, w, bias, ep, nil)
+}
+
+// LinearEpInto computes epilogue(x·wᵀ + bias) into out (allocated from ar
+// when nil). The weight is packed as a transposed B operand; pinned weights
+// hit the cross-call pack cache. Bias add and activation happen in a single
+// pass over each output row.
+func LinearEpInto(out *Tensor, x, w, bias *Tensor, ep Epilogue, ar *Arena) *Tensor {
+	if len(x.shape) != 2 || len(w.shape) != 2 {
+		panic(fmt.Sprintf("tensor: Linear requires 2-D operands, got %v, %v", x.shape, w.shape))
+	}
+	m, k := x.shape[0], x.shape[1]
+	n, k2 := w.shape[0], w.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: Linear inner dimensions differ: x %v, w %v", x.shape, w.shape))
+	}
+	if bias != nil && bias.Numel() != n {
+		panic(fmt.Sprintf("tensor: Linear bias has %d elements, want %d", bias.Numel(), n))
+	}
+	if out == nil {
+		out = ar.New(m, n)
+	} else {
+		if len(out.shape) != 2 || out.shape[0] != m || out.shape[1] != n {
+			panic(fmt.Sprintf("tensor: LinearEpInto destination %v, want [%d %d]", out.shape, m, n))
+		}
+		clear(out.data)
+	}
+	if m == 0 || n == 0 {
+		return out
+	}
+	bp, scratch := packedB(w, k, n, true, ar)
+	gemmPacked(out.data, x.data, bp, m, n, k)
+	ar.dropScratch(scratch)
+	var bd []float32
+	if bias != nil {
+		bd = bias.data
+	}
+	applyEpilogue(out.data, m, n, bd, ep)
+	return out
+}
+
+// BatchMatMul multiplies two 3-D tensors batchwise: a(B×M×K) · b(B×K×N).
+func BatchMatMul(a, b *Tensor) *Tensor { return BatchMatMulInto(nil, a, b, nil) }
+
+// BatchMatMulInto multiplies a(B×M×K) · b(B×K×N) batchwise through the
+// packed kernel, reusing one pack buffer across batches.
+func BatchMatMulInto(out *Tensor, a, b *Tensor, ar *Arena) *Tensor {
+	if len(a.shape) != 3 || len(b.shape) != 3 || a.shape[0] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: BatchMatMul requires matching 3-D operands, got %v × %v", a.shape, b.shape))
+	}
+	bs, m, k := a.shape[0], a.shape[1], a.shape[2]
+	if b.shape[1] != k {
+		panic(fmt.Sprintf("tensor: BatchMatMul inner dimensions differ: %v × %v", a.shape, b.shape))
+	}
+	n := b.shape[2]
+	if out == nil {
+		out = ar.New(bs, m, n)
+	} else {
+		if len(out.shape) != 3 || out.shape[0] != bs || out.shape[1] != m || out.shape[2] != n {
+			panic(fmt.Sprintf("tensor: BatchMatMulInto destination %v, want [%d %d %d]", out.shape, bs, m, n))
+		}
+		clear(out.data)
+	}
+	if bs == 0 || m == 0 || n == 0 {
+		return out
+	}
+	buf, scratch := ar.grabScratch(packedSize(k, n))
+	for i := 0; i < bs; i++ {
+		packBRowMajor(buf, b.data[i*k*n:(i+1)*k*n], k, n)
+		gemmPacked(out.data[i*m*n:(i+1)*m*n], a.data[i*m*k:(i+1)*m*k], buf, m, n, k)
+	}
+	ar.dropScratch(scratch)
+	return out
+}
+
+// packedSize returns the element count of the packed layout of a K×N
+// operand: full-K panels of nr columns, edge panels zero-padded.
+func packedSize(k, n int) int { return (n + nr - 1) / nr * k * nr }
+
+// packedB returns b's packed panels. trans=false packs a K×N row-major
+// operand; trans=true packs an N×K operand as its transpose (the dense
+// weight path). Pinned tensors are served from the cross-call weight cache;
+// anything else is packed into arena scratch, returned for release.
+func packedB(b *Tensor, k, n int, trans bool, ar *Arena) ([]float32, *Tensor) {
+	sz := packedSize(k, n)
+	if b.pinned && len(b.data) > 0 {
+		key := packKey{ptr: &b.data[0], trans: trans}
+		if buf := weightPackCache.lookup(key, k, n); buf != nil {
+			return buf, nil
+		}
+		buf := make([]float32, sz)
+		if trans {
+			packBTransposed(buf, b.data, k, n)
+		} else {
+			packBRowMajor(buf, b.data, k, n)
+		}
+		weightPackCache.insert(key, buf, k, n)
+		return buf, nil
+	}
+	buf, scratch := ar.grabScratch(sz)
+	if trans {
+		packBTransposed(buf, b.data, k, n)
+	} else {
+		packBRowMajor(buf, b.data, k, n)
+	}
+	return buf, scratch
+}
+
+// packBRowMajor packs a K×N row-major operand into tile-major panels:
+// bp[jt*k*nr + kk*nr + jj] = b[kk*n + jt*nr + jj], zero-padding columns
+// past N so the microkernel never needs an edge case in K. Every slot of bp
+// is written, so non-zeroed scratch is safe.
+func packBRowMajor(bp, b []float32, k, n int) {
+	nTiles := (n + nr - 1) / nr
+	for jt := 0; jt < nTiles; jt++ {
+		j0 := jt * nr
+		jw := min(nr, n-j0)
+		dst := bp[jt*k*nr:]
+		for kk := 0; kk < k; kk++ {
+			src := b[kk*n+j0 : kk*n+j0+jw]
+			d := dst[kk*nr : kk*nr+nr]
+			copy(d, src)
+			for jj := jw; jj < nr; jj++ {
+				d[jj] = 0
 			}
 		}
+	}
+}
+
+// packBTransposed packs an N×K row-major operand w as the B = wᵀ panels:
+// bp[jt*k*nr + kk*nr + jj] = w[(jt*nr+jj)*k + kk].
+func packBTransposed(bp, w []float32, k, n int) {
+	nTiles := (n + nr - 1) / nr
+	for jt := 0; jt < nTiles; jt++ {
+		j0 := jt * nr
+		jw := min(nr, n-j0)
+		dst := bp[jt*k*nr:]
+		for jj := 0; jj < jw; jj++ {
+			wrow := w[(j0+jj)*k : (j0+jj)*k+k]
+			for kk := 0; kk < k; kk++ {
+				dst[kk*nr+jj] = wrow[kk]
+			}
+		}
+		for jj := jw; jj < nr; jj++ {
+			for kk := 0; kk < k; kk++ {
+				dst[kk*nr+jj] = 0
+			}
+		}
+	}
+}
+
+// gemmPacked computes C += A·B for row-major A (M×K), packed B panels, and
+// row-major C (M×N, pre-zeroed by the caller). Rows are distributed to the
+// worker pool in packMC panels; within a panel the K range is swept in
+// packKC blocks and each nr-wide B panel is streamed through the 4×8
+// microkernel. Each C element accumulates k-ascending via load-accumulate-
+// store, so splitting K across blocks does not change the addition order.
+func gemmPacked(c, a, bp []float32, m, n, k int) {
+	// Single-block or serial execution calls the row worker directly — the
+	// closure below costs a heap allocation per call, which the LSTM's
+	// per-step GEMVs would pay thousands of times per inference.
+	if blocks := (m + packMC - 1) / packMC; blocks <= 1 || effectiveWorkers() <= 1 {
+		gemmRows(c, a, bp, 0, m, n, k)
+		return
+	}
+	ParallelForChunked(m, packMC, func(i0, i1 int) {
+		gemmRows(c, a, bp, i0, i1, n, k)
 	})
 }
 
-// microKernel updates C[i0:i1, j0:j1] += A[i0:i1, k0:k1] · B[k0:k1, j0:j1].
-// The inner loop runs along contiguous rows of B and C so the compiler can
-// keep the accumulation streaming.
-func microKernel(c, a, b []float32, n, k, i0, i1, j0, j1, k0, k1 int) {
-	for i := i0; i < i1; i++ {
-		arow := a[i*k : i*k+k1]
-		crow := c[i*n+j0 : i*n+j1]
-		for kk := k0; kk < k1; kk++ {
-			av := arow[kk]
-			if av == 0 {
-				continue
+// gemmRows computes rows [i0, i1) of C against the packed panels of B. Row
+// blocks are independent, so any partition of [0, m) yields bit-identical
+// results.
+func gemmRows(c, a, bp []float32, i0, i1, n, k int) {
+	nTiles := (n + nr - 1) / nr
+	for k0 := 0; k0 < k; k0 += packKC {
+		k1 := min(k0+packKC, k)
+		for jt := 0; jt < nTiles; jt++ {
+			j0 := jt * nr
+			jw := min(nr, n-j0)
+			panel := bp[jt*k*nr:]
+			i := i0
+			if jw == nr {
+				for ; i+mr <= i1; i += mr {
+					micro4x8(c, a, panel, n, k, i, j0, k0, k1)
+				}
+				for ; i < i1; i++ {
+					micro1x8(c, a, panel, n, k, i, j0, k0, k1)
+				}
+			} else {
+				microEdge(c, a, panel, n, k, i, i1, j0, jw, k0, k1)
 			}
-			brow := b[kk*n+j0 : kk*n+j1]
-			for j := range crow {
-				crow[j] += av * brow[j]
+		}
+	}
+}
+
+// micro4x8 updates the 4×8 tile C[i:i+4, j0:j0+8] with A[i:i+4, k0:k1] ·
+// panel[k0:k1]. The 32 accumulators are loaded from C and stored back, and
+// each advances in strictly ascending k, so the kernel is bit-exact with
+// the naive triple loop.
+func micro4x8(c, a, panel []float32, n, k, i, j0, k0, k1 int) {
+	a0 := a[i*k : i*k+k1]
+	a1 := a[(i+1)*k : (i+1)*k+k1]
+	a2 := a[(i+2)*k : (i+2)*k+k1]
+	a3 := a[(i+3)*k : (i+3)*k+k1]
+	c0 := c[i*n+j0 : i*n+j0+nr]
+	c1 := c[(i+1)*n+j0 : (i+1)*n+j0+nr]
+	c2 := c[(i+2)*n+j0 : (i+2)*n+j0+nr]
+	c3 := c[(i+3)*n+j0 : (i+3)*n+j0+nr]
+	c00, c01, c02, c03, c04, c05, c06, c07 := c0[0], c0[1], c0[2], c0[3], c0[4], c0[5], c0[6], c0[7]
+	c10, c11, c12, c13, c14, c15, c16, c17 := c1[0], c1[1], c1[2], c1[3], c1[4], c1[5], c1[6], c1[7]
+	c20, c21, c22, c23, c24, c25, c26, c27 := c2[0], c2[1], c2[2], c2[3], c2[4], c2[5], c2[6], c2[7]
+	c30, c31, c32, c33, c34, c35, c36, c37 := c3[0], c3[1], c3[2], c3[3], c3[4], c3[5], c3[6], c3[7]
+	for kk := k0; kk < k1; kk++ {
+		p := panel[kk*nr : kk*nr+nr]
+		b0, b1, b2, b3, b4, b5, b6, b7 := p[0], p[1], p[2], p[3], p[4], p[5], p[6], p[7]
+		av := a0[kk]
+		c00 += av * b0
+		c01 += av * b1
+		c02 += av * b2
+		c03 += av * b3
+		c04 += av * b4
+		c05 += av * b5
+		c06 += av * b6
+		c07 += av * b7
+		av = a1[kk]
+		c10 += av * b0
+		c11 += av * b1
+		c12 += av * b2
+		c13 += av * b3
+		c14 += av * b4
+		c15 += av * b5
+		c16 += av * b6
+		c17 += av * b7
+		av = a2[kk]
+		c20 += av * b0
+		c21 += av * b1
+		c22 += av * b2
+		c23 += av * b3
+		c24 += av * b4
+		c25 += av * b5
+		c26 += av * b6
+		c27 += av * b7
+		av = a3[kk]
+		c30 += av * b0
+		c31 += av * b1
+		c32 += av * b2
+		c33 += av * b3
+		c34 += av * b4
+		c35 += av * b5
+		c36 += av * b6
+		c37 += av * b7
+	}
+	c0[0], c0[1], c0[2], c0[3], c0[4], c0[5], c0[6], c0[7] = c00, c01, c02, c03, c04, c05, c06, c07
+	c1[0], c1[1], c1[2], c1[3], c1[4], c1[5], c1[6], c1[7] = c10, c11, c12, c13, c14, c15, c16, c17
+	c2[0], c2[1], c2[2], c2[3], c2[4], c2[5], c2[6], c2[7] = c20, c21, c22, c23, c24, c25, c26, c27
+	c3[0], c3[1], c3[2], c3[3], c3[4], c3[5], c3[6], c3[7] = c30, c31, c32, c33, c34, c35, c36, c37
+}
+
+// micro1x8 is the leftover-row variant of micro4x8 (one row, full panel).
+func micro1x8(c, a, panel []float32, n, k, i, j0, k0, k1 int) {
+	a0 := a[i*k : i*k+k1]
+	c0 := c[i*n+j0 : i*n+j0+nr]
+	c00, c01, c02, c03, c04, c05, c06, c07 := c0[0], c0[1], c0[2], c0[3], c0[4], c0[5], c0[6], c0[7]
+	for kk := k0; kk < k1; kk++ {
+		p := panel[kk*nr : kk*nr+nr]
+		av := a0[kk]
+		c00 += av * p[0]
+		c01 += av * p[1]
+		c02 += av * p[2]
+		c03 += av * p[3]
+		c04 += av * p[4]
+		c05 += av * p[5]
+		c06 += av * p[6]
+		c07 += av * p[7]
+	}
+	c0[0], c0[1], c0[2], c0[3], c0[4], c0[5], c0[6], c0[7] = c00, c01, c02, c03, c04, c05, c06, c07
+}
+
+// microEdge handles the right-edge panel whose live width jw is under nr.
+// Padding columns of the panel are zero but never read.
+func microEdge(c, a, panel []float32, n, k, iLo, iHi, j0, jw, k0, k1 int) {
+	for i := iLo; i < iHi; i++ {
+		arow := a[i*k : i*k+k1]
+		crow := c[i*n+j0 : i*n+j0+jw]
+		for jj := range crow {
+			s := crow[jj]
+			for kk := k0; kk < k1; kk++ {
+				s += arow[kk] * panel[kk*nr+jj]
+			}
+			crow[jj] = s
+		}
+	}
+}
+
+// applyEpilogue adds bias (may be nil) and applies the activation to each
+// row of c in a single pass.
+func applyEpilogue(c []float32, m, n int, bias []float32, ep Epilogue) {
+	if bias == nil && ep == EpNone {
+		return
+	}
+	if m < parallelThreshold || effectiveWorkers() <= 1 {
+		epilogueRows(c, 0, m, n, bias, ep)
+		return
+	}
+	ParallelFor(m, func(lo, hi int) {
+		epilogueRows(c, lo, hi, n, bias, ep)
+	})
+}
+
+// epilogueRows applies bias and activation to rows [lo, hi) of C in a
+// single pass per row (bias-after-sum order matches the unfused Linear).
+func epilogueRows(c []float32, lo, hi, n int, bias []float32, ep Epilogue) {
+	for i := lo; i < hi; i++ {
+		row := c[i*n : i*n+n]
+		switch {
+		case bias != nil && ep == EpNone:
+			for j := range row {
+				row[j] += bias[j]
+			}
+		case bias != nil && ep == EpReLU:
+			for j := range row {
+				v := row[j] + bias[j]
+				if v < 0 {
+					v = 0
+				}
+				row[j] = v
+			}
+		case bias != nil && ep == EpSigmoid:
+			for j := range row {
+				row[j] = float32(sigmoid64(row[j] + bias[j]))
+			}
+		case ep == EpReLU:
+			for j := range row {
+				if row[j] < 0 {
+					row[j] = 0
+				}
+			}
+		case ep == EpSigmoid:
+			for j := range row {
+				row[j] = float32(sigmoid64(row[j]))
 			}
 		}
 	}
 }
 
 // MatMulNaive is a reference triple-loop implementation used by tests to
-// validate the blocked kernel.
+// validate the packed kernel bit-for-bit.
 func MatMulNaive(a, b *Tensor) *Tensor {
 	m, k := a.shape[0], a.shape[1]
 	n := b.shape[1]
@@ -91,9 +443,63 @@ func MatMulNaive(a, b *Tensor) *Tensor {
 	return out
 }
 
-// Linear returns x·wᵀ + bias for x(M×K), w(N×K), bias(N) — the dense-layer
-// convention used throughout the model zoo. bias may be nil.
-func Linear(x, w, bias *Tensor) *Tensor {
+// MatMulBlocked is the previous cache-blocked axpy kernel, kept as the
+// unpacked baseline for the kernel benchmark suite. The per-element
+// zero-skip branch the original carried is gone: for dense inputs it was a
+// mispredicted branch per multiply that defeated any chance of keeping the
+// inner loop streaming.
+func MatMulBlocked(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires 2-D operands, got %v × %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimensions differ: %v × %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	gemmBlocked(out.data, a.data, b.data, m, n, k)
+	return out
+}
+
+// gemmBlocked computes C += A·B for row-major matrices (C pre-zeroed),
+// parallelized over blocks of rows of C.
+func gemmBlocked(c, a, b []float32, m, n, k int) {
+	nBlocks := (m + blockM - 1) / blockM
+	ParallelFor(nBlocks, func(blo, bhi int) {
+		for bi := blo; bi < bhi; bi++ {
+			i0 := bi * blockM
+			i1 := min(i0+blockM, m)
+			for k0 := 0; k0 < k; k0 += blockK {
+				k1 := min(k0+blockK, k)
+				for j0 := 0; j0 < n; j0 += blockN {
+					j1 := min(j0+blockN, n)
+					blockKernel(c, a, b, n, k, i0, i1, j0, j1, k0, k1)
+				}
+			}
+		}
+	})
+}
+
+// blockKernel updates C[i0:i1, j0:j1] += A[i0:i1, k0:k1] · B[k0:k1, j0:j1]
+// axpy-style along contiguous rows of B and C.
+func blockKernel(c, a, b []float32, n, k, i0, i1, j0, j1, k0, k1 int) {
+	for i := i0; i < i1; i++ {
+		arow := a[i*k : i*k+k1]
+		crow := c[i*n+j0 : i*n+j1]
+		for kk := k0; kk < k1; kk++ {
+			av := arow[kk]
+			brow := b[kk*n+j0 : kk*n+j1]
+			for j := range crow {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// LinearBlocked is the previous row-dot dense kernel (bias folded into the
+// main loop), kept as the unpacked baseline for the kernel benchmarks.
+func LinearBlocked(x, w, bias *Tensor) *Tensor {
 	if len(x.shape) != 2 || len(w.shape) != 2 {
 		panic(fmt.Sprintf("tensor: Linear requires 2-D operands, got %v, %v", x.shape, w.shape))
 	}
@@ -113,12 +519,10 @@ func Linear(x, w, bias *Tensor) *Tensor {
 				for kk := range xrow {
 					s += xrow[kk] * wrow[kk]
 				}
-				orow[j] = s
-			}
-			if bias != nil {
-				for j := 0; j < n; j++ {
-					orow[j] += bias.data[j]
+				if bias != nil {
+					s += bias.data[j]
 				}
+				orow[j] = s
 			}
 		}
 	})
@@ -126,51 +530,24 @@ func Linear(x, w, bias *Tensor) *Tensor {
 }
 
 // Transpose2D returns the transpose of a 2-D tensor.
-func Transpose2D(t *Tensor) *Tensor {
+func Transpose2D(t *Tensor) *Tensor { return Transpose2DInto(nil, t, nil) }
+
+// Transpose2DInto transposes a 2-D tensor into out (allocated from ar when
+// nil).
+func Transpose2DInto(out *Tensor, t *Tensor, ar *Arena) *Tensor {
 	if len(t.shape) != 2 {
 		panic("tensor: Transpose2D requires a 2-D tensor")
 	}
 	m, n := t.shape[0], t.shape[1]
-	out := New(n, m)
+	if out == nil {
+		out = ar.New(n, m)
+	} else if len(out.shape) != 2 || out.shape[0] != n || out.shape[1] != m {
+		panic(fmt.Sprintf("tensor: Transpose2DInto destination %v, want [%d %d]", out.shape, n, m))
+	}
 	ParallelFor(m, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			for j := 0; j < n; j++ {
 				out.data[j*m+i] = t.data[i*n+j]
-			}
-		}
-	})
-	return out
-}
-
-// BatchMatMul multiplies two 3-D tensors batchwise: a(B×M×K) · b(B×K×N).
-func BatchMatMul(a, b *Tensor) *Tensor {
-	if len(a.shape) != 3 || len(b.shape) != 3 || a.shape[0] != b.shape[0] {
-		panic(fmt.Sprintf("tensor: BatchMatMul requires matching 3-D operands, got %v × %v", a.shape, b.shape))
-	}
-	bs, m, k := a.shape[0], a.shape[1], a.shape[2]
-	if b.shape[1] != k {
-		panic(fmt.Sprintf("tensor: BatchMatMul inner dimensions differ: %v × %v", a.shape, b.shape))
-	}
-	n := b.shape[2]
-	out := New(bs, m, n)
-	ParallelFor(bs, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			sa := a.data[i*m*k : (i+1)*m*k]
-			sb := b.data[i*k*n : (i+1)*k*n]
-			sc := out.data[i*m*n : (i+1)*m*n]
-			for r := 0; r < m; r++ {
-				arow := sa[r*k : (r+1)*k]
-				crow := sc[r*n : (r+1)*n]
-				for kk := 0; kk < k; kk++ {
-					av := arow[kk]
-					if av == 0 {
-						continue
-					}
-					brow := sb[kk*n : (kk+1)*n]
-					for j := range crow {
-						crow[j] += av * brow[j]
-					}
-				}
 			}
 		}
 	})

@@ -6,113 +6,16 @@ import (
 )
 
 // Softmax applies a numerically stable softmax along the last dimension.
-func Softmax(t *Tensor) *Tensor {
-	if len(t.shape) == 0 {
-		panic("tensor: Softmax of a scalar")
-	}
-	k := t.Dim(-1)
-	rows := len(t.data) / k
-	out := New(t.shape...)
-	ParallelFor(rows, func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			src := t.data[r*k : (r+1)*k]
-			dst := out.data[r*k : (r+1)*k]
-			m := src[0]
-			for _, v := range src[1:] {
-				if v > m {
-					m = v
-				}
-			}
-			var sum float64
-			for i, v := range src {
-				e := math.Exp(float64(v - m))
-				dst[i] = float32(e)
-				sum += e
-			}
-			inv := float32(1 / sum)
-			for i := range dst {
-				dst[i] *= inv
-			}
-		}
-	})
-	return out
-}
+func Softmax(t *Tensor) *Tensor { return SoftmaxInto(nil, t, nil) }
 
 // LayerNorm normalises the last dimension to zero mean / unit variance and
 // applies per-feature gamma and beta.
 func LayerNorm(t, gamma, beta *Tensor, eps float32) *Tensor {
-	k := t.Dim(-1)
-	if gamma.Numel() != k || beta.Numel() != k {
-		panic(fmt.Sprintf("tensor: LayerNorm gamma/beta must have %d elements", k))
-	}
-	rows := len(t.data) / k
-	out := New(t.shape...)
-	ParallelFor(rows, func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			src := t.data[r*k : (r+1)*k]
-			dst := out.data[r*k : (r+1)*k]
-			var mean float64
-			for _, v := range src {
-				mean += float64(v)
-			}
-			mean /= float64(k)
-			var varsum float64
-			for _, v := range src {
-				d := float64(v) - mean
-				varsum += d * d
-			}
-			inv := 1 / math.Sqrt(varsum/float64(k)+float64(eps))
-			for i, v := range src {
-				dst[i] = float32((float64(v)-mean)*inv)*gamma.data[i] + beta.data[i]
-			}
-		}
-	})
-	return out
+	return LayerNormInto(nil, t, gamma, beta, eps, nil)
 }
 
 // Concat concatenates tensors along axis. All other dimensions must match.
-func Concat(axis int, ts ...*Tensor) *Tensor {
-	if len(ts) == 0 {
-		panic("tensor: Concat of zero tensors")
-	}
-	rank := len(ts[0].shape)
-	if axis < 0 {
-		axis += rank
-	}
-	outShape := cloneInts(ts[0].shape)
-	outShape[axis] = 0
-	for _, t := range ts {
-		if len(t.shape) != rank {
-			panic("tensor: Concat rank mismatch")
-		}
-		for d := 0; d < rank; d++ {
-			if d != axis && t.shape[d] != ts[0].shape[d] {
-				panic(fmt.Sprintf("tensor: Concat shape mismatch at dim %d: %v vs %v", d, t.shape, ts[0].shape))
-			}
-		}
-		outShape[axis] += t.shape[axis]
-	}
-	out := New(outShape...)
-
-	// outer = product of dims before axis; inner = product after axis.
-	outer, inner := 1, 1
-	for d := 0; d < axis; d++ {
-		outer *= outShape[d]
-	}
-	for d := axis + 1; d < rank; d++ {
-		inner *= outShape[d]
-	}
-	outRow := outShape[axis] * inner
-	off := 0
-	for _, t := range ts {
-		row := t.shape[axis] * inner
-		for o := 0; o < outer; o++ {
-			copy(out.data[o*outRow+off:o*outRow+off+row], t.data[o*row:(o+1)*row])
-		}
-		off += row
-	}
-	return out
-}
+func Concat(axis int, ts ...*Tensor) *Tensor { return ConcatInto(nil, axis, nil, ts...) }
 
 // Split slices t along axis into parts with the given sizes (must sum to the
 // axis length).
@@ -154,102 +57,24 @@ func Split(t *Tensor, axis int, sizes []int) []*Tensor {
 
 // Embedding gathers rows of table (V×D) by integer ids stored in ids
 // (any shape, values must be valid row indices), producing shape ids×D.
-func Embedding(table *Tensor, ids []int) *Tensor {
-	if len(table.shape) != 2 {
-		panic("tensor: Embedding table must be 2-D")
-	}
-	v, d := table.shape[0], table.shape[1]
-	out := New(len(ids), d)
-	for i, id := range ids {
-		if id < 0 || id >= v {
-			panic(fmt.Sprintf("tensor: embedding id %d out of range [0,%d)", id, v))
-		}
-		copy(out.data[i*d:(i+1)*d], table.data[id*d:(id+1)*d])
-	}
-	return out
-}
+func Embedding(table *Tensor, ids []int) *Tensor { return EmbeddingInto(nil, table, ids, nil) }
 
 // LSTMCell advances one LSTM timestep.
 // x: (B, In); h, c: (B, H); wx: (4H, In); wh: (4H, H); bias: (4H).
 // Gate order is [input, forget, cell, output]. Returns (h', c').
 func LSTMCell(x, h, c, wx, wh, bias *Tensor) (*Tensor, *Tensor) {
-	b := x.shape[0]
-	hd := h.shape[1]
-	gates := Linear(x, wx, bias)           // (B, 4H)
-	gates = Add(gates, Linear(h, wh, nil)) // (B, 4H)
-	hOut := New(b, hd)
-	cOut := New(b, hd)
-	ParallelFor(b, func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			g := gates.data[r*4*hd : (r+1)*4*hd]
-			cRow := c.data[r*hd : (r+1)*hd]
-			hRow := hOut.data[r*hd : (r+1)*hd]
-			cNew := cOut.data[r*hd : (r+1)*hd]
-			for j := 0; j < hd; j++ {
-				in := sigmoid64(g[j])
-				fg := sigmoid64(g[hd+j])
-				cc := math.Tanh(float64(g[2*hd+j]))
-				ot := sigmoid64(g[3*hd+j])
-				cv := fg*float64(cRow[j]) + in*cc
-				cNew[j] = float32(cv)
-				hRow[j] = float32(ot * math.Tanh(cv))
-			}
-		}
-	})
-	return hOut, cOut
+	return LSTMCellArena(x, h, c, wx, wh, bias, nil)
 }
 
 // GRUCell advances one GRU timestep.
 // x: (B, In); h: (B, H); wx: (3H, In); wh: (3H, H); bias: (3H).
 // Gate order is [reset, update, new]. Returns h'.
 func GRUCell(x, h, wx, wh, bias *Tensor) *Tensor {
-	b := x.shape[0]
-	hd := h.shape[1]
-	gx := Linear(x, wx, bias) // (B, 3H)
-	gh := Linear(h, wh, nil)  // (B, 3H)
-	out := New(b, hd)
-	ParallelFor(b, func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			xg := gx.data[r*3*hd : (r+1)*3*hd]
-			hg := gh.data[r*3*hd : (r+1)*3*hd]
-			hRow := h.data[r*hd : (r+1)*hd]
-			dst := out.data[r*hd : (r+1)*hd]
-			for j := 0; j < hd; j++ {
-				rs := sigmoid64(xg[j] + hg[j])
-				zu := sigmoid64(xg[hd+j] + hg[hd+j])
-				nw := math.Tanh(float64(xg[2*hd+j]) + rs*float64(hg[2*hd+j]))
-				dst[j] = float32((1-zu)*nw + zu*float64(hRow[j]))
-			}
-		}
-	})
-	return out
+	return GRUCellArena(x, h, wx, wh, bias, nil)
 }
 
 func sigmoid64(x float32) float64 { return 1 / (1 + math.Exp(-float64(x))) }
 
 // CosineSimilarity returns the rowwise cosine similarity of two (B, D)
 // tensors as a (B, 1) tensor — the similarity head of the Siamese network.
-func CosineSimilarity(a, b *Tensor) *Tensor {
-	if !a.SameShape(b) || len(a.shape) != 2 {
-		panic(fmt.Sprintf("tensor: CosineSimilarity requires matching 2-D tensors, got %v, %v", a.shape, b.shape))
-	}
-	bs, d := a.shape[0], a.shape[1]
-	out := New(bs, 1)
-	for r := 0; r < bs; r++ {
-		var dot, na, nb float64
-		for j := 0; j < d; j++ {
-			x := float64(a.data[r*d+j])
-			y := float64(b.data[r*d+j])
-			dot += x * y
-			na += x * x
-			nb += y * y
-		}
-		denom := math.Sqrt(na) * math.Sqrt(nb)
-		if denom == 0 {
-			out.data[r] = 0
-		} else {
-			out.data[r] = float32(dot / denom)
-		}
-	}
-	return out
-}
+func CosineSimilarity(a, b *Tensor) *Tensor { return CosineSimilarityInto(nil, a, b, nil) }

@@ -1,0 +1,129 @@
+package tensor
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// The packed-B weight cache. Packing a B operand into tile-major panels is
+// O(K·N) work per GEMM call; for weight matrices (dense layers, reshaped
+// conv filters) the operand is identical on every inference, so the packed
+// panels are cached across calls. Only pinned tensors (graph constants) are
+// cacheable: their backing-array pointer is a stable identity and the arena
+// is forbidden from ever recycling their storage, so a cache key can never
+// alias a different tensor. Activations are packed into arena scratch and
+// released immediately.
+
+// packCacheCapacity bounds the resident packed panels. Model-zoo weight
+// sets fit comfortably; past the cap the least-recently-used entry is
+// evicted.
+const packCacheCapacity = 64 << 20 // bytes
+
+// packKey identifies one packed layout of one weight tensor. The same
+// buffer may legitimately be packed both as a row-major B (matmul with a
+// const RHS) and as a transposed B (dense layers), hence the trans bit.
+type packKey struct {
+	ptr   *float32
+	trans bool
+}
+
+type packEntry struct {
+	key packKey
+	buf []float32
+	k   int // inner dimension the panels were packed for
+	n   int // output columns
+	lru *list.Element
+}
+
+type packCache struct {
+	mu      sync.Mutex
+	entries map[packKey]*packEntry
+	order   *list.List // front = most recent
+	bytes   int64
+	cap     int64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+var weightPackCache = &packCache{
+	entries: map[packKey]*packEntry{},
+	order:   list.New(),
+	cap:     packCacheCapacity,
+}
+
+// PackCacheStats reports the weight-pack cache counters and residency.
+type PackCacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+}
+
+// PackCacheSnapshot returns current weight-pack cache statistics.
+func PackCacheSnapshot() PackCacheStats {
+	c := weightPackCache
+	c.mu.Lock()
+	entries, bytes := len(c.entries), c.bytes
+	c.mu.Unlock()
+	return PackCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   entries,
+		Bytes:     bytes,
+	}
+}
+
+// ResetPackCache drops every cached packed panel (tests, model reload).
+func ResetPackCache() {
+	c := weightPackCache
+	c.mu.Lock()
+	c.entries = map[packKey]*packEntry{}
+	c.order.Init()
+	c.bytes = 0
+	c.mu.Unlock()
+}
+
+// lookup returns the cached packed panels for key, refreshing recency.
+func (c *packCache) lookup(key packKey, k, n int) []float32 {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok && e.k == k && e.n == n {
+		c.order.MoveToFront(e.lru)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return e.buf
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return nil
+}
+
+// insert stores freshly packed panels, evicting LRU entries past capacity.
+func (c *packCache) insert(key packKey, buf []float32, k, n int) {
+	sz := int64(4 * len(buf))
+	c.mu.Lock()
+	if old, ok := c.entries[key]; ok {
+		// Lost a pack race (or the dims changed); replace.
+		c.bytes -= int64(4 * len(old.buf))
+		c.order.Remove(old.lru)
+		delete(c.entries, key)
+	}
+	e := &packEntry{key: key, buf: buf, k: k, n: n}
+	e.lru = c.order.PushFront(e)
+	c.entries[key] = e
+	c.bytes += sz
+	for c.bytes > c.cap && c.order.Len() > 1 {
+		back := c.order.Back()
+		victim := back.Value.(*packEntry)
+		c.order.Remove(back)
+		delete(c.entries, victim.key)
+		c.bytes -= int64(4 * len(victim.buf))
+		c.evictions.Add(1)
+	}
+	c.mu.Unlock()
+}

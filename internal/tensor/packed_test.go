@@ -1,0 +1,332 @@
+package tensor
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Edge shapes for the packed-kernel property tests: degenerate rows/cols,
+// prime dims, K past the packKC block boundary, and sizes off the 4×8
+// microkernel grid.
+var packedShapes = [][3]int{
+	{1, 17, 1},    // 1×N and N×1 territory
+	{1, 1, 1},     // scalar-sized
+	{1, 1024, 7},  // single row, wide K
+	{23, 1, 5},    // single inner dim
+	{5, 3, 1},     // N=1 (single output column)
+	{7, 13, 17},   // all prime
+	{31, 29, 37},  // all prime, larger
+	{4, 8, 8},     // exactly one microkernel tile
+	{8, 16, 16},   // whole tiles only
+	{6, 10, 9},    // off-grid in every dim
+	{5, 300, 9},   // K > packKC
+	{64, 300, 64}, // K > packKC, multiple row panels
+	{130, 5, 12},  // M spans multiple packMC panels with leftovers
+}
+
+// TestMatMulPackedBitExact bit-compares the packed kernel against the naive
+// triple loop: the load-accumulate-store microkernel keeps every output
+// element's accumulation strictly k-ascending, so the results must be
+// identical, not merely close.
+func TestMatMulPackedBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, s := range packedShapes {
+		m, k, n := s[0], s[1], s[2]
+		a := Rand(rng, 1, m, k)
+		b := Rand(rng, 1, k, n)
+		got := MatMul(a, b)
+		want := MatMulNaive(a, b)
+		if !bitEqual(got, want) {
+			t.Errorf("MatMul %dx%dx%d differs from naive (max |Δ| %g)", m, k, n, MaxAbsDiff(got, want))
+		}
+	}
+}
+
+// TestMatMulIntoArenaBitExact runs the same comparison through an arena with
+// buffer recycling: a warm (recycled, stale-data) destination must produce
+// the same bits as a cold one.
+func TestMatMulIntoArenaBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ar := NewArena()
+	for _, s := range packedShapes {
+		m, k, n := s[0], s[1], s[2]
+		a := Rand(rng, 1, m, k)
+		b := Rand(rng, 1, k, n)
+		want := MatMulNaive(a, b)
+		for pass := 0; pass < 3; pass++ {
+			got := MatMulInto(nil, a, b, ar)
+			if !bitEqual(got, want) {
+				t.Fatalf("MatMulInto %dx%dx%d pass %d differs from naive", m, k, n, pass)
+			}
+			ar.Release(got)
+		}
+	}
+	if st := ar.Stats(); st.Hits == 0 {
+		t.Errorf("arena recorded no hits across repeated runs: %+v", st)
+	}
+}
+
+// TestLinearPackedBitExact checks the dense kernel (transposed weight
+// packing) against an explicit k-ascending reference, bias folded in the
+// epilogue pass.
+func TestLinearPackedBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, s := range packedShapes {
+		m, k, n := s[0], s[1], s[2]
+		x := Rand(rng, 1, m, k)
+		w := Rand(rng, 1, n, k)
+		bias := Rand(rng, 1, n)
+		got := Linear(x, w, bias)
+		want := linearNaive(x, w, bias)
+		if !bitEqual(got, want) {
+			t.Errorf("Linear %dx%dx%d differs from naive reference", m, k, n)
+		}
+	}
+}
+
+// TestFusedEpiloguesBitExact checks that the fused Linear+activation kernels
+// produce exactly the bits of the unfused composition.
+func TestFusedEpiloguesBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, s := range packedShapes {
+		m, k, n := s[0], s[1], s[2]
+		x := Rand(rng, 1, m, k)
+		w := Rand(rng, 1, n, k)
+		bias := Rand(rng, 1, n)
+		base := Linear(x, w, bias)
+		if got := LinearEp(x, w, bias, EpReLU); !bitEqual(got, ReLU(base)) {
+			t.Errorf("LinearEp ReLU %dx%dx%d differs from unfused", m, k, n)
+		}
+		if got := LinearEp(x, w, bias, EpSigmoid); !bitEqual(got, Sigmoid(base)) {
+			t.Errorf("LinearEp Sigmoid %dx%dx%d differs from unfused", m, k, n)
+		}
+		noBias := Linear(x, w, nil)
+		if got := LinearEp(x, w, nil, EpReLU); !bitEqual(got, ReLU(noBias)) {
+			t.Errorf("LinearEp ReLU (nil bias) %dx%dx%d differs from unfused", m, k, n)
+		}
+	}
+}
+
+// TestBatchMatMulPackedBitExact compares the batched packed kernel against
+// per-batch naive multiplication.
+func TestBatchMatMulPackedBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, s := range [][4]int{{1, 1, 5, 1}, {3, 7, 13, 17}, {2, 4, 300, 9}, {4, 130, 5, 12}} {
+		bs, m, k, n := s[0], s[1], s[2], s[3]
+		a := Rand(rng, 1, bs, m, k)
+		b := Rand(rng, 1, bs, k, n)
+		got := BatchMatMul(a, b)
+		for i := 0; i < bs; i++ {
+			ai := FromSlice(a.data[i*m*k:(i+1)*m*k], m, k)
+			bi := FromSlice(b.data[i*k*n:(i+1)*k*n], k, n)
+			want := MatMulNaive(ai, bi)
+			gi := FromSlice(got.data[i*m*n:(i+1)*m*n], m, n)
+			if !bitEqual(gi, want) {
+				t.Errorf("BatchMatMul batch %d of %v differs from naive", i, s)
+			}
+		}
+	}
+}
+
+// TestMatMulBlockedBitExact pins the legacy kernel (zero-skip removed) to
+// the naive reference too — it remains the unpacked benchmark baseline.
+func TestMatMulBlockedBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := Rand(rng, 1, 65, 130)
+	b := Rand(rng, 1, 130, 67)
+	// Plant zeros: the removed skip branch must not have changed semantics.
+	for i := 0; i < len(a.data); i += 3 {
+		a.data[i] = 0
+	}
+	if got, want := MatMulBlocked(a, b), MatMulNaive(a, b); !bitEqual(got, want) {
+		t.Error("MatMulBlocked differs from naive")
+	}
+	x := Rand(rng, 1, 9, 31)
+	w := Rand(rng, 1, 6, 31)
+	bias := Rand(rng, 1, 6)
+	if got, want := LinearBlocked(x, w, bias), linearNaive(x, w, bias); !bitEqual(got, want) {
+		t.Error("LinearBlocked differs from naive reference")
+	}
+}
+
+// TestPackCacheReuse verifies pinned weights are packed once and served
+// from the cache on later calls, and that unpinned operands never populate
+// the cache.
+func TestPackCacheReuse(t *testing.T) {
+	ResetPackCache()
+	rng := rand.New(rand.NewSource(13))
+	x := Rand(rng, 1, 3, 64)
+	w := Rand(rng, 1, 32, 64).MarkPinned()
+	before := PackCacheSnapshot()
+	Linear(x, w, nil)
+	Linear(x, w, nil)
+	Linear(x, w, nil)
+	st := PackCacheSnapshot()
+	if st.Entries != before.Entries+1 {
+		t.Fatalf("want one new cache entry, got %d -> %d", before.Entries, st.Entries)
+	}
+	if hits := st.Hits - before.Hits; hits != 2 {
+		t.Errorf("want 2 cache hits, got %d", hits)
+	}
+	u := Rand(rng, 1, 32, 64) // unpinned
+	Linear(x, u, nil)
+	if after := PackCacheSnapshot(); after.Entries != st.Entries {
+		t.Errorf("unpinned operand grew the cache: %d -> %d", st.Entries, after.Entries)
+	}
+	ResetPackCache()
+	if after := PackCacheSnapshot(); after.Entries != 0 || after.Bytes != 0 {
+		t.Errorf("ResetPackCache left residue: %+v", after)
+	}
+}
+
+// TestArenaRecycling checks the hit/release cycle, stale-data zeroing, and
+// the pinned-tensor guard.
+func TestArenaRecycling(t *testing.T) {
+	ar := NewArena()
+	a := ar.New(16, 16)
+	for i := range a.Data() {
+		a.Data()[i] = 42
+	}
+	ar.Release(a)
+	b := ar.New(16, 16)
+	for i, v := range b.Data() {
+		if v != 0 {
+			t.Fatalf("recycled tensor not zeroed at %d: %g", i, v)
+		}
+	}
+	// Exact hit/recycle counts only hold without the race detector, which
+	// makes sync.Pool drop Puts at random.
+	if !raceEnabled {
+		st := ar.Stats()
+		if st.Hits != 1 || st.Recycled != 1 {
+			t.Errorf("want 1 hit / 1 recycle, got %+v", st)
+		}
+	}
+	p := ar.New(16, 16)
+	p.MarkPinned()
+	ar.Release(p)
+	if st := ar.Stats(); st.Discarded != 1 {
+		t.Errorf("pinned tensor should be discarded on release, got %+v", st)
+	}
+	// nil arena degrades to the plain allocator.
+	var nilAr *Arena
+	c := nilAr.New(4, 4)
+	if c.Numel() != 16 {
+		t.Error("nil arena New broken")
+	}
+	nilAr.Release(c)
+}
+
+// TestParallelForChunkedCoversRange verifies every index is visited exactly
+// once and blocks respect the requested grain.
+func TestParallelForChunkedCoversRange(t *testing.T) {
+	const n, grain = 10_000, 64
+	var counts [n]int32
+	ParallelForChunked(n, grain, func(lo, hi int) {
+		if (hi-lo) != grain && hi != n {
+			t.Errorf("interior block [%d,%d) violates grain %d", lo, hi, grain)
+		}
+		if lo%grain != 0 {
+			t.Errorf("block start %d not grain-aligned", lo)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&counts[i], 1)
+		}
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+// TestWorkerPoolNestedAndConcurrent hammers the persistent pool with nested
+// and concurrent parallel loops; under -race this doubles as the pool's
+// race-detector pass, and any lost task would deadlock the test.
+func TestWorkerPoolNestedAndConcurrent(t *testing.T) {
+	const outer = 8
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for g := 0; g < outer; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ParallelFor(parallelThreshold*2, func(lo, hi int) {
+				// Nested parallel call from inside a pool task.
+				ParallelForChunked(hi-lo, 512, func(l, h int) {
+					total.Add(int64(h - l))
+				})
+			})
+		}()
+	}
+	wg.Wait()
+	if want := int64(outer * parallelThreshold * 2); total.Load() != want {
+		t.Fatalf("nested loops covered %d iterations, want %d", total.Load(), want)
+	}
+}
+
+// TestSetMaxWorkersSerial pins the serial path: results must match pooled
+// execution bit-for-bit (same chunk-independent accumulation).
+func TestSetMaxWorkersSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := Rand(rng, 1, 70, 90)
+	b := Rand(rng, 1, 90, 50)
+	pooled := MatMul(a, b)
+	SetMaxWorkers(1)
+	serial := MatMul(a, b)
+	SetMaxWorkers(0)
+	if !bitEqual(pooled, serial) {
+		t.Error("serial and pooled MatMul disagree")
+	}
+}
+
+// TestConv2DPackedMatchesBlocked bit-compares the packed-im2col convolution
+// against the legacy blocked path (both accumulate k-ascending).
+func TestConv2DPackedMatchesBlocked(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	x := Rand(rng, 1, 2, 3, 9, 11)
+	w := Rand(rng, 1, 5, 3, 3, 3)
+	bias := Rand(rng, 1, 5)
+	got := Conv2D(x, w, bias, 2, 1)
+	want := Conv2DBlocked(x, w, bias, 2, 1)
+	if !bitEqual(got, want) {
+		t.Errorf("packed Conv2D differs from blocked (max |Δ| %g)", MaxAbsDiff(got, want))
+	}
+}
+
+// linearNaive is the k-ascending reference for the dense kernel: dot
+// product per output element, bias added after the sum.
+func linearNaive(x, w, bias *Tensor) *Tensor {
+	m, k := x.shape[0], x.shape[1]
+	n := w.shape[0]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for kk := 0; kk < k; kk++ {
+				s += x.data[i*k+kk] * w.data[j*k+kk]
+			}
+			if bias != nil {
+				s += bias.data[j]
+			}
+			out.data[i*n+j] = s
+		}
+	}
+	return out
+}
+
+// bitEqual reports exact float32 equality (by bits via ==; all test inputs
+// are NaN-free).
+func bitEqual(a, b *Tensor) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i := range a.data {
+		if a.data[i] != b.data[i] {
+			return false
+		}
+	}
+	return true
+}

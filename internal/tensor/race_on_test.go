@@ -1,0 +1,8 @@
+//go:build race
+
+package tensor
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, which makes sync.Pool randomly drop Puts and so invalidates
+// exact arena hit/recycle accounting.
+const raceEnabled = true

@@ -17,7 +17,23 @@ import (
 type Tensor struct {
 	shape []int
 	data  []float32
+	// pinned marks long-lived weight tensors: their identity (backing-array
+	// pointer) is stable for the life of the model, which makes them legal
+	// keys for the packed-GEMM weight cache and illegal inputs to the
+	// arena's recycler. Views share the flag with their base.
+	pinned bool
 }
+
+// MarkPinned flags t as a long-lived weight tensor: packed-GEMM panels may
+// be cached under its identity and the arena will refuse to recycle its
+// storage. Graph constants are pinned at construction.
+func (t *Tensor) MarkPinned() *Tensor {
+	t.pinned = true
+	return t
+}
+
+// Pinned reports whether t is a pinned weight tensor.
+func (t *Tensor) Pinned() bool { return t.pinned }
 
 // New returns a zero-filled tensor of the given shape.
 // It panics if any dimension is negative.
@@ -151,7 +167,7 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	if known != len(t.data) {
 		panic(fmt.Sprintf("tensor: Reshape %v incompatible with %d elements", shape, len(t.data)))
 	}
-	return &Tensor{shape: shape, data: t.data}
+	return &Tensor{shape: shape, data: t.data, pinned: t.pinned}
 }
 
 // Flatten returns a 1-D view over the same storage.
