@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check fmt-check test test-race test-short bench bench-obs bench-kernels experiments quick-experiments report fuzz clean
+.PHONY: all build check fmt-check test test-race test-short bench bench-obs bench-kernels bench-serve experiments quick-experiments report fuzz clean
 
 all: build check
 
@@ -16,10 +16,15 @@ build:
 ## The allocation guard runs without -race: the race detector makes
 ## sync.Pool randomly drop Puts, so arena accounting is only meaningful in
 ## a plain build (the test skips itself under -race).
+## The serve package gets a dedicated high-iteration race pass: replicas
+## share compiled modules and the weight pack cache while drawing
+## activations from separate arenas, and the smoke test pins the pipelined
+## serving stack's throughput floor over the serial Infer loop.
 check: fmt-check
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -race -count=2 ./internal/obs/...
+	$(GO) test -race -count=2 -run 'TestConcurrentExecuteArena|TestServeSmoke' ./internal/serve/
 	$(GO) test -count=1 -run TestArenaCutsSteadyStateAllocs ./internal/runtime/
 
 ## Fail if any file is not gofmt-clean.
@@ -64,6 +69,12 @@ bench-obs:
 ## matrix over matmul, linear, and conv2d shapes.
 bench-kernels:
 	$(GO) run ./cmd/duet-bench -kernels BENCH_kernels.json
+
+## Regenerate the serving benchmark baseline: serial Infer loop vs the
+## concurrent server in unbatched, batched, and batched+pipelined modes,
+## each under burst (capacity) and Poisson (tail latency) load.
+bench-serve:
+	$(GO) run ./cmd/duet-bench -quick -serve BENCH_serve.json
 
 ## Fuzz the Relay parser for 30s.
 fuzz:

@@ -7,6 +7,8 @@
 //	duet-bench -quick           # reduced run counts (smoke test)
 //	duet-bench -list            # list experiment IDs
 //	duet-bench -runs 1000       # override the sample count
+//	duet-bench -quick -serve BENCH_serve.json   # serving-layer benchmark
+//	duet-bench -serve s.json -serve-qps 300 -serve-deadline-ms 50
 package main
 
 import (
@@ -29,8 +31,16 @@ func main() {
 		jsonPath  = flag.String("json", "", "write a machine-readable report of the quantitative experiments to this file")
 		obsPath   = flag.String("obs", "", "write the observability report (metrics snapshot + scheduler audit) to this file")
 		kernPath  = flag.String("kernels", "", "write the tensor-kernel benchmark matrix (packed/blocked × pool/serial) to this file")
-		compare   = flag.String("compare", "", "baseline report JSON to diff a fresh run against (exits 1 on regression)")
-		tolerance = flag.Float64("tolerance", 0.05, "relative change beyond which -compare flags a regression")
+		servePath = flag.String("serve", "", "write the serving benchmark (serial vs unbatched vs batched vs pipelined) to this file")
+
+		serveReqs     = flag.Int("serve-requests", 0, "serving benchmark: requests per mode and load pattern (0 = default 48)")
+		serveQPS      = flag.Float64("serve-qps", 0, "serving benchmark: Poisson offered load (0 = auto, 1.2x the serial rate)")
+		serveDeadline = flag.Float64("serve-deadline-ms", 0, "serving benchmark: per-request SLA in virtual ms (0 = none)")
+		serveReplicas = flag.Int("serve-replicas", 1, "serving benchmark: engine replica count")
+		serveBatch    = flag.Int("serve-batch", 0, "serving benchmark: micro-batch row cap for the batched modes (0 = default 8)")
+		serveWindow   = flag.Float64("serve-window-ms", 0, "serving benchmark: micro-batch accumulation window in virtual ms (0 = default 2)")
+		compare       = flag.String("compare", "", "baseline report JSON to diff a fresh run against (exits 1 on regression)")
+		tolerance     = flag.Float64("tolerance", 0.05, "relative change beyond which -compare flags a regression")
 	)
 	flag.Parse()
 
@@ -91,6 +101,40 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote kernel benchmarks to %s\n", *kernPath)
+		return
+	}
+
+	if *servePath != "" {
+		load := experiments.DefaultServeLoad()
+		if *serveReqs > 0 {
+			load.Requests = *serveReqs
+		}
+		load.QPS = *serveQPS
+		load.Deadline = *serveDeadline / 1e3
+		load.Replicas = *serveReplicas
+		if *serveBatch > 0 {
+			load.MaxBatch = *serveBatch
+		}
+		if *serveWindow > 0 {
+			load.Window = *serveWindow / 1e3
+		}
+		report, err := experiments.BuildServeReport(cfg, load)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "duet-bench: serve report: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*servePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "duet-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := report.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "duet-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(report)
+		fmt.Printf("wrote serve report to %s\n", *servePath)
 		return
 	}
 

@@ -21,6 +21,7 @@ import (
 	"duet/internal/models"
 	"duet/internal/obs"
 	"duet/internal/profile"
+	"duet/internal/serve"
 	"duet/internal/stats"
 	"duet/internal/tensor"
 	"duet/internal/workload"
@@ -39,6 +40,14 @@ func main() {
 		profiles = flag.String("profiles", "", "reuse persisted profiling records (from duet-profile -out) instead of re-profiling")
 		metrics  = flag.String("metrics", "", "print collected metrics after the run: 'prom' (Prometheus text format) or 'json' (snapshot)")
 		audit    = flag.Bool("audit", false, "print the scheduler's placement audit (device choices, swap sequence, predicted vs measured critical path)")
+
+		serveMode       = flag.Bool("serve", false, "serve a request stream through the concurrent serving layer (replicas + micro-batching + pipelining) instead of measuring single inferences")
+		serveReqs       = flag.Int("serve-requests", 32, "serve: request count")
+		serveQPS        = flag.Float64("serve-qps", 0, "serve: Poisson offered load in req/s (0 = all-at-once burst)")
+		serveDeadlineMS = flag.Float64("serve-deadline-ms", 0, "serve: per-request SLA in virtual ms (0 = none; enables admission control and shedding)")
+		serveReplicas   = flag.Int("serve-replicas", 1, "serve: engine replica count")
+		serveBatch      = flag.Int("serve-batch", 8, "serve: micro-batch row cap (1 disables coalescing)")
+		serveWindowMS   = flag.Float64("serve-window-ms", 2, "serve: micro-batch accumulation window in virtual ms")
 	)
 	flag.Parse()
 
@@ -85,6 +94,31 @@ func main() {
 	fmt.Println("\nplacement decisions (Table II style):")
 	for _, row := range engine.PlacementTable() {
 		fmt.Println(" ", row)
+	}
+
+	if *serveMode {
+		o := serveOpts{
+			requests: *serveReqs, replicas: *serveReplicas, maxBatch: *serveBatch,
+			qps: *serveQPS, windowMS: *serveWindowMS, deadlineMS: *serveDeadlineMS,
+		}
+		if err := runServe(engine, reg, *model, *seed, *small, inputs, o); err != nil {
+			fmt.Fprintln(os.Stderr, "duet-run: serve:", err)
+			os.Exit(1)
+		}
+		if reg != nil {
+			fmt.Println("\nmetrics:")
+			var err error
+			if *metrics == "json" {
+				err = reg.WriteJSON(os.Stdout)
+			} else {
+				err = reg.WritePrometheus(os.Stdout)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "duet-run: metrics:", err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 
 	duet, err := engine.Measure(*runs)
@@ -174,6 +208,127 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote placement-labelled graph to %s\n", *dot)
+	}
+}
+
+type serveOpts struct {
+	requests, replicas, maxBatch int
+	qps, windowMS, deadlineMS    float64
+}
+
+// runServe drives the built engine through the concurrent serving layer:
+// an open-loop (or burst) request stream, micro-batching, and pipelined
+// cross-device execution, reporting throughput, tail latency, and
+// per-replica device utilization.
+func runServe(engine *core.Engine, reg *obs.Registry, model string, seed int64, small bool, fallback map[string]*tensor.Tensor, o serveOpts) error {
+	batchGraph, inputsFor := serveSetup(model, seed, small)
+	if inputsFor == nil {
+		// No per-request workload generator for this model: replay the same
+		// input set each request (throughput numbers stay meaningful; outputs
+		// are identical across requests).
+		inputsFor = func(int) map[string]*tensor.Tensor { return fallback }
+	}
+	if batchGraph == nil && o.maxBatch > 1 {
+		fmt.Printf("note: %s has no batch-resizing builder wired; serving unbatched\n", model)
+		o.maxBatch = 1
+	}
+	srv, err := serve.New(serve.Config{
+		Engine:     engine,
+		BatchGraph: batchGraph,
+		Replicas:   o.replicas,
+		MaxBatch:   o.maxBatch,
+		Window:     o.windowMS / 1e3,
+		Pipelined:  true,
+		Admission:  o.deadlineMS > 0,
+		Seed:       seed,
+		Registry:   reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	spec := serve.LoadSpec{
+		Requests: o.requests,
+		QPS:      o.qps,
+		Burst:    o.qps <= 0,
+		Deadline: o.deadlineMS / 1e3,
+		Seed:     seed + 3,
+		Inputs:   inputsFor,
+	}
+	rep, _, err := srv.Run(serve.OpenLoop(spec))
+	if err != nil {
+		return err
+	}
+	pattern := "burst"
+	if o.qps > 0 {
+		pattern = fmt.Sprintf("poisson @ %.0f req/s", o.qps)
+	}
+	fmt.Printf("\nserving %d requests (%s, max batch %d, window %.1fms, %d replica(s)):\n  %s\n",
+		o.requests, pattern, o.maxBatch, o.windowMS, o.replicas, rep)
+	for i, r := range rep.Replicas {
+		fmt.Printf("  replica %d: cpu busy %.3fms (%.0f%% util), gpu busy %.3fms (%.0f%% util)\n",
+			i, float64(r.CPUBusy)*1e3, r.CPUUtil*100, float64(r.GPUBusy)*1e3, r.GPUUtil*100)
+	}
+	return nil
+}
+
+// serveSetup wires the per-model pieces the serving layer needs beyond the
+// engine itself: the batch-resizing graph builder (weights bit-identical
+// across batch sizes — builders derive them from the model seed alone) and
+// a deterministic per-request input stream.
+func serveSetup(name string, seed int64, small bool) (func(int) (*graph.Graph, error), func(int) map[string]*tensor.Tensor) {
+	switch {
+	case name == "widedeep":
+		cfg := models.DefaultWideDeep()
+		if small {
+			cfg.ImageSize, cfg.SeqLen, cfg.CNNDepth = 64, 16, 18
+		}
+		return func(b int) (*graph.Graph, error) {
+				c := cfg
+				c.Batch = b
+				return models.WideDeep(c)
+			},
+			workload.WideDeepStream(cfg, seed+1000)
+	case name == "siamese":
+		cfg := models.DefaultSiamese()
+		if small {
+			cfg.SeqLen = 16
+			cfg.Hidden = 64
+		}
+		return func(b int) (*graph.Graph, error) {
+				c := cfg
+				c.Batch = b
+				return models.Siamese(c)
+			},
+			func(i int) map[string]*tensor.Tensor { return workload.SiameseInputs(cfg, seed+1000+int64(i)) }
+	case name == "mtdnn":
+		cfg := models.DefaultMTDNN()
+		if small {
+			cfg.SeqLen, cfg.Layers, cfg.ModelDim, cfg.FFNDim, cfg.Heads = 16, 2, 128, 256, 4
+		}
+		return func(b int) (*graph.Graph, error) {
+				c := cfg
+				c.Batch = b
+				return models.MTDNN(c)
+			},
+			func(i int) map[string]*tensor.Tensor { return workload.MTDNNInputs(cfg, seed+1000+int64(i)) }
+	case strings.HasPrefix(name, "resnet"):
+		var depth int
+		if _, err := fmt.Sscanf(name, "resnet%d", &depth); err != nil {
+			return nil, nil
+		}
+		cfg := models.DefaultResNet(depth)
+		if small {
+			cfg.ImageSize = 64
+		}
+		return func(b int) (*graph.Graph, error) {
+				c := cfg
+				c.Batch = b
+				return models.ResNet(c)
+			},
+			func(i int) map[string]*tensor.Tensor { return workload.ResNetInputs(cfg, seed+1000+int64(i)) }
+	default:
+		return nil, nil
 	}
 }
 

@@ -41,6 +41,7 @@ import (
 	"duet/internal/relay"
 	"duet/internal/runtime"
 	"duet/internal/schedule"
+	"duet/internal/serve"
 	"duet/internal/stats"
 	"duet/internal/tensor"
 	"duet/internal/vclock"
@@ -242,3 +243,47 @@ var (
 	// RandTensor returns a uniform random tensor from a seeded RNG.
 	RandTensor = tensor.Rand
 )
+
+// Serving layer: a concurrent inference server over a built engine with
+// replica workers, dynamic micro-batching, deadline-aware admission, and
+// pipelined cross-device execution. See package duet/internal/serve.
+
+// ServeConfig assembles a Server (engine, replicas, batching policy,
+// admission control, instrumentation).
+type ServeConfig = serve.Config
+
+// Server schedules concurrent inference over a replica pool; construct
+// with NewServer, drive with Server.Run, release with Server.Close.
+type Server = serve.Server
+
+// ServeRequest is one inference request in a served stream.
+type ServeRequest = serve.Request
+
+// ServeResponse is the terminal disposition of one served request.
+type ServeResponse = serve.Response
+
+// ServeReport aggregates one Server.Run (throughput, tail latency,
+// batching, per-replica utilization).
+type ServeReport = serve.Report
+
+// ServeLoadSpec parameterises the open-loop load generator.
+type ServeLoadSpec = serve.LoadSpec
+
+// ServeOutcome classifies how a served request terminated.
+type ServeOutcome = serve.Outcome
+
+// Served-request outcomes.
+const (
+	ServeOK       = serve.OK
+	ServeRejected = serve.Rejected
+	ServeExpired  = serve.Expired
+	ServeFailed   = serve.Failed
+)
+
+// NewServer validates the configuration and starts the replica device
+// workers.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
+
+// ServeOpenLoop materialises a deterministic request stream: Poisson
+// arrivals at QPS or an all-at-once burst.
+func ServeOpenLoop(spec ServeLoadSpec) []ServeRequest { return serve.OpenLoop(spec) }

@@ -74,6 +74,10 @@ type Engine struct {
 	// FellBack reports that single-device execution won and Placement is
 	// uniform.
 	FellBack bool
+	// Options records the compiler options the engine was built with, so
+	// layers above (the serving layer's batched-module compiler) can compile
+	// sibling graphs through the identical optimization pipeline.
+	Options compiler.Options
 }
 
 // Build constructs the engine: validates and shape-infers the graph,
@@ -138,6 +142,7 @@ func Build(g *graph.Graph, cfg Config) (*Engine, error) {
 		Search:    search,
 		Profiles:  records,
 		Scheduler: sched,
+		Options:   cfg.Compiler,
 	}
 
 	if cfg.DisableCorrection {

@@ -1,8 +1,6 @@
 package runtime
 
 import (
-	"fmt"
-
 	"duet/internal/device"
 	"duet/internal/graph"
 	"duet/internal/vclock"
@@ -29,8 +27,10 @@ type PipelineResult struct {
 // request's GPU phase. This is the throughput view of co-execution — the
 // latency view is Run. Timing-only.
 func (e *Engine) MeasurePipelined(place Placement, requests int) (*PipelineResult, error) {
-	if len(place) != len(e.subgraphs) {
-		return nil, errPlacement(len(place), len(e.subgraphs))
+	// Full validation (length and device kinds), not just a length check: an
+	// out-of-range kind would otherwise panic inside Platform.Device.
+	if err := validatePlacement(place, len(e.subgraphs)); err != nil {
+		return nil, err
 	}
 	if requests < 1 {
 		requests = 1
@@ -104,8 +104,4 @@ func (e *Engine) MeasurePipelined(place Placement, requests int) (*PipelineResul
 		res.Throughput = float64(requests) / makespan
 	}
 	return res, nil
-}
-
-func errPlacement(got, want int) error {
-	return fmt.Errorf("runtime: placement covers %d subgraphs, want %d", got, want)
 }

@@ -80,6 +80,11 @@ func TestPipelinedErrors(t *testing.T) {
 	if _, err := e.MeasurePipelined(Placement{device.CPU}, 10); err == nil {
 		t.Fatalf("expected placement-length error")
 	}
+	// An out-of-range device kind must fail validation, not panic inside
+	// Platform.Device.
+	if _, err := e.MeasurePipelined(Placement{device.CPU, device.Kind(7), device.GPU}, 10); err == nil {
+		t.Fatalf("expected unknown-device-kind error")
+	}
 	// requests < 1 clamps to 1.
 	r, err := e.MeasurePipelined(Uniform(3, device.CPU), 0)
 	if err != nil || r.Requests != 1 {

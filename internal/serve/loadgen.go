@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"math/rand"
+
+	"duet/internal/tensor"
+	"duet/internal/vclock"
+)
+
+// LoadSpec parameterises the open-loop load generator.
+type LoadSpec struct {
+	// Requests is the total request count.
+	Requests int
+	// QPS is the Poisson arrival rate (requests per virtual second).
+	// Ignored when Burst is set.
+	QPS float64
+	// Burst drops the arrival process: every request arrives at t=0, which
+	// measures the server's saturated capacity instead of its behaviour at
+	// an offered load.
+	Burst bool
+	// Deadline, when positive, gives every request an absolute deadline of
+	// arrival + Deadline.
+	Deadline vclock.Seconds
+	// Seed drives the arrival process (exponential inter-arrival draws).
+	Seed int64
+	// Inputs supplies request i's input tensors. Typically a closure over a
+	// fixed per-index input set so repeated runs (and per-request baselines)
+	// see identical values.
+	Inputs func(i int) map[string]*tensor.Tensor
+}
+
+// OpenLoop materialises the request stream: Poisson arrivals at QPS (an
+// open loop — arrivals do not wait for responses, so queueing shows up as
+// latency, not as a slowed-down client), or an all-at-once burst. The
+// stream is deterministic under (Seed, QPS, Requests).
+func OpenLoop(spec LoadSpec) []Request {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	reqs := make([]Request, spec.Requests)
+	var t vclock.Seconds
+	for i := range reqs {
+		if !spec.Burst && spec.QPS > 0 {
+			if i > 0 {
+				t += vclock.Seconds(rng.ExpFloat64() / spec.QPS)
+			}
+			reqs[i].Arrival = t
+		}
+		reqs[i].ID = i
+		if spec.Deadline > 0 {
+			reqs[i].Deadline = reqs[i].Arrival + spec.Deadline
+		}
+		if spec.Inputs != nil {
+			reqs[i].Inputs = spec.Inputs(i)
+		}
+	}
+	return reqs
+}

@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"duet/internal/vclock"
+)
+
+// pending is one admitted request waiting in (or dispatched from) the
+// admission queue.
+type pending struct {
+	pos  int // index into Run's request slice (response slot)
+	seq  int // arrival order, the EDF tiebreaker
+	req  *Request
+	rows int    // leading batch extent
+	sig  string // batching-compatibility signature (input names + trailing dims)
+	enq  vclock.Seconds
+	resp Response
+}
+
+// deadlineKey orders the EDF heap: requests without a deadline sort last.
+func (p *pending) deadlineKey() vclock.Seconds {
+	if p.req.Deadline <= 0 {
+		return inf
+	}
+	return p.req.Deadline
+}
+
+// sigOf canonicalises a request's batching signature. Two requests may
+// coalesce into one batch exactly when their signatures match: same input
+// names, same trailing (per-row) dimensions. The leading extents may differ
+// — they sum.
+func sigOf(inputs map[string][]int) string {
+	names := make([]string, 0, len(inputs))
+	for n := range inputs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s%v;", n, inputs[n])
+	}
+	return b.String()
+}
+
+// admitQueue is the bounded admission queue: an earliest-deadline-first
+// binary heap measured in rows, so a pre-batched request consumes
+// proportionate capacity. push refuses work beyond cap — that refusal is
+// the server's backpressure signal.
+type admitQueue struct {
+	cap  int
+	rows int
+	h    []*pending
+}
+
+func newAdmitQueue(capRows int) *admitQueue { return &admitQueue{cap: capRows} }
+
+func (q *admitQueue) less(a, b *pending) bool {
+	da, db := a.deadlineKey(), b.deadlineKey()
+	if da != db {
+		return da < db
+	}
+	return a.seq < b.seq
+}
+
+// push admits p, recording its enqueue time, or reports false when the
+// queue lacks row capacity (an already-admitted stream is never evicted).
+func (q *admitQueue) push(p *pending, now vclock.Seconds) bool {
+	if q.rows+p.rows > q.cap {
+		return false
+	}
+	p.enq = now
+	q.rows += p.rows
+	q.h = append(q.h, p)
+	q.up(len(q.h) - 1)
+	return true
+}
+
+// peek returns the earliest-deadline request without removing it.
+func (q *admitQueue) peek() *pending {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+// popMin removes and returns the earliest-deadline request.
+func (q *admitQueue) popMin() *pending {
+	p := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h = q.h[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	q.rows -= p.rows
+	return p
+}
+
+// collect reports how many rows of sig-compatible work are queued (uncapped)
+// and the earliest enqueue time among them — the inputs to the batcher's
+// adaptive window.
+func (q *admitQueue) collect(sig string) (rows int, oldest vclock.Seconds) {
+	oldest = inf
+	for _, p := range q.h {
+		if p.sig != sig {
+			continue
+		}
+		rows += p.rows
+		if p.enq < oldest {
+			oldest = p.enq
+		}
+	}
+	return rows, oldest
+}
+
+// popBatch removes requests in EDF order while they share sig and fit under
+// maxRows, and returns them as the members of one batch. The head is always
+// taken, even when it alone exceeds maxRows (a pre-batched request larger
+// than the cap is served solo rather than starved).
+func (q *admitQueue) popBatch(sig string, maxRows int) []*pending {
+	var out []*pending
+	total := 0
+	for len(q.h) > 0 {
+		p := q.h[0]
+		if p.sig != sig {
+			break
+		}
+		if len(out) > 0 && total+p.rows > maxRows {
+			break
+		}
+		q.popMin()
+		out = append(out, p)
+		total += p.rows
+		if total >= maxRows {
+			break
+		}
+	}
+	return out
+}
+
+func (q *admitQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(q.h[i], q.h[parent]) {
+			return
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *admitQueue) down(i int) {
+	n := len(q.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && q.less(q.h[l], q.h[min]) {
+			min = l
+		}
+		if r < n && q.less(q.h[r], q.h[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		q.h[i], q.h[min] = q.h[min], q.h[i]
+		i = min
+	}
+}

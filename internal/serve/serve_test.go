@@ -1,0 +1,398 @@
+package serve
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"duet/internal/core"
+	"duet/internal/graph"
+	"duet/internal/models"
+	"duet/internal/tensor"
+	"duet/internal/workload"
+)
+
+// The test model is the scaled-down Wide&Deep: small enough that real
+// value execution stays fast under -race, heterogeneous enough that the
+// serving placements split work across both devices.
+func smallWideDeep() models.WideDeepConfig {
+	cfg := models.DefaultWideDeep()
+	cfg.ImageSize = 64
+	cfg.SeqLen = 16
+	return cfg
+}
+
+var (
+	engOnce sync.Once
+	engVal  *core.Engine
+	engErr  error
+)
+
+// testEngine builds (once per process) a noiseless engine for the small
+// Wide&Deep — noiseless so bit-equality and determinism assertions are
+// exact.
+func testEngine(t *testing.T) (*core.Engine, models.WideDeepConfig) {
+	t.Helper()
+	cfg := smallWideDeep()
+	engOnce.Do(func() {
+		g, err := models.WideDeep(cfg)
+		if err != nil {
+			engErr = err
+			return
+		}
+		c := core.DefaultConfig(0)
+		c.ProfileRuns = 25
+		c.MeasureRuns = 1
+		engVal, engErr = core.Build(g, c)
+	})
+	if engErr != nil {
+		t.Fatal(engErr)
+	}
+	return engVal, cfg
+}
+
+// batchGraph resizes the model's leading batch dimension; the weights stay
+// bit-identical because the builder derives them from cfg.Seed only.
+func batchGraph(cfg models.WideDeepConfig) func(int) (*graph.Graph, error) {
+	return func(b int) (*graph.Graph, error) {
+		c := cfg
+		c.Batch = b
+		return models.WideDeep(c)
+	}
+}
+
+// inputsFor draws request i's deterministic input set.
+func inputsFor(cfg models.WideDeepConfig, i int) map[string]*tensor.Tensor {
+	return workload.WideDeepInputs(cfg, 1000+int64(i))
+}
+
+func sameTensors(t *testing.T, label string, got, want []*tensor.Tensor) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d outputs, want %d", label, len(got), len(want))
+	}
+	for oi := range want {
+		g, w := got[oi], want[oi]
+		if !tensor.ShapeEq(g.Shape(), w.Shape()) {
+			t.Fatalf("%s: output %d shape %v, want %v", label, oi, g.Shape(), w.Shape())
+		}
+		for j := range w.Data() {
+			if g.Data()[j] != w.Data()[j] {
+				t.Fatalf("%s: output %d differs at %d: %v vs %v", label, oi, j, g.Data()[j], w.Data()[j])
+			}
+		}
+	}
+}
+
+// TestServeBatchedBitEqualToInfer is the serving layer's core contract:
+// coalescing requests into one batched execution and splitting the result
+// must be bit-identical to running every request alone through Engine.Infer.
+func TestServeBatchedBitEqualToInfer(t *testing.T) {
+	e, cfg := testEngine(t)
+	srv, err := New(Config{
+		Engine:     e,
+		BatchGraph: batchGraph(cfg),
+		MaxBatch:   4,
+		Window:     1e-3,
+		Pipelined:  true,
+		QueueCap:   256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const n = 10
+	reqs := OpenLoop(LoadSpec{
+		Requests: n,
+		Burst:    true,
+		Inputs:   func(i int) map[string]*tensor.Tensor { return inputsFor(cfg, i) },
+	})
+	rep, resps, err := srv.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != n {
+		t.Fatalf("report: %+v", rep)
+	}
+	coalesced := 0
+	for i := range resps {
+		if resps[i].BatchRows > 1 {
+			coalesced++
+		}
+	}
+	if coalesced == 0 {
+		t.Fatalf("burst of %d never coalesced any batch", n)
+	}
+	for i := range resps {
+		ref, err := e.Infer(inputsFor(cfg, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameTensors(t, "request", resps[i].Outputs, ref.Outputs)
+	}
+}
+
+// TestBatcherStragglerFlushedAtWindow: a lone request must not wait
+// forever for batch-mates — it flushes when the adaptive window expires.
+func TestBatcherStragglerFlushedAtWindow(t *testing.T) {
+	e, cfg := testEngine(t)
+	srv, err := New(Config{
+		Engine:     e,
+		BatchGraph: batchGraph(cfg),
+		MaxBatch:   8,
+		Window:     4e-3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	reqs := OpenLoop(LoadSpec{
+		Requests: 1,
+		Burst:    true,
+		Inputs:   func(i int) map[string]*tensor.Tensor { return inputsFor(cfg, i) },
+	})
+	_, resps, err := srv.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resps[0].Outcome != OK {
+		t.Fatalf("straggler outcome %s: %v", resps[0].Outcome, resps[0].Err)
+	}
+	// expiry = arrival + Window·(1 - 1/MaxBatch) = 4ms · 7/8 = 3.5ms.
+	want := 4e-3 * (1 - 1.0/8)
+	if diff := resps[0].Dispatch - want; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("straggler dispatched at %.6fms, want %.6fms", resps[0].Dispatch*1e3, want*1e3)
+	}
+
+	// A full batch, by contrast, flushes immediately.
+	full := OpenLoop(LoadSpec{
+		Requests: 8,
+		Burst:    true,
+		Inputs:   func(i int) map[string]*tensor.Tensor { return inputsFor(cfg, i) },
+	})
+	_, resps, err = srv.Run(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range resps {
+		if resps[i].Dispatch != 0 || resps[i].BatchRows != 8 {
+			t.Fatalf("full batch member %d: dispatch=%.6fms rows=%d", i, resps[i].Dispatch*1e3, resps[i].BatchRows)
+		}
+	}
+}
+
+// TestBatcherIncompatibleNeverCoalesced: a request whose trailing
+// dimensions do not match the model signature is refused outright, while a
+// pre-batched but compatible request coalesces (rows sum).
+func TestBatcherIncompatibleNeverCoalesced(t *testing.T) {
+	e, cfg := testEngine(t)
+	srv, err := New(Config{
+		Engine:     e,
+		BatchGraph: batchGraph(cfg),
+		MaxBatch:   8,
+		Window:     1e-3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	badCfg := cfg
+	badCfg.SeqLen = 8 // wrong trailing dim on rnn.ids
+	wideCfg := cfg
+	wideCfg.Batch = 3 // pre-batched, compatible
+
+	reqs := []Request{
+		{ID: 0, Inputs: inputsFor(cfg, 0)},
+		{ID: 1, Inputs: workload.WideDeepInputs(badCfg, 7)},
+		{ID: 2, Inputs: workload.WideDeepInputs(wideCfg, 8)},
+	}
+	_, resps, err := srv.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resps[1].Outcome != Rejected {
+		t.Fatalf("incompatible request outcome %s, want Rejected", resps[1].Outcome)
+	}
+	if resps[1].Err == nil || !strings.Contains(resps[1].Err.Error(), "never coalesced") {
+		t.Fatalf("rejection should explain incompatibility, got %v", resps[1].Err)
+	}
+	if resps[0].Outcome != OK || resps[2].Outcome != OK {
+		t.Fatalf("compatible requests failed: %v / %v", resps[0].Err, resps[2].Err)
+	}
+	// The 1-row and 3-row compatible requests share one 4-row batch.
+	if resps[0].BatchRows != 4 || resps[2].BatchRows != 4 {
+		t.Fatalf("compatible requests did not coalesce: rows %d and %d, want 4",
+			resps[0].BatchRows, resps[2].BatchRows)
+	}
+}
+
+// TestServeDeadlines exercises both deadline paths: admission control
+// rejects unattainable deadlines up front, and queued requests that outlive
+// their deadline expire instead of executing.
+func TestServeDeadlines(t *testing.T) {
+	e, cfg := testEngine(t)
+	srv, err := New(Config{
+		Engine:    e,
+		Admission: true,
+		QueueCap:  256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	minSvc := srv.MinService()
+	if minSvc <= 0 {
+		t.Fatalf("min service %v", minSvc)
+	}
+
+	mk := func(id int, deadline float64) Request {
+		return Request{ID: id, Inputs: inputsFor(cfg, id), Deadline: deadline}
+	}
+	// Four requests share a deadline class with room for only ~two
+	// services: EDF serves what it can, the tail expires in the queue. The
+	// deadline-less request runs last (it sorts after every deadline).
+	reqs := []Request{
+		mk(0, 0),        // no deadline: always served, after the EDF class
+		mk(1, minSvc/2), // unattainable: rejected at admission
+		mk(2, minSvc*2.2),
+		mk(3, minSvc*2.2),
+		mk(4, minSvc*2.2),
+		mk(5, minSvc*2.2),
+	}
+	_, resps, err := srv.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resps[1].Outcome != Rejected {
+		t.Fatalf("unattainable deadline outcome %s", resps[1].Outcome)
+	}
+	ok, expired := 0, 0
+	for i := range resps {
+		switch resps[i].Outcome {
+		case OK:
+			ok++
+			if resps[i].Latency <= 0 {
+				t.Fatalf("delivered with non-positive latency: %+v", resps[i])
+			}
+		case Expired:
+			expired++
+		}
+	}
+	if ok < 3 || expired < 1 {
+		t.Fatalf("outcomes: ok=%d expired=%d (want ≥3 ok, ≥1 expired)", ok, expired)
+	}
+}
+
+// TestServeBackpressure: a burst beyond the queue bound is partially
+// rejected, and everything admitted is eventually served.
+func TestServeBackpressure(t *testing.T) {
+	e, cfg := testEngine(t)
+	srv, err := New(Config{Engine: e, QueueCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	reqs := OpenLoop(LoadSpec{
+		Requests: 12,
+		Burst:    true,
+		Inputs:   func(i int) map[string]*tensor.Tensor { return inputsFor(cfg, i) },
+	})
+	rep, resps, err := srv.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejected == 0 {
+		t.Fatalf("queue cap 4 with burst 12 should reject: %+v", rep)
+	}
+	if rep.OK+rep.Rejected != 12 {
+		t.Fatalf("outcomes do not partition the stream: %+v", rep)
+	}
+	for i := range resps {
+		if resps[i].Outcome == Rejected && !strings.Contains(resps[i].Err.Error(), "queue full") {
+			t.Fatalf("rejection reason: %v", resps[i].Err)
+		}
+	}
+}
+
+// TestServeReplicasShareCacheNotArenas: two replicas both serve work, and
+// their separate arenas sit in front of the shared weight pack cache (the
+// cache grows no further once the base engine has packed its weights).
+func TestServeReplicasShareCacheNotArenas(t *testing.T) {
+	e, cfg := testEngine(t)
+	srv, err := New(Config{Engine: e, Replicas: 2, QueueCap: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	before := tensor.PackCacheSnapshot()
+	reqs := OpenLoop(LoadSpec{
+		Requests: 8,
+		Burst:    true,
+		Inputs:   func(i int) map[string]*tensor.Tensor { return inputsFor(cfg, i) },
+	})
+	rep, resps, err := srv.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 8 {
+		t.Fatalf("report: %+v", rep)
+	}
+	used := map[int]bool{}
+	for i := range resps {
+		used[resps[i].Replica] = true
+	}
+	if !used[0] || !used[1] {
+		t.Fatalf("burst should exercise both replicas, used %v", used)
+	}
+	after := tensor.PackCacheSnapshot()
+	if after.Hits <= before.Hits {
+		t.Fatalf("replicas should hit the shared pack cache: %+v -> %+v", before, after)
+	}
+	if after.Entries > before.Entries {
+		t.Fatalf("second replica repacked weights: %+v -> %+v", before, after)
+	}
+}
+
+// TestServeDeterminism: identical configuration and stream reproduce the
+// report exactly, including under seeded timing noise.
+func TestServeDeterminism(t *testing.T) {
+	e, cfg := testEngine(t)
+	run := func() *Report {
+		srv, err := New(Config{
+			Engine:     e,
+			BatchGraph: batchGraph(cfg),
+			MaxBatch:   4,
+			Window:     1e-3,
+			Pipelined:  true,
+			Seed:       11,
+			QueueCap:   256,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		reqs := OpenLoop(LoadSpec{
+			Requests: 6,
+			QPS:      2000,
+			Seed:     3,
+			Inputs:   func(i int) map[string]*tensor.Tensor { return inputsFor(cfg, i) },
+		})
+		rep, _, err := srv.Run(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.String() != b.String() {
+		t.Fatalf("non-deterministic serving:\n%v\n%v", a, b)
+	}
+	if a.Makespan != b.Makespan || a.P99Latency != b.P99Latency || a.Throughput != b.Throughput {
+		t.Fatalf("non-deterministic timing: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,76 @@
+package tensor
+
+import "fmt"
+
+// Micro-batching helpers: the serving layer coalesces compatible requests
+// along the leading (batch) dimension before execution and splits the
+// batched result back per caller afterwards. Both directions are plain
+// row-block copies, so a split of a stacked tensor is bit-identical to the
+// original pieces — the property the serve package's bit-equality contract
+// rests on.
+
+// StackLead concatenates ts along the leading dimension. Every operand must
+// share the trailing dimensions; the output's leading dimension is the sum
+// of the operands'. Storage is drawn from ar (nil degrades to the plain
+// allocator). Panics on rank-0 operands or trailing-shape mismatch — the
+// serving layer validates compatibility before coalescing.
+func StackLead(ar *Arena, ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: StackLead of no tensors")
+	}
+	first := ts[0]
+	if first.Dims() == 0 {
+		panic("tensor: StackLead of scalar tensor")
+	}
+	rows := 0
+	for _, t := range ts {
+		if t.Dims() != first.Dims() || !ShapeEq(t.shape[1:], first.shape[1:]) {
+			panic(fmt.Sprintf("tensor: StackLead trailing-shape mismatch: %v vs %v", t.shape, first.shape))
+		}
+		rows += t.shape[0]
+	}
+	shape := cloneInts(first.shape)
+	shape[0] = rows
+	out := ar.NewNoZero(shape...)
+	off := 0
+	for _, t := range ts {
+		off += copy(out.data[off:], t.data)
+	}
+	return out
+}
+
+// SplitLead cuts t into len(rows) tensors along the leading dimension,
+// where rows lists each piece's leading extent. The pieces are independent
+// copies (callers own them outright; the batched source may be recycled),
+// and their concatenation is bit-identical to t. The row counts must sum to
+// t's leading dimension.
+func SplitLead(t *Tensor, rows []int) []*Tensor {
+	if t.Dims() == 0 {
+		panic("tensor: SplitLead of scalar tensor")
+	}
+	total := 0
+	for _, r := range rows {
+		if r <= 0 {
+			panic(fmt.Sprintf("tensor: SplitLead of non-positive row count %d", r))
+		}
+		total += r
+	}
+	if total != t.shape[0] {
+		panic(fmt.Sprintf("tensor: SplitLead rows %v sum to %d, want leading dim %d", rows, total, t.shape[0]))
+	}
+	stride := 1
+	for _, d := range t.shape[1:] {
+		stride *= d
+	}
+	out := make([]*Tensor, len(rows))
+	off := 0
+	for i, r := range rows {
+		shape := cloneInts(t.shape)
+		shape[0] = r
+		piece := New(shape...)
+		copy(piece.data, t.data[off:off+r*stride])
+		out[i] = piece
+		off += r * stride
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStackSplitLeadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := Rand(rng, 1, 1, 4, 5)
+	b := Rand(rng, 1, 3, 4, 5)
+	c := Rand(rng, 1, 2, 4, 5)
+
+	stacked := StackLead(nil, a, b, c)
+	if !ShapeEq(stacked.Shape(), []int{6, 4, 5}) {
+		t.Fatalf("stacked shape %v", stacked.Shape())
+	}
+	pieces := SplitLead(stacked, []int{1, 3, 2})
+	for i, want := range []*Tensor{a, b, c} {
+		got := pieces[i]
+		if !ShapeEq(got.Shape(), want.Shape()) {
+			t.Fatalf("piece %d shape %v, want %v", i, got.Shape(), want.Shape())
+		}
+		for j := range want.Data() {
+			if got.Data()[j] != want.Data()[j] {
+				t.Fatalf("piece %d differs at %d: %v vs %v", i, j, got.Data()[j], want.Data()[j])
+			}
+		}
+	}
+	// Pieces are copies: mutating the batched source must not leak through.
+	stacked.Data()[0] = 99
+	if pieces[0].Data()[0] == 99 {
+		t.Fatalf("SplitLead returned a view, want a copy")
+	}
+}
+
+func TestStackLeadArena(t *testing.T) {
+	ar := NewArena()
+	a := Ones(2, 8)
+	b := Full(2, 1, 8)
+	s := StackLead(ar, a, b)
+	if !ShapeEq(s.Shape(), []int{3, 8}) {
+		t.Fatalf("shape %v", s.Shape())
+	}
+	if s.Data()[0] != 1 || s.Data()[16] != 2 {
+		t.Fatalf("bad stacked contents: %v", s.Data())
+	}
+	ar.Release(s)
+	if st := ar.Stats(); st.Recycled != 1 {
+		t.Fatalf("arena did not recycle the stacked buffer: %+v", st)
+	}
+}
+
+func TestStackSplitLeadPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("empty stack", func() { StackLead(nil) })
+	expectPanic("trailing mismatch", func() { StackLead(nil, New(1, 4), New(1, 5)) })
+	expectPanic("row sum mismatch", func() { SplitLead(New(4, 2), []int{1, 2}) })
+	expectPanic("non-positive rows", func() { SplitLead(New(4, 2), []int{4, 0}) })
+}

@@ -55,3 +55,12 @@ func ResNetInputs(cfg models.ResNetConfig, seed int64) map[string]*tensor.Tensor
 		"image": tensor.Rand(rng, 1, cfg.Batch, 3, cfg.ImageSize, cfg.ImageSize),
 	}
 }
+
+// WideDeepStream returns the serving load generator's per-request input
+// factory: request i draws its deterministic inputs from seed base+i, so
+// repeated runs — and per-request Infer baselines — see identical values.
+func WideDeepStream(cfg models.WideDeepConfig, base int64) func(i int) map[string]*tensor.Tensor {
+	return func(i int) map[string]*tensor.Tensor {
+		return WideDeepInputs(cfg, base+int64(i))
+	}
+}
