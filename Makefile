@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check fmt-check test test-race test-short bench bench-obs bench-kernels bench-serve experiments quick-experiments report fuzz clean
+.PHONY: all build check fmt-check vet test test-race test-short bench bench-obs bench-kernels bench-serve experiments quick-experiments report fuzz clean
 
 all: build check
 
@@ -20,12 +20,24 @@ build:
 ## share compiled modules and the weight pack cache while drawing
 ## activations from separate arenas, and the smoke test pins the pipelined
 ## serving stack's throughput floor over the serial Infer loop.
-check: fmt-check
-	$(GO) vet ./...
+check: fmt-check vet
 	$(GO) test -race ./...
 	$(GO) test -race -count=2 ./internal/obs/...
 	$(GO) test -race -count=2 -run 'TestConcurrentExecuteArena|TestServeSmoke' ./internal/serve/
 	$(GO) test -count=1 -run TestArenaCutsSteadyStateAllocs ./internal/runtime/
+
+## Static analysis gate: stock go vet plus the repo's custom analyzer suite
+## (vclockpurity, arenainto, obsnames) run through the real -vettool
+## protocol. govulncheck runs when installed; the container image does not
+## ship it, so its absence is not a failure.
+vet:
+	$(GO) vet ./...
+	$(GO) build -o bin/duet-vet ./cmd/duet-vet
+	$(GO) vet -vettool=$(abspath bin/duet-vet) ./...
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping"; fi
 
 ## Fail if any file is not gofmt-clean.
 fmt-check:

@@ -24,6 +24,7 @@ import (
 	"duet/internal/serve"
 	"duet/internal/stats"
 	"duet/internal/tensor"
+	"duet/internal/verify"
 	"duet/internal/workload"
 )
 
@@ -40,6 +41,7 @@ func main() {
 		profiles = flag.String("profiles", "", "reuse persisted profiling records (from duet-profile -out) instead of re-profiling")
 		metrics  = flag.String("metrics", "", "print collected metrics after the run: 'prom' (Prometheus text format) or 'json' (snapshot)")
 		audit    = flag.Bool("audit", false, "print the scheduler's placement audit (device choices, swap sequence, predicted vs measured critical path)")
+		lint     = flag.Bool("lint", false, "run the static verification passes over the built engine and report per-pass results instead of measuring; with -dot, failing nodes are marked red; exit 1 on findings")
 
 		serveMode       = flag.Bool("serve", false, "serve a request stream through the concurrent serving layer (replicas + micro-batching + pipelining) instead of measuring single inferences")
 		serveReqs       = flag.Int("serve-requests", 32, "serve: request count")
@@ -73,6 +75,11 @@ func main() {
 		cfg.Records = records
 		fmt.Printf("reusing %d persisted profile records from %s\n", len(records), *profiles)
 	}
+	if *lint {
+		// Lint is the reporting path: let the build succeed and report the
+		// findings pass-by-pass here instead of failing inside Build.
+		cfg.DisableVerify = true
+	}
 	engine, err := core.Build(g, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "duet-run:", err)
@@ -94,6 +101,10 @@ func main() {
 	fmt.Println("\nplacement decisions (Table II style):")
 	for _, row := range engine.PlacementTable() {
 		fmt.Println(" ", row)
+	}
+
+	if *lint {
+		os.Exit(runLint(engine, g, *dot))
 	}
 
 	if *serveMode {
@@ -209,6 +220,93 @@ func main() {
 		}
 		fmt.Printf("wrote placement-labelled graph to %s\n", *dot)
 	}
+}
+
+// runLint runs every static verification pass over the built engine, prints
+// a per-pass verdict with the findings, replays the scheduler's audit trail,
+// and (when dotPath is set) writes the graph with failing nodes filled red.
+// Returns the process exit code: 0 clean, 1 findings.
+func runLint(engine *core.Engine, g *graph.Graph, dotPath string) int {
+	findings := engine.Verify()
+	byPass := map[string][]verify.Finding{}
+	for _, f := range findings {
+		byPass[f.Pass] = append(byPass[f.Pass], f)
+	}
+	fmt.Println("\nstatic verification:")
+	passes := []string{
+		verify.PassGraph, verify.PassPartition, verify.PassProfiles,
+		verify.PassPlacement, verify.PassSchedule, verify.PassLiveness,
+		verify.PassRelease,
+	}
+	for _, pass := range passes {
+		fs := byPass[pass]
+		if len(fs) == 0 {
+			fmt.Printf("  %-16s ok\n", pass)
+			continue
+		}
+		fmt.Printf("  %-16s %d finding(s)\n", pass, len(fs))
+		for _, f := range fs {
+			fmt.Printf("    %s\n", f)
+		}
+	}
+
+	// Audit replay: re-derive the scheduler's decision trail and verify it
+	// against the partition and profiles.
+	auditFindings := 0
+	if a, err := engine.ScheduleAudit(); err != nil {
+		fmt.Printf("  %-16s skipped: %v\n", verify.PassAudit, err)
+	} else if err := a.Verify(engine.Partition, engine.Profiles); err != nil {
+		auditFindings++
+		fmt.Printf("  %-16s FAIL: %v\n", verify.PassAudit, err)
+	} else {
+		fmt.Printf("  %-16s ok\n", verify.PassAudit)
+	}
+
+	if dotPath != "" {
+		labels := map[graph.NodeID]string{}
+		for i, sub := range engine.Runtime.Subgraphs() {
+			for _, id := range sub.Members {
+				labels[id] = engine.Placement[i].String()
+			}
+		}
+		styles := map[graph.NodeID]verifyDotStyle{}
+		for _, f := range findings {
+			if f.Node < 0 {
+				continue
+			}
+			st := styles[f.Node]
+			st.Color = "red"
+			if st.Note == "" {
+				st.Note = f.Pass
+			} else {
+				st.Note += "," + f.Pass
+			}
+			styles[f.Node] = st
+		}
+		dotStyles := map[graph.NodeID]graph.DotStyle{}
+		for id, st := range styles {
+			dotStyles[id] = graph.DotStyle{Color: st.Color, Note: "FAIL: " + st.Note}
+		}
+		if err := os.WriteFile(dotPath, []byte(g.DOTStyled(labels, dotStyles)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "duet-run: dot:", err)
+			return 1
+		}
+		fmt.Printf("\nwrote verification-annotated graph to %s (%d node(s) marked)\n", dotPath, len(dotStyles))
+	}
+
+	if len(findings)+auditFindings > 0 {
+		fmt.Printf("\nlint: %d finding(s)\n", len(findings)+auditFindings)
+		return 1
+	}
+	fmt.Println("\nlint: all passes clean")
+	return 0
+}
+
+// verifyDotStyle accumulates per-node annotation before conversion to
+// graph.DotStyle (several passes can flag the same node).
+type verifyDotStyle struct {
+	Color string
+	Note  string
 }
 
 type serveOpts struct {

@@ -1,0 +1,197 @@
+// Package analysis is a small, dependency-free static-analysis framework in
+// the style of golang.org/x/tools/go/analysis, built only on the standard
+// library's go/ast, go/parser, and go/token. The repo vendors no external
+// modules, so the custom vet suite (cmd/duet-vet) runs its analyzers through
+// this framework instead of the x/tools one; the Analyzer/Pass/Diagnostic
+// shapes are kept close to the original so the analyzers would port over
+// unchanged.
+//
+// Analyzers here are purely syntactic (no type information): each receives
+// the parsed files of one package and reports diagnostics at token positions.
+// All three DUET analyzers — vclockpurity, arenainto, obsnames — are
+// expressible syntactically because the properties they police are naming
+// and call-shape conventions of this codebase.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Analyzer is one named check over a package's syntax.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package and collects its
+// diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed non-test Go files.
+	Files []*ast.File
+	// Pkg is the package's import path when known ("" in directory mode).
+	Pkg string
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, located at a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the standard file:line:col form `go vet`
+// and editors understand.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// RunFiles parses the given Go source files as one package and runs every
+// analyzer over them, returning the combined diagnostics sorted by position.
+// Files ending in _test.go are skipped: the conventions the analyzers police
+// (metric naming, arena threading, virtual-clock purity) bind production
+// code; tests legitimately use short throwaway names and wall-clock helpers.
+func RunFiles(analyzers []*Analyzer, pkgPath string, files []string) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	var parsed []*ast.File
+	for _, f := range files {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, af)
+	}
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: parsed, Pkg: pkgPath}
+		a.Run(pass)
+		out = append(out, pass.diags...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out, nil
+}
+
+// RunDir walks root recursively and runs the analyzers over every directory
+// containing Go files, treating each directory as one package — the
+// standalone `duet-vet ./...` mode. Vendor and hidden directories are
+// skipped.
+func RunDir(analyzers []*Analyzer, root string) ([]Diagnostic, error) {
+	pkgs := map[string][]string{}
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			name := info.Name()
+			if path != root && (strings.HasPrefix(name, ".") || name == "vendor" || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			pkgs[dir] = append(pkgs[dir], path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(pkgs))
+	for d := range pkgs {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	var out []Diagnostic
+	for _, d := range dirs {
+		sort.Strings(pkgs[d])
+		diags, err := RunFiles(analyzers, d, pkgs[d])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, diags...)
+	}
+	return out, nil
+}
+
+// importName returns the local name an import spec binds: its alias when
+// present, otherwise the last path segment.
+func importName(spec *ast.ImportSpec) string {
+	if spec.Name != nil {
+		return spec.Name.Name
+	}
+	path, err := strconv.Unquote(spec.Path.Value)
+	if err != nil {
+		return ""
+	}
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// fileImports maps each imported path of one file to its local name,
+// resolving aliases. Blank and dot imports are skipped (neither binds a
+// usable qualifier).
+func fileImports(f *ast.File) map[string]string {
+	out := map[string]string{}
+	for _, spec := range f.Imports {
+		path, err := strconv.Unquote(spec.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := importName(spec)
+		if name == "_" || name == "." {
+			continue
+		}
+		out[path] = name
+	}
+	return out
+}
+
+// calleeOf decomposes a call's function expression into (qualifier, name)
+// when it has the pkg.Func form; ok is false otherwise.
+func calleeOf(call *ast.CallExpr) (qual, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isID := sel.X.(*ast.Ident)
+	if !isID {
+		return "", "", false
+	}
+	return id.Name, sel.Sel.Name, true
+}

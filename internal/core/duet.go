@@ -18,6 +18,7 @@ import (
 	"duet/internal/schedule"
 	"duet/internal/tensor"
 	"duet/internal/vclock"
+	"duet/internal/verify"
 )
 
 // Config controls how a DUET engine is built.
@@ -44,6 +45,12 @@ type Config struct {
 	// profiling is an offline one-time cost (§IV-B). The record count must
 	// match the partition's subgraph count.
 	Records []profile.Record
+	// DisableVerify skips the static verification passes that otherwise run
+	// over every built engine's artifacts (graph, partition, profiles,
+	// placement, kernel plans). Verification is on by default and a finding
+	// fails the build; disabling is for experiments that deliberately build
+	// corrupted artifacts.
+	DisableVerify bool
 }
 
 // DefaultConfig returns the paper's configuration.
@@ -159,7 +166,33 @@ func Build(g *graph.Graph, cfg Config) (*Engine, error) {
 			return nil, err
 		}
 	}
+	if !cfg.DisableVerify {
+		if err := verify.AsError(e.Verify()); err != nil {
+			return nil, fmt.Errorf("core: built engine failed static verification: %w", err)
+		}
+	}
 	return e, nil
+}
+
+// Verify runs the static verification layer over the built engine's
+// artifacts — graph well-formedness, partition invariants, schedule order,
+// sync-queue liveness, profile I/O accounting, placement legality, and
+// per-module arena release safety — and returns the findings (nil when
+// everything verifies). Build calls this automatically unless
+// Config.DisableVerify is set.
+func (e *Engine) Verify() []verify.Finding {
+	n := e.Runtime.NumSubgraphs()
+	modules := make([]*compiler.Module, n)
+	for i := 0; i < n; i++ {
+		modules[i] = e.Runtime.Module(i)
+	}
+	return verify.All(verify.Artifacts{
+		Graph:     e.Graph,
+		Partition: e.Partition,
+		Placement: []device.Kind(e.Placement),
+		Records:   e.Profiles,
+		Modules:   modules,
+	})
 }
 
 // mix derives the profiling seed so profile noise is independent of the

@@ -5,9 +5,37 @@ import (
 	"strings"
 )
 
+// escapeDOT escapes a string for use inside a double-quoted dot label:
+// backslashes and quotes are escaped, newlines become the dot line break.
+// Node names flow in from model builders, so rendering must not trust them —
+// a quote in a name previously produced syntactically invalid dot output.
+func escapeDOT(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// DotStyle is extra per-node decoration for DOTStyled: a fill color and an
+// additional label line. The verifier's -lint -dot mode marks failing nodes
+// red through this.
+type DotStyle struct {
+	// Color is a Graphviz fill color (e.g. "red", "#ff8888"); empty means no
+	// fill.
+	Color string
+	// Note is an extra label line rendered under the node name and op.
+	Note string
+}
+
 // DOT renders the graph in Graphviz dot syntax for debugging. labels, when
 // non-nil, supplies extra per-node annotation (e.g. device placement).
 func (g *Graph) DOT(labels map[NodeID]string) string {
+	return g.DOTStyled(labels, nil)
+}
+
+// DOTStyled renders the graph like DOT and additionally applies per-node
+// styles: styled nodes are filled with their color and carry their note as a
+// trailing label line. All label text is escaped, so arbitrary node names
+// and annotations cannot break the dot syntax.
+func (g *Graph) DOTStyled(labels map[NodeID]string, styles map[NodeID]DotStyle) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n", g.Name)
 	for _, n := range g.nodes {
@@ -18,11 +46,20 @@ func (g *Graph) DOT(labels map[NodeID]string) string {
 		case n.IsConst():
 			shape = "note"
 		}
-		label := fmt.Sprintf("%s\\n%s", n.Name, n.Op)
+		label := escapeDOT(n.Name) + `\n` + escapeDOT(n.Op)
 		if extra := labels[n.ID]; extra != "" {
-			label += "\\n" + extra
+			label += `\n` + escapeDOT(extra)
 		}
-		fmt.Fprintf(&b, "  n%d [shape=%s,label=\"%s\"];\n", n.ID, shape, label)
+		attrs := fmt.Sprintf("shape=%s", shape)
+		if st, ok := styles[n.ID]; ok {
+			if st.Note != "" {
+				label += `\n` + escapeDOT(st.Note)
+			}
+			if st.Color != "" {
+				attrs += fmt.Sprintf(",style=filled,fillcolor=\"%s\"", escapeDOT(st.Color))
+			}
+		}
+		fmt.Fprintf(&b, "  n%d [%s,label=\"%s\"];\n", n.ID, attrs, label)
 	}
 	for _, n := range g.nodes {
 		for _, in := range n.Inputs {

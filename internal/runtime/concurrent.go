@@ -17,7 +17,7 @@ import (
 // subgraph starts the moment its inputs are available rather than when the
 // device drains its queue. Timing-only; real values come from Run.
 func (e *Engine) RunConcurrent(place Placement) (*Result, error) {
-	if err := validatePlacement(place, len(e.subgraphs)); err != nil {
+	if err := e.validatePlacement(place); err != nil {
 		return nil, err
 	}
 

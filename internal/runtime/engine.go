@@ -17,6 +17,7 @@ import (
 	"duet/internal/partition"
 	"duet/internal/tensor"
 	"duet/internal/vclock"
+	"duet/internal/verify"
 )
 
 // syncQueueOverhead models one push+pop through the shared-memory
@@ -50,19 +51,15 @@ func (p Placement) String() string {
 	return string(b)
 }
 
-// validatePlacement checks that place covers n subgraphs and contains only
-// known device kinds, so a corrupted placement fails with a descriptive
-// error instead of an index panic deep in the engine.
-func validatePlacement(place Placement, n int) error {
-	if len(place) != n {
-		return fmt.Errorf("runtime: placement covers %d subgraphs, want %d", len(place), n)
+// validatePlacement delegates to the static verification layer's placement
+// pass, so every engine entry point fails a corrupted placement with a typed
+// *verify.PlacementError naming the subgraph, phase, and offending device —
+// instead of an index panic deep in the engine.
+func (e *Engine) validatePlacement(place Placement) error {
+	if e.Partition == nil {
+		return verify.CheckPlacementN([]device.Kind(place), len(e.subgraphs))
 	}
-	for i, k := range place {
-		if k != device.CPU && k != device.GPU {
-			return fmt.Errorf("runtime: placement[%d] has unknown device kind %d (want CPU or GPU)", i, int(k))
-		}
-	}
-	return nil
+	return verify.CheckPlacement([]device.Kind(place), e.Partition)
 }
 
 // Uniform returns a placement assigning every one of n subgraphs to kind.
@@ -172,7 +169,7 @@ func (e *Engine) Run(inputs map[string]*tensor.Tensor, place Placement, withValu
 }
 
 func (e *Engine) run(inputs map[string]*tensor.Tensor, place Placement, withValues bool) (*Result, error) {
-	if err := validatePlacement(place, len(e.subgraphs)); err != nil {
+	if err := e.validatePlacement(place); err != nil {
 		return nil, err
 	}
 

@@ -38,8 +38,8 @@ func (m MemoryReport) String() string {
 
 // Memory computes the memory footprint of a placement.
 func (e *Engine) Memory(place Placement) (MemoryReport, error) {
-	if len(place) != len(e.subgraphs) {
-		return MemoryReport{}, fmt.Errorf("runtime: placement covers %d subgraphs, want %d", len(place), len(e.subgraphs))
+	if err := e.validatePlacement(place); err != nil {
+		return MemoryReport{}, err
 	}
 	var rep MemoryReport
 

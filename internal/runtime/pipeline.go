@@ -29,7 +29,7 @@ type PipelineResult struct {
 func (e *Engine) MeasurePipelined(place Placement, requests int) (*PipelineResult, error) {
 	// Full validation (length and device kinds), not just a length check: an
 	// out-of-range kind would otherwise panic inside Platform.Device.
-	if err := validatePlacement(place, len(e.subgraphs)); err != nil {
+	if err := e.validatePlacement(place); err != nil {
 		return nil, err
 	}
 	if requests < 1 {

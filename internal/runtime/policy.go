@@ -142,7 +142,7 @@ func (e *Engine) RunWithPolicy(inputs map[string]*tensor.Tensor, place Placement
 }
 
 func (e *Engine) runWithPolicy(inputs map[string]*tensor.Tensor, place Placement, pol Policy) (*Result, error) {
-	if err := validatePlacement(place, len(e.subgraphs)); err != nil {
+	if err := e.validatePlacement(place); err != nil {
 		return nil, err
 	}
 	withValues := inputs != nil

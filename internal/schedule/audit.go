@@ -6,8 +6,11 @@ import (
 	"io"
 
 	"duet/internal/device"
+	"duet/internal/partition"
+	"duet/internal/profile"
 	"duet/internal/runtime"
 	"duet/internal/vclock"
+	"duet/internal/verify"
 )
 
 // Placement reasons recorded by the greedy step (Algorithm 1, steps 1-2).
@@ -150,4 +153,47 @@ func (a *Audit) WriteText(w io.Writer) error {
 // JSON returns the indented JSON encoding of the audit.
 func (a *Audit) JSON() ([]byte, error) {
 	return json.MarshalIndent(a, "", "  ")
+}
+
+// Trail converts the audit into the scheduler-independent form the static
+// verification layer replays (verify.CheckAudit).
+func (a *Audit) Trail() *verify.AuditTrail {
+	t := &verify.AuditTrail{
+		Initial:         a.Initial,
+		Final:           a.Final,
+		InitialMeasured: a.InitialMeasured,
+		FinalMeasured:   a.FinalMeasured,
+	}
+	for _, sg := range a.Subgraphs {
+		t.Subgraphs = append(t.Subgraphs, verify.AuditSubgraph{
+			Index:      sg.Index,
+			Name:       sg.Name,
+			CPUSeconds: sg.CPUSeconds,
+			GPUSeconds: sg.GPUSeconds,
+			Chosen:     sg.Chosen,
+			Reason:     sg.Reason,
+		})
+	}
+	for _, sw := range a.Swaps {
+		t.Swaps = append(t.Swaps, verify.AuditSwap{
+			Phase:     sw.Phase,
+			Round:     sw.Round,
+			Kind:      sw.Kind,
+			I:         sw.I,
+			J:         sw.J,
+			Before:    sw.Before,
+			After:     sw.After,
+			LatBefore: sw.LatBefore,
+			LatAfter:  sw.LatAfter,
+			Gain:      sw.Gain,
+		})
+	}
+	return t
+}
+
+// Verify replays the audit against the partition and profiles that produced
+// it and returns a *verify.Error when the decision trail is inconsistent
+// with Algorithm 1 — the replay check of the static verification layer.
+func (a *Audit) Verify(p *partition.Partition, records []profile.Record) error {
+	return verify.AsError(verify.CheckAudit(p, records, a.Trail()))
 }

@@ -10,6 +10,7 @@ import (
 	"duet/internal/partition"
 	"duet/internal/runtime"
 	"duet/internal/vclock"
+	"duet/internal/verify"
 )
 
 // batchEngine bundles everything the server needs to run one batch size:
@@ -53,8 +54,21 @@ func newBaseEngine(ce *core.Engine, pipelined bool) (*batchEngine, error) {
 	} else {
 		be.place = ce.Placement.Clone()
 	}
+	if err := be.checkPlace(); err != nil {
+		return nil, err
+	}
 	be.deps, be.npred, be.initial = depSkeleton(ce.Runtime)
 	return be, nil
+}
+
+// checkPlace runs the verifier's placement pass over the serving placement
+// before any replica dereferences it (replica workers index be.place on the
+// hot path without further checks).
+func (be *batchEngine) checkPlace() error {
+	if err := verify.CheckPlacement([]device.Kind(be.place), be.eng.Partition); err != nil {
+		return fmt.Errorf("serve: batch size %d: %w", be.rows, err)
+	}
+	return nil
 }
 
 // newBatchEngine compiles the model at a new total batch extent. The graph
@@ -114,6 +128,9 @@ func newBatchEngine(cfg Config, rows int, base *batchEngine) (*batchEngine, erro
 		be.place = throughputPlacement(eng)
 	} else {
 		be.place = latencyPlacement(eng)
+	}
+	if err := be.checkPlace(); err != nil {
+		return nil, err
 	}
 	be.deps, be.npred, be.initial = depSkeleton(eng)
 	return be, nil

@@ -1,0 +1,232 @@
+package verify
+
+import (
+	"duet/internal/compiler"
+	"duet/internal/graph"
+	"duet/internal/ops"
+)
+
+// CheckModule verifies a compiled module's kernel plan by symbolically
+// executing it under the arena release discipline of Module.ExecuteArena:
+// values live in an environment, each consumer edge (plus a sentinel read per
+// declared output) decrements a use count, and a value whose count hits zero
+// is released back to the arena unless pinned (inputs, constants, and
+// anything an alias op shares storage with). The symbolic run proves, without
+// touching a real arena, that no kernel reads a value after its release, no
+// value is released twice, fused kernels only touch their declared operands,
+// and every declared output survives to the end of the plan.
+//
+// The use counts and pin set are re-derived here from the graph and the
+// operator registry — not read from the module's cached plan — so a drift
+// between the planner and the executor's documented semantics surfaces as a
+// finding.
+func CheckModule(m *compiler.Module) []Finding {
+	if m == nil {
+		return []Finding{finding(PassRelease, "no module supplied")}
+	}
+	g := m.Graph
+	if g == nil {
+		return []Finding{finding(PassRelease, "module has no graph")}
+	}
+	var fs []Finding
+	n := g.Len()
+
+	// Kernel coverage: every compute node appears in exactly one kernel.
+	owner := make([]int, n)
+	for i := range owner {
+		owner[i] = -1
+	}
+	for ki := range m.Kernels {
+		for _, id := range m.Kernels[ki].Nodes {
+			if int(id) < 0 || int(id) >= n {
+				fs = append(fs, finding(PassRelease, "kernel %q holds out-of-range node id %d", m.Kernels[ki].Name, id))
+				return fs
+			}
+			if node := g.Node(id); node.IsInput() || node.IsConst() {
+				fs = append(fs, nodeFinding(PassRelease, id, "kernel %q holds %s node %q — kernels cover compute nodes only", m.Kernels[ki].Name, node.Op, node.Name))
+			}
+			if prev := owner[id]; prev >= 0 {
+				fs = append(fs, nodeFinding(PassRelease, id, "node %q assigned to kernels %q and %q — coverage must be exactly-once", g.Node(id).Name, m.Kernels[prev].Name, m.Kernels[ki].Name))
+			}
+			owner[id] = ki
+		}
+	}
+	for _, node := range g.Nodes() {
+		if node.IsInput() || node.IsConst() {
+			continue
+		}
+		if owner[node.ID] < 0 {
+			fs = append(fs, nodeFinding(PassRelease, node.ID, "compute node %q is not covered by any kernel", node.Name))
+		}
+	}
+
+	// Re-derive the release plan per the documented ExecuteArena semantics.
+	uses := make([]int, n)
+	releasable := make([]bool, n)
+	for _, node := range g.Nodes() {
+		releasable[node.ID] = !node.IsInput() && !node.IsConst()
+		if def, err := ops.Lookup(node.Op); err == nil && def.Alias {
+			releasable[node.ID] = false
+			for _, in := range node.Inputs {
+				if int(in) >= 0 && int(in) < n {
+					releasable[in] = false
+				}
+			}
+		}
+	}
+	for _, node := range g.Nodes() {
+		for _, in := range node.Inputs {
+			if int(in) >= 0 && int(in) < n {
+				uses[in]++
+			}
+		}
+	}
+	for _, o := range g.Outputs() {
+		if int(o) >= 0 && int(o) < n {
+			uses[o]++
+		}
+	}
+
+	// Symbolic execution state.
+	env := make([]bool, n)      // value currently materialized
+	released := make([]bool, n) // value handed back to the arena
+	fused := make([]bool, n)    // group intermediate a fused kernel skipped
+	for _, node := range g.Nodes() {
+		if node.IsInput() || node.IsConst() {
+			env[node.ID] = true
+		}
+	}
+	read := func(kname string, id graph.NodeID) {
+		if int(id) < 0 || int(id) >= n || env[id] {
+			return
+		}
+		switch {
+		case released[id]:
+			fs = append(fs, nodeFinding(PassRelease, id, "kernel %q reads %q after its release — use-after-release", kname, g.Node(id).Name))
+		case fused[id]:
+			fs = append(fs, nodeFinding(PassRelease, id, "kernel %q reads %q, which its fused producer never materializes", kname, g.Node(id).Name))
+		default:
+			fs = append(fs, nodeFinding(PassRelease, id, "kernel %q reads %q before any kernel produces it", kname, g.Node(id).Name))
+		}
+	}
+	consume := func(id graph.NodeID) {
+		if int(id) < 0 || int(id) >= n {
+			return
+		}
+		uses[id]--
+		if uses[id] < 0 {
+			fs = append(fs, nodeFinding(PassRelease, id, "value %q consumed more times than it has readers", g.Node(id).Name))
+			return
+		}
+		if uses[id] == 0 && releasable[id] {
+			if released[id] {
+				fs = append(fs, nodeFinding(PassRelease, id, "value %q released twice", g.Node(id).Name))
+				return
+			}
+			released[id] = true
+			env[id] = false
+		}
+	}
+
+	for ki := range m.Kernels {
+		k := &m.Kernels[ki]
+		if len(k.Nodes) == 0 {
+			fs = append(fs, finding(PassRelease, "kernel %q has no nodes", k.Name))
+			continue
+		}
+		if f := k.Fused; f != nil {
+			fs = append(fs, checkFused(g, k)...)
+			read(k.Name, f.X)
+			read(k.Name, f.W)
+			if f.HasBias {
+				read(k.Name, f.Bias)
+			}
+			// The fused path publishes only the group tail; intermediates are
+			// never materialized and their intra-group consumer edges are never
+			// consumed, so they can never be (wrongly) released.
+			for _, id := range k.Nodes[:len(k.Nodes)-1] {
+				fused[id] = true
+			}
+			env[k.Output()] = true
+			consume(f.X)
+			consume(f.W)
+			if f.HasBias {
+				consume(f.Bias)
+			}
+			continue
+		}
+		for _, id := range k.Nodes {
+			node := g.Node(id)
+			for _, in := range node.Inputs {
+				read(k.Name, in)
+			}
+			env[id] = true
+			for _, in := range node.Inputs {
+				consume(in)
+			}
+		}
+	}
+
+	for _, o := range g.Outputs() {
+		if int(o) < 0 || int(o) >= n {
+			continue // reported by the graph pass
+		}
+		if !env[o] {
+			switch {
+			case released[o]:
+				fs = append(fs, nodeFinding(PassRelease, o, "declared output %q was released before the end of the plan", g.Node(o).Name))
+			case fused[o]:
+				fs = append(fs, nodeFinding(PassRelease, o, "declared output %q is a fused-group intermediate and is never materialized", g.Node(o).Name))
+			default:
+				fs = append(fs, nodeFinding(PassRelease, o, "declared output %q is never produced by the kernel plan", g.Node(o).Name))
+			}
+		}
+	}
+	return fs
+}
+
+// checkFused verifies the structural legality of one fused-epilogue kernel:
+// the group leader is the dense op the lowering promises, the fused operand
+// ids match the leader's inputs, and every non-tail group member stays
+// private to the group — a value the fused call never materializes must not
+// be read by outside consumers or declared as a module output.
+func checkFused(g *graph.Graph, k *compiler.Kernel) []Finding {
+	var fs []Finding
+	f := k.Fused
+	lead := g.Node(k.Nodes[0])
+	if lead.Op != "dense" {
+		fs = append(fs, nodeFinding(PassRelease, lead.ID, "fused kernel %q led by %s node %q — fused lowering requires a dense leader", k.Name, lead.Op, lead.Name))
+		return fs
+	}
+	if len(lead.Inputs) < 2 || f.X != lead.Inputs[0] || f.W != lead.Inputs[1] {
+		fs = append(fs, nodeFinding(PassRelease, lead.ID, "fused kernel %q operands (X=%d, W=%d) do not match leader %q inputs %v", k.Name, f.X, f.W, lead.Name, lead.Inputs))
+	}
+	if f.HasBias && (int(f.Bias) < 0 || int(f.Bias) >= g.Len()) {
+		fs = append(fs, nodeFinding(PassRelease, lead.ID, "fused kernel %q bias id %d out of range", k.Name, f.Bias))
+	}
+
+	inGroup := make(map[graph.NodeID]bool, len(k.Nodes))
+	for _, id := range k.Nodes {
+		inGroup[id] = true
+	}
+	declared := make(map[graph.NodeID]bool, len(g.Outputs()))
+	for _, o := range g.Outputs() {
+		declared[o] = true
+	}
+	consumers := g.Consumers()
+	tail := k.Output()
+	for _, id := range k.Nodes {
+		if id == tail {
+			continue
+		}
+		if declared[id] {
+			fs = append(fs, nodeFinding(PassRelease, id, "fused kernel %q intermediate %q is a declared output but is never materialized", k.Name, g.Node(id).Name))
+		}
+		for _, c := range consumers[id] {
+			if !inGroup[c] {
+				fs = append(fs, nodeFinding(PassRelease, id, "fused kernel %q intermediate %q is consumed by %q outside the group", k.Name, g.Node(id).Name, g.Node(c).Name))
+			}
+		}
+	}
+	return fs
+}

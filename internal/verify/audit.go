@@ -1,0 +1,275 @@
+package verify
+
+import (
+	"math"
+
+	"duet/internal/device"
+	"duet/internal/partition"
+	"duet/internal/profile"
+	"duet/internal/vclock"
+)
+
+// Placement reasons as the scheduler records them (schedule.ReasonSequential
+// et al. hold the same literals; verify re-declares them so the import order
+// stays schedule -> verify).
+const (
+	ReasonSequential    = "sequential-fastest"
+	ReasonCriticalPin   = "critical-pin"
+	ReasonGreedyBalance = "greedy-balance"
+)
+
+// AuditSubgraph mirrors one subgraph entry of the scheduler's decision trail.
+type AuditSubgraph struct {
+	Index      int
+	Name       string
+	CPUSeconds vclock.Seconds
+	GPUSeconds vclock.Seconds
+	Chosen     string // "cpu" | "gpu"
+	Reason     string
+}
+
+// AuditSwap mirrors one accepted correction: a move (J < 0) or a pair swap,
+// bracketed by the measured latency on both sides.
+type AuditSwap struct {
+	Phase     int
+	Round     int
+	Kind      string // "move" | "swap"
+	I, J      int
+	Before    string
+	After     string
+	LatBefore vclock.Seconds
+	LatAfter  vclock.Seconds
+	Gain      vclock.Seconds
+}
+
+// AuditTrail is the scheduler-independent form of a greedy-correction audit,
+// produced by schedule.(*Audit).Verify. CheckAudit replays Algorithm 1's
+// decision structure against the partition and profiles that allegedly
+// produced it.
+type AuditTrail struct {
+	Subgraphs       []AuditSubgraph
+	Swaps           []AuditSwap
+	Initial         string
+	Final           string
+	InitialMeasured vclock.Seconds
+	FinalMeasured   vclock.Seconds
+}
+
+// latEq compares measured seconds with a tolerance for encode/decode noise;
+// in-process audits chain bit-exactly.
+func latEq(a, b vclock.Seconds) bool {
+	diff := math.Abs(float64(a) - float64(b))
+	scale := math.Max(1, math.Max(math.Abs(float64(a)), math.Abs(float64(b))))
+	return diff <= 1e-9*scale
+}
+
+func deviceName(c byte) string {
+	switch c {
+	case 'C':
+		return "cpu"
+	case 'G':
+		return "gpu"
+	}
+	return ""
+}
+
+// CheckAudit replays the decision structure of Algorithm 1 over the audit
+// trail (§IV-C): every subgraph entry must restate its profiled costs and the
+// device its Initial placement string records; reasons must match a fresh
+// derivation of the phase structure (sequential phases take the faster
+// device, each multi-path phase pins exactly its maximum-best-cost subgraph,
+// the rest are greedy-balanced); and the correction sequence must chain — each
+// swap flips exactly its claimed indices inside one multi-path phase, its
+// gain equals the bracketing measurements, and the placement and latency
+// chains connect Initial/InitialMeasured through every swap to
+// Final/FinalMeasured.
+//
+// The greedy-balance device choices themselves are not re-derived: the sweep
+// orders equal-cost subgraphs with an unstable sort, so its exact tie-break
+// is not reproducible — the pass verifies the decision structure, not the
+// coin flips.
+func CheckAudit(p *partition.Partition, records []profile.Record, t *AuditTrail) []Finding {
+	if t == nil {
+		return []Finding{finding(PassAudit, "no audit trail supplied")}
+	}
+	var fs []Finding
+	subs := p.Subgraphs()
+	n := len(subs)
+	if len(records) != n {
+		return append(fs, finding(PassAudit, "%d profile records for %d subgraphs — cannot replay the audit", len(records), n))
+	}
+	if len(t.Subgraphs) != n {
+		fs = append(fs, finding(PassAudit, "audit explains %d subgraphs, partition has %d", len(t.Subgraphs), n))
+		return fs
+	}
+	if len(t.Initial) != n {
+		fs = append(fs, finding(PassAudit, "initial placement %q does not cover %d subgraphs", t.Initial, n))
+		return fs
+	}
+
+	for i, sg := range t.Subgraphs {
+		if sg.Index != i {
+			fs = append(fs, subFinding(PassAudit, i, "audit entry at flat position %d claims index %d", i, sg.Index))
+		}
+		if sg.Name != subs[i].Graph.Name {
+			fs = append(fs, subFinding(PassAudit, i, "audit names subgraph %d %q, partition has %q", i, sg.Name, subs[i].Graph.Name))
+		}
+		if sg.CPUSeconds != records[i].TimeOn(device.CPU) || sg.GPUSeconds != records[i].TimeOn(device.GPU) {
+			fs = append(fs, subFinding(PassAudit, i, "audit restates subgraph %d costs (cpu=%v, gpu=%v), profiles say (cpu=%v, gpu=%v)",
+				i, sg.CPUSeconds, sg.GPUSeconds, records[i].TimeOn(device.CPU), records[i].TimeOn(device.GPU)))
+		}
+		want := deviceName(t.Initial[i])
+		if want == "" {
+			fs = append(fs, subFinding(PassAudit, i, "initial placement %q has unknown device letter %q at %d", t.Initial, string(t.Initial[i]), i))
+		} else if sg.Chosen != want {
+			fs = append(fs, subFinding(PassAudit, i, "audit says subgraph %d chose %q, initial placement %q says %q", i, sg.Chosen, t.Initial, want))
+		}
+	}
+
+	// Re-derive the phase structure and check each entry's reason against it.
+	var spans []phaseSpan
+	flat := 0
+	for _, ph := range p.Phases {
+		hi := flat + len(ph.Subgraphs)
+		spans = append(spans, phaseSpan{lo: flat, hi: hi,
+			multipath: ph.Kind == partition.MultiPath && hi-flat > 1})
+		flat = hi
+	}
+	for _, sp := range spans {
+		if !sp.multipath {
+			for i := sp.lo; i < sp.hi; i++ {
+				sg := t.Subgraphs[i]
+				if sg.Reason != ReasonSequential {
+					fs = append(fs, subFinding(PassAudit, i, "sequential subgraph %d recorded reason %q, want %q", i, sg.Reason, ReasonSequential))
+				}
+				if want := deviceKindName(records[i].Faster()); sg.Chosen != want {
+					fs = append(fs, subFinding(PassAudit, i, "sequential subgraph %d placed on %q, profiles say %q is faster", i, sg.Chosen, want))
+				}
+			}
+			continue
+		}
+		// The critical pin is deterministic: first argmax of best-case cost.
+		crit := sp.lo
+		for i := sp.lo + 1; i < sp.hi; i++ {
+			if records[i].Best() > records[crit].Best() {
+				crit = i
+			}
+		}
+		for i := sp.lo; i < sp.hi; i++ {
+			sg := t.Subgraphs[i]
+			switch {
+			case i == crit:
+				if sg.Reason != ReasonCriticalPin {
+					fs = append(fs, subFinding(PassAudit, i, "subgraph %d anchors its phase (max best-case cost) but recorded reason %q, want %q", i, sg.Reason, ReasonCriticalPin))
+				}
+				if want := deviceKindName(records[i].Faster()); sg.Chosen != want {
+					fs = append(fs, subFinding(PassAudit, i, "critical subgraph %d pinned to %q, profiles say %q is faster", i, sg.Chosen, want))
+				}
+			case sg.Reason == ReasonCriticalPin:
+				fs = append(fs, subFinding(PassAudit, i, "subgraph %d recorded reason %q but subgraph %d holds the phase's maximum best-case cost", i, sg.Reason, crit))
+			case sg.Reason != ReasonGreedyBalance:
+				fs = append(fs, subFinding(PassAudit, i, "multi-path subgraph %d recorded reason %q, want %q", i, sg.Reason, ReasonGreedyBalance))
+			}
+		}
+	}
+
+	fs = append(fs, checkSwapChain(spans, t, n)...)
+	return fs
+}
+
+// phaseSpan is a phase's flat subgraph range, tagged with whether the
+// correction step may touch it.
+type phaseSpan struct {
+	lo, hi    int
+	multipath bool
+}
+
+// checkSwapChain verifies the correction sequence: placement strings chain
+// Initial -> Final with each swap flipping exactly its claimed indices inside
+// one multi-path phase, and measured latencies chain InitialMeasured ->
+// FinalMeasured with every accepted step a strict improvement.
+func checkSwapChain(spans []phaseSpan, t *AuditTrail, n int) []Finding {
+	var fs []Finding
+	cur := t.Initial
+	lat := t.InitialMeasured
+	lastPhase, lastRound := -1, -1
+	for si, sw := range t.Swaps {
+		if sw.Phase < 0 || sw.Phase >= len(spans) || !spans[sw.Phase].multipath {
+			fs = append(fs, finding(PassAudit, "swap %d targets phase %d, which is not a multi-path phase", si, sw.Phase))
+			continue
+		}
+		sp := spans[sw.Phase]
+		if sw.Phase < lastPhase || (sw.Phase == lastPhase && sw.Round <= lastRound) {
+			fs = append(fs, finding(PassAudit, "swap %d (phase %d round %d) breaks the phase/round sweep order", si, sw.Phase, sw.Round))
+		}
+		lastPhase, lastRound = sw.Phase, sw.Round
+		if sw.Before != cur {
+			fs = append(fs, finding(PassAudit, "swap %d starts from placement %q, chain holds %q", si, sw.Before, cur))
+		}
+		if len(sw.After) != n || len(sw.Before) != n {
+			fs = append(fs, finding(PassAudit, "swap %d placements %q -> %q do not cover %d subgraphs", si, sw.Before, sw.After, n))
+			cur = sw.After
+			continue
+		}
+		diff := []int{}
+		for i := 0; i < n; i++ {
+			if sw.Before[i] != sw.After[i] {
+				diff = append(diff, i)
+			}
+		}
+		switch sw.Kind {
+		case "move":
+			if sw.J >= 0 {
+				fs = append(fs, finding(PassAudit, "swap %d is a move but records partner index %d", si, sw.J))
+			}
+			if len(diff) != 1 || diff[0] != sw.I {
+				fs = append(fs, finding(PassAudit, "move %d claims index %d, placements %q -> %q differ at %v", si, sw.I, sw.Before, sw.After, diff))
+			}
+			if sw.I < sp.lo || sw.I >= sp.hi {
+				fs = append(fs, finding(PassAudit, "move %d index %d is outside phase %d's range [%d,%d)", si, sw.I, sw.Phase, sp.lo, sp.hi))
+			}
+		case "swap":
+			if len(diff) != 2 || diff[0] != sw.I && diff[0] != sw.J || diff[1] != sw.I && diff[1] != sw.J ||
+				sw.Before[sw.I] != sw.After[sw.J] || sw.Before[sw.J] != sw.After[sw.I] {
+				fs = append(fs, finding(PassAudit, "swap %d claims exchange of %d and %d, placements %q -> %q differ at %v", si, sw.I, sw.J, sw.Before, sw.After, diff))
+			} else if sw.Before[sw.I] == sw.Before[sw.J] {
+				fs = append(fs, finding(PassAudit, "swap %d exchanges %d and %d, which sit on the same device — a no-op cannot improve latency", si, sw.I, sw.J))
+			}
+			for _, idx := range []int{sw.I, sw.J} {
+				if idx < sp.lo || idx >= sp.hi {
+					fs = append(fs, finding(PassAudit, "swap %d index %d is outside phase %d's range [%d,%d)", si, idx, sw.Phase, sp.lo, sp.hi))
+				}
+			}
+		default:
+			fs = append(fs, finding(PassAudit, "swap %d has unknown kind %q", si, sw.Kind))
+		}
+		if !latEq(sw.LatBefore, lat) {
+			fs = append(fs, finding(PassAudit, "swap %d measured %v before it, chain holds %v", si, sw.LatBefore, lat))
+		}
+		if !latEq(sw.Gain, sw.LatBefore-sw.LatAfter) {
+			fs = append(fs, finding(PassAudit, "swap %d records gain %v, measurements give %v", si, sw.Gain, sw.LatBefore-sw.LatAfter))
+		}
+		if sw.Gain <= 0 {
+			fs = append(fs, finding(PassAudit, "swap %d was accepted with non-positive gain %v — correction only accepts improvements", si, sw.Gain))
+		}
+		cur = sw.After
+		lat = sw.LatAfter
+	}
+	if t.Final == "" {
+		fs = append(fs, finding(PassAudit, "audit records no final placement"))
+	} else if t.Final != cur {
+		fs = append(fs, finding(PassAudit, "audit final placement %q, swap chain ends at %q", t.Final, cur))
+	}
+	if !latEq(t.FinalMeasured, lat) {
+		fs = append(fs, finding(PassAudit, "audit final measured latency %v, swap chain ends at %v", t.FinalMeasured, lat))
+	}
+	return fs
+}
+
+// deviceKindName names a device kind the way the audit does.
+func deviceKindName(k device.Kind) string {
+	if k == device.GPU {
+		return "gpu"
+	}
+	return "cpu"
+}

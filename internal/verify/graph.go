@@ -1,0 +1,168 @@
+package verify
+
+import (
+	"duet/internal/graph"
+	"duet/internal/ops"
+	"duet/internal/tensor"
+)
+
+// CheckGraph verifies graph well-formedness independently of the builders:
+// declared outputs resolve, node identity is consistent (ID, name index),
+// every input reference is in range, the edge relation is acyclic (re-derived
+// with Kahn's algorithm rather than trusting the construction-order
+// invariant), structural nodes carry payloads/shapes, and every compute
+// node's stored shape matches a fresh shape inference through the operator
+// registry — a re-derivation of compiler.InferShapes, so a mutation to
+// either side surfaces here.
+func CheckGraph(g *graph.Graph) []Finding {
+	if g == nil {
+		return []Finding{finding(PassGraph, "no graph supplied")}
+	}
+	var fs []Finding
+	n := g.Len()
+	if n == 0 {
+		return append(fs, finding(PassGraph, "graph %q has no nodes", g.Name))
+	}
+	if len(g.Outputs()) == 0 {
+		fs = append(fs, finding(PassGraph, "graph %q declares no outputs", g.Name))
+	}
+	for _, o := range g.Outputs() {
+		if int(o) < 0 || int(o) >= n {
+			fs = append(fs, finding(PassGraph, "graph %q output id %d out of range [0,%d)", g.Name, o, n))
+		}
+	}
+
+	inRange := func(id graph.NodeID) bool { return int(id) >= 0 && int(id) < n }
+	for i, node := range g.Nodes() {
+		if int(node.ID) != i {
+			fs = append(fs, nodeFinding(PassGraph, graph.NodeID(i), "node %q stored at index %d claims id %d", node.Name, i, node.ID))
+		}
+		// Single-producer: every value is identified by exactly one node, so
+		// the invariant reduces to name-index consistency — the name must map
+		// back to this node and no other.
+		if byName := g.NodeByName(node.Name); byName == nil || byName.ID != graph.NodeID(i) {
+			fs = append(fs, nodeFinding(PassGraph, graph.NodeID(i), "node %q is not the node its name resolves to", node.Name))
+		}
+		for _, in := range node.Inputs {
+			if !inRange(in) {
+				fs = append(fs, nodeFinding(PassGraph, node.ID, "node %q references dangling input id %d", node.Name, in))
+			} else if in >= graph.NodeID(i) {
+				// TopoSort and the kernel planner rely on construction order
+				// being topological (ids ascending).
+				fs = append(fs, nodeFinding(PassGraph, node.ID, "node %q (id %d) consumes id %d, which does not precede it", node.Name, i, in))
+			}
+		}
+		switch {
+		case node.IsConst():
+			if node.Value == nil {
+				fs = append(fs, nodeFinding(PassGraph, node.ID, "const node %q has no payload", node.Name))
+			} else if !tensor.ShapeEq(node.Value.Shape(), node.Shape) {
+				fs = append(fs, nodeFinding(PassGraph, node.ID, "const node %q shape %v does not match payload shape %v", node.Name, node.Shape, node.Value.Shape()))
+			}
+			if len(node.Inputs) != 0 {
+				fs = append(fs, nodeFinding(PassGraph, node.ID, "const node %q has %d inputs", node.Name, len(node.Inputs)))
+			}
+		case node.IsInput():
+			if node.Shape == nil {
+				fs = append(fs, nodeFinding(PassGraph, node.ID, "input node %q has no shape", node.Name))
+			}
+			if len(node.Inputs) != 0 {
+				fs = append(fs, nodeFinding(PassGraph, node.ID, "input node %q has %d inputs", node.Name, len(node.Inputs)))
+			}
+		}
+	}
+
+	// Acyclicity via Kahn's algorithm over the in-range edges. Redundant
+	// with the ordering check above by design: the two are independent
+	// derivations, so a corrupted edge that slips past one is caught by the
+	// other and a disagreement between them indicates verifier rot.
+	indeg := make([]int, n)
+	for _, node := range g.Nodes() {
+		for _, in := range node.Inputs {
+			if inRange(in) {
+				indeg[node.ID]++
+			}
+		}
+	}
+	consumers := make([][]graph.NodeID, n)
+	for _, node := range g.Nodes() {
+		for _, in := range node.Inputs {
+			if inRange(in) {
+				consumers[in] = append(consumers[in], node.ID)
+			}
+		}
+	}
+	queue := make([]graph.NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, graph.NodeID(i))
+		}
+	}
+	visited := 0
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		visited++
+		for _, c := range consumers[id] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if visited != n {
+		for i := 0; i < n; i++ {
+			if indeg[i] > 0 {
+				fs = append(fs, nodeFinding(PassGraph, graph.NodeID(i), "node %q is on a dependency cycle", g.Node(graph.NodeID(i)).Name))
+			}
+		}
+	}
+
+	fs = append(fs, checkShapes(g)...)
+	return fs
+}
+
+// checkShapes re-infers every compute node's output shape through the
+// operator registry and compares it against the stored Node.Shape. The walk
+// is independent of compiler.InferShapes: it reads only stored *input*
+// shapes, so a single corrupted shape is reported at the node that carries
+// it, not at every transitive consumer.
+func checkShapes(g *graph.Graph) []Finding {
+	var fs []Finding
+	n := g.Len()
+	for _, node := range g.Nodes() {
+		if node.IsInput() || node.IsConst() {
+			continue
+		}
+		def, err := ops.Lookup(node.Op)
+		if err != nil {
+			fs = append(fs, nodeFinding(PassGraph, node.ID, "node %q has unknown operator kind %q", node.Name, node.Op))
+			continue
+		}
+		if node.Shape == nil {
+			fs = append(fs, nodeFinding(PassGraph, node.ID, "node %q has no inferred shape", node.Name))
+			continue
+		}
+		in := make([][]int, len(node.Inputs))
+		ok := true
+		for i, inID := range node.Inputs {
+			if int(inID) < 0 || int(inID) >= n || g.Node(inID).Shape == nil {
+				ok = false
+				break
+			}
+			in[i] = g.Node(inID).Shape
+		}
+		if !ok {
+			continue // the dangling/unshaped input is reported elsewhere
+		}
+		want, err := def.Infer(node.Attrs, in)
+		if err != nil {
+			fs = append(fs, nodeFinding(PassGraph, node.ID, "node %q fails shape inference: %v", node.Name, err))
+			continue
+		}
+		if !tensor.ShapeEq(want, node.Shape) {
+			fs = append(fs, nodeFinding(PassGraph, node.ID, "node %q stores shape %v, independent inference gives %v", node.Name, node.Shape, want))
+		}
+	}
+	return fs
+}
