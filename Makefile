@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check fmt-check vet test test-race test-short bench bench-obs bench-kernels bench-serve experiments quick-experiments report fuzz clean
+.PHONY: all build check fmt-check vet test test-race test-short bench bench-obs bench-kernels bench-serve bench-cluster experiments quick-experiments report fuzz clean
 
 all: build check
 
@@ -20,10 +20,14 @@ build:
 ## share compiled modules and the weight pack cache while drawing
 ## activations from separate arenas, and the smoke test pins the pipelined
 ## serving stack's throughput floor over the serial Infer loop.
+## The cluster package gets a dedicated chaos smoke: the crash-failover and
+## trace-determinism tests re-run under -race, pinning the fabric's
+## zero-loss and byte-replayable guarantees on every gate.
 check: fmt-check vet
 	$(GO) test -race ./...
 	$(GO) test -race -count=2 ./internal/obs/...
 	$(GO) test -race -count=2 -run 'TestConcurrentExecuteArena|TestServeSmoke' ./internal/serve/
+	$(GO) test -race -count=1 -run 'TestClusterChaosCrashFailover|TestClusterTraceDeterminism' ./internal/cluster/
 	$(GO) test -count=1 -run TestArenaCutsSteadyStateAllocs ./internal/runtime/
 
 ## Static analysis gate: stock go vet plus the repo's custom analyzer suite
@@ -87,6 +91,13 @@ bench-kernels:
 ## each under burst (capacity) and Poisson (tail latency) load.
 bench-serve:
 	$(GO) run ./cmd/duet-bench -quick -serve BENCH_serve.json
+
+## Regenerate the cluster fault-tolerance baseline: the same request stream
+## served fault-free and under the committed chaos schedule (primary crash +
+## seeded message loss), with the bit-identical-outputs and replayable-trace
+## invariants checked and recorded.
+bench-cluster:
+	$(GO) run ./cmd/duet-bench -quick -cluster BENCH_cluster.json
 
 ## Fuzz the Relay parser for 30s.
 fuzz:

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"fmt"
+
+	"duet/internal/cluster"
+	"duet/internal/core"
+	"duet/internal/faults"
+	"duet/internal/obs"
+	"duet/internal/serve"
+	"duet/internal/tensor"
+	"duet/internal/vclock"
+)
+
+type clusterOpts struct {
+	nodes, requests, sessions int
+	qps                       float64
+	crashNode                 int // -1 none; -2 auto (first session's primary)
+	crashAtMS, crashForMS     float64
+	lossProb                  float64
+	hedgeMS                   float64
+	trace                     bool
+}
+
+// runCluster boots an in-process serving fabric over the built engine —
+// every node a serve.Server behind the router's message front door — drives
+// an open-loop stream through it under the requested fault schedule, and
+// prints the report (optionally the full replayable event trace).
+func runCluster(engine *core.Engine, reg *obs.Registry, seed int64, fallback map[string]*tensor.Tensor, inputsFor func(int) map[string]*tensor.Tensor, o clusterOpts) error {
+	if o.nodes < 1 {
+		o.nodes = 3
+	}
+	if o.requests < 1 {
+		o.requests = 24
+	}
+	if o.sessions < 1 {
+		o.sessions = 4
+	}
+	if inputsFor == nil {
+		inputsFor = func(int) map[string]*tensor.Tensor { return fallback }
+	}
+
+	servers := make([]*serve.Server, o.nodes)
+	for i := range servers {
+		srv, err := serve.New(serve.Config{Engine: engine, QueueCap: 4 * o.requests, Seed: seed})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		servers[i] = srv
+	}
+
+	// The routing table is needed before the fault schedule exists (the
+	// "auto" victim is the first session's primary), so build the fabric
+	// fault-free first and rebuild with the injector.
+	probe, err := cluster.New(cluster.Config{Seed: seed}, servers)
+	if err != nil {
+		return err
+	}
+	victim := o.crashNode
+	if victim == -2 {
+		victim = probe.Route("session-0")[0]
+	}
+	var specs []faults.Spec
+	if victim >= 0 {
+		specs = append(specs, faults.Crash(victim, vclock.Seconds(o.crashAtMS)/1e3, vclock.Seconds(o.crashForMS)/1e3))
+	}
+	if o.lossProb > 0 {
+		specs = append(specs, faults.MessageLosses(-1, o.lossProb))
+	}
+	var in *faults.Injector
+	if len(specs) > 0 {
+		in = faults.New(seed+17, specs...)
+	}
+	c, err := cluster.New(cluster.Config{
+		Seed:       seed,
+		HedgeAfter: vclock.Seconds(o.hedgeMS) / 1e3,
+		Injector:   in,
+		Registry:   reg,
+	}, servers)
+	if err != nil {
+		return err
+	}
+
+	base := serve.OpenLoop(serve.LoadSpec{
+		Requests: o.requests,
+		QPS:      o.qps,
+		Burst:    o.qps <= 0,
+		Seed:     seed + 3,
+		Inputs:   inputsFor,
+	})
+	reqs := make([]cluster.Request, len(base))
+	for i, r := range base {
+		reqs[i] = cluster.Request{
+			ID:       r.ID,
+			Session:  fmt.Sprintf("session-%d", i%o.sessions),
+			Priority: 1,
+			Arrival:  r.Arrival,
+			Inputs:   r.Inputs,
+		}
+	}
+
+	m := c.ShardMap()
+	pattern := "burst"
+	if o.qps > 0 {
+		pattern = fmt.Sprintf("poisson @ %.0f req/s", o.qps)
+	}
+	schedule := "fault-free"
+	if in != nil {
+		schedule = ""
+		if victim >= 0 {
+			schedule = fmt.Sprintf("crash n%d@%.1fms", victim, o.crashAtMS)
+			if o.crashForMS > 0 {
+				schedule += fmt.Sprintf(" for %.1fms", o.crashForMS)
+			}
+		}
+		if o.lossProb > 0 {
+			if schedule != "" {
+				schedule += " + "
+			}
+			schedule += fmt.Sprintf("%.0f%% loss", o.lossProb*100)
+		}
+	}
+	fmt.Printf("\ncluster: %d nodes, replication %d, %d sessions, %d requests (%s), %s\n",
+		o.nodes, m.Replication, o.sessions, o.requests, pattern, schedule)
+
+	rep, _, err := c.Run(reqs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %s\n", rep)
+	if o.trace {
+		fmt.Println("\nevent trace (replayable):")
+		for _, line := range rep.Trace {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,369 @@
+package cluster
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"duet/internal/faults"
+	"duet/internal/obs"
+	"duet/internal/serve"
+	"duet/internal/tensor"
+	"duet/internal/vclock"
+	"duet/internal/workload"
+)
+
+// sameOutputs asserts two response sets are bit-identical per request ID.
+func sameOutputs(t *testing.T, label string, got, want []Response) {
+	t.Helper()
+	wantByID := map[int][]*tensor.Tensor{}
+	for i := range want {
+		wantByID[want[i].ID] = want[i].Outputs
+	}
+	for i := range got {
+		w, ok := wantByID[got[i].ID]
+		if !ok {
+			t.Fatalf("%s: response for unknown request %d", label, got[i].ID)
+		}
+		g := got[i].Outputs
+		if len(g) != len(w) {
+			t.Fatalf("%s: req %d has %d outputs, want %d", label, got[i].ID, len(g), len(w))
+		}
+		for oi := range w {
+			gd, wd := g[oi].Data(), w[oi].Data()
+			if len(gd) != len(wd) {
+				t.Fatalf("%s: req %d output %d length mismatch", label, got[i].ID, oi)
+			}
+			for j := range wd {
+				if gd[j] != wd[j] {
+					t.Fatalf("%s: req %d output %d differs at %d: %v vs %v",
+						label, got[i].ID, oi, j, gd[j], wd[j])
+				}
+			}
+		}
+	}
+}
+
+// requireSettled asserts the zero-lost / zero-duplicated contract: exactly
+// one terminal response per request, every ID accounted for.
+func requireSettled(t *testing.T, reqs []Request, resps []Response) {
+	t.Helper()
+	if len(resps) != len(reqs) {
+		t.Fatalf("%d responses for %d requests", len(resps), len(reqs))
+	}
+	seen := map[int]bool{}
+	for i := range resps {
+		if resps[i].Outcome == "" {
+			t.Fatalf("request %d has no terminal outcome", resps[i].ID)
+		}
+		if seen[resps[i].ID] {
+			t.Fatalf("request %d answered twice", resps[i].ID)
+		}
+		seen[resps[i].ID] = true
+	}
+	for i := range reqs {
+		if !seen[reqs[i].ID] {
+			t.Fatalf("request %d lost", reqs[i].ID)
+		}
+	}
+}
+
+// TestClusterFaultFree: with no fault schedule, every request is delivered
+// exactly once through the router with OK outputs.
+func TestClusterFaultFree(t *testing.T) {
+	c, err := New(Config{Seed: 7}, newServers(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := clusterLoad(t, 18, 2000)
+	rep, resps, err := c.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSettled(t, reqs, resps)
+	if rep.OK != len(reqs) || rep.Failed != 0 || rep.Retries != 0 || rep.Duplicates != 0 {
+		t.Fatalf("fault-free run: %v", rep)
+	}
+	for i := range resps {
+		if resps[i].Node < 0 || len(resps[i].Outputs) == 0 {
+			t.Fatalf("delivered response %d lacks node/outputs: %+v", i, resps[i])
+		}
+		if resps[i].Latency <= 0 {
+			t.Fatalf("response %d has non-positive latency", i)
+		}
+	}
+}
+
+// TestClusterChaosCrashFailover is the headline chaos assertion: a node
+// crash mid-load fails traffic over with zero lost and zero duplicated
+// responses, and the delivered outputs are bit-identical to a fault-free
+// run of the same stream.
+func TestClusterChaosCrashFailover(t *testing.T) {
+	servers := newServers(t, 3)
+	reqs := clusterLoad(t, 18, 2000)
+
+	baselineCluster, err := New(Config{Seed: 7}, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, baseline, err := baselineCluster.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash the primary of one of the load's sessions permanently, two
+	// virtual milliseconds in — that node is guaranteed to own traffic.
+	victim := baselineCluster.ring.chain("session-0")[0]
+	reg := obs.NewRegistry()
+	chaos, err := New(Config{
+		Seed:     7,
+		Injector: faults.New(99, faults.Crash(victim, 2e-3, 0)),
+		Registry: reg,
+	}, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, resps, err := chaos.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSettled(t, reqs, resps)
+	if rep.OK != len(reqs) {
+		t.Fatalf("crash run lost deliveries: %v", rep)
+	}
+	if rep.Failovers == 0 || rep.Trips == 0 {
+		t.Fatalf("crash never exercised failover/breaker: %v", rep)
+	}
+	if rep.Duplicates != 0 {
+		t.Fatalf("failover duplicated responses: %v", rep)
+	}
+	for i := range resps {
+		if resps[i].Node == victim && resps[i].Finish > 2e-3 {
+			t.Fatalf("response %d served by the crashed node at %.3fms", i, resps[i].Finish*1e3)
+		}
+	}
+	sameOutputs(t, "crash-failover", resps, baseline)
+
+	s := reg.Snapshot()
+	if s.Counters[`cluster_requests_total{outcome="ok"}`] != int64(len(reqs)) {
+		t.Fatalf("metrics disagree with report: %v", s.Counters)
+	}
+	if s.Counters["cluster_failovers_total"] != int64(rep.Failovers) {
+		t.Fatalf("failover counter %d != report %d",
+			s.Counters["cluster_failovers_total"], rep.Failovers)
+	}
+	if g := s.Gauges[obs.Series("cluster_node_health", "node", strconv.Itoa(victim))]; g != 1 {
+		t.Fatalf("crashed node's breaker gauge = %v, want 1 (open)", g)
+	}
+}
+
+// TestClusterTraceDeterminism: the same seed and fault schedule replay the
+// whole run byte-for-byte — event trace, report, and outputs.
+func TestClusterTraceDeterminism(t *testing.T) {
+	servers := newServers(t, 3)
+	reqs := clusterLoad(t, 12, 2000)
+	c, err := New(Config{
+		Seed: 21,
+		Injector: faults.New(4,
+			faults.Crash(1, 1e-3, 6e-3),
+			faults.MessageLosses(-1, 0.2),
+			faults.MessageDelays(-1, 0.3, 400e-6),
+		),
+	}, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repA, respsA, err := c.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, respsB, err := c.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := strings.Join(repA.Trace, "\n"), strings.Join(repB.Trace, "\n")
+	if a != b {
+		t.Fatalf("trace not replayable:\n--- run A ---\n%s\n--- run B ---\n%s", a, b)
+	}
+	if len(repA.Trace) == 0 {
+		t.Fatal("empty event trace")
+	}
+	if repA.String() != repB.String() {
+		t.Fatalf("reports differ:\n%v\n%v", repA, repB)
+	}
+	requireSettled(t, reqs, respsA)
+	requireSettled(t, reqs, respsB)
+	sameOutputs(t, "replay", respsB, respsA)
+}
+
+// TestClusterBrownout: with most of the cluster gone, low-priority work is
+// shed with the typed brownout reason while high-priority work keeps being
+// served by the survivors.
+func TestClusterBrownout(t *testing.T) {
+	servers := newServers(t, 3)
+	c, err := New(Config{
+		Seed:              13,
+		Replication:       3, // every chain must reach the lone survivor
+		BreakerThreshold:  1,
+		BrownoutThreshold: 0.9,
+		Injector: faults.New(5,
+			faults.Crash(0, 0, 0),
+			faults.Crash(1, 0, 0),
+		),
+		Registry: obs.NewRegistry(),
+	}, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cfg := testEngine(t)
+	timeout := c.Timeout()
+	var reqs []Request
+	// Phase 1: high-priority requests whose timeouts trip the dead nodes'
+	// breakers. Phase 2: low-priority stragglers arriving once the cluster
+	// knows it is degraded.
+	for i := 0; i < 8; i++ {
+		reqs = append(reqs, Request{
+			ID: i, Session: "", Priority: 1,
+			Arrival: vclock.Seconds(i) * 200e-6,
+			Inputs:  workload.WideDeepInputs(cfg, 1000+int64(i)),
+		})
+	}
+	for i := 8; i < 12; i++ {
+		reqs = append(reqs, Request{
+			ID: i, Priority: 0,
+			Arrival: 3*timeout + vclock.Seconds(i)*100e-6,
+			Inputs:  workload.WideDeepInputs(cfg, 1000+int64(i)),
+		})
+	}
+	rep, resps, err := c.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSettled(t, reqs, resps)
+	for i := range resps {
+		if resps[i].ID < 8 {
+			if resps[i].Outcome != serve.OK {
+				t.Fatalf("high-priority request %d not served: %s (%v)", resps[i].ID, resps[i].Outcome, resps[i].Err)
+			}
+			if resps[i].Node != 2 {
+				t.Fatalf("request %d served by dead node %d", resps[i].ID, resps[i].Node)
+			}
+		} else {
+			if resps[i].Outcome != serve.Rejected || resps[i].Reason != serve.ShedBrownout {
+				t.Fatalf("low-priority request %d: outcome=%s reason=%q, want rejected/brownout",
+					resps[i].ID, resps[i].Outcome, resps[i].Reason)
+			}
+		}
+	}
+	if rep.Shed[serve.ShedBrownout] != 4 {
+		t.Fatalf("shed breakdown %v, want brownout=4", rep.Shed)
+	}
+}
+
+// TestClusterHedging: a straggling primary (heavy seeded message delay) is
+// beaten by a hedged attempt on the next chain node; the late original is
+// suppressed as a duplicate and outputs stay bit-identical.
+func TestClusterHedging(t *testing.T) {
+	servers := newServers(t, 2)
+	probe, err := New(Config{Seed: 3}, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a session owned by node 0 so the delayed node is always primary.
+	session := ""
+	for _, cand := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		if probe.ring.chain("hedge-" + cand)[0] == 0 {
+			session = "hedge-" + cand
+			break
+		}
+	}
+	if session == "" {
+		t.Fatal("no probe session hashed to node 0")
+	}
+
+	// Every message leg to/from node 0 is slowed by 2ms: the original
+	// attempt's round trip (~2ms out + service + ~2ms back) loses to a
+	// hedge launched 2ms in against the undelayed node 1, and the original
+	// response — already in flight — lands late as a suppressed duplicate.
+	c, err := New(Config{
+		Seed:       3,
+		Timeout:    80e-3,
+		HedgeAfter: 2e-3,
+		Injector:   faults.New(8, faults.MessageDelays(0, 1.0, 2e-3)),
+	}, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cfg := testEngine(t)
+	var reqs []Request
+	for i := 0; i < 3; i++ {
+		reqs = append(reqs, Request{
+			ID: i, Session: session, Priority: 1,
+			Arrival: vclock.Seconds(i) * 500e-6,
+			Inputs:  workload.WideDeepInputs(cfg, 1000+int64(i)),
+		})
+	}
+	rep, resps, err := c.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSettled(t, reqs, resps)
+	if rep.OK != len(reqs) || rep.HedgeWins == 0 {
+		t.Fatalf("hedging never won against the straggler: %v", rep)
+	}
+	if rep.Duplicates == 0 {
+		t.Fatalf("straggler responses should arrive late and be suppressed: %v", rep)
+	}
+	for i := range resps {
+		if !resps[i].Hedged || !resps[i].HedgeWin || resps[i].Node != 1 {
+			t.Fatalf("response %d: hedged=%v win=%v node=%d, want hedge win on node 1",
+				i, resps[i].Hedged, resps[i].HedgeWin, resps[i].Node)
+		}
+		if resps[i].Latency >= 10e-3 {
+			t.Fatalf("hedge win still took %.3fms", resps[i].Latency*1e3)
+		}
+	}
+
+	// The same stream served fault-free matches bit-for-bit.
+	base, err := New(Config{Seed: 3}, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, baseline, err := base.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOutputs(t, "hedge", resps, baseline)
+}
+
+// TestClusterAllNodesLost: liveness under total loss — every request still
+// settles (Failed), none hangs the event loop.
+func TestClusterAllNodesLost(t *testing.T) {
+	servers := newServers(t, 1)
+	c, err := New(Config{
+		Seed:     2,
+		Timeout:  5e-3,
+		Injector: faults.New(1, faults.Crash(0, 0, 0)),
+	}, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cfg := testEngine(t)
+	reqs := []Request{
+		{ID: 0, Inputs: workload.WideDeepInputs(cfg, 1000)},
+		{ID: 1, Arrival: 1e-3, Inputs: workload.WideDeepInputs(cfg, 1001)},
+	}
+	rep, resps, err := c.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSettled(t, reqs, resps)
+	if rep.Failed != 2 {
+		t.Fatalf("total node loss should fail every request: %v", rep)
+	}
+	for i := range resps {
+		if resps[i].Err == nil || resps[i].Attempts != 3 {
+			t.Fatalf("failed response %d: attempts=%d err=%v", i, resps[i].Attempts, resps[i].Err)
+		}
+	}
+}

@@ -1,0 +1,590 @@
+// Package cluster is DUET's multi-node serving fabric: a router shards an
+// open-loop request stream across serving nodes — each one an
+// internal/serve.Server behind a message-based front door — with consistent
+// hashing by session, health-aware failover, bounded retry-with-backoff,
+// hedged requests for stragglers, and priority-aware brownout when cluster
+// capacity degrades.
+//
+// The whole fabric runs as one deterministic discrete-event simulation on
+// the virtual clock: a single-threaded event loop pops (time, seq)-ordered
+// events — arrivals, message deliveries, service completions, responses,
+// per-attempt timeouts, backed-off retries, hedge timers — and every random
+// draw (network jitter, fault sampling) comes from seeded generators in
+// event order, so an entire cluster run, fault schedule included, replays
+// byte-for-byte: same seed, same schedule, same event trace, same
+// responses. Tensor values are computed for real by the wrapped servers, so
+// a response's outputs are a pure function of the request inputs and remain
+// bit-identical whichever node serves it — the property the chaos harness
+// asserts under crash-and-failover schedules.
+//
+// The router reuses runtime.HealthTracker as a per-node circuit breaker:
+// attempt timeouts count as slot failures, trips take the node out of the
+// routing rotation for a probation window, and a half-open probe's success
+// re-admits it. Degradation is graceful rather than cliff-edged — when the
+// breaker-healthy fraction of the cluster drops below the brownout
+// threshold, requests below the priority floor are shed with a typed
+// serve.ShedBrownout reason instead of competing for the survivors.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"duet/internal/faults"
+	"duet/internal/obs"
+	"duet/internal/runtime"
+	"duet/internal/serve"
+	"duet/internal/tensor"
+	"duet/internal/vclock"
+	"duet/internal/verify"
+)
+
+// Request is one inference submitted to the cluster router.
+type Request struct {
+	ID int
+	// Session is the routing key: requests sharing a session hash to the
+	// same failover chain (sticky routing). Empty sessions route by ID.
+	Session string
+	// Priority orders requests under brownout: work below the configured
+	// floor is shed when capacity degrades. Higher is more important.
+	Priority int
+	Arrival  vclock.Seconds
+	Inputs   map[string]*tensor.Tensor
+}
+
+// Response is the router's terminal disposition of one request.
+type Response struct {
+	ID      int
+	Outcome serve.Outcome
+	// Reason types a shed response (brownout, or the serving node's own
+	// admission reason); ShedNone otherwise.
+	Reason  serve.ShedReason
+	Outputs []*tensor.Tensor
+	Err     error
+
+	Arrival vclock.Seconds
+	Finish  vclock.Seconds
+	Latency vclock.Seconds
+	// Node is the serving node whose response won (-1 when none did).
+	Node int
+	// Attempts counts tries launched for the request, hedges included.
+	Attempts int
+	// Hedged reports that a hedge attempt was launched; HedgeWin that the
+	// winning response came from one.
+	Hedged   bool
+	HedgeWin bool
+}
+
+// Config assembles a Cluster.
+type Config struct {
+	// Replication is the failover chain length per ring slot (primary plus
+	// backups). Default min(2, nodes).
+	Replication int
+	// VNodes is the consistent-hash ring's virtual-node count per node.
+	// Default 16.
+	VNodes int
+	// NodeSlots models each node's service concurrency: deliveries beyond
+	// it queue behind the earliest-free slot. Default 2.
+	NodeSlots int
+	// Seed drives the network latency jitter and per-node clock skew. The
+	// same seed (with the same fault schedule) replays the run exactly.
+	Seed int64
+	// BaseLatency and LatencyJitter model one-way router↔node latency:
+	// base plus a uniform draw in [0, jitter). Defaults 200µs and 50µs.
+	BaseLatency   vclock.Seconds
+	LatencyJitter vclock.Seconds
+	// Timeout is the router's per-attempt response timeout. Default: three
+	// times the slowest node's noiseless service estimate plus generous
+	// network headroom.
+	Timeout vclock.Seconds
+	// MaxAttempts bounds tries per request, hedges included. Default 3.
+	MaxAttempts int
+	// Backoff is the base retry delay, doubling per timeout. Default 1ms.
+	Backoff vclock.Seconds
+	// HedgeAfter launches one duplicate attempt to the next chain node when
+	// no response arrived this long after the first send. 0 disables.
+	HedgeAfter vclock.Seconds
+	// BreakerThreshold and BreakerProbation configure the per-node circuit
+	// breaker (consecutive timeouts to trip; probation before a probe).
+	// Defaults 2 and 50ms. Threshold ≤ -1 disables the breaker.
+	BreakerThreshold int
+	BreakerProbation vclock.Seconds
+	// BrownoutThreshold enables graceful degradation: when the fraction of
+	// breaker-healthy nodes drops below it, requests with Priority below
+	// BrownoutMinPriority are shed (serve.ShedBrownout) and hedging stops.
+	// 0 disables. BrownoutMinPriority defaults to 1.
+	BrownoutThreshold   float64
+	BrownoutMinPriority int
+	// Injector supplies the deterministic fault schedule (node crashes,
+	// link partitions, message loss and delay). nil runs fault-free.
+	Injector *faults.Injector
+	// Registry receives cluster_* metrics. nil disables instrumentation.
+	Registry *obs.Registry
+}
+
+// Cluster is the serving fabric: a router plus its member nodes.
+type Cluster struct {
+	cfg   Config
+	nodes []*node
+	ring  *ring
+	skew  []vclock.Seconds // per-node clock offset (trace display only)
+	m     clusterMetrics
+}
+
+// New assembles a cluster over the given serving nodes (one serve.Server
+// per node), builds the consistent-hash routing table, and machine-checks
+// it with the verifier's shard-map pass before any request is routed.
+func New(cfg Config, servers []*serve.Server) (*Cluster, error) {
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("cluster: at least one serving node is required")
+	}
+	n := len(servers)
+	if cfg.Replication <= 0 {
+		cfg.Replication = 2
+	}
+	if cfg.Replication > n {
+		cfg.Replication = n
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = 16
+	}
+	if cfg.NodeSlots <= 0 {
+		cfg.NodeSlots = 2
+	}
+	if cfg.BaseLatency <= 0 {
+		cfg.BaseLatency = 200e-6
+	}
+	if cfg.LatencyJitter < 0 {
+		cfg.LatencyJitter = 0
+	} else if cfg.LatencyJitter == 0 {
+		cfg.LatencyJitter = 50e-6
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 1e-3
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 2
+	}
+	if cfg.BreakerProbation <= 0 {
+		cfg.BreakerProbation = 50e-3
+	}
+	if cfg.BrownoutThreshold > 0 && cfg.BrownoutMinPriority <= 0 {
+		cfg.BrownoutMinPriority = 1
+	}
+	if cfg.Timeout <= 0 {
+		var worst vclock.Seconds
+		for _, s := range servers {
+			if ms := s.MinService(); ms > worst {
+				worst = ms
+			}
+		}
+		cfg.Timeout = 3*worst + 10*cfg.BaseLatency + 2e-3
+	}
+
+	c := &Cluster{cfg: cfg}
+	for i, s := range servers {
+		c.nodes = append(c.nodes, newNode(i, s))
+	}
+	c.ring = buildRing(n, cfg.Replication, cfg.VNodes)
+	if err := verify.AsError(verify.CheckShardMap(c.ring.shardMap(n, cfg.Replication))); err != nil {
+		return nil, fmt.Errorf("cluster: routing table failed verification: %w", err)
+	}
+	// Per-node clock skew: a fixed seeded offset per node, rendered in the
+	// event trace as node-local timestamps. Purely observational — the
+	// simulation itself runs on the router's clock.
+	skewRNG := rand.New(rand.NewSource(cfg.Seed ^ 0x6e6f6465))
+	c.skew = make([]vclock.Seconds, n)
+	for i := range c.skew {
+		c.skew[i] = vclock.Seconds(skewRNG.Float64()) * 500e-6
+	}
+	c.m.init(cfg.Registry, n)
+	return c, nil
+}
+
+// ShardMap exports the routing table for external verification.
+func (c *Cluster) ShardMap() verify.ShardMap {
+	return c.ring.shardMap(len(c.nodes), c.cfg.Replication)
+}
+
+// Route returns the failover chain (primary first) a session routes to —
+// router introspection for harnesses that aim faults at a session's primary.
+func (c *Cluster) Route(session string) []int {
+	return append([]int(nil), c.ring.chain(session)...)
+}
+
+// Timeout returns the resolved per-attempt timeout.
+func (c *Cluster) Timeout() vclock.Seconds { return c.cfg.Timeout }
+
+// attempt is one try of a request on one node.
+type attempt struct {
+	node    int
+	hedge   bool
+	settled bool // responded, timed out, or arrived after the verdict
+}
+
+// reqState is the router's in-flight view of one request.
+type reqState struct {
+	idx      int
+	req      *Request
+	resp     Response
+	chain    []int
+	next     int // next chain offset to consider
+	attempts []attempt
+	timeouts int
+	done     bool
+	retrying bool // a backed-off retry is scheduled
+}
+
+// run bundles one Run's mutable state so handlers stay short.
+type run struct {
+	cfg    Config
+	rng    *rand.Rand
+	in     *faults.Injector
+	health *runtime.HealthTracker
+	ag     *agenda
+	states []*reqState
+	rep    *Report
+	trace  []string
+}
+
+func (r *run) tracef(format string, args ...interface{}) {
+	r.trace = append(r.trace, fmt.Sprintf(format, args...))
+}
+
+// Run serves the request stream to completion and returns the per-request
+// responses (input order) plus the aggregate report, whose Trace is the
+// byte-replayable event log. Run may be called repeatedly; each call resets
+// the injector, the network generator, and the breaker, so identical
+// configuration and schedule reproduce identical results.
+func (c *Cluster) Run(reqs []Request) (*Report, []Response, error) {
+	cfg := c.cfg
+	if cfg.Injector != nil {
+		cfg.Injector.Reset()
+	}
+	for _, n := range c.nodes {
+		n.reset(cfg.NodeSlots)
+	}
+	r := &run{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		in:     cfg.Injector,
+		health: runtime.NewHealthTrackerN(len(c.nodes), cfg.BreakerThreshold, cfg.BreakerProbation),
+		ag:     &agenda{},
+		rep:    &Report{Requests: len(reqs)},
+	}
+	r.states = make([]*reqState, len(reqs))
+	for i := range reqs {
+		key := reqs[i].Session
+		if key == "" {
+			key = fmt.Sprintf("req-%d", reqs[i].ID)
+		}
+		r.states[i] = &reqState{
+			idx:   i,
+			req:   &reqs[i],
+			resp:  Response{ID: reqs[i].ID, Arrival: reqs[i].Arrival, Node: -1},
+			chain: c.ring.chain(key),
+		}
+		r.ag.push(reqs[i].Arrival, evArrival, i, -1, -1)
+	}
+
+	for {
+		e := r.ag.pop()
+		if e == nil {
+			break
+		}
+		switch e.kind {
+		case evArrival:
+			c.onArrival(r, e)
+		case evDeliver:
+			c.onDeliver(r, e)
+		case evComplete:
+			c.onComplete(r, e)
+		case evRespond:
+			c.onRespond(r, e)
+		case evTimeout:
+			c.onTimeout(r, e)
+		case evRetry:
+			c.onRetry(r, e)
+		case evHedge:
+			c.onHedge(r, e)
+		}
+	}
+
+	responses := make([]Response, len(reqs))
+	for i, st := range r.states {
+		if !st.done {
+			return nil, nil, fmt.Errorf("cluster: request %d never settled — event loop invariant broken", st.req.ID)
+		}
+		responses[i] = st.resp
+	}
+	c.finishReport(r, responses)
+	return r.rep, responses, nil
+}
+
+// healthyFraction is the share of nodes whose breaker is not open.
+func (c *Cluster) healthyFraction(h *runtime.HealthTracker) float64 {
+	healthy := 0
+	for i := range c.nodes {
+		if code, _ := h.SlotState(i); code != 1 {
+			healthy++
+		}
+	}
+	return float64(healthy) / float64(len(c.nodes))
+}
+
+// brownout reports whether degraded-capacity shedding is in force.
+func (c *Cluster) brownout(r *run) (bool, float64) {
+	if r.cfg.BrownoutThreshold <= 0 {
+		return false, 1
+	}
+	frac := c.healthyFraction(r.health)
+	return frac < r.cfg.BrownoutThreshold, frac
+}
+
+// settle records a request's terminal disposition.
+func (c *Cluster) settle(r *run, st *reqState, now vclock.Seconds, out serve.Outcome, reason serve.ShedReason, node int, err error) {
+	st.done = true
+	st.resp.Outcome = out
+	st.resp.Reason = reason
+	st.resp.Err = err
+	st.resp.Finish = now
+	st.resp.Latency = now - st.resp.Arrival
+	st.resp.Node = node
+}
+
+// send models one router↔node message leg: the injector decides loss and
+// extra delay (partitions drop outright), then base latency plus seeded
+// uniform jitter. Returns the delivery time, or ok=false for a lost message.
+func (c *Cluster) send(r *run, node int, now vclock.Seconds) (vclock.Seconds, bool) {
+	drop, extra := r.in.Message(node, now)
+	if drop {
+		r.rep.DroppedMessages++
+		c.m.dropped()
+		return 0, false
+	}
+	lat := r.cfg.BaseLatency + vclock.Seconds(r.rng.Float64())*r.cfg.LatencyJitter + extra
+	return now + lat, true
+}
+
+// pickNode chooses the next attempt's target: the first breaker-available
+// node on the request's chain starting at its rotation cursor, falling back
+// to strict rotation when every chain member is open (keeping liveness —
+// somebody must absorb the probe).
+func (c *Cluster) pickNode(r *run, st *reqState, now vclock.Seconds) int {
+	n := len(st.chain)
+	for off := 0; off < n; off++ {
+		cand := st.chain[(st.next+off)%n]
+		if r.health.SlotAvailable(cand, now) {
+			st.next = (st.next + off + 1) % n
+			return cand
+		}
+	}
+	cand := st.chain[st.next%n]
+	st.next = (st.next + 1) % n
+	return cand
+}
+
+// launch sends one attempt of st to a chain node at now, scheduling its
+// delivery (unless the message is lost) and its per-attempt timeout.
+func (c *Cluster) launch(r *run, st *reqState, now vclock.Seconds, hedge bool) {
+	node := c.pickNode(r, st, now)
+	ai := len(st.attempts)
+	st.attempts = append(st.attempts, attempt{node: node, hedge: hedge})
+	st.resp.Attempts++
+	kind := "send"
+	if hedge {
+		st.resp.Hedged = true
+		r.rep.Hedges++
+		c.m.hedge()
+		kind = "hedge-send"
+	} else if ai > 0 {
+		r.rep.Retries++
+		c.m.retry()
+		if node != st.attempts[ai-1].node {
+			r.rep.Failovers++
+			c.m.failover()
+		}
+	}
+	r.tracef("t=%.9f %s req=%d try=%d -> n%d", now, kind, st.req.ID, ai, node)
+	if at, ok := c.send(r, node, now); ok {
+		r.ag.push(at, evDeliver, st.idx, node, ai)
+	} else {
+		r.tracef("t=%.9f lost req=%d try=%d -> n%d (network)", now, st.req.ID, ai, node)
+	}
+	r.ag.push(now+r.cfg.Timeout, evTimeout, st.idx, node, ai)
+}
+
+func (c *Cluster) onArrival(r *run, e *event) {
+	st := r.states[e.req]
+	if dim, frac := c.brownout(r); dim && st.req.Priority < r.cfg.BrownoutMinPriority {
+		c.settle(r, st, e.at, serve.Rejected, serve.ShedBrownout, -1,
+			fmt.Errorf("cluster: brownout at %.0f%% healthy capacity sheds priority %d (floor %d)",
+				frac*100, st.req.Priority, r.cfg.BrownoutMinPriority))
+		c.m.outcome(&st.resp)
+		r.tracef("t=%.9f shed req=%d prio=%d (brownout %.2f)", e.at, st.req.ID, st.req.Priority, frac)
+		return
+	}
+	r.tracef("t=%.9f arrive req=%d prio=%d chain=%v", e.at, st.req.ID, st.req.Priority, st.chain)
+	c.launch(r, st, e.at, false)
+	if r.cfg.HedgeAfter > 0 && len(st.chain) > 1 {
+		r.ag.push(e.at+r.cfg.HedgeAfter, evHedge, e.req, -1, -1)
+	}
+}
+
+func (c *Cluster) onDeliver(r *run, e *event) {
+	st := r.states[e.req]
+	if st.done {
+		// The verdict already landed (hedge or retry won); the node would
+		// only duplicate work the router will discard.
+		r.tracef("t=%.9f stale-deliver req=%d try=%d n%d", e.at, st.req.ID, e.attempt, e.node)
+		return
+	}
+	nd := c.nodes[e.node]
+	if down, until := r.in.NodeDown(e.node, e.at); down {
+		r.tracef("t=%.9f dead-deliver req=%d try=%d n%d (down until %.6f)", e.at, st.req.ID, e.attempt, e.node, until)
+		return
+	}
+	if r.in.NodeRestarted(e.node, nd.upSince, e.at) {
+		nd.restart(e.at)
+		r.tracef("t=%.9f restart n%d (slots wiped)", e.at, e.node)
+	}
+	res := nd.service(st.req)
+	if res.outcome != serve.OK {
+		// Refused at the node's own admission (invalid inputs, local shed):
+		// the refusal rides back over the network like any response.
+		r.tracef("t=%.9f refuse req=%d try=%d n%d (%s)", e.at, st.req.ID, e.attempt, e.node, res.outcome)
+		if at, ok := c.send(r, e.node, e.at); ok {
+			r.ag.push(at, evRespond, st.idx, e.node, e.attempt)
+		}
+		return
+	}
+	start, finish := nd.admitSlot(e.at, res.dur)
+	r.ag.push(finish, evComplete, st.idx, e.node, e.attempt)
+	r.tracef("t=%.9f exec req=%d try=%d n%d@%.9f start=%.9f finish=%.9f",
+		e.at, st.req.ID, e.attempt, e.node, e.at+c.skew[e.node], start, finish)
+}
+
+func (c *Cluster) onComplete(r *run, e *event) {
+	st := r.states[e.req]
+	nd := c.nodes[e.node]
+	if down, _ := r.in.NodeDown(e.node, e.at); down {
+		r.tracef("t=%.9f lost-complete req=%d try=%d n%d (down)", e.at, st.req.ID, e.attempt, e.node)
+		return
+	}
+	if r.in.NodeRestarted(e.node, nd.upSince, e.at) {
+		// The node bounced mid-service: the in-flight work died with it.
+		nd.restart(e.at)
+		r.tracef("t=%.9f lost-complete req=%d try=%d n%d (restarted)", e.at, st.req.ID, e.attempt, e.node)
+		return
+	}
+	if at, ok := c.send(r, e.node, e.at); ok {
+		r.ag.push(at, evRespond, st.idx, e.node, e.attempt)
+		r.tracef("t=%.9f complete req=%d try=%d n%d", e.at, st.req.ID, e.attempt, e.node)
+	} else {
+		r.tracef("t=%.9f lost req=%d try=%d n%d <- (network)", e.at, st.req.ID, e.attempt, e.node)
+	}
+}
+
+func (c *Cluster) onRespond(r *run, e *event) {
+	st := r.states[e.req]
+	if st.done {
+		r.rep.Duplicates++
+		c.m.duplicate()
+		r.tracef("t=%.9f duplicate req=%d try=%d n%d (suppressed)", e.at, st.req.ID, e.attempt, e.node)
+		return
+	}
+	att := &st.attempts[e.attempt]
+	att.settled = true
+	r.health.SlotSuccess(e.node)
+	c.m.nodeState(e.node, r.health)
+	res := c.nodes[e.node].service(st.req)
+	c.settle(r, st, e.at, res.outcome, res.reason, e.node, res.err)
+	st.resp.Outputs = res.outputs
+	st.resp.HedgeWin = att.hedge
+	if att.hedge {
+		r.rep.HedgeWins++
+		c.m.hedgeWin()
+	}
+	c.m.outcome(&st.resp)
+	r.tracef("t=%.9f respond req=%d try=%d n%d %s lat=%.9f", e.at, st.req.ID, e.attempt, e.node, res.outcome, st.resp.Latency)
+}
+
+// outstanding counts st's unsettled attempts.
+func outstanding(st *reqState) int {
+	n := 0
+	for i := range st.attempts {
+		if !st.attempts[i].settled {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Cluster) onTimeout(r *run, e *event) {
+	st := r.states[e.req]
+	if st.done || st.attempts[e.attempt].settled {
+		return
+	}
+	st.attempts[e.attempt].settled = true
+	st.timeouts++
+	tripped := r.health.SlotFailure(e.node, e.at)
+	c.m.nodeState(e.node, r.health)
+	if tripped {
+		r.rep.Trips++
+		r.tracef("t=%.9f trip n%d (breaker open)", e.at, e.node)
+	}
+	r.tracef("t=%.9f timeout req=%d try=%d n%d", e.at, st.req.ID, e.attempt, e.node)
+	if len(st.attempts) < r.cfg.MaxAttempts {
+		if !st.retrying {
+			st.retrying = true
+			backoff := r.cfg.Backoff * vclock.Seconds(int64(1)<<uint(st.timeouts-1))
+			r.ag.push(e.at+backoff, evRetry, st.idx, -1, -1)
+			r.tracef("t=%.9f backoff req=%d %.9f", e.at, st.req.ID, backoff)
+		}
+		return
+	}
+	if outstanding(st) == 0 && !st.retrying {
+		c.settle(r, st, e.at, serve.Failed, serve.ShedNone, -1,
+			fmt.Errorf("cluster: request %d lost after %d attempts", st.req.ID, len(st.attempts)))
+		c.m.outcome(&st.resp)
+		r.tracef("t=%.9f fail req=%d (attempts exhausted)", e.at, st.req.ID)
+	}
+}
+
+func (c *Cluster) onRetry(r *run, e *event) {
+	st := r.states[e.req]
+	st.retrying = false
+	if st.done {
+		return
+	}
+	if len(st.attempts) >= r.cfg.MaxAttempts {
+		// A hedge consumed the budget while this retry was backing off.
+		if outstanding(st) == 0 {
+			c.settle(r, st, e.at, serve.Failed, serve.ShedNone, -1,
+				fmt.Errorf("cluster: request %d lost after %d attempts", st.req.ID, len(st.attempts)))
+			c.m.outcome(&st.resp)
+			r.tracef("t=%.9f fail req=%d (attempts exhausted)", e.at, st.req.ID)
+		}
+		return
+	}
+	c.launch(r, st, e.at, false)
+}
+
+func (c *Cluster) onHedge(r *run, e *event) {
+	st := r.states[e.req]
+	if st.done || st.resp.Hedged || outstanding(st) == 0 {
+		return
+	}
+	if len(st.attempts) >= r.cfg.MaxAttempts {
+		return
+	}
+	if dim, _ := c.brownout(r); dim {
+		// Under brownout the cluster stops amplifying load with duplicates.
+		r.tracef("t=%.9f hedge-skip req=%d (brownout)", e.at, st.req.ID)
+		return
+	}
+	c.launch(r, st, e.at, true)
+}

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"duet/internal/core"
+	"duet/internal/models"
+	"duet/internal/serve"
+	"duet/internal/tensor"
+	"duet/internal/verify"
+	"duet/internal/workload"
+)
+
+// The test model matches the serve package's: the scaled-down Wide&Deep,
+// small enough for real value execution under -race, built once per process.
+func smallWideDeep() models.WideDeepConfig {
+	cfg := models.DefaultWideDeep()
+	cfg.ImageSize = 64
+	cfg.SeqLen = 16
+	return cfg
+}
+
+var (
+	engOnce sync.Once
+	engVal  *core.Engine
+	engErr  error
+)
+
+func testEngine(t *testing.T) (*core.Engine, models.WideDeepConfig) {
+	t.Helper()
+	cfg := smallWideDeep()
+	engOnce.Do(func() {
+		g, err := models.WideDeep(cfg)
+		if err != nil {
+			engErr = err
+			return
+		}
+		c := core.DefaultConfig(0)
+		c.ProfileRuns = 25
+		c.MeasureRuns = 1
+		engVal, engErr = core.Build(g, c)
+	})
+	if engErr != nil {
+		t.Fatal(engErr)
+	}
+	return engVal, cfg
+}
+
+// newServers builds n serving nodes over the shared engine — noiseless, so
+// outputs and service times are identical whichever node serves a request.
+func newServers(t *testing.T, n int) []*serve.Server {
+	t.Helper()
+	e, _ := testEngine(t)
+	servers := make([]*serve.Server, n)
+	for i := range servers {
+		srv, err := serve.New(serve.Config{Engine: e, QueueCap: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		servers[i] = srv
+	}
+	return servers
+}
+
+// clusterLoad adapts a serve.OpenLoop stream into cluster requests with
+// rotating sessions and alternating priorities.
+func clusterLoad(t *testing.T, n int, qps float64) []Request {
+	t.Helper()
+	_, cfg := testEngine(t)
+	base := serve.OpenLoop(serve.LoadSpec{
+		Requests: n,
+		QPS:      qps,
+		Seed:     5,
+		Inputs: func(i int) map[string]*tensor.Tensor {
+			return workload.WideDeepInputs(cfg, 1000+int64(i))
+		},
+	})
+	reqs := make([]Request, n)
+	for i, r := range base {
+		reqs[i] = Request{
+			ID:       r.ID,
+			Session:  fmt.Sprintf("session-%d", i%4),
+			Priority: 1,
+			Arrival:  r.Arrival,
+			Inputs:   r.Inputs,
+		}
+	}
+	return reqs
+}
+
+func TestRingCoversAndVerifies(t *testing.T) {
+	for _, nodes := range []int{1, 2, 3, 5, 8} {
+		repl := 2
+		if repl > nodes {
+			repl = nodes
+		}
+		r := buildRing(nodes, repl, 16)
+		if fs := verify.CheckShardMap(r.shardMap(nodes, repl)); len(fs) != 0 {
+			t.Fatalf("%d-node ring failed verification: %v", nodes, fs)
+		}
+		// Lookup is deterministic and sticky per session.
+		a, b := r.chain("session-a"), r.chain("session-a")
+		if &a[0] != &b[0] {
+			t.Fatalf("%d nodes: same key resolved to different chains", nodes)
+		}
+	}
+	// Two independently built rings agree point for point.
+	r1, r2 := buildRing(5, 3, 16), buildRing(5, 3, 16)
+	for _, key := range []string{"x", "y", "session-42"} {
+		c1, c2 := r1.chain(key), r2.chain(key)
+		if len(c1) != len(c2) {
+			t.Fatalf("chain lengths differ for %q", key)
+		}
+		for i := range c1 {
+			if c1[i] != c2[i] {
+				t.Fatalf("rings disagree for %q: %v vs %v", key, c1, c2)
+			}
+		}
+	}
+}
+
+func TestNewRejectsEmptyAndClampsReplication(t *testing.T) {
+	if _, err := New(Config{}, nil); err == nil {
+		t.Fatal("New accepted a cluster with no nodes")
+	}
+	servers := newServers(t, 2)
+	c, err := New(Config{Replication: 5}, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.ShardMap()
+	if m.Replication != 2 {
+		t.Fatalf("replication %d not clamped to node count 2", m.Replication)
+	}
+	if fs := verify.CheckShardMap(m); len(fs) != 0 {
+		t.Fatalf("shard map findings: %v", fs)
+	}
+}
+
+func TestNodeSlotQueueing(t *testing.T) {
+	n := newNode(0, nil)
+	n.reset(2)
+	// Two concurrent services occupy both slots; a third queues behind the
+	// earlier finisher.
+	s1, f1 := n.admitSlot(0, 10)
+	s2, f2 := n.admitSlot(0, 4)
+	s3, f3 := n.admitSlot(1, 3)
+	if s1 != 0 || f1 != 10 || s2 != 0 || f2 != 4 {
+		t.Fatalf("first two services: (%v,%v) (%v,%v)", s1, f1, s2, f2)
+	}
+	if s3 != 4 || f3 != 7 {
+		t.Fatalf("third service should queue behind the 4s slot: start=%v finish=%v", s3, f3)
+	}
+	n.restart(20)
+	if s, f := n.admitSlot(20, 1); s != 20 || f != 21 {
+		t.Fatalf("restart did not wipe slots: start=%v finish=%v", s, f)
+	}
+}

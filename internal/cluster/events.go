@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"container/heap"
+
+	"duet/internal/vclock"
+)
+
+// evKind discriminates the cluster event loop's event types.
+type evKind int
+
+const (
+	// evArrival: a request reaches the router.
+	evArrival evKind = iota
+	// evDeliver: a routed attempt reaches its serving node.
+	evDeliver
+	// evComplete: a node finishes serving an attempt.
+	evComplete
+	// evRespond: an attempt's response reaches the router.
+	evRespond
+	// evTimeout: an attempt's per-try timer lapses at the router.
+	evTimeout
+	// evRetry: a backed-off retry fires at the router.
+	evRetry
+	// evHedge: the hedging timer fires at the router.
+	evHedge
+)
+
+func (k evKind) String() string {
+	switch k {
+	case evArrival:
+		return "arrive"
+	case evDeliver:
+		return "deliver"
+	case evComplete:
+		return "complete"
+	case evRespond:
+		return "respond"
+	case evTimeout:
+		return "timeout"
+	case evRetry:
+		return "retry"
+	default:
+		return "hedge"
+	}
+}
+
+// event is one entry of the cluster's discrete-event loop. seq breaks time
+// ties in scheduling order, which makes the pop order — and therefore the
+// whole run — a deterministic function of the configuration.
+type event struct {
+	at      vclock.Seconds
+	seq     int64
+	kind    evKind
+	req     int // request index
+	node    int // serving node, where applicable (-1 otherwise)
+	attempt int // attempt index within the request, where applicable
+}
+
+// eventHeap is a (time, seq)-ordered min-heap.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// agenda wraps the heap with the monotonically increasing sequence counter.
+type agenda struct {
+	h   eventHeap
+	seq int64
+}
+
+func (a *agenda) push(at vclock.Seconds, kind evKind, req, node, attempt int) {
+	e := &event{at: at, seq: a.seq, kind: kind, req: req, node: node, attempt: attempt}
+	a.seq++
+	heap.Push(&a.h, e)
+}
+
+func (a *agenda) pop() *event {
+	if len(a.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&a.h).(*event)
+}

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"strconv"
+
+	"duet/internal/obs"
+	"duet/internal/runtime"
+	"duet/internal/serve"
+)
+
+// clusterMetrics caches the router's resolved instruments, following the
+// serve layer's pattern: resolve once at New, nil-check per event. The zero
+// value (no registry) makes every recording call a no-op.
+type clusterMetrics struct {
+	reg *obs.Registry
+
+	outcomes   map[serve.Outcome]*obs.Counter    // cluster_requests_total{outcome=...}
+	sheds      map[serve.ShedReason]*obs.Counter // cluster_shed_total{reason=...}
+	retries    *obs.Counter                      // cluster_retries_total
+	failovers  *obs.Counter                      // cluster_failovers_total
+	hedges     *obs.Counter                      // cluster_hedges_total
+	hedgeWins  *obs.Counter                      // cluster_hedge_wins_total
+	duplicates *obs.Counter                      // cluster_duplicates_total
+	drops      *obs.Counter                      // cluster_messages_dropped_total
+	lat        *obs.Histogram                    // cluster_latency_seconds
+	health     []*obs.Gauge                      // cluster_node_health{node=...}
+}
+
+func (m *clusterMetrics) init(reg *obs.Registry, nodes int) {
+	if reg == nil {
+		*m = clusterMetrics{}
+		return
+	}
+	m.reg = reg
+	m.outcomes = map[serve.Outcome]*obs.Counter{}
+	for _, o := range []serve.Outcome{serve.OK, serve.Rejected, serve.Expired, serve.Failed} {
+		m.outcomes[o] = reg.Counter(obs.Series("cluster_requests_total", "outcome", string(o)))
+	}
+	m.sheds = map[serve.ShedReason]*obs.Counter{}
+	for _, reason := range []serve.ShedReason{serve.ShedDeadline, serve.ShedBackpressure, serve.ShedBrownout, serve.ShedInvalid} {
+		m.sheds[reason] = reg.Counter(obs.Series("cluster_shed_total", "reason", string(reason)))
+	}
+	m.retries = reg.Counter("cluster_retries_total")
+	m.failovers = reg.Counter("cluster_failovers_total")
+	m.hedges = reg.Counter("cluster_hedges_total")
+	m.hedgeWins = reg.Counter("cluster_hedge_wins_total")
+	m.duplicates = reg.Counter("cluster_duplicates_total")
+	m.drops = reg.Counter("cluster_messages_dropped_total")
+	m.lat = reg.Histogram("cluster_latency_seconds", obs.DefaultLatencyBuckets...)
+	for i := 0; i < nodes; i++ {
+		m.health = append(m.health, reg.Gauge(obs.Series("cluster_node_health", "node", strconv.Itoa(i))))
+	}
+}
+
+func (m *clusterMetrics) outcome(resp *Response) {
+	if m.reg == nil {
+		return
+	}
+	m.outcomes[resp.Outcome].Inc()
+	if resp.Reason != serve.ShedNone {
+		m.sheds[resp.Reason].Inc()
+	}
+}
+
+func (m *clusterMetrics) latency(resp *Response) {
+	if m.reg == nil || resp.Outcome != serve.OK {
+		return
+	}
+	m.lat.Observe(float64(resp.Latency))
+}
+
+// nodeState publishes a node's breaker state (0=closed, 1=open, 2=half-open).
+func (m *clusterMetrics) nodeState(node int, h *runtime.HealthTracker) {
+	if m.reg == nil || node >= len(m.health) {
+		return
+	}
+	code, _ := h.SlotState(node)
+	m.health[node].Set(float64(code))
+}
+
+func (m *clusterMetrics) retry() {
+	if m.reg != nil {
+		m.retries.Inc()
+	}
+}
+
+func (m *clusterMetrics) failover() {
+	if m.reg != nil {
+		m.failovers.Inc()
+	}
+}
+
+func (m *clusterMetrics) hedge() {
+	if m.reg != nil {
+		m.hedges.Inc()
+	}
+}
+
+func (m *clusterMetrics) hedgeWin() {
+	if m.reg != nil {
+		m.hedgeWins.Inc()
+	}
+}
+
+func (m *clusterMetrics) duplicate() {
+	if m.reg != nil {
+		m.duplicates.Inc()
+	}
+}
+
+func (m *clusterMetrics) dropped() {
+	if m.reg != nil {
+		m.drops.Inc()
+	}
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"fmt"
+
+	"duet/internal/serve"
+	"duet/internal/tensor"
+	"duet/internal/vclock"
+)
+
+// node is one serving member of the fabric: a serve.Server behind the
+// message front door, plus the virtual-time state the event loop needs —
+// per-slot free times modeling the node's service concurrency and the
+// instant the node last (re)booted, so a restart visibly wipes in-flight
+// work.
+type node struct {
+	id  int
+	srv *serve.Server
+
+	// slots holds each service slot's free time; a delivery takes the
+	// earliest-free slot and queues behind it.
+	slots []vclock.Seconds
+	// upSince is the start of the node's current uptime window.
+	upSince vclock.Seconds
+
+	// cache memoizes one service execution per request ID: a retried or
+	// hedged attempt re-serves the same inputs, and the serving layer is
+	// deterministic per (server, request), so re-executing would only burn
+	// host time without changing a byte of the response.
+	cache map[int]svcResult
+}
+
+// svcResult is one request's service outcome on this node.
+type svcResult struct {
+	outcome serve.Outcome
+	reason  serve.ShedReason
+	outputs []*tensor.Tensor
+	err     error
+	dur     vclock.Seconds
+}
+
+func newNode(id int, srv *serve.Server) *node {
+	return &node{id: id, srv: srv, cache: map[int]svcResult{}}
+}
+
+// reset prepares the node for a fresh replayable Run. The service cache
+// survives: its entries are pure functions of the request inputs.
+func (n *node) reset(slots int) {
+	n.slots = make([]vclock.Seconds, slots)
+	n.upSince = 0
+}
+
+// restart wipes the node's in-flight service slots at time t (the
+// completions themselves are dropped by the crash-window check).
+func (n *node) restart(t vclock.Seconds) {
+	for i := range n.slots {
+		n.slots[i] = t
+	}
+	n.upSince = t
+}
+
+// admitSlot assigns the earliest-free service slot and returns the
+// attempt's start and finish times for a service of duration dur.
+func (n *node) admitSlot(now, dur vclock.Seconds) (start, finish vclock.Seconds) {
+	best := 0
+	for i := 1; i < len(n.slots); i++ {
+		if n.slots[i] < n.slots[best] {
+			best = i
+		}
+	}
+	start = now
+	if n.slots[best] > start {
+		start = n.slots[best]
+	}
+	finish = start + dur
+	n.slots[best] = finish
+	return start, finish
+}
+
+// service executes the request on the wrapped server (memoized per request
+// ID) and returns its outcome, outputs, and virtual service duration.
+func (n *node) service(req *Request) svcResult {
+	if r, ok := n.cache[req.ID]; ok {
+		return r
+	}
+	_, resps, err := n.srv.Run([]serve.Request{{ID: req.ID, Inputs: req.Inputs}})
+	var r svcResult
+	switch {
+	case err != nil:
+		r = svcResult{outcome: serve.Failed, err: fmt.Errorf("cluster: node %d: %w", n.id, err)}
+	case len(resps) != 1:
+		r = svcResult{outcome: serve.Failed, err: fmt.Errorf("cluster: node %d returned %d responses for one request", n.id, len(resps))}
+	default:
+		r = svcResult{
+			outcome: resps[0].Outcome,
+			reason:  resps[0].Reason,
+			outputs: resps[0].Outputs,
+			err:     resps[0].Err,
+			dur:     resps[0].Finish,
+		}
+	}
+	n.cache[req.ID] = r
+	return r
+}

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"duet/internal/serve"
+	"duet/internal/vclock"
+)
+
+// Report aggregates one cluster Run. All times are virtual seconds; a
+// seeded run with the same fault schedule reproduces the report — and the
+// Trace — byte-for-byte.
+type Report struct {
+	Requests int `json:"requests"`
+	OK       int `json:"ok"`
+	Rejected int `json:"rejected"`
+	Expired  int `json:"expired"`
+	Failed   int `json:"failed"`
+
+	// Shed breaks shed responses down by typed reason (brownout plus any
+	// reasons the serving nodes reported). Empty when nothing was shed.
+	Shed map[serve.ShedReason]int `json:"shed,omitempty"`
+
+	// Fault-tolerance counters: retries after attempt timeouts, failovers
+	// (retries that switched node), hedges launched and won, late/duplicate
+	// responses suppressed, messages lost in the network, and the breaker's
+	// trip count.
+	Retries         int `json:"retries"`
+	Failovers       int `json:"failovers"`
+	Hedges          int `json:"hedges"`
+	HedgeWins       int `json:"hedge_wins"`
+	Duplicates      int `json:"duplicates"`
+	DroppedMessages int `json:"dropped_messages"`
+	Trips           int `json:"breaker_trips"`
+	Readmissions    int `json:"breaker_readmissions"`
+
+	Makespan   vclock.Seconds `json:"makespan_s"`
+	Throughput float64        `json:"throughput_rps"`
+
+	// Latency quantiles over delivered (OK) requests, arrival to response.
+	MeanLatency vclock.Seconds `json:"mean_latency_s"`
+	P50Latency  vclock.Seconds `json:"p50_latency_s"`
+	P95Latency  vclock.Seconds `json:"p95_latency_s"`
+	P99Latency  vclock.Seconds `json:"p99_latency_s"`
+
+	// Trace is the replayable event log: one line per processed event in
+	// pop order. Excluded from JSON — it exists for determinism assertions
+	// and post-mortems, not dashboards.
+	Trace []string `json:"-"`
+}
+
+// finishReport derives the aggregate view once every request has settled.
+func (c *Cluster) finishReport(r *run, responses []Response) {
+	rep := r.rep
+	var lats []float64
+	var latSum vclock.Seconds
+	for i := range responses {
+		resp := &responses[i]
+		switch resp.Outcome {
+		case serve.OK:
+			rep.OK++
+			lats = append(lats, float64(resp.Latency))
+			latSum += resp.Latency
+		case serve.Rejected:
+			rep.Rejected++
+		case serve.Expired:
+			rep.Expired++
+		case serve.Failed:
+			rep.Failed++
+		}
+		if resp.Reason != serve.ShedNone {
+			if rep.Shed == nil {
+				rep.Shed = map[serve.ShedReason]int{}
+			}
+			rep.Shed[resp.Reason]++
+		}
+		if resp.Finish > rep.Makespan {
+			rep.Makespan = resp.Finish
+		}
+		c.m.latency(resp)
+	}
+	rep.Trips = r.health.Trips()
+	rep.Readmissions = r.health.Readmissions()
+	if rep.OK > 0 {
+		rep.MeanLatency = latSum / vclock.Seconds(rep.OK)
+		sort.Float64s(lats)
+		rep.P50Latency = vclock.SortedPercentile(lats, 50)
+		rep.P95Latency = vclock.SortedPercentile(lats, 95)
+		rep.P99Latency = vclock.SortedPercentile(lats, 99)
+	}
+	if rep.Makespan > 0 {
+		rep.Throughput = float64(rep.OK) / float64(rep.Makespan)
+	}
+	rep.Trace = r.trace
+}
+
+// String renders the report as a one-glance summary block.
+func (r *Report) String() string {
+	s := fmt.Sprintf(
+		"requests=%d ok=%d rejected=%d expired=%d failed=%d retries=%d failovers=%d hedges=%d/%d dup=%d dropped=%d trips=%d readmits=%d makespan=%.3fms throughput=%.1f req/s latency mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms",
+		r.Requests, r.OK, r.Rejected, r.Expired, r.Failed,
+		r.Retries, r.Failovers, r.HedgeWins, r.Hedges, r.Duplicates, r.DroppedMessages,
+		r.Trips, r.Readmissions,
+		float64(r.Makespan)*1e3, r.Throughput,
+		float64(r.MeanLatency)*1e3, float64(r.P50Latency)*1e3, float64(r.P95Latency)*1e3, float64(r.P99Latency)*1e3)
+	if len(r.Shed) > 0 {
+		reasons := make([]string, 0, len(r.Shed))
+		for reason := range r.Shed {
+			reasons = append(reasons, string(reason))
+		}
+		sort.Strings(reasons)
+		s += " shed["
+		for i, reason := range reasons {
+			if i > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%s=%d", reason, r.Shed[serve.ShedReason(reason)])
+		}
+		s += "]"
+	}
+	return s
+}

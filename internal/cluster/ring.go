@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"duet/internal/verify"
+)
+
+// ring is the router's consistent-hash routing table. Each serving node
+// projects VNodes points onto a 64-bit hash circle; a request's session key
+// hashes to a point and is owned by the next point clockwise. Each point
+// carries a precomputed failover chain — the point's own node followed by
+// the next distinct nodes clockwise — so the router's failover order is a
+// pure function of the table, never of runtime state, and a retry storm
+// from one dead node spreads across its clockwise successors instead of
+// piling onto a single designated backup.
+type ring struct {
+	hashes []uint64
+	chains [][]int // chains[i] is point i's failover chain, primary first
+}
+
+// hash64 is FNV-1a with a SplitMix64-style avalanche finalizer. Bare FNV of
+// near-identical strings ("node-0/vnode-1" vs "node-0/vnode-2") clusters
+// tightly on the 64-bit circle — the vnode points then occupy a few narrow
+// bands and almost every key falls through the same wrap-around gap to one
+// point. The finalizer disperses them uniformly while staying stable across
+// hosts, which replays require.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// buildRing materializes the table for a cluster of the given size.
+func buildRing(nodes, replication, vnodes int) *ring {
+	type point struct {
+		hash uint64
+		node int
+	}
+	pts := make([]point, 0, nodes*vnodes)
+	for n := 0; n < nodes; n++ {
+		for v := 0; v < vnodes; v++ {
+			pts = append(pts, point{hash64(fmt.Sprintf("node-%d/vnode-%d", n, v)), n})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].hash != pts[j].hash {
+			return pts[i].hash < pts[j].hash
+		}
+		return pts[i].node < pts[j].node
+	})
+	r := &ring{
+		hashes: make([]uint64, len(pts)),
+		chains: make([][]int, len(pts)),
+	}
+	for i, p := range pts {
+		chain := []int{p.node}
+		for j := 1; len(chain) < replication && j < len(pts); j++ {
+			cand := pts[(i+j)%len(pts)].node
+			dup := false
+			for _, c := range chain {
+				if c == cand {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				chain = append(chain, cand)
+			}
+		}
+		r.hashes[i] = p.hash
+		r.chains[i] = chain
+	}
+	return r
+}
+
+// chain returns the failover chain owning key (primary first).
+func (r *ring) chain(key string) []int {
+	h := hash64(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return r.chains[i]
+}
+
+// shardMap exports the table for the verifier's shard-map pass.
+func (r *ring) shardMap(nodes, replication int) verify.ShardMap {
+	return verify.ShardMap{Nodes: nodes, Replication: replication, Slots: r.chains}
+}

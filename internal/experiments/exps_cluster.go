@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"duet/internal/cluster"
+	"duet/internal/faults"
+	"duet/internal/models"
+	"duet/internal/obs"
+	"duet/internal/serve"
+	"duet/internal/tensor"
+	"duet/internal/vclock"
+	"duet/internal/workload"
+)
+
+// ClusterLoad shapes the cluster fault-tolerance benchmark: the fabric's
+// size, the request stream, and the chaos schedule aimed at it. Every knob
+// is surfaced as a duet-bench flag.
+type ClusterLoad struct {
+	// Nodes is the serving-node count.
+	Nodes int `json:"nodes"`
+	// Requests is the request-stream length per run.
+	Requests int `json:"requests"`
+	// QPS is the Poisson offered load; 0 sends the stream as one burst.
+	QPS float64 `json:"qps"`
+	// Sessions is how many sticky sessions the stream rotates through.
+	Sessions int `json:"sessions"`
+	// CrashAt and CrashFor schedule the chaos run's node crash: the primary
+	// of the first session's failover chain goes down at CrashAt for
+	// CrashFor (0 = stays down). The victim is chosen from the routing
+	// table, so the crash is guaranteed to hit owned traffic.
+	CrashAt  vclock.Seconds `json:"crash_at_s"`
+	CrashFor vclock.Seconds `json:"crash_for_s"`
+	// LossProb drops each network message with this probability (seeded).
+	LossProb float64 `json:"loss_prob"`
+}
+
+// DefaultClusterLoad is the committed-baseline shape: three nodes, a burst
+// of 24 requests over four sessions, the first session's primary crashed
+// permanently at 2 virtual ms, and 5% message loss.
+func DefaultClusterLoad() ClusterLoad {
+	return ClusterLoad{Nodes: 3, Requests: 24, Sessions: 4, CrashAt: 2e-3, LossProb: 0.05}
+}
+
+// ClusterReport is the machine-readable fault-tolerance benchmark: the same
+// request stream served fault-free and under the chaos schedule, plus the
+// invariants the fabric is built around — no lost or duplicated-to-caller
+// responses, bit-identical outputs across the two runs for every request
+// both delivered, and a byte-identical event trace when the chaos run is
+// replayed. Committed as BENCH_cluster.json so failover overhead and
+// delivered-under-chaos counts are diffable across revisions.
+type ClusterReport struct {
+	Model string      `json:"model"`
+	Load  ClusterLoad `json:"load"`
+	// Victim is the node the chaos schedule crashes (the first session's
+	// primary, read from the routing table).
+	Victim int `json:"victim"`
+	// Replication and VNodes echo the verified routing table's shape.
+	Replication int `json:"replication"`
+	VNodes      int `json:"vnodes"`
+
+	FaultFree *cluster.Report `json:"fault_free"`
+	Chaos     *cluster.Report `json:"chaos"`
+
+	// OutputsBitIdentical reports that every request delivered OK in both
+	// runs produced byte-for-byte equal output tensors, whichever node
+	// served it.
+	OutputsBitIdentical bool `json:"outputs_bit_identical"`
+	// TraceDeterministic reports that a second chaos run replayed the first
+	// one's event trace byte-for-byte.
+	TraceDeterministic bool `json:"trace_deterministic"`
+	// DeliveredUnderChaos is the chaos run's OK fraction — the headline
+	// availability number under the committed fault schedule.
+	DeliveredUnderChaos float64 `json:"delivered_under_chaos"`
+
+	// Metrics snapshots the cluster_* instrument families from the chaos
+	// run, so the metric surface is part of the baseline.
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+// BuildClusterReport measures the fabric on the reduced Wide&Deep: a
+// fault-free run for the output baseline, the chaos run, and a replay of
+// the chaos run for the determinism check.
+func BuildClusterReport(cfg Config, load ClusterLoad) (*ClusterReport, error) {
+	def := DefaultClusterLoad()
+	if load.Nodes <= 0 {
+		load.Nodes = def.Nodes
+	}
+	if load.Requests <= 0 {
+		load.Requests = def.Requests
+	}
+	if load.Sessions <= 0 {
+		load.Sessions = def.Sessions
+	}
+	if load.CrashAt <= 0 {
+		load.CrashAt = def.CrashAt
+	}
+	if load.LossProb < 0 {
+		load.LossProb = 0
+	}
+
+	wd := serveModel()
+	g, err := models.WideDeep(wd)
+	if err != nil {
+		return nil, err
+	}
+	e, err := buildEngine(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	servers := make([]*serve.Server, load.Nodes)
+	for i := range servers {
+		srv, err := serve.New(serve.Config{Engine: e, QueueCap: 4 * load.Requests, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		servers[i] = srv
+	}
+
+	reqs := clusterStream(wd, cfg.Seed, load)
+
+	newCluster := func(in *faults.Injector, reg *obs.Registry) (*cluster.Cluster, error) {
+		return cluster.New(cluster.Config{Seed: cfg.Seed, Injector: in, Registry: reg}, servers)
+	}
+
+	base, err := newCluster(nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	baseRep, baseResps, err := base.Run(reqs)
+	if err != nil {
+		return nil, fmt.Errorf("fault-free run: %w", err)
+	}
+
+	// The chaos schedule aims at owned traffic: the victim is the first
+	// session's primary, read from the verified routing table.
+	victim := base.Route(sessionKey(0))[0]
+	specs := []faults.Spec{faults.Crash(victim, load.CrashAt, load.CrashFor)}
+	if load.LossProb > 0 {
+		specs = append(specs, faults.MessageLosses(-1, load.LossProb))
+	}
+	reg := obs.NewRegistry()
+	chaos, err := newCluster(faults.New(cfg.Seed+17, specs...), reg)
+	if err != nil {
+		return nil, err
+	}
+	chaosRep, chaosResps, err := chaos.Run(reqs)
+	if err != nil {
+		return nil, fmt.Errorf("chaos run: %w", err)
+	}
+	replayRep, _, err := chaos.Run(reqs)
+	if err != nil {
+		return nil, fmt.Errorf("chaos replay: %w", err)
+	}
+
+	m := base.ShardMap()
+	rep := &ClusterReport{
+		Model:               g.Name,
+		Load:                load,
+		Victim:              victim,
+		Replication:         m.Replication,
+		VNodes:              len(m.Slots) / m.Nodes,
+		FaultFree:           baseRep,
+		Chaos:               chaosRep,
+		OutputsBitIdentical: outputsMatch(baseResps, chaosResps),
+		TraceDeterministic:  sameTrace(chaosRep.Trace, replayRep.Trace),
+		Metrics:             reg.Snapshot(),
+	}
+	if load.Requests > 0 {
+		rep.DeliveredUnderChaos = float64(chaosRep.OK) / float64(load.Requests)
+	}
+	return rep, nil
+}
+
+func sessionKey(i int) string { return fmt.Sprintf("session-%d", i) }
+
+// clusterStream adapts the serve load generator into cluster requests with
+// rotating sticky sessions.
+func clusterStream(wd models.WideDeepConfig, seed int64, load ClusterLoad) []cluster.Request {
+	base := serve.OpenLoop(serve.LoadSpec{
+		Requests: load.Requests,
+		QPS:      load.QPS,
+		Burst:    load.QPS <= 0,
+		Seed:     seed + 3,
+		Inputs: func(i int) map[string]*tensor.Tensor {
+			return workload.WideDeepInputs(wd, seed+1000+int64(i))
+		},
+	})
+	reqs := make([]cluster.Request, len(base))
+	for i, r := range base {
+		reqs[i] = cluster.Request{
+			ID:       r.ID,
+			Session:  sessionKey(i % load.Sessions),
+			Priority: 1,
+			Arrival:  r.Arrival,
+			Inputs:   r.Inputs,
+		}
+	}
+	return reqs
+}
+
+// outputsMatch reports whether every request delivered OK in both runs
+// produced byte-identical outputs.
+func outputsMatch(a, b []cluster.Response) bool {
+	byID := make(map[int]*cluster.Response, len(a))
+	for i := range a {
+		byID[a[i].ID] = &a[i]
+	}
+	for i := range b {
+		if b[i].Outcome != serve.OK {
+			continue
+		}
+		ref, ok := byID[b[i].ID]
+		if !ok || ref.Outcome != serve.OK {
+			continue
+		}
+		if len(ref.Outputs) != len(b[i].Outputs) {
+			return false
+		}
+		for j := range ref.Outputs {
+			if tensor.MaxAbsDiff(ref.Outputs[j], b[i].Outputs[j]) != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func sameTrace(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *ClusterReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// String renders the headline comparison.
+func (r *ClusterReport) String() string {
+	return fmt.Sprintf(
+		"cluster %s: %d nodes (replication %d), crash n%d@%.1fms + %.0f%% loss\n  fault-free %s\n  chaos      %s\n  delivered under chaos %.0f%%   outputs bit-identical %v   trace deterministic %v",
+		r.Model, r.Load.Nodes, r.Replication, r.Victim, float64(r.Load.CrashAt)*1e3, r.Load.LossProb*100,
+		r.FaultFree, r.Chaos,
+		r.DeliveredUnderChaos*100, r.OutputsBitIdentical, r.TraceDeterministic)
+}

@@ -1,0 +1,163 @@
+package runtime
+
+import (
+	"testing"
+
+	"duet/internal/device"
+	"duet/internal/obs"
+)
+
+// TestBreakerFailureWhileOpen: failures arriving while the breaker is
+// already open (a straggler attempt reporting back late) must not extend
+// the probation window or count as fresh trips.
+func TestBreakerFailureWhileOpen(t *testing.T) {
+	h := NewHealthTracker(2, 10)
+	h.Failure(device.GPU, 0)
+	if !h.Failure(device.GPU, 1) {
+		t.Fatal("breaker did not trip at threshold")
+	}
+	// A late failure inside the open window is absorbed silently.
+	if h.Failure(device.GPU, 5) {
+		t.Fatal("failure while open re-tripped")
+	}
+	if h.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", h.Trips())
+	}
+	// The probation window still expires at the original trip time + 10.
+	if !h.Available(device.GPU, 11) {
+		t.Fatal("probation was extended by the late failure")
+	}
+}
+
+// TestBreakerBackToBackTrips: consecutive probe failures each re-open the
+// breaker for a fresh probation window, and every re-open counts as a trip
+// and a transition.
+func TestBreakerBackToBackTrips(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := NewHealthTracker(1, 10)
+	h.Instrument(reg)
+
+	now := 0.0
+	for round := 0; round < 3; round++ {
+		if !h.Failure(device.GPU, now) {
+			t.Fatalf("round %d: failure did not (re)trip", round)
+		}
+		if h.Available(device.GPU, now+9) {
+			t.Fatalf("round %d: open breaker admitted inside probation", round)
+		}
+		now += 10
+		if !h.Available(device.GPU, now) {
+			t.Fatalf("round %d: probation expiry did not admit a probe", round)
+		}
+	}
+	if h.Trips() != 3 {
+		t.Fatalf("trips = %d, want 3", h.Trips())
+	}
+	s := reg.Snapshot()
+	if got := s.Counters[`duet_breaker_transitions_total{device="gpu",to="open"}`]; got != 3 {
+		t.Fatalf("open transitions = %d, want 3", got)
+	}
+	if got := s.Counters[`duet_breaker_transitions_total{device="gpu",to="half-open"}`]; got != 3 {
+		t.Fatalf("half-open transitions = %d, want 3", got)
+	}
+	if got := s.Counters["duet_readmissions_total"]; got != 0 {
+		t.Fatalf("readmissions = %d, want 0 (every probe failed)", got)
+	}
+	// Finally a probe succeeds: readmission, gauge back to closed.
+	h.Success(device.GPU)
+	if h.Readmissions() != 1 {
+		t.Fatalf("readmissions = %d, want 1", h.Readmissions())
+	}
+	if g := reg.Snapshot().Gauges[`duet_breaker_state{device="gpu"}`]; g != 0 {
+		t.Fatalf("state gauge = %g, want 0 (closed)", g)
+	}
+}
+
+// TestBreakerSuccessResetsStreak: a success between failures resets the
+// consecutive counter, so sub-threshold failure bursts never trip.
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	h := NewHealthTracker(3, 10)
+	for i := 0; i < 10; i++ {
+		if h.Failure(device.CPU, float64(i)) || h.Failure(device.CPU, float64(i)) {
+			t.Fatalf("burst %d tripped below threshold", i)
+		}
+		h.Success(device.CPU)
+	}
+	if h.Trips() != 0 {
+		t.Fatalf("trips = %d, want 0", h.Trips())
+	}
+}
+
+// TestBreakerHalfOpenAdmitsUntilVerdict: a half-open breaker stays available
+// to further callers until the probe's verdict lands — the breaker gates
+// scheduling, it does not serialize callers.
+func TestBreakerHalfOpenAdmitsUntilVerdict(t *testing.T) {
+	h := NewHealthTracker(1, 10)
+	h.Failure(device.GPU, 0)
+	if !h.Available(device.GPU, 10) || !h.Available(device.GPU, 10.1) {
+		t.Fatal("half-open breaker refused a second caller before the verdict")
+	}
+	if code, name := h.SlotState(int(device.GPU)); code != 2 || name != "half-open" {
+		t.Fatalf("SlotState = (%d, %q), want (2, half-open)", code, name)
+	}
+	// The probe's failure closes the admission again.
+	h.Failure(device.GPU, 10.2)
+	if h.Available(device.GPU, 10.3) {
+		t.Fatal("re-opened breaker admitted a caller")
+	}
+}
+
+// TestHealthTrackerNSlots: the N-slot form (one slot per serving node) trips
+// and recovers each slot independently, exactly like the device form.
+func TestHealthTrackerNSlots(t *testing.T) {
+	h := NewHealthTrackerN(5, 2, 10)
+	if h.Slots() != 5 {
+		t.Fatalf("Slots() = %d, want 5", h.Slots())
+	}
+	for slot := 0; slot < 5; slot++ {
+		if !h.SlotAvailable(slot, 0) {
+			t.Fatalf("fresh slot %d unavailable", slot)
+		}
+	}
+	h.SlotFailure(3, 0)
+	if !h.SlotFailure(3, 1) {
+		t.Fatal("slot 3 did not trip at threshold")
+	}
+	for slot := 0; slot < 5; slot++ {
+		want := slot != 3
+		if got := h.SlotAvailable(slot, 2); got != want {
+			t.Fatalf("SlotAvailable(%d) = %v, want %v", slot, got, want)
+		}
+	}
+	if code, _ := h.SlotState(3); code != 1 {
+		t.Fatalf("slot 3 state = %d, want 1 (open)", code)
+	}
+	// Probe on slot 3 after probation, success re-admits; others untouched.
+	if !h.SlotAvailable(3, 12) {
+		t.Fatal("slot 3 probation expiry did not admit")
+	}
+	h.SlotSuccess(3)
+	if code, _ := h.SlotState(3); code != 0 {
+		t.Fatalf("slot 3 state after readmission = %d, want 0", code)
+	}
+	if h.Trips() != 1 || h.Readmissions() != 1 {
+		t.Fatalf("trips=%d readmits=%d, want 1/1", h.Trips(), h.Readmissions())
+	}
+}
+
+// TestHealthTrackerNilAndZeroSlotSafety: nil trackers and disabled
+// thresholds answer through the slot API without panicking.
+func TestHealthTrackerNilAndZeroSlotSafety(t *testing.T) {
+	var h *HealthTracker
+	if !h.SlotAvailable(7, 0) || h.SlotFailure(7, 0) || h.Slots() != 0 {
+		t.Fatal("nil tracker misbehaved")
+	}
+	h.SlotSuccess(7)
+	if code, name := h.SlotState(7); code != 0 || name != "closed" {
+		t.Fatalf("nil SlotState = (%d, %q)", code, name)
+	}
+	d := NewHealthTrackerN(0, 3, 1) // clamped to one slot
+	if d.Slots() != 1 {
+		t.Fatalf("clamped Slots() = %d, want 1", d.Slots())
+	}
+}

@@ -14,13 +14,14 @@ import (
 type serveMetrics struct {
 	reg *obs.Registry
 
-	outcomes map[Outcome]*obs.Counter // serve_requests_total{outcome=...}
-	latency  *obs.Histogram           // serve_latency_seconds (delivered requests)
-	queue    *obs.Gauge               // serve_queue_rows
-	queueMax *obs.Gauge               // serve_queue_rows_max
-	batches  *obs.Counter             // serve_batches_total
-	rows     *obs.Histogram           // serve_batch_rows
-	busy     [][2]*obs.Gauge          // serve_replica_busy_seconds_total{replica,device}
+	outcomes map[Outcome]*obs.Counter    // serve_requests_total{outcome=...}
+	sheds    map[ShedReason]*obs.Counter // serve_shed_total{reason=...}
+	latency  *obs.Histogram              // serve_latency_seconds (delivered requests)
+	queue    *obs.Gauge                  // serve_queue_rows
+	queueMax *obs.Gauge                  // serve_queue_rows_max
+	batches  *obs.Counter                // serve_batches_total
+	rows     *obs.Histogram              // serve_batch_rows
+	busy     [][2]*obs.Gauge             // serve_replica_busy_seconds_total{replica,device}
 }
 
 // batchRowBuckets bounds the batch-size histogram: powers of two up to a
@@ -36,6 +37,10 @@ func (m *serveMetrics) init(reg *obs.Registry, replicas int) {
 	m.outcomes = map[Outcome]*obs.Counter{}
 	for _, o := range []Outcome{OK, Rejected, Expired, Failed} {
 		m.outcomes[o] = reg.Counter(obs.Series("serve_requests_total", "outcome", string(o)))
+	}
+	m.sheds = map[ShedReason]*obs.Counter{}
+	for _, reason := range []ShedReason{ShedDeadline, ShedBackpressure, ShedBrownout, ShedInvalid} {
+		m.sheds[reason] = reg.Counter(obs.Series("serve_shed_total", "reason", string(reason)))
 	}
 	m.latency = reg.Histogram("serve_latency_seconds", obs.DefaultLatencyBuckets...)
 	m.queue = reg.Gauge("serve_queue_rows")
@@ -57,6 +62,9 @@ func (m *serveMetrics) recordOutcome(resp *Response) {
 		return
 	}
 	m.outcomes[resp.Outcome].Inc()
+	if resp.Reason != ShedNone {
+		m.sheds[resp.Reason].Inc()
+	}
 	if resp.Outcome == OK {
 		m.latency.Observe(float64(resp.Latency))
 	}

@@ -16,6 +16,12 @@ type Report struct {
 	Expired  int `json:"expired"`
 	Failed   int `json:"failed"`
 
+	// Shed breaks the Rejected+Expired count down by typed reason
+	// (deadline, backpressure, invalid — plus brownout when a cluster layer
+	// aggregates its degradation sheds into a serve report). Empty when
+	// nothing was shed.
+	Shed map[ShedReason]int `json:"shed,omitempty"`
+
 	// Makespan spans virtual time zero to the last delivery.
 	Makespan vclock.Seconds `json:"makespan_s"`
 	// Throughput counts delivered (OK) requests per virtual second; RowThroughput
@@ -85,6 +91,12 @@ func buildReport(s *Server, responses []Response, makespan vclock.Seconds) *Repo
 		case Failed:
 			rep.Failed++
 		}
+		if r.Reason != ShedNone {
+			if rep.Shed == nil {
+				rep.Shed = map[ShedReason]int{}
+			}
+			rep.Shed[r.Reason]++
+		}
 	}
 	if rep.OK > 0 {
 		rep.MeanLatency = latSum / vclock.Seconds(rep.OK)
@@ -123,10 +135,26 @@ func rowsOf(r *Response) int {
 
 // String renders the report as a one-glance summary block.
 func (r *Report) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"requests=%d ok=%d rejected=%d expired=%d failed=%d makespan=%.3fms throughput=%.1f req/s (%.1f rows/s) latency mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms batches=%d mean_rows=%.2f",
 		r.Requests, r.OK, r.Rejected, r.Expired, r.Failed,
 		float64(r.Makespan)*1e3, r.Throughput, r.RowThroughput,
 		float64(r.MeanLatency)*1e3, float64(r.P50Latency)*1e3, float64(r.P95Latency)*1e3, float64(r.P99Latency)*1e3,
 		r.Batches, r.MeanBatchRows)
+	if len(r.Shed) > 0 {
+		reasons := make([]string, 0, len(r.Shed))
+		for reason := range r.Shed {
+			reasons = append(reasons, string(reason))
+		}
+		sort.Strings(reasons)
+		s += " shed["
+		for i, reason := range reasons {
+			if i > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%s=%d", reason, r.Shed[ShedReason(reason)])
+		}
+		s += "]"
+	}
+	return s
 }

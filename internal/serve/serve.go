@@ -50,6 +50,27 @@ const (
 	Failed Outcome = "failed"
 )
 
+// ShedReason classifies why a request was shed (Rejected or Expired) so
+// operators can tell overload apart from SLA misses and deliberate
+// degradation. Delivered requests carry ShedNone.
+type ShedReason string
+
+const (
+	// ShedNone: the request was not shed.
+	ShedNone ShedReason = ""
+	// ShedDeadline: the deadline lapsed in the queue, or admission control
+	// proved it unattainable up front.
+	ShedDeadline ShedReason = "deadline"
+	// ShedBackpressure: the admission queue was full.
+	ShedBackpressure ShedReason = "backpressure"
+	// ShedBrownout: deliberate degradation — the cluster layer sheds
+	// low-priority work when node capacity drops below its brownout
+	// threshold. Never produced by a single-process server.
+	ShedBrownout ShedReason = "brownout"
+	// ShedInvalid: the request's inputs did not match the model signature.
+	ShedInvalid ShedReason = "invalid"
+)
+
 // Request is one inference submitted to the server. Inputs must carry the
 // model's input names with the model's trailing dimensions; the leading
 // (batch) dimension may be any b ≥ 1 and must agree across all inputs, so a
@@ -66,6 +87,9 @@ type Request struct {
 type Response struct {
 	ID      int
 	Outcome Outcome
+	// Reason classifies a shed (Rejected/Expired) response; ShedNone
+	// otherwise.
+	Reason ShedReason
 	// Outputs holds the request's slice of the (possibly batched) model
 	// outputs — independent copies the caller owns. Nil unless Outcome is OK.
 	Outputs []*tensor.Tensor
@@ -316,6 +340,7 @@ func (s *Server) Run(reqs []Request) (*Report, []Response, error) {
 			}
 			q.popMin()
 			head.resp.Outcome = Expired
+			head.resp.Reason = ShedDeadline
 			head.resp.Err = fmt.Errorf("serve: deadline expired after %.3fms in queue", (now-head.resp.Arrival)*1e3)
 			head.resp.Finish = now
 			deliver(head)
@@ -356,22 +381,27 @@ func (s *Server) hasFreeReplica() bool {
 	return false
 }
 
-// admit validates and enqueues an arrival, or returns the rejection reason.
+// admit validates and enqueues an arrival, or returns the rejection reason
+// (also recorded as the pending response's typed ShedReason).
 func (s *Server) admit(q *admitQueue, p *pending, now vclock.Seconds) error {
 	rows, err := s.validate(p.req)
 	if err != nil {
+		p.resp.Reason = ShedInvalid
 		return err
 	}
 	if s.cfg.BatchGraph == nil && rows != s.baseRows {
+		p.resp.Reason = ShedInvalid
 		return fmt.Errorf("serve: request has batch %d but the model is compiled for %d and no BatchGraph factory is configured", rows, s.baseRows)
 	}
 	p.rows = rows
 	p.sig = s.sig
 	if s.cfg.Admission && p.req.Deadline > 0 && p.req.Deadline < now+s.minSvc {
+		p.resp.Reason = ShedDeadline
 		return fmt.Errorf("serve: deadline %.3fms out is unattainable (minimum service %.3fms)",
 			(p.req.Deadline-now)*1e3, s.minSvc*1e3)
 	}
 	if !q.push(p, now) {
+		p.resp.Reason = ShedBackpressure
 		return fmt.Errorf("serve: admission queue full (%d of %d rows)", q.rows, q.cap)
 	}
 	return nil

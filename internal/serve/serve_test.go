@@ -396,3 +396,89 @@ func TestServeDeterminism(t *testing.T) {
 		t.Fatalf("non-deterministic timing: %v vs %v", a, b)
 	}
 }
+
+// TestServeShedReasonsTyped pins the typed shed taxonomy: every shed
+// response carries the reason matching its path (queue full →
+// backpressure, admission or queued deadline lapse → deadline, signature
+// mismatch → invalid), delivered responses carry ShedNone, and Report.Shed
+// breaks the shed count down by exactly those reasons.
+func TestServeShedReasonsTyped(t *testing.T) {
+	e, cfg := testEngine(t)
+
+	// Backpressure: a burst past the queue cap.
+	srv, err := New(Config{Engine: e, QueueCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := OpenLoop(LoadSpec{
+		Requests: 5,
+		Burst:    true,
+		Inputs:   func(i int) map[string]*tensor.Tensor { return inputsFor(cfg, i) },
+	})
+	rep, resps, err := srv.Run(reqs)
+	srv.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejected != 3 || rep.Shed[ShedBackpressure] != 3 {
+		t.Fatalf("burst 5 over cap 2: rejected=%d shed=%v", rep.Rejected, rep.Shed)
+	}
+	for i := range resps {
+		want := ShedNone
+		if resps[i].Outcome == Rejected {
+			want = ShedBackpressure
+		}
+		if resps[i].Reason != want {
+			t.Fatalf("response %d (%s): reason %q, want %q", i, resps[i].Outcome, resps[i].Reason, want)
+		}
+	}
+	if !strings.Contains(rep.String(), "shed[backpressure=3]") {
+		t.Fatalf("report omits the shed breakdown: %s", rep)
+	}
+
+	// Deadline (both the admission and the queued-expiry path) plus an
+	// invalid-signature rejection, all in one stream.
+	srv2, err := New(Config{Engine: e, Admission: true, QueueCap: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minSvc := srv2.MinService()
+	badCfg := cfg
+	badCfg.SeqLen = 8 // wrong trailing dim on rnn.ids
+	reqs2 := []Request{
+		{ID: 0, Inputs: inputsFor(cfg, 0), Deadline: minSvc / 2}, // unattainable at admission
+		{ID: 1, Inputs: workload.WideDeepInputs(badCfg, 7)},      // signature mismatch
+		{ID: 2, Inputs: inputsFor(cfg, 2), Deadline: minSvc * 2.2},
+		{ID: 3, Inputs: inputsFor(cfg, 3), Deadline: minSvc * 2.2},
+		{ID: 4, Inputs: inputsFor(cfg, 4), Deadline: minSvc * 2.2},
+		{ID: 5, Inputs: inputsFor(cfg, 5), Deadline: minSvc * 2.2},
+	}
+	rep2, resps2, err := srv2.Run(reqs2)
+	srv2.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resps2[0].Outcome != Rejected || resps2[0].Reason != ShedDeadline {
+		t.Fatalf("admission rejection: outcome=%s reason=%q, want rejected/deadline",
+			resps2[0].Outcome, resps2[0].Reason)
+	}
+	if resps2[1].Outcome != Rejected || resps2[1].Reason != ShedInvalid {
+		t.Fatalf("invalid inputs: outcome=%s reason=%q, want rejected/invalid",
+			resps2[1].Outcome, resps2[1].Reason)
+	}
+	if rep2.Expired < 1 {
+		t.Fatalf("deadline class left no queued expiry: %+v", rep2)
+	}
+	for i := range resps2 {
+		if resps2[i].Outcome == Expired && resps2[i].Reason != ShedDeadline {
+			t.Fatalf("expired response %d has reason %q, want deadline", i, resps2[i].Reason)
+		}
+		if resps2[i].Outcome == OK && resps2[i].Reason != ShedNone {
+			t.Fatalf("delivered response %d carries shed reason %q", i, resps2[i].Reason)
+		}
+	}
+	if rep2.Shed[ShedDeadline] != rep2.Expired+1 || rep2.Shed[ShedInvalid] != 1 {
+		t.Fatalf("shed breakdown %v does not partition expired=%d + admission rejections",
+			rep2.Shed, rep2.Expired)
+	}
+}

@@ -1,0 +1,66 @@
+package verify
+
+// ShardMap is the cluster router's materialized routing table: one failover
+// chain per consistent-hash ring slot. Slots[s][0] is the slot's primary
+// serving node and Slots[s][1:] are its failover targets in preference
+// order. The cluster layer exports its table here at construction so the
+// routing invariants are machine-checked before any request is routed —
+// the same construction-time posture as the placement and release passes.
+type ShardMap struct {
+	// Nodes is the cluster size; every chain entry must name one of them.
+	Nodes int
+	// Replication is the intended chain length (primary + failover targets).
+	Replication int
+	// Slots holds one chain per ring slot, in ring order.
+	Slots [][]int
+}
+
+// CheckShardMap verifies a routing table's static invariants: sane shape
+// (at least one node, one slot, and a replication degree the cluster can
+// honor), every chain exactly Replication long with in-range pairwise
+// distinct nodes, and primary coverage — every node is the primary of at
+// least one slot, otherwise it silently serves no traffic while still
+// counting toward quorum and brownout thresholds.
+func CheckShardMap(m ShardMap) []Finding {
+	var fs []Finding
+	if m.Nodes < 1 {
+		return append(fs, finding(PassShardMap, "cluster has %d nodes, want ≥ 1", m.Nodes))
+	}
+	if m.Replication < 1 || m.Replication > m.Nodes {
+		fs = append(fs, finding(PassShardMap,
+			"replication %d is outside [1, %d nodes]", m.Replication, m.Nodes))
+	}
+	if len(m.Slots) == 0 {
+		return append(fs, finding(PassShardMap, "routing table has no slots"))
+	}
+	primary := make([]int, m.Nodes)
+	for s, chain := range m.Slots {
+		if len(chain) != m.Replication {
+			fs = append(fs, finding(PassShardMap,
+				"slot %d chain has %d targets, want replication %d", s, len(chain), m.Replication))
+		}
+		seen := map[int]bool{}
+		for i, n := range chain {
+			if n < 0 || n >= m.Nodes {
+				fs = append(fs, finding(PassShardMap,
+					"slot %d target %d names node %d, outside [0, %d)", s, i, n, m.Nodes))
+				continue
+			}
+			if seen[n] {
+				fs = append(fs, finding(PassShardMap,
+					"slot %d lists node %d twice — a failover would retry the failed node", s, n))
+			}
+			seen[n] = true
+			if i == 0 {
+				primary[n]++
+			}
+		}
+	}
+	for n, c := range primary {
+		if c == 0 {
+			fs = append(fs, finding(PassShardMap,
+				"node %d is primary for no slot: it serves no traffic yet counts toward capacity", n))
+		}
+	}
+	return fs
+}

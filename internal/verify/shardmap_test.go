@@ -1,0 +1,61 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+)
+
+// hasFinding reports whether some finding's message contains substr.
+func hasFinding(fs []Finding, substr string) bool {
+	for _, f := range fs {
+		if f.Pass == PassShardMap && strings.Contains(f.Msg, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestShardMapClean(t *testing.T) {
+	m := ShardMap{Nodes: 3, Replication: 2, Slots: [][]int{
+		{0, 1}, {1, 2}, {2, 0}, {0, 2},
+	}}
+	if fs := CheckShardMap(m); len(fs) != 0 {
+		t.Fatalf("clean map produced findings: %v", fs)
+	}
+}
+
+func TestShardMapViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		m    ShardMap
+		want string
+	}{
+		{"no nodes", ShardMap{Nodes: 0, Replication: 1, Slots: [][]int{{0}}}, "want ≥ 1"},
+		{"no slots", ShardMap{Nodes: 2, Replication: 1}, "no slots"},
+		{"replication too high", ShardMap{Nodes: 2, Replication: 3,
+			Slots: [][]int{{0, 1}, {1, 0}}, // also short chains
+		}, "outside [1, 2 nodes]"},
+		{"short chain", ShardMap{Nodes: 3, Replication: 2,
+			Slots: [][]int{{0, 1}, {1}, {2, 0}},
+		}, "1 targets, want replication 2"},
+		{"out of range", ShardMap{Nodes: 2, Replication: 2,
+			Slots: [][]int{{0, 1}, {1, 5}},
+		}, "outside [0, 2)"},
+		{"duplicate target", ShardMap{Nodes: 3, Replication: 2,
+			Slots: [][]int{{0, 0}, {1, 2}, {2, 1}},
+		}, "twice"},
+		{"uncovered node", ShardMap{Nodes: 3, Replication: 2,
+			Slots: [][]int{{0, 1}, {1, 0}},
+		}, "node 2 is primary for no slot"},
+	}
+	for _, tc := range cases {
+		fs := CheckShardMap(tc.m)
+		if len(fs) == 0 {
+			t.Errorf("%s: no findings", tc.name)
+			continue
+		}
+		if !hasFinding(fs, tc.want) {
+			t.Errorf("%s: findings %v lack %q", tc.name, fs, tc.want)
+		}
+	}
+}

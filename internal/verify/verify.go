@@ -37,6 +37,7 @@ const (
 	PassRelease   = "arena-release"  // symbolic execution of the release plan
 	PassLiveness  = "sync-liveness"  // every subgraph fires under the firing rule
 	PassAudit     = "audit-replay"   // Algorithm 1 decision-trail consistency
+	PassShardMap  = "shard-map"      // cluster routing table coverage + failover legality
 )
 
 // Finding is one verifier diagnostic. Node and Subgraph locate the failure
