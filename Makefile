@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check fmt-check vet test test-race test-short bench bench-obs bench-kernels bench-serve bench-cluster experiments quick-experiments report fuzz clean
+.PHONY: all build check fmt-check vet test test-race test-short bench bench-obs bench-kernels bench-serve bench-cluster bench-diff bench-dash experiments quick-experiments report fuzz clean
 
 all: build check
 
@@ -29,6 +29,7 @@ check: fmt-check vet
 	$(GO) test -race -count=2 -run 'TestConcurrentExecuteArena|TestServeSmoke' ./internal/serve/
 	$(GO) test -race -count=1 -run 'TestClusterChaosCrashFailover|TestClusterTraceDeterminism' ./internal/cluster/
 	$(GO) test -count=1 -run TestArenaCutsSteadyStateAllocs ./internal/runtime/
+	$(MAKE) bench-diff
 
 ## Static analysis gate: stock go vet plus the repo's custom analyzer suite
 ## (vclockpurity, arenainto, obsnames) run through the real -vettool
@@ -68,13 +69,38 @@ experiments:
 quick-experiments:
 	$(GO) run ./cmd/duet-bench -quick
 
-## Machine-readable report (for plotting / regression baselines).
+## Machine-readable report at paper scale (for plotting). For the quick
+## regression baseline that `make compare` consumes, see the report.json
+## file rule below.
 report:
 	$(GO) run ./cmd/duet-bench -json report.json
 
-## Check a fresh run against a stored baseline report.
+## Baseline for `make compare`: generated at quick scale when absent so
+## compare works from a fresh checkout. Note `make report` overwrites it
+## with a paper-scale report; regenerate with `rm report.json && make
+## compare` before comparing again (both sides must be the same scale).
+report.json:
+	@echo "report.json missing; generating a quick-scale comparison baseline"
+	$(GO) run ./cmd/duet-bench -quick -json report.json
+
+## Check a fresh quick run against the stored baseline report. For
+## statistics-backed gating over the committed BENCH_*.json suites, use
+## bench-diff instead.
 compare: report.json
-	$(GO) run ./cmd/duet-bench -compare report.json
+	$(GO) run ./cmd/duet-bench -quick -compare report.json
+
+## Statistical perf-regression gate: re-run every suite at quick scale
+## with seed-varied fresh runs and compare per-metric sample sets against
+## the committed BENCH_*.json baselines (Mann-Whitney U + median CI,
+## direction-aware per-suite schema). Exits non-zero when a gated metric
+## regresses beyond its threshold.
+bench-diff:
+	$(GO) run ./cmd/duet-benchdiff
+
+## Render the static trend dashboard (docs/bench/index.html + trends.json)
+## from the run-history sections of the committed baselines.
+bench-dash:
+	$(GO) run ./cmd/duet-benchdiff -dashboard
 
 ## Regenerate the observability baseline: metrics snapshot of a fully
 ## exercised instrumented engine plus the scheduler's placement audit.
@@ -105,3 +131,4 @@ fuzz:
 
 clean:
 	rm -f report.json trace.json
+	rm -rf bin

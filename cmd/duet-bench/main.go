@@ -17,7 +17,9 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"duet/internal/benchdiff"
 	"duet/internal/experiments"
 )
 
@@ -90,22 +92,33 @@ func main() {
 		return
 	}
 
+	// Suite baselines (BENCH_*.json) go through benchdiff so every
+	// regeneration appends to the file's bounded run-history section; the
+	// wall-clock stamp lives here in the cmd layer, outside the
+	// virtual-clock core.
+	writeSuite := func(suiteName, path string, report any) {
+		s, ok := benchdiff.SuiteByName(suiteName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "duet-bench: no benchdiff suite %q\n", suiteName)
+			os.Exit(1)
+		}
+		label := "paper"
+		if *quick {
+			label = "quick"
+		}
+		if err := benchdiff.WriteBaseline(s, path, report, time.Now().Unix(), label); err != nil {
+			fmt.Fprintf(os.Stderr, "duet-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if *kernPath != "" {
 		report, err := experiments.BuildKernelsReport(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "duet-bench: kernels report: %v\n", err)
 			os.Exit(1)
 		}
-		f, err := os.Create(*kernPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "duet-bench: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := report.WriteJSON(f); err != nil {
-			fmt.Fprintf(os.Stderr, "duet-bench: %v\n", err)
-			os.Exit(1)
-		}
+		writeSuite("kernels", *kernPath, report)
 		fmt.Printf("wrote kernel benchmarks to %s\n", *kernPath)
 		return
 	}
@@ -127,16 +140,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "duet-bench: cluster report: %v\n", err)
 			os.Exit(1)
 		}
-		f, err := os.Create(*clusPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "duet-bench: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := report.WriteJSON(f); err != nil {
-			fmt.Fprintf(os.Stderr, "duet-bench: %v\n", err)
-			os.Exit(1)
-		}
+		writeSuite("cluster", *clusPath, report)
 		fmt.Println(report)
 		fmt.Printf("wrote cluster report to %s\n", *clusPath)
 		return
@@ -161,16 +165,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "duet-bench: serve report: %v\n", err)
 			os.Exit(1)
 		}
-		f, err := os.Create(*servePath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "duet-bench: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := report.WriteJSON(f); err != nil {
-			fmt.Fprintf(os.Stderr, "duet-bench: %v\n", err)
-			os.Exit(1)
-		}
+		writeSuite("serve", *servePath, report)
 		fmt.Println(report)
 		fmt.Printf("wrote serve report to %s\n", *servePath)
 		return
@@ -182,16 +177,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "duet-bench: obs report: %v\n", err)
 			os.Exit(1)
 		}
-		f, err := os.Create(*obsPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "duet-bench: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := report.WriteJSON(f); err != nil {
-			fmt.Fprintf(os.Stderr, "duet-bench: %v\n", err)
-			os.Exit(1)
-		}
+		writeSuite("obs", *obsPath, report)
 		fmt.Printf("wrote obs report to %s\n", *obsPath)
 		return
 	}

@@ -1,0 +1,336 @@
+package benchdiff
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"strings"
+	"testing"
+)
+
+// fakeSuite is a minimal suite over a {"metrics": {...}} document, used to
+// exercise the diff machinery without running real benchmarks.
+func fakeSuite() *Suite {
+	return &Suite{
+		Name: "fake",
+		File: "BENCH_fake.json",
+		Rules: []Rule{
+			{Prefix: "fake/lat/", Better: LowerIsBetter, Gate: true},
+			{Prefix: "fake/tput/", Better: HigherIsBetter, Gate: true},
+			{Prefix: "fake/exact/", Better: HigherIsBetter, Gate: true, Threshold: Exact},
+			{Prefix: "fake/trend/", Better: LowerIsBetter},
+		},
+		Extract: func(doc map[string]any) (map[string]float64, error) {
+			m, err := getMap(doc, "metrics")
+			if err != nil {
+				return nil, err
+			}
+			out := map[string]float64{}
+			for k, v := range m {
+				f, ok := v.(float64)
+				if !ok {
+					continue
+				}
+				out[k] = f
+			}
+			return out, nil
+		},
+	}
+}
+
+func metrics(lat, tput float64) map[string]float64 {
+	return map[string]float64{"fake/lat/p99": lat, "fake/tput/rps": tput}
+}
+
+func cfg() Config {
+	c := DefaultConfig()
+	c.Runs = 3
+	return c
+}
+
+func TestDiffSuiteCleanRun(t *testing.T) {
+	base := metrics(10, 1000)
+	fresh := []map[string]float64{metrics(10, 1000), metrics(10.1, 995), metrics(9.9, 1005)}
+	d, err := DiffSuite(fakeSuite(), base, nil, fresh, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions != 0 {
+		t.Fatalf("clean run flagged %d regressions: %+v", d.Regressions, d.Metrics)
+	}
+	for _, m := range d.Metrics {
+		if m.Verdict != VerdictOK {
+			t.Fatalf("metric %s verdict %s, want ok", m.Name, m.Verdict)
+		}
+	}
+}
+
+// TestDiffSuiteInjectedRegression pins the gate the Makefile relies on: an
+// injected synthetic regression must produce a nonzero regression count
+// (which cmd/duet-benchdiff turns into a nonzero exit), and the direction
+// schema must decide which way "worse" points.
+func TestDiffSuiteInjectedRegression(t *testing.T) {
+	base := metrics(10, 1000)
+	cases := []struct {
+		name    string
+		fresh   map[string]float64
+		flagged int
+		verdict Verdict
+		metric  string
+	}{
+		{"latency up flags", metrics(13, 1000), 1, VerdictRegression, "fake/lat/p99"},
+		{"throughput down flags", metrics(10, 800), 1, VerdictRegression, "fake/tput/rps"},
+		{"latency down improves", metrics(7, 1000), 0, VerdictImproved, "fake/lat/p99"},
+		{"throughput up improves", metrics(10, 1300), 0, VerdictImproved, "fake/tput/rps"},
+		{"both regress", map[string]float64{"fake/lat/p99": 13, "fake/tput/rps": 800}, 2, VerdictRegression, "fake/lat/p99"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			fresh := []map[string]float64{c.fresh, c.fresh, c.fresh}
+			d, err := DiffSuite(fakeSuite(), base, nil, fresh, cfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.Regressions != c.flagged {
+				t.Fatalf("flagged %d, want %d: %+v", d.Regressions, c.flagged, d.Metrics)
+			}
+			for _, m := range d.Metrics {
+				if m.Name == c.metric && m.Verdict != c.verdict {
+					t.Fatalf("metric %s verdict %s, want %s", m.Name, m.Verdict, c.verdict)
+				}
+			}
+			var buf bytes.Buffer
+			d.Write(&buf)
+			if c.flagged > 0 && !strings.Contains(buf.String(), "REGRESSION") {
+				t.Fatalf("table missing REGRESSION marker:\n%s", buf.String())
+			}
+		})
+	}
+}
+
+// TestDiffSuiteUngatedOnlyTrends pins that schema-declared trend metrics
+// report but never fail the diff.
+func TestDiffSuiteUngatedOnlyTrends(t *testing.T) {
+	base := map[string]float64{"fake/trend/chaos_p99": 10}
+	fresh := []map[string]float64{{"fake/trend/chaos_p99": 20}, {"fake/trend/chaos_p99": 21}, {"fake/trend/chaos_p99": 19}}
+	d, err := DiffSuite(fakeSuite(), base, nil, fresh, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions != 0 {
+		t.Fatalf("ungated metric failed the diff: %+v", d.Metrics)
+	}
+	if d.Metrics[0].Verdict != VerdictRegressed {
+		t.Fatalf("verdict %s, want regressed (informational)", d.Metrics[0].Verdict)
+	}
+}
+
+func TestDiffSuiteMissingAndNewMetrics(t *testing.T) {
+	base := metrics(10, 1000)
+	fresh := []map[string]float64{
+		{"fake/lat/p99": 10, "fake/lat/extra": 5},
+		{"fake/lat/p99": 10, "fake/lat/extra": 5},
+	}
+	d, err := DiffSuite(fakeSuite(), base, nil, fresh, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions != 1 {
+		t.Fatalf("lost gated metric must flag: %+v", d.Metrics)
+	}
+	verdicts := map[string]Verdict{}
+	for _, m := range d.Metrics {
+		verdicts[m.Name] = m.Verdict
+	}
+	if verdicts["fake/tput/rps"] != VerdictMissing {
+		t.Fatalf("tput verdict %s, want MISSING", verdicts["fake/tput/rps"])
+	}
+	if verdicts["fake/lat/extra"] != VerdictNew {
+		t.Fatalf("extra verdict %s, want new", verdicts["fake/lat/extra"])
+	}
+}
+
+// TestDiffSuiteZeroBaseline pins that a regression off a zero baseline is
+// an infinite relative change, not a masked "ok".
+func TestDiffSuiteZeroBaseline(t *testing.T) {
+	base := map[string]float64{"fake/lat/errors": 0}
+	fresh := []map[string]float64{{"fake/lat/errors": 3}, {"fake/lat/errors": 3}, {"fake/lat/errors": 3}}
+	d, err := DiffSuite(fakeSuite(), base, nil, fresh, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions != 1 || d.Metrics[0].Verdict != VerdictRegression {
+		t.Fatalf("zero-baseline regression not flagged: %+v", d.Metrics[0])
+	}
+	if !math.IsInf(d.Metrics[0].Delta, 1) {
+		t.Fatalf("delta = %v, want +Inf", d.Metrics[0].Delta)
+	}
+	// Still zero stays ok.
+	fresh = []map[string]float64{{"fake/lat/errors": 0}, {"fake/lat/errors": 0}}
+	d, err = DiffSuite(fakeSuite(), base, nil, fresh, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions != 0 {
+		t.Fatalf("zero vs zero flagged: %+v", d.Metrics[0])
+	}
+}
+
+// TestDiffSuiteInsignificantNotFlagged pins the benchstat behavior the
+// single-run ±tolerance check lacked: when both sides have enough samples
+// for the U test to reach alpha and the distributions overlap, a median
+// that drifted past the threshold is reported "~", not failed.
+func TestDiffSuiteInsignificantNotFlagged(t *testing.T) {
+	history := []map[string]float64{}
+	for _, v := range []float64{8, 9, 10, 11, 12, 13} {
+		history = append(history, map[string]float64{"fake/lat/p99": v})
+	}
+	base := map[string]float64{"fake/lat/p99": 10}
+	var fresh []map[string]float64
+	for _, v := range []float64{8.9, 9.1, 11.4, 11.5, 11.6, 12.6} {
+		fresh = append(fresh, map[string]float64{"fake/lat/p99": v})
+	}
+	d, err := DiffSuite(fakeSuite(), base, history, fresh, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Metrics[0]
+	if m.Delta <= 0.12 {
+		t.Fatalf("test setup broken: delta %v not beyond threshold", m.Delta)
+	}
+	if m.Verdict != VerdictInsignificant || d.Regressions != 0 {
+		t.Fatalf("overlapping samples flagged: verdict %s p=%v", m.Verdict, m.P)
+	}
+	// The same median shift with clearly separated samples must flag.
+	var sep []map[string]float64
+	for _, v := range []float64{13.1, 13.2, 13.3, 13.4, 13.5, 13.6} {
+		sep = append(sep, map[string]float64{"fake/lat/p99": v})
+	}
+	d, err = DiffSuite(fakeSuite(), base, history, sep, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Metrics[0].Verdict != VerdictRegression {
+		t.Fatalf("separated shift not flagged: verdict %s p=%v", d.Metrics[0].Verdict, d.Metrics[0].P)
+	}
+}
+
+// TestDiffSuiteExactThreshold pins the Exact rule: any worsening of an
+// invariant-style metric flags, improvements and equality do not.
+func TestDiffSuiteExactThreshold(t *testing.T) {
+	base := map[string]float64{"fake/exact/outputs_bit_identical": 1}
+	d, err := DiffSuite(fakeSuite(), base, nil, []map[string]float64{{"fake/exact/outputs_bit_identical": 0}}, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions != 1 {
+		t.Fatalf("lost invariant not flagged: %+v", d.Metrics[0])
+	}
+	d, err = DiffSuite(fakeSuite(), base, nil, []map[string]float64{{"fake/exact/outputs_bit_identical": 1}}, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions != 0 {
+		t.Fatalf("intact invariant flagged: %+v", d.Metrics[0])
+	}
+}
+
+// TestDiffSuiteRejectsUndeclaredMetric pins the "declared, not inferred"
+// contract: a metric the schema does not cover is an error.
+func TestDiffSuiteRejectsUndeclaredMetric(t *testing.T) {
+	base := map[string]float64{"mystery/metric": 1}
+	if _, err := DiffSuite(fakeSuite(), base, nil, nil, cfg()); err == nil {
+		t.Fatal("undeclared metric accepted")
+	}
+}
+
+// TestExtractCommittedBaselines runs every suite's extractor over the real
+// committed BENCH_*.json files: the schemas must cover every extracted
+// metric and a few known values must land where the extractor says.
+func TestExtractCommittedBaselines(t *testing.T) {
+	for _, s := range Suites() {
+		t.Run(s.Name, func(t *testing.T) {
+			b, err := LoadBaseline(s, "../../"+s.File)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if len(b.Metrics) == 0 {
+				t.Fatal("no metrics extracted")
+			}
+			for name := range b.Metrics {
+				if _, ok := s.rule(name); !ok {
+					t.Fatalf("metric %q matches no schema rule", name)
+				}
+			}
+			gated := 0
+			for name := range b.Metrics {
+				if r, _ := s.rule(name); r.Gate {
+					gated++
+				}
+			}
+			if gated == 0 {
+				t.Fatal("suite gates nothing")
+			}
+		})
+	}
+}
+
+// TestCommittedBaselineSpotValues cross-checks a few extracted metrics
+// against a direct decode of the committed files.
+func TestCommittedBaselineSpotValues(t *testing.T) {
+	s, _ := SuiteByName("serve")
+	b, err := LoadBaseline(s, "../../BENCH_serve.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile("../../BENCH_serve.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		SerialRPS         float64 `json:"serial_rps"`
+		PipelinedVsSerial float64 `json:"pipelined_vs_serial"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if b.Metrics["serve/serial_rps"] != doc.SerialRPS {
+		t.Fatalf("serial_rps %v != %v", b.Metrics["serve/serial_rps"], doc.SerialRPS)
+	}
+	if b.Metrics["serve/speedup/pipelined_vs_serial"] != doc.PipelinedVsSerial {
+		t.Fatalf("pipelined_vs_serial %v != %v", b.Metrics["serve/speedup/pipelined_vs_serial"], doc.PipelinedVsSerial)
+	}
+}
+
+// TestCommittedBaselineSyntheticRegression is the acceptance pin: against
+// the real committed serve baseline, an unperturbed metric set passes and
+// a 20% throughput regression fails.
+func TestCommittedBaselineSyntheticRegression(t *testing.T) {
+	s, _ := SuiteByName("serve")
+	b, err := LoadBaseline(s, "../../BENCH_serve.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := []map[string]float64{b.Metrics, b.Metrics, b.Metrics}
+	d, err := DiffSuite(s, b.Metrics, b.MetricHistory(), clean, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions != 0 {
+		t.Fatalf("identical metrics flagged %d regressions: %+v", d.Regressions, d.Metrics)
+	}
+
+	hurt := map[string]float64{}
+	for k, v := range b.Metrics {
+		hurt[k] = v
+	}
+	hurt["serve/tput/capacity/pipelined"] *= 0.8
+	d, err = DiffSuite(s, b.Metrics, b.MetricHistory(), []map[string]float64{hurt, hurt, hurt}, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions == 0 {
+		t.Fatal("injected 20% pipelined-capacity regression not flagged")
+	}
+}

@@ -1,0 +1,261 @@
+package benchdiff
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file renders the committed run histories into a static trend
+// dashboard: docs/bench/trends.json (machine-readable) and
+// docs/bench/index.html (one sparkline per metric, no external assets).
+// Everything is generated from the BENCH_*.json history sections alone, so
+// the dashboard is reproducible from a checkout without running anything.
+
+// TrendMetric is one metric's history in trends.json.
+type TrendMetric struct {
+	Name      string    `json:"name"`
+	Better    string    `json:"better"`
+	Gated     bool      `json:"gated"`
+	Threshold float64   `json:"threshold,omitempty"`
+	Unix      []int64   `json:"unix"`
+	Values    []float64 `json:"values"`
+}
+
+// TrendSuite is one suite's history in trends.json.
+type TrendSuite struct {
+	Suite   string        `json:"suite"`
+	File    string        `json:"file"`
+	Metrics []TrendMetric `json:"metrics"`
+}
+
+// Trends is the docs/bench/trends.json document.
+type Trends struct {
+	GeneratedUnix int64        `json:"generated_unix"`
+	Suites        []TrendSuite `json:"suites"`
+}
+
+// BuildTrends assembles the trend document from the committed baselines in
+// dir. Metrics are ordered by name; entries missing a metric contribute no
+// point (the sparkline just has a gap at that revision).
+func BuildTrends(suites []*Suite, dir string, generatedUnix int64) (*Trends, error) {
+	t := &Trends{GeneratedUnix: generatedUnix}
+	for _, s := range suites {
+		b, err := LoadBaseline(s, filepath.Join(dir, s.File))
+		if err != nil {
+			return nil, err
+		}
+		history := b.History
+		if len(history) == 0 {
+			// Pre-history baseline: the headline metric set is the only point.
+			history = []HistoryEntry{{Metrics: b.Metrics}}
+		}
+		names := map[string]bool{}
+		for _, e := range history {
+			for n := range e.Metrics {
+				names[n] = true
+			}
+		}
+		ordered := make([]string, 0, len(names))
+		for n := range names {
+			ordered = append(ordered, n)
+		}
+		sort.Strings(ordered)
+
+		ts := TrendSuite{Suite: s.Name, File: s.File}
+		for _, name := range ordered {
+			rule, ok := s.rule(name)
+			if !ok {
+				return nil, fmt.Errorf("benchdiff: %s history metric %q matches no schema rule", s.Name, name)
+			}
+			tm := TrendMetric{Name: name, Better: rule.Better.String(), Gated: rule.Gate, Threshold: rule.Threshold}
+			for _, e := range history {
+				if v, ok := e.Metrics[name]; ok {
+					tm.Unix = append(tm.Unix, e.Unix)
+					tm.Values = append(tm.Values, v)
+				}
+			}
+			ts.Metrics = append(ts.Metrics, tm)
+		}
+		t.Suites = append(t.Suites, ts)
+	}
+	return t, nil
+}
+
+// WriteDashboard emits trends.json and index.html into outDir.
+func WriteDashboard(suites []*Suite, dir, outDir string, generatedUnix int64) error {
+	t, err := BuildTrends(suites, dir, generatedUnix)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(outDir, "trends.json"), append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(outDir, "index.html"), []byte(renderDashboard(t)), 0o644)
+}
+
+// renderDashboard builds the static HTML page: per suite a table with the
+// latest value, the delta against the previous run (direction-aware
+// coloring, always paired with an arrow glyph so color never carries the
+// meaning alone), and an inline SVG sparkline with per-point tooltips.
+func renderDashboard(t *Trends) string {
+	var b strings.Builder
+	b.WriteString(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>DUET benchmark trends</title>
+<style>
+  :root {
+    color-scheme: light;
+    --surface-1: #fcfcfb;
+    --text-primary: #0b0b0b;
+    --text-secondary: #52514e;
+    --grid: #e4e3df;
+    --series-1: #2a78d6;
+    --status-good: #0ca30c;
+    --status-critical: #d03b3b;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root {
+      color-scheme: dark;
+      --surface-1: #1a1a19;
+      --text-primary: #ffffff;
+      --text-secondary: #c3c2b7;
+      --grid: #383835;
+      --series-1: #3987e5;
+    }
+  }
+  body { background: var(--surface-1); color: var(--text-primary);
+         font: 14px/1.45 system-ui, sans-serif; margin: 2rem auto; max-width: 72rem; padding: 0 1rem; }
+  h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 2rem; }
+  p.sub { color: var(--text-secondary); }
+  table { border-collapse: collapse; width: 100%; }
+  th, td { text-align: left; padding: 0.3rem 0.75rem 0.3rem 0; border-bottom: 1px solid var(--grid); }
+  th { color: var(--text-secondary); font-weight: 600; }
+  td.v, td.d { font-variant-numeric: tabular-nums; white-space: nowrap; }
+  .gate { color: var(--text-secondary); }
+  .up { color: var(--status-good); } .down { color: var(--status-critical); }
+  .flat { color: var(--text-secondary); }
+  svg { display: block; }
+</style>
+</head>
+<body>
+<h1>DUET benchmark trends</h1>
+<p class="sub">Generated by <code>duet-benchdiff -dashboard</code> from the run-history sections of the
+committed <code>BENCH_*.json</code> baselines. Gated metrics (&#10003;) fail <code>make bench-diff</code>
+when they regress; the rest trend for context. Arrows compare the newest entry to the previous one,
+colored by whether the move is an improvement for that metric's declared direction.</p>
+`)
+	for _, s := range t.Suites {
+		fmt.Fprintf(&b, "<h2>%s <span class=\"gate\">(%s)</span></h2>\n", html.EscapeString(s.Suite), html.EscapeString(s.File))
+		b.WriteString("<table>\n<tr><th>metric</th><th>gated</th><th>latest</th><th>&Delta; prev</th><th>trend</th></tr>\n")
+		for _, m := range s.Metrics {
+			if len(m.Values) == 0 {
+				continue
+			}
+			latest := m.Values[len(m.Values)-1]
+			gate := ""
+			if m.Gated {
+				gate = "&#10003;"
+			}
+			fmt.Fprintf(&b, "<tr><td><code>%s</code></td><td class=\"gate\">%s</td><td class=\"v\">%s</td><td class=\"d\">%s</td><td>%s</td></tr>\n",
+				html.EscapeString(m.Name), gate, num(latest), deltaCell(m), sparkline(m))
+		}
+		b.WriteString("</table>\n")
+	}
+	b.WriteString("</body>\n</html>\n")
+	return b.String()
+}
+
+// deltaCell renders the newest-vs-previous move: arrow + signed percent,
+// colored good/critical by the metric's declared direction.
+func deltaCell(m TrendMetric) string {
+	if len(m.Values) < 2 {
+		return `<span class="flat">&ndash;</span>`
+	}
+	prev, latest := m.Values[len(m.Values)-2], m.Values[len(m.Values)-1]
+	change := relChange(prev, latest)
+	if change == 0 {
+		return `<span class="flat">&#8596; 0.0%</span>`
+	}
+	arrow := "&#9650;" // ▲
+	if change < 0 {
+		arrow = "&#9660;" // ▼
+	}
+	improved := change < 0
+	if m.Better == "higher" {
+		improved = change > 0
+	}
+	cls := "down"
+	if improved {
+		cls = "up"
+	}
+	pct := "&#8734;" // ∞ off a zero previous value
+	if !math.IsInf(change, 0) {
+		pct = fmt.Sprintf("%+.1f%%", change*100)
+	}
+	return fmt.Sprintf(`<span class="%s">%s %s</span>`, cls, arrow, pct)
+}
+
+// sparkline renders one metric's history as an inline SVG: a 2px series
+// line over no grid (the cell border is the frame), endpoint dot, and an
+// invisible widened hit target per point carrying a native tooltip.
+func sparkline(m TrendMetric) string {
+	const (
+		w, h, pad = 160.0, 36.0, 5.0
+	)
+	n := len(m.Values)
+	if n == 0 {
+		return ""
+	}
+	lo, hi := m.Values[0], m.Values[0]
+	for _, v := range m.Values {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	span := hi - lo
+	x := func(i int) float64 {
+		if n == 1 {
+			return w / 2
+		}
+		return pad + (w-2*pad)*float64(i)/float64(n-1)
+	}
+	y := func(v float64) float64 {
+		if span == 0 {
+			return h / 2
+		}
+		return h - pad - (h-2*pad)*(v-lo)/span
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f" role="img" aria-label="%s trend, %d points">`,
+		w, h, w, h, html.EscapeString(m.Name), n)
+	if n > 1 {
+		var pts []string
+		for i, v := range m.Values {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x(i), y(v)))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="var(--series-1)" stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>`,
+			strings.Join(pts, " "))
+	}
+	// Endpoint dot, then invisible per-point hit targets with tooltips.
+	fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="var(--series-1)"/>`, x(n-1), y(m.Values[n-1]))
+	for i, v := range m.Values {
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="7" fill="transparent"><title>run %d of %d: %s</title></circle>`,
+			x(i), y(v), i+1, n, num(v))
+	}
+	b.WriteString("</svg>")
+	return b.String()
+}

@@ -1,0 +1,140 @@
+package benchdiff
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// HistoryBound caps the run-history section of a committed baseline: old
+// entries age out so the BENCH_*.json files stay reviewable in diffs while
+// still carrying enough points for the trend dashboard and for the U
+// test's baseline side.
+const HistoryBound = 20
+
+// HistoryEntry is one prior regeneration of a baseline: the metric set the
+// suite's extractor produced, stamped with the wall-clock time the writer
+// passed in (benchdiff itself never reads the clock — callers on the
+// virtual-clock side pass 0).
+type HistoryEntry struct {
+	Unix    int64              `json:"unix"`
+	Label   string             `json:"label,omitempty"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Baseline is a decoded committed baseline: the headline metric set plus
+// the bounded regeneration history.
+type Baseline struct {
+	// Doc is the raw decoded document (the suite report plus the history
+	// section).
+	Doc map[string]any
+	// Metrics is the headline metric set extracted from Doc.
+	Metrics map[string]float64
+	// History holds prior regenerations, oldest first. The newest entry is
+	// the headline's own regeneration when the file was written by
+	// WriteBaseline.
+	History []HistoryEntry
+}
+
+// LoadBaseline reads and extracts a committed baseline file.
+func LoadBaseline(s *Suite, path string) (*Baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("benchdiff: %s: %w", path, err)
+	}
+	metrics, err := s.Extract(doc)
+	if err != nil {
+		return nil, fmt.Errorf("benchdiff: %s: %w", path, err)
+	}
+	return &Baseline{Doc: doc, Metrics: metrics, History: decodeHistory(doc)}, nil
+}
+
+// decodeHistory pulls the history section out of a decoded document; a
+// missing or malformed section is an empty history, not an error, so
+// pre-history baseline files stay loadable.
+func decodeHistory(doc map[string]any) []HistoryEntry {
+	raw, ok := doc["history"]
+	if !ok {
+		return nil
+	}
+	buf, err := json.Marshal(raw)
+	if err != nil {
+		return nil
+	}
+	var h []HistoryEntry
+	if err := json.Unmarshal(buf, &h); err != nil {
+		return nil
+	}
+	return h
+}
+
+// MetricHistory flattens a baseline's history into per-run metric sets,
+// oldest first, for DiffSuite's baseline sample sets.
+func (b *Baseline) MetricHistory() []map[string]float64 {
+	out := make([]map[string]float64, 0, len(b.History))
+	for _, e := range b.History {
+		if len(e.Metrics) > 0 {
+			out = append(out, e.Metrics)
+		}
+	}
+	return out
+}
+
+// WriteBaseline writes a fresh suite report to path, carrying forward the
+// existing file's run history and appending this regeneration's metric set
+// as the newest entry (bounded to HistoryBound). The report is marshalled
+// and re-extracted through the suite's own extractor, so the appended
+// entry is exactly what a later Diff will read back. unix stamps the
+// entry; label is an optional annotation (e.g. a revision).
+func WriteBaseline(s *Suite, path string, report any, unix int64, label string) error {
+	buf, err := json.Marshal(report)
+	if err != nil {
+		return err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return err
+	}
+	metrics, err := s.Extract(doc)
+	if err != nil {
+		return fmt.Errorf("benchdiff: fresh %s report: %w", s.Name, err)
+	}
+
+	var history []HistoryEntry
+	if prev, err := os.ReadFile(path); err == nil {
+		var prevDoc map[string]any
+		if json.Unmarshal(prev, &prevDoc) == nil {
+			history = decodeHistory(prevDoc)
+		}
+	}
+	history = append(history, HistoryEntry{Unix: unix, Label: label, Metrics: metrics})
+	if len(history) > HistoryBound {
+		history = history[len(history)-HistoryBound:]
+	}
+	doc["history"] = history
+
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// ExtractReport runs a suite's extractor over an in-memory report struct
+// by round-tripping it through JSON — the runners use it so fresh metrics
+// come from the same path as committed ones.
+func ExtractReport(s *Suite, report any) (map[string]float64, error) {
+	buf, err := json.Marshal(report)
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return nil, err
+	}
+	return s.Extract(doc)
+}

@@ -1,0 +1,153 @@
+package benchdiff
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type fakeReport struct {
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func TestWriteBaselineHistory(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_fake.json")
+	s := fakeSuite()
+
+	// Write more regenerations than the bound and check it stays bounded
+	// with the newest entries kept.
+	for i := 0; i < HistoryBound+5; i++ {
+		rep := fakeReport{Metrics: map[string]float64{"fake/lat/p99": float64(100 + i), "fake/tput/rps": 1000}}
+		if err := WriteBaseline(s, path, rep, int64(1000+i), fmt.Sprintf("run-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, err := LoadBaseline(s, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.History) != HistoryBound {
+		t.Fatalf("history len %d, want bound %d", len(b.History), HistoryBound)
+	}
+	last := b.History[len(b.History)-1]
+	if last.Unix != int64(1000+HistoryBound+4) || last.Label != fmt.Sprintf("run-%d", HistoryBound+4) {
+		t.Fatalf("newest entry wrong: %+v", last)
+	}
+	if first := b.History[0]; first.Metrics["fake/lat/p99"] != float64(100+5) {
+		t.Fatalf("oldest kept entry wrong: %+v", first)
+	}
+	// The headline metric set and the newest history entry come from the
+	// same extractor pass.
+	if b.Metrics["fake/lat/p99"] != last.Metrics["fake/lat/p99"] {
+		t.Fatalf("headline %v != newest history %v", b.Metrics, last.Metrics)
+	}
+	if got := b.MetricHistory(); len(got) != HistoryBound {
+		t.Fatalf("MetricHistory len %d", len(got))
+	}
+}
+
+// TestWriteBaselineCarriesForwardLegacyFile pins that writing over a
+// pre-history baseline file (no "history" key) starts a fresh history
+// rather than erroring.
+func TestWriteBaselineCarriesForwardLegacyFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_fake.json")
+	legacy := map[string]any{"metrics": map[string]any{"fake/lat/p99": 7.0}}
+	buf, _ := json.Marshal(legacy)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := fakeSuite()
+	if err := WriteBaseline(s, path, fakeReport{Metrics: map[string]float64{"fake/lat/p99": 8}}, 42, ""); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(s, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.History) != 1 || b.History[0].Metrics["fake/lat/p99"] != 8 {
+		t.Fatalf("history after legacy overwrite: %+v", b.History)
+	}
+}
+
+func TestLoadBaselinePreHistoryFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_fake.json")
+	legacy := map[string]any{"metrics": map[string]any{"fake/lat/p99": 7.0}}
+	buf, _ := json.Marshal(legacy)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(fakeSuite(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.History) != 0 || b.Metrics["fake/lat/p99"] != 7 {
+		t.Fatalf("pre-history load: history=%v metrics=%v", b.History, b.Metrics)
+	}
+}
+
+func TestWriteDashboard(t *testing.T) {
+	dir := t.TempDir()
+	s := fakeSuite()
+	path := filepath.Join(dir, s.File)
+	for i := 0; i < 3; i++ {
+		rep := fakeReport{Metrics: map[string]float64{"fake/lat/p99": float64(10 - i), "fake/tput/rps": float64(1000 + 50*i)}}
+		if err := WriteBaseline(s, path, rep, int64(2000+i), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := filepath.Join(dir, "docs")
+	if err := WriteDashboard([]*Suite{s}, dir, out, 9999); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(filepath.Join(out, "trends.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr Trends
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.GeneratedUnix != 9999 || len(tr.Suites) != 1 {
+		t.Fatalf("trends doc: %+v", tr)
+	}
+	var lat *TrendMetric
+	for i := range tr.Suites[0].Metrics {
+		if tr.Suites[0].Metrics[i].Name == "fake/lat/p99" {
+			lat = &tr.Suites[0].Metrics[i]
+		}
+	}
+	if lat == nil || len(lat.Values) != 3 || lat.Values[2] != 8 || lat.Better != "lower" || !lat.Gated {
+		t.Fatalf("lat trend: %+v", lat)
+	}
+
+	page, err := os.ReadFile(filepath.Join(out, "index.html"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(page)
+	for _, want := range []string{"fake/lat/p99", "<svg", "prefers-color-scheme", "<title>run 3 of 3"} {
+		if !strings.Contains(html, want) {
+			t.Fatalf("index.html missing %q", want)
+		}
+	}
+}
+
+// TestWriteDashboardCommittedBaselines renders the real committed files —
+// the page must build without schema errors.
+func TestWriteDashboardCommittedBaselines(t *testing.T) {
+	out := t.TempDir()
+	if err := WriteDashboard(Suites(), "../..", out, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "index.html")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,461 @@
+package benchdiff
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"path/filepath"
+	"strings"
+
+	"duet/internal/experiments"
+)
+
+// This file declares the four committed benchmark suites: which file holds
+// the baseline, how to pull the metric set out of it, what each metric's
+// direction and gate are, and how to run the suite fresh. Metric names are
+// structured kind-first (serve/p99/capacity/pipelined, kernels/speedup/...)
+// so a schema rule's prefix selects a metric family, not a lexical
+// accident.
+
+// Suites returns every registered suite, in gate order.
+func Suites() []*Suite {
+	return []*Suite{KernelsSuite(), ObsSuite(), ServeSuite(), ClusterSuite()}
+}
+
+// SuiteByName resolves one suite.
+func SuiteByName(name string) (*Suite, bool) {
+	for _, s := range Suites() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Diff loads each suite's committed baseline from dir, executes cfg.Runs
+// fresh seed-varied runs per suite, and writes benchstat-style comparison
+// tables to w. The returned result carries the gated regression count the
+// caller turns into an exit code.
+func Diff(suites []*Suite, dir string, cfg Config, w io.Writer) (*Result, error) {
+	res := &Result{}
+	for _, s := range suites {
+		path := filepath.Join(dir, s.File)
+		b, err := LoadBaseline(s, path)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "running %s suite (%d fresh runs, seeds %d..%d)...\n", s.Name, cfg.Runs, cfg.Seed, cfg.Seed+int64(cfg.Runs)-1)
+		fresh := make([]map[string]float64, 0, cfg.Runs)
+		for i := 0; i < cfg.Runs; i++ {
+			m, err := s.Run(cfg, cfg.Seed+int64(i))
+			if err != nil {
+				return nil, fmt.Errorf("benchdiff: %s run %d: %w", s.Name, i, err)
+			}
+			fresh = append(fresh, m)
+		}
+		d, err := DiffSuite(s, b.Metrics, b.MetricHistory(), fresh, cfg)
+		if err != nil {
+			return nil, err
+		}
+		d.Write(w)
+		res.Suites = append(res.Suites, *d)
+		res.Regressions += d.Regressions
+	}
+	return res, nil
+}
+
+// expConfig maps a benchdiff config to the experiment scale it re-runs.
+func expConfig(cfg Config, seed int64) experiments.Config {
+	e := experiments.Default()
+	if cfg.Quick {
+		e = experiments.Quick()
+	}
+	e.Seed = seed
+	return e
+}
+
+// metricKey joins name segments, normalizing the spaces kernel shapes
+// carry into underscores so names stay path- and URL-safe.
+func metricKey(parts ...string) string {
+	return strings.ReplaceAll(strings.Join(parts, "/"), " ", "_")
+}
+
+// --- kernels ---
+
+// KernelsSuite gates the tensor-kernel matrix. Raw ns/op cells are
+// wall-clock and host-dependent, so they trend but do not gate. Per-cell
+// packed-vs-blocked speedup ratios are measured within one process and
+// survive hardware changes, but a single quick-mode cell still swings
+// tens of percent on a loaded host, so they trend too; the gate is the
+// geometric mean of the speedup over every cell, where per-cell noise
+// averages out (~18 cells) while a packed path that collapses toward the
+// legacy loop still craters the mean.
+func KernelsSuite() *Suite {
+	s := &Suite{
+		Name: "kernels",
+		File: "BENCH_kernels.json",
+		Rules: []Rule{
+			{Prefix: "kernels/speedup_geomean", Better: HigherIsBetter, Gate: true, Threshold: 0.25},
+			{Prefix: "kernels/speedup/", Better: HigherIsBetter},
+			{Prefix: "kernels/ns/", Better: LowerIsBetter},
+			{Prefix: "kernels/gflops/", Better: HigherIsBetter},
+		},
+		Extract: extractKernels,
+	}
+	s.Run = func(cfg Config, seed int64) (map[string]float64, error) {
+		rep, err := experiments.BuildKernelsReport(expConfig(cfg, seed))
+		if err != nil {
+			return nil, err
+		}
+		return ExtractReport(s, rep)
+	}
+	return s
+}
+
+func extractKernels(doc map[string]any) (map[string]float64, error) {
+	benches, err := getArr(doc, "benches")
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	type cell struct{ kernel, shape, threads string }
+	packed := map[cell]float64{}
+	blocked := map[cell]float64{}
+	for i, raw := range benches {
+		b, ok := raw.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("benches[%d]: not an object", i)
+		}
+		kernel, err1 := getStr(b, "kernel")
+		shape, err2 := getStr(b, "shape")
+		variant, err3 := getStr(b, "variant")
+		threads, err4 := getStr(b, "threads")
+		ns, err5 := getNum(b, "ns_per_op")
+		gflops, err6 := getNum(b, "gflops")
+		for _, err := range []error{err1, err2, err3, err4, err5, err6} {
+			if err != nil {
+				return nil, fmt.Errorf("benches[%d]: %w", i, err)
+			}
+		}
+		out[metricKey("kernels/ns", kernel, shape, variant, threads)] = ns
+		out[metricKey("kernels/gflops", kernel, shape, variant, threads)] = gflops
+		c := cell{kernel, shape, threads}
+		switch variant {
+		case "packed":
+			packed[c] = ns
+		case "blocked":
+			blocked[c] = ns
+		}
+	}
+	logSum, cells := 0.0, 0
+	for c, pns := range packed {
+		if bns, ok := blocked[c]; ok && pns > 0 {
+			ratio := bns / pns
+			out[metricKey("kernels/speedup", c.kernel, c.shape, c.threads)] = ratio
+			logSum += math.Log(ratio)
+			cells++
+		}
+	}
+	if cells > 0 {
+		out["kernels/speedup_geomean"] = math.Exp(logSum / float64(cells))
+	}
+	return out, nil
+}
+
+// --- obs ---
+
+// ObsSuite gates the observability baseline's latency histograms and the
+// error counter. The plain-Run path is deterministic per seed and gates at
+// the default threshold; the policy path runs under 1% injected faults, so
+// its mean gates loosely and its p99 — a direct function of the seed's
+// fault draws — only trends. Fault/retry totals likewise trend.
+func ObsSuite() *Suite {
+	s := &Suite{
+		Name: "obs",
+		File: "BENCH_obs.json",
+		Rules: []Rule{
+			{Prefix: "obs/latency/run/", Better: LowerIsBetter, Gate: true},
+			{Prefix: "obs/latency/policy/p99", Better: LowerIsBetter},
+			{Prefix: "obs/latency/policy/", Better: LowerIsBetter, Gate: true, Threshold: 0.15},
+			{Prefix: "obs/errors", Better: LowerIsBetter, Gate: true, Threshold: Exact},
+			{Prefix: "obs/", Better: LowerIsBetter},
+		},
+		Extract: extractObs,
+	}
+	s.Run = func(cfg Config, seed int64) (map[string]float64, error) {
+		rep, err := experiments.BuildObsReport(expConfig(cfg, seed))
+		if err != nil {
+			return nil, err
+		}
+		return ExtractReport(s, rep)
+	}
+	return s
+}
+
+func extractObs(doc map[string]any) (map[string]float64, error) {
+	metrics, err := getMap(doc, "metrics")
+	if err != nil {
+		return nil, err
+	}
+	hists, err := getMap(metrics, "histograms")
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, path := range []string{"run", "policy"} {
+		h, err := getMap(hists, fmt.Sprintf("duet_latency_seconds{path=%q}", path))
+		if err != nil {
+			return nil, err
+		}
+		for _, field := range []string{"mean", "p50", "p99"} {
+			v, err := getNum(h, field)
+			if err != nil {
+				return nil, fmt.Errorf("latency %s: %w", path, err)
+			}
+			out[metricKey("obs/latency", path, field)] = v
+		}
+	}
+	counters, err := getMap(metrics, "counters")
+	if err != nil {
+		return nil, err
+	}
+	errsTotal, err := getNum(counters, "duet_run_errors_total")
+	if err != nil {
+		return nil, err
+	}
+	out["obs/errors"] = errsTotal
+	var faults, retries float64
+	for name, raw := range counters {
+		v, _ := raw.(float64)
+		switch {
+		case strings.HasPrefix(name, "duet_faults_total"):
+			faults += v
+		case strings.HasPrefix(name, "duet_retries_total"):
+			retries += v
+		}
+	}
+	out["obs/faults"] = faults
+	out["obs/retries"] = retries
+	if audit, err := getMap(doc, "audit"); err == nil {
+		if subs, err := getArr(audit, "subgraphs"); err == nil {
+			out["obs/audit/subgraphs"] = float64(len(subs))
+		}
+	}
+	return out, nil
+}
+
+// --- serve ---
+
+// ServeSuite gates the serving-layer baseline: the serial floor, the
+// headline pipelining/batching speedups, per-mode burst capacity, and
+// capacity-tail latency. Offered-load (Poisson) throughput and tails
+// depend on the seed's arrival draws and only trend; delivered counts
+// gate exactly.
+func ServeSuite() *Suite {
+	s := &Suite{
+		Name: "serve",
+		File: "BENCH_serve.json",
+		Rules: []Rule{
+			{Prefix: "serve/serial_rps", Better: HigherIsBetter, Gate: true},
+			{Prefix: "serve/speedup/", Better: HigherIsBetter, Gate: true},
+			{Prefix: "serve/tput/offered/", Better: HigherIsBetter},
+			{Prefix: "serve/tput/", Better: HigherIsBetter, Gate: true},
+			{Prefix: "serve/ok/", Better: HigherIsBetter, Gate: true, Threshold: Exact},
+			{Prefix: "serve/p99/capacity/", Better: LowerIsBetter, Gate: true, Threshold: 0.2},
+			{Prefix: "serve/mean/capacity/", Better: LowerIsBetter, Gate: true, Threshold: 0.15},
+			{Prefix: "serve/p99/offered/", Better: LowerIsBetter},
+			{Prefix: "serve/mean/offered/", Better: LowerIsBetter},
+			{Prefix: "serve/rows/", Better: HigherIsBetter},
+		},
+		Extract: extractServe,
+	}
+	s.Run = func(cfg Config, seed int64) (map[string]float64, error) {
+		rep, err := experiments.BuildServeReport(expConfig(cfg, seed), experiments.DefaultServeLoad())
+		if err != nil {
+			return nil, err
+		}
+		return ExtractReport(s, rep)
+	}
+	return s
+}
+
+func extractServe(doc map[string]any) (map[string]float64, error) {
+	out := map[string]float64{}
+	serial, err := getNum(doc, "serial_rps")
+	if err != nil {
+		return nil, err
+	}
+	out["serve/serial_rps"] = serial
+	pvs, err := getNum(doc, "pipelined_vs_serial")
+	if err != nil {
+		return nil, err
+	}
+	out["serve/speedup/pipelined_vs_serial"] = pvs
+	bvu, err := getNum(doc, "batched_vs_unbatched")
+	if err != nil {
+		return nil, err
+	}
+	out["serve/speedup/batched_vs_unbatched"] = bvu
+
+	modes, err := getArr(doc, "modes")
+	if err != nil {
+		return nil, err
+	}
+	for i, raw := range modes {
+		m, ok := raw.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("modes[%d]: not an object", i)
+		}
+		mode, err := getStr(m, "mode")
+		if err != nil {
+			return nil, fmt.Errorf("modes[%d]: %w", i, err)
+		}
+		for _, pattern := range []string{"capacity", "offered"} {
+			rep, err := getMap(m, pattern)
+			if err != nil {
+				return nil, fmt.Errorf("mode %s: %w", mode, err)
+			}
+			fields := map[string]string{
+				"throughput_rps":  "serve/tput",
+				"ok":              "serve/ok",
+				"p99_latency_s":   "serve/p99",
+				"mean_latency_s":  "serve/mean",
+				"mean_batch_rows": "serve/rows",
+			}
+			for field, kind := range fields {
+				v, err := getNum(rep, field)
+				if err != nil {
+					return nil, fmt.Errorf("mode %s %s: %w", mode, pattern, err)
+				}
+				out[metricKey(kind, pattern, mode)] = v
+			}
+		}
+	}
+	return out, nil
+}
+
+// --- cluster ---
+
+// ClusterSuite gates the fault-tolerance baseline: the delivered-under-
+// chaos fraction, the two bit-level invariants (exactly — losing either is
+// a correctness regression, not noise), and the fault-free run's
+// throughput and tail. The chaos run's own throughput/tail/counters are a
+// direct function of which messages the seed drops, so they only trend.
+func ClusterSuite() *Suite {
+	s := &Suite{
+		Name: "cluster",
+		File: "BENCH_cluster.json",
+		Rules: []Rule{
+			{Prefix: "cluster/delivered_under_chaos", Better: HigherIsBetter, Gate: true, Threshold: 0.1},
+			{Prefix: "cluster/invariant/", Better: HigherIsBetter, Gate: true, Threshold: Exact},
+			{Prefix: "cluster/tput/fault_free", Better: HigherIsBetter, Gate: true},
+			{Prefix: "cluster/p99/fault_free", Better: LowerIsBetter, Gate: true, Threshold: 0.15},
+			{Prefix: "cluster/ok/fault_free", Better: HigherIsBetter, Gate: true, Threshold: Exact},
+			{Prefix: "cluster/tput/chaos", Better: HigherIsBetter},
+			{Prefix: "cluster/p99/chaos", Better: LowerIsBetter},
+			{Prefix: "cluster/chaos/", Better: LowerIsBetter},
+		},
+		Extract: extractCluster,
+	}
+	s.Run = func(cfg Config, seed int64) (map[string]float64, error) {
+		rep, err := experiments.BuildClusterReport(expConfig(cfg, seed), experiments.DefaultClusterLoad())
+		if err != nil {
+			return nil, err
+		}
+		return ExtractReport(s, rep)
+	}
+	return s
+}
+
+func extractCluster(doc map[string]any) (map[string]float64, error) {
+	out := map[string]float64{}
+	delivered, err := getNum(doc, "delivered_under_chaos")
+	if err != nil {
+		return nil, err
+	}
+	out["cluster/delivered_under_chaos"] = delivered
+	for _, inv := range []string{"outputs_bit_identical", "trace_deterministic"} {
+		v, err := getBool(doc, inv)
+		if err != nil {
+			return nil, err
+		}
+		out[metricKey("cluster/invariant", inv)] = v
+	}
+	for _, run := range []string{"fault_free", "chaos"} {
+		rep, err := getMap(doc, run)
+		if err != nil {
+			return nil, err
+		}
+		tput, err := getNum(rep, "throughput_rps")
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", run, err)
+		}
+		p99, err := getNum(rep, "p99_latency_s")
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", run, err)
+		}
+		okN, err := getNum(rep, "ok")
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", run, err)
+		}
+		out[metricKey("cluster/tput", run)] = tput
+		out[metricKey("cluster/p99", run)] = p99
+		if run == "fault_free" {
+			out["cluster/ok/fault_free"] = okN
+		}
+	}
+	chaos, _ := getMap(doc, "chaos")
+	for _, c := range []string{"retries", "failovers", "dropped_messages"} {
+		v, err := getNum(chaos, c)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: %w", err)
+		}
+		out[metricKey("cluster/chaos", c)] = v
+	}
+	return out, nil
+}
+
+// --- generic JSON access ---
+
+func getMap(doc map[string]any, key string) (map[string]any, error) {
+	v, ok := doc[key].(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("missing or non-object field %q", key)
+	}
+	return v, nil
+}
+
+func getArr(doc map[string]any, key string) ([]any, error) {
+	v, ok := doc[key].([]any)
+	if !ok {
+		return nil, fmt.Errorf("missing or non-array field %q", key)
+	}
+	return v, nil
+}
+
+func getNum(doc map[string]any, key string) (float64, error) {
+	v, ok := doc[key].(float64)
+	if !ok {
+		return 0, fmt.Errorf("missing or non-numeric field %q", key)
+	}
+	return v, nil
+}
+
+func getStr(doc map[string]any, key string) (string, error) {
+	v, ok := doc[key].(string)
+	if !ok {
+		return "", fmt.Errorf("missing or non-string field %q", key)
+	}
+	return v, nil
+}
+
+func getBool(doc map[string]any, key string) (float64, error) {
+	v, ok := doc[key].(bool)
+	if !ok {
+		return 0, fmt.Errorf("missing or non-boolean field %q", key)
+	}
+	if v {
+		return 1, nil
+	}
+	return 0, nil
+}

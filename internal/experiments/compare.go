@@ -3,19 +3,33 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math"
 )
 
 // CompareReports diffs two reports and writes a regression summary: for
 // every shared series it reports the relative change of the DUET mean and
 // flags changes beyond tolerance (e.g. 0.05 = ±5%) — the check a CI job
 // runs against a stored baseline report after calibration or scheduler
-// changes. It returns the number of flagged regressions (slowdowns beyond
-// tolerance; improvements are reported but not counted).
+// changes. Series present in the baseline but absent from the fresh report
+// are flagged too: a vanished series would otherwise mask the regression
+// that removed it. It returns the number of flagged regressions (slowdowns
+// beyond tolerance and missing series; improvements are reported but not
+// counted).
 func CompareReports(base, next *Report, tolerance float64, w io.Writer) int {
 	flagged := 0
 	rel := func(b, n float64) float64 {
 		if b == 0 {
-			return 0
+			// Any nonzero value off a zero baseline is an infinite relative
+			// change — returning 0 here would report a regression from a
+			// zero baseline as "ok".
+			switch {
+			case n > 0:
+				return math.Inf(1)
+			case n < 0:
+				return math.Inf(-1)
+			default:
+				return 0
+			}
 		}
 		return (n - b) / b
 	}
@@ -31,17 +45,27 @@ func CompareReports(base, next *Report, tolerance float64, w io.Writer) int {
 		}
 	}
 
+	// missing flags a series the baseline has but the fresh report lost:
+	// treated as a regression, since silently skipping it would hide
+	// whatever change dropped the series.
+	missing := func(name string, baseMs float64) {
+		flagged++
+		fmt.Fprintf(w, "%-28s %12.3f %12s %9s MISSING from fresh report\n", name, baseMs, "-", "-")
+	}
+
 	fmt.Fprintf(w, "%-28s %12s %12s %9s %s\n", "series", "base (ms)", "next (ms)", "change", "verdict")
 	byModel := map[string]ReportSeries{}
 	for _, s := range base.Fig11 {
 		byModel[s.Model] = s
 	}
+	seen := map[string]bool{}
 	for _, n := range next.Fig11 {
 		b, ok := byModel[n.Model]
 		if !ok {
 			fmt.Fprintf(w, "%-28s %12s %12.3f %9s new series\n", "fig11/"+n.Model+"/DUET", "-", n.DUET.Mean*1e3, "-")
 			continue
 		}
+		seen[n.Model] = true
 		change := rel(b.DUET.Mean, n.DUET.Mean)
 		fmt.Fprintf(w, "%-28s %12.3f %12.3f %+8.1f%% %s\n",
 			"fig11/"+n.Model+"/DUET", b.DUET.Mean*1e3, n.DUET.Mean*1e3, change*100, mark(change))
@@ -49,11 +73,23 @@ func CompareReports(base, next *Report, tolerance float64, w io.Writer) int {
 			fmt.Fprintf(w, "%-28s placement changed: %s -> %s\n", "", b.Placement, n.Placement)
 		}
 	}
+	for _, s := range base.Fig11 {
+		if !seen[s.Model] {
+			missing("fig11/"+s.Model+"/DUET", s.DUET.Mean*1e3)
+		}
+	}
 
 	compareSweep := func(name string, bs, ns []SweepPoint) {
+		nx := map[int]bool{}
+		for _, p := range ns {
+			nx[p.X] = true
+		}
 		bx := map[int]SweepPoint{}
 		for _, p := range bs {
 			bx[p.X] = p
+			if !nx[p.X] {
+				missing(fmt.Sprintf("%s/x=%d/DUET", name, p.X), p.DUET*1e3)
+			}
 		}
 		for _, p := range ns {
 			bp, ok := bx[p.X]
@@ -74,16 +110,26 @@ func CompareReports(base, next *Report, tolerance float64, w io.Writer) int {
 	for _, r := range base.Tab3 {
 		bt[r.Model] = r
 	}
+	seenTab := map[string]bool{}
 	for _, r := range next.Tab3 {
 		b, ok := bt[r.Model]
 		if !ok {
 			continue
 		}
+		seenTab[r.Model] = true
 		change := rel(b.DUET, r.DUET)
 		fmt.Fprintf(w, "%-28s %12.3f %12.3f %+8.1f%% %s\n",
 			"tab3/"+r.Model+"/DUET", b.DUET*1e3, r.DUET*1e3, change*100, mark(change))
 	}
+	for _, r := range base.Tab3 {
+		if !seenTab[r.Model] {
+			missing("tab3/"+r.Model+"/DUET", r.DUET*1e3)
+		}
+	}
 
+	if base.Fig13 != nil && next.Fig13 == nil {
+		missing("fig13/greedy+correction", base.Fig13.GreedyCorrection*1e3)
+	}
 	if base.Fig13 != nil && next.Fig13 != nil {
 		change := rel(base.Fig13.GreedyCorrection, next.Fig13.GreedyCorrection)
 		fmt.Fprintf(w, "%-28s %12.3f %12.3f %+8.1f%% %s\n",

@@ -64,6 +64,110 @@ func TestCompareReportsOptimalityGuard(t *testing.T) {
 	}
 }
 
+// TestCompareReportsEdgeCases table-drives the failure modes the original
+// implementation masked: regressions off a zero baseline, series that
+// vanish from the fresh report, and the exact-tolerance boundary.
+func TestCompareReportsEdgeCases(t *testing.T) {
+	cases := []struct {
+		name     string
+		base     func(*Report)
+		next     func(*Report)
+		tol      float64
+		flagged  int
+		contains string
+	}{
+		{
+			name:     "zero baseline regression flagged",
+			base:     func(r *Report) { r.Fig11[0].DUET.Mean = 0 },
+			next:     func(r *Report) {},
+			tol:      0.05,
+			flagged:  1,
+			contains: "REGRESSION",
+		},
+		{
+			name:    "zero baseline still zero is ok",
+			base:    func(r *Report) { r.Fig11[0].DUET.Mean = 0 },
+			next:    func(r *Report) { r.Fig11[0].DUET.Mean = 0 },
+			tol:     0.05,
+			flagged: 0,
+		},
+		{
+			name:     "missing fig11 series flagged",
+			base:     func(r *Report) {},
+			next:     func(r *Report) { r.Fig11 = nil },
+			tol:      0.05,
+			flagged:  1,
+			contains: "MISSING",
+		},
+		{
+			name:     "missing sweep point flagged",
+			base:     func(r *Report) {},
+			next:     func(r *Report) { r.Fig14 = r.Fig14[:1] },
+			tol:      0.05,
+			flagged:  1,
+			contains: "fig14/x=2/DUET",
+		},
+		{
+			name:     "missing tab3 row flagged",
+			base:     func(r *Report) {},
+			next:     func(r *Report) { r.Tab3 = nil },
+			tol:      0.05,
+			flagged:  1,
+			contains: "tab3/ResNet-50/DUET",
+		},
+		{
+			name:     "missing fig13 flagged",
+			base:     func(r *Report) {},
+			next:     func(r *Report) { r.Fig13 = nil },
+			tol:      0.05,
+			flagged:  1,
+			contains: "fig13/greedy+correction",
+		},
+		{
+			name: "extra series reported but not flagged",
+			base: func(r *Report) {},
+			next: func(r *Report) {
+				r.Fig11 = append(r.Fig11, ReportSeries{Model: "Extra", DUET: stats.Summary{Mean: 0.001}})
+			},
+			tol:      0.05,
+			flagged:  0,
+			contains: "new series",
+		},
+		{
+			// 2 -> 2.25 is exactly +12.5%; the strict > keeps the boundary
+			// itself unflagged (both values are binary-exact, so no float
+			// fuzz hides in the comparison).
+			name:    "exactly at tolerance is ok",
+			base:    func(r *Report) { r.Fig11[0].DUET.Mean = 2 },
+			next:    func(r *Report) { r.Fig11[0].DUET.Mean = 2.25 },
+			tol:     0.125,
+			flagged: 0,
+		},
+		{
+			name:     "just beyond tolerance flagged",
+			base:     func(r *Report) { r.Fig11[0].DUET.Mean = 2 },
+			next:     func(r *Report) { r.Fig11[0].DUET.Mean = 2.3 },
+			tol:      0.125,
+			flagged:  1,
+			contains: "REGRESSION",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			base, next := sampleReport(0.005), sampleReport(0.005)
+			c.base(base)
+			c.next(next)
+			var buf bytes.Buffer
+			if n := CompareReports(base, next, c.tol, &buf); n != c.flagged {
+				t.Fatalf("flagged %d regressions, want %d:\n%s", n, c.flagged, buf.String())
+			}
+			if c.contains != "" && !strings.Contains(buf.String(), c.contains) {
+				t.Fatalf("output missing %q:\n%s", c.contains, buf.String())
+			}
+		})
+	}
+}
+
 func TestCompareReportsPlacementChangeNoted(t *testing.T) {
 	base := sampleReport(0.005)
 	next := sampleReport(0.005)

@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// This file holds the nonparametric machinery behind benchdiff's
+// benchstat-style comparisons: the Mann-Whitney U test (exact small-sample
+// distribution, tie-corrected normal approximation otherwise) and
+// order-statistic confidence intervals for the median. Everything operates
+// on raw float64 samples so it works for latencies, throughputs, and
+// counters alike.
+
+// exactLimit bounds the per-sample sizes for which the exact U null
+// distribution is enumerated. Beyond it (or in the presence of ties, which
+// make U non-integral) the normal approximation takes over.
+const exactLimit = 20
+
+// MannWhitneyU runs the two-sided Mann-Whitney U test on samples a and b.
+// It returns the U statistic of sample a and the p-value of the null
+// hypothesis that both samples come from the same distribution. Small
+// tie-free samples use the exact null distribution; larger or tied samples
+// use the normal approximation with tie correction and continuity
+// correction. Empty input yields p=1 (no evidence of anything).
+func MannWhitneyU(a, b []float64) (u, p float64) {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return 0, 1
+	}
+	ua, ties := uStatistic(a, b)
+	if !ties && n <= exactLimit && m <= exactLimit {
+		return ua, exactP(n, m, ua)
+	}
+	return ua, approxP(a, b, ua)
+}
+
+// MannWhitneyMinP is the smallest two-sided p-value the U test can produce
+// for the given sample sizes: 2/C(n+m, n), reached when the samples are
+// fully separated. Callers use it to tell "insignificant" apart from "the
+// samples are too small for significance to be reachable at all".
+func MannWhitneyMinP(n, m int) float64 {
+	if n <= 0 || m <= 0 {
+		return 1
+	}
+	// C(n+m, n) in floating point; overflow is impossible for the sample
+	// counts a benchmark harness produces, and even if it were the +Inf
+	// would round the min-p down to a harmless 0.
+	c := 1.0
+	for i := 1; i <= n; i++ {
+		c *= float64(m+i) / float64(i)
+	}
+	return math.Min(1, 2/c)
+}
+
+// uStatistic computes sample a's U (the count of pairs (i,j) with
+// a_i > b_j, counting ties as half) and reports whether any cross-sample
+// tie occurred.
+func uStatistic(a, b []float64) (u float64, ties bool) {
+	for _, x := range a {
+		for _, y := range b {
+			switch {
+			case x > y:
+				u++
+			case x == y:
+				u += 0.5
+				ties = true
+			}
+		}
+	}
+	return u, ties
+}
+
+// exactP evaluates the exact two-sided p-value from the tie-free null
+// distribution of U: counts of arrangements are built with the standard
+// recurrence f(n,m,u) = f(n-1,m,u-m) + f(n,m-1,u).
+func exactP(n, m int, u float64) float64 {
+	lo := math.Min(u, float64(n*m)-u)
+	k := int(lo) // tie-free U is integral
+	memo := map[[3]int]float64{}
+	var f func(n, m, u int) float64
+	f = func(n, m, u int) float64 {
+		if u < 0 {
+			return 0
+		}
+		if n == 0 || m == 0 {
+			if u == 0 {
+				return 1
+			}
+			return 0
+		}
+		key := [3]int{n, m, u}
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		v := f(n-1, m, u-m) + f(n, m-1, u)
+		memo[key] = v
+		return v
+	}
+	var count float64
+	for i := 0; i <= k; i++ {
+		count += f(n, m, i)
+	}
+	total := 1.0
+	for i := 1; i <= n; i++ {
+		total *= float64(m+i) / float64(i)
+	}
+	return math.Min(1, 2*count/total)
+}
+
+// approxP evaluates the two-sided p-value via the normal approximation,
+// correcting the variance for rank ties and applying a 0.5 continuity
+// correction toward the mean.
+func approxP(a, b []float64, u float64) float64 {
+	n, m := float64(len(a)), float64(len(b))
+	nTot := n + m
+	pooled := make([]float64, 0, len(a)+len(b))
+	pooled = append(pooled, a...)
+	pooled = append(pooled, b...)
+	sort.Float64s(pooled)
+	var tieTerm float64
+	for i := 0; i < len(pooled); {
+		j := i
+		for j < len(pooled) && pooled[j] == pooled[i] {
+			j++
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+	mu := n * m / 2
+	sigma2 := n * m / 12 * (nTot + 1 - tieTerm/(nTot*(nTot-1)))
+	if sigma2 <= 0 {
+		return 1 // every observation tied: the samples are indistinguishable
+	}
+	z := u - mu
+	switch {
+	case z > 0.5:
+		z -= 0.5
+	case z < -0.5:
+		z += 0.5
+	default:
+		z = 0
+	}
+	z /= math.Sqrt(sigma2)
+	return math.Min(1, math.Erfc(math.Abs(z)/math.Sqrt2))
+}
+
+// Median returns the sample median (mean of the two central order
+// statistics for even sizes). It panics on empty input, mirroring
+// Summarize. The caller's slice is never mutated.
+func Median(samples []float64) float64 {
+	if len(samples) == 0 {
+		panic("stats: no samples")
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// MedianCI returns the median plus a distribution-free confidence interval
+// at the requested confidence level, built from order statistics of the
+// binomial(n, 1/2) null: the narrowest symmetric pair [x_(d), x_(n+1-d)]
+// whose coverage reaches conf. For sample sizes too small to reach conf at
+// all it degrades to [min, max] — the widest interval the data supports.
+func MedianCI(samples []float64, conf float64) (lo, med, hi float64) {
+	med = Median(samples)
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0], med, sorted[0]
+	}
+	// Cumulative binomial(n, 1/2) tail: coverage of [x_(d), x_(n+1-d)] is
+	// 1 - 2*P(K < d) with K ~ Binomial(n, 1/2). Walk d up from 1 while the
+	// coverage still meets conf.
+	pmf := make([]float64, n+1)
+	pmf[0] = math.Exp2(-float64(n))
+	for k := 1; k <= n; k++ {
+		pmf[k] = pmf[k-1] * float64(n-k+1) / float64(k)
+	}
+	best := 1
+	tail := 0.0 // P(K < d), starts at d=1 with P(K=0)
+	for d := 1; 2*d <= n; d++ {
+		tail += pmf[d-1]
+		if 1-2*tail >= conf {
+			best = d
+		} else {
+			break
+		}
+	}
+	return sorted[best-1], med, sorted[n-best]
+}

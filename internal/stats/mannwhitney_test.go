@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMannWhitneyKnownAnswers pins the exact small-sample path against
+// hand-enumerable null distributions (the same values scipy's
+// mannwhitneyu(..., alternative='two-sided', method='exact') reports).
+func TestMannWhitneyKnownAnswers(t *testing.T) {
+	sep10 := func(off float64) []float64 {
+		s := make([]float64, 10)
+		for i := range s {
+			s[i] = off + float64(i)
+		}
+		return s
+	}
+	cases := []struct {
+		name  string
+		a, b  []float64
+		u, p  float64
+		exact bool
+	}{
+		// Fully separated 2v2: U=0, p = 2 * 1/C(4,2) = 1/3.
+		{"separated 2v2", []float64{1, 2}, []float64{3, 4}, 0, 1.0 / 3, true},
+		// Swapping the samples mirrors U but keeps p.
+		{"separated 2v2 swapped", []float64{3, 4}, []float64{1, 2}, 4, 1.0 / 3, true},
+		// Fully separated 3v3: p = 2/C(6,3) = 0.1.
+		{"separated 3v3", []float64{1, 2, 3}, []float64{4, 5, 6}, 0, 0.1, true},
+		// Nested 2v2: U sits at the center of the null, p clamps to 1.
+		{"nested 2v2", []float64{1, 4}, []float64{2, 3}, 2, 1, true},
+		// Fully separated 10v10: p = 2/C(20,10) = 2/184756.
+		{"separated 10v10", sep10(0), sep10(100), 0, 2.0 / 184756, true},
+	}
+	for _, c := range cases {
+		u, p := MannWhitneyU(c.a, c.b)
+		if u != c.u {
+			t.Errorf("%s: U = %v, want %v", c.name, u, c.u)
+		}
+		if math.Abs(p-c.p) > 1e-12 {
+			t.Errorf("%s: p = %v, want %v", c.name, p, c.p)
+		}
+	}
+}
+
+// TestMannWhitneyTies drives the tie-corrected approximation path.
+func TestMannWhitneyTies(t *testing.T) {
+	// All observations identical: zero variance, p must be 1.
+	u, p := MannWhitneyU([]float64{5, 5, 5}, []float64{5, 5, 5})
+	if u != 4.5 || p != 1 {
+		t.Fatalf("constant samples: U=%v p=%v, want U=4.5 p=1", u, p)
+	}
+	// Heavy cross-sample ties but clear separation still reaches a small p.
+	a := []float64{1, 1, 1, 1, 1, 2, 2, 2, 2, 2}
+	b := []float64{2, 2, 3, 3, 3, 3, 3, 4, 4, 4}
+	if _, p := MannWhitneyU(a, b); p > 0.01 {
+		t.Fatalf("separated tied samples: p=%v, want < 0.01", p)
+	}
+	// Symmetry must hold on the approximation path too.
+	_, pab := MannWhitneyU(a, b)
+	_, pba := MannWhitneyU(b, a)
+	if math.Abs(pab-pba) > 1e-12 {
+		t.Fatalf("asymmetric p: %v vs %v", pab, pba)
+	}
+}
+
+// TestMannWhitneyApproxTracksExact checks the normal approximation against
+// the exact distribution on tie-free samples where both are computable.
+func TestMannWhitneyApproxTracksExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		a := make([]float64, 12)
+		b := make([]float64, 15)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64() + 0.5
+		}
+		u, _ := uStatistic(a, b)
+		pe := exactP(len(a), len(b), u)
+		pa := approxP(a, b, u)
+		if math.Abs(pe-pa) > 0.02 {
+			t.Fatalf("trial %d: exact %v vs approx %v diverge", trial, pe, pa)
+		}
+	}
+}
+
+func TestMannWhitneyDegenerate(t *testing.T) {
+	if _, p := MannWhitneyU(nil, []float64{1}); p != 1 {
+		t.Fatalf("empty sample: p=%v, want 1", p)
+	}
+	if _, p := MannWhitneyU([]float64{1}, nil); p != 1 {
+		t.Fatalf("empty sample: p=%v, want 1", p)
+	}
+}
+
+func TestMannWhitneyMinP(t *testing.T) {
+	cases := []struct {
+		n, m int
+		want float64
+	}{
+		{2, 2, 1.0 / 3},
+		{3, 3, 0.1},
+		{10, 10, 2.0 / 184756},
+		{1, 1, 1},
+		{0, 5, 1},
+	}
+	for _, c := range cases {
+		if got := MannWhitneyMinP(c.n, c.m); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("MannWhitneyMinP(%d, %d) = %v, want %v", c.n, c.m, got, c.want)
+		}
+	}
+	// The minimum must be attained by fully separated samples.
+	u, p := MannWhitneyU([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if u != 0 || math.Abs(p-MannWhitneyMinP(3, 3)) > 1e-12 {
+		t.Fatalf("separated 3v3 did not attain MinP: U=%v p=%v", u, p)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median = %v", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+	in := []float64{9, 1, 5}
+	_ = Median(in)
+	if in[0] != 9 || in[2] != 5 {
+		t.Fatalf("Median mutated its input: %v", in)
+	}
+}
+
+func TestMedianCI(t *testing.T) {
+	// n=20, conf=0.95: binomial order statistics give [x_(6), x_(15)]
+	// (coverage 95.86%).
+	s := make([]float64, 20)
+	for i := range s {
+		s[i] = float64(i + 1)
+	}
+	lo, med, hi := MedianCI(s, 0.95)
+	if lo != 6 || hi != 15 || med != 10.5 {
+		t.Fatalf("n=20 CI = [%v, %v] med %v, want [6, 15] med 10.5", lo, hi, med)
+	}
+	// Tiny samples degrade to [min, max].
+	lo, _, hi = MedianCI([]float64{2, 9, 4}, 0.99)
+	if lo != 2 || hi != 9 {
+		t.Fatalf("n=3 CI = [%v, %v], want [2, 9]", lo, hi)
+	}
+	lo, med, hi = MedianCI([]float64{7}, 0.95)
+	if lo != 7 || med != 7 || hi != 7 {
+		t.Fatalf("n=1 CI = [%v, %v, %v]", lo, med, hi)
+	}
+}

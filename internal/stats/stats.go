@@ -5,6 +5,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"duet/internal/vclock"
@@ -64,9 +65,15 @@ func (s Summary) String() string {
 }
 
 // Speedup returns base/target (how many times faster target is than base).
+// A zero target with a positive base is infinitely fast (+Inf), not "no
+// speedup": returning 0 there would conflate the two extremes in printed
+// tables. Two zero durations are equal, i.e. a 1x speedup.
 func Speedup(base, target vclock.Seconds) float64 {
 	if target == 0 {
-		return 0
+		if base == 0 {
+			return 1
+		}
+		return math.Inf(1)
 	}
 	return base / target
 }

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -158,11 +159,22 @@ func TestMs(t *testing.T) {
 	}
 }
 
+// TestSpeedup pins the zero edges: a zero target is infinitely fast, not
+// "no speedup", and two zero durations are a 1x tie.
 func TestSpeedup(t *testing.T) {
-	if Speedup(2, 1) != 2 {
-		t.Fatalf("Speedup wrong")
+	cases := []struct {
+		base, target vclock.Seconds
+		want         float64
+	}{
+		{2, 1, 2},
+		{1, 2, 0.5},
+		{1, 0, math.Inf(1)},
+		{0, 0, 1},
+		{0, 1, 0},
 	}
-	if Speedup(1, 0) != 0 {
-		t.Fatalf("zero target should yield 0")
+	for _, c := range cases {
+		if got := Speedup(c.base, c.target); got != c.want {
+			t.Errorf("Speedup(%v, %v) = %v, want %v", c.base, c.target, got, c.want)
+		}
 	}
 }
