@@ -34,11 +34,13 @@ import (
 	"duet/internal/cluster"
 	"duet/internal/compiler"
 	"duet/internal/core"
+	"duet/internal/costmodel"
 	"duet/internal/device"
 	"duet/internal/faults"
 	"duet/internal/graph"
 	"duet/internal/modelio"
 	"duet/internal/obs"
+	"duet/internal/profile"
 	"duet/internal/relay"
 	"duet/internal/runtime"
 	"duet/internal/schedule"
@@ -62,6 +64,35 @@ type Engine = core.Engine
 
 // Config controls engine construction; see DefaultConfig.
 type Config = core.Config
+
+// ProfileMode selects how Build obtains per-subgraph device costs
+// (Config.Mode): measured micro-benchmarks, learned cost-model
+// predictions, or hybrid critical-anchor measurement.
+type ProfileMode = core.ProfileMode
+
+// Profile modes.
+const (
+	ProfileMeasured  = core.ProfileMeasured
+	ProfilePredicted = core.ProfilePredicted
+	ProfileHybrid    = core.ProfileHybrid
+)
+
+// CostModel is the learned per-device latency regressor consumed by the
+// predicted and hybrid profile modes (Config.CostModel) and refined
+// online by Engine.RefineCostModel.
+type CostModel = costmodel.Model
+
+// LoadCostModel reads a cost model saved with CostModel.Save (for
+// example the repo's committed COSTMODEL.json artifact).
+func LoadCostModel(r io.Reader) (*CostModel, error) { return costmodel.Load(r) }
+
+// ProfileCache is a content-addressed cache of measured profile records;
+// share one across Builds (Config.ProfileCache) to compile and
+// micro-benchmark each distinct graph once per process.
+type ProfileCache = profile.Cache
+
+// NewProfileCache returns an empty profile cache.
+func NewProfileCache() *ProfileCache { return profile.NewCache() }
 
 // Result is the outcome of one inference: outputs, virtual latency, and the
 // execution timeline.

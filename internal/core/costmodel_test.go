@@ -1,0 +1,334 @@
+package core
+
+import (
+	"testing"
+
+	"duet/internal/compiler"
+	"duet/internal/costmodel"
+	"duet/internal/device"
+	"duet/internal/graph"
+	"duet/internal/models"
+	"duet/internal/partition"
+	"duet/internal/profile"
+	"duet/internal/tensor"
+	"duet/internal/vclock"
+	"duet/internal/workload"
+)
+
+// zooBuilders is the model zoo the cost-model acceptance criteria are
+// pinned over.
+var zooBuilders = map[string]func() (*graph.Graph, error){
+	"widedeep":   func() (*graph.Graph, error) { return models.WideDeep(models.DefaultWideDeep()) },
+	"siamese":    func() (*graph.Graph, error) { return models.Siamese(models.DefaultSiamese()) },
+	"mtdnn":      func() (*graph.Graph, error) { return models.MTDNN(models.DefaultMTDNN()) },
+	"googlenet":  func() (*graph.Graph, error) { return models.GoogLeNet(models.DefaultGoogLeNet()) },
+	"squeezenet": func() (*graph.Graph, error) { return models.SqueezeNet(models.DefaultSqueezeNet()) },
+}
+
+func zooGraph(t *testing.T, name string) *graph.Graph {
+	t.Helper()
+	g, err := zooBuilders[name]()
+	if err != nil {
+		t.Fatalf("building %s: %v", name, err)
+	}
+	return g
+}
+
+// trainZooCostModel profiles the zoo noiselessly and fits the regressor —
+// the same committed-profiles path cmd/duet-profile -train takes.
+func trainZooCostModel(t *testing.T) *costmodel.Model {
+	t.Helper()
+	opts := compiler.DefaultOptions()
+	var samples []costmodel.Sample
+	for name := range zooBuilders {
+		g := zooGraph(t, name)
+		if err := compiler.InferShapes(g); err != nil {
+			t.Fatal(err)
+		}
+		part, err := partition.Build(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof := &profile.Profiler{Platform: device.NewPlatform(0), Options: opts, Runs: 3}
+		recs, err := prof.ProfileAll(g, part.Subgraphs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := profile.CostSamples(part, opts, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples = append(samples, s...)
+	}
+	m, err := costmodel.Train(samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// makespan measures a placement on the engine's noiseless search runtime.
+func makespan(t *testing.T, e *Engine) vclock.Seconds {
+	t.Helper()
+	lat, err := e.Scheduler.Measure(e.Placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lat
+}
+
+// TestPredictedModeZeroMicrobenchmarks pins the headline acceptance
+// criterion: predicted-mode Build runs zero micro-benchmarks and its
+// schedules' measured makespans stay within 10% of measured-mode schedules
+// across the zoo.
+func TestPredictedModeZeroMicrobenchmarks(t *testing.T) {
+	m := trainZooCostModel(t)
+	for name := range zooBuilders {
+		cfg := DefaultConfig(7)
+		cfg.ProfileRuns = 40
+		cfg.DisableFallback = true // compare the scheduled placements, not the fallback
+		em, err := Build(zooGraph(t, name), cfg)
+		if err != nil {
+			t.Fatalf("%s measured build: %v", name, err)
+		}
+		if em.ProfileStats.Microbenchmarks == 0 {
+			t.Fatalf("%s measured mode reports zero microbenchmarks — accounting broken", name)
+		}
+
+		cfgP := cfg
+		cfgP.Mode = ProfilePredicted
+		cfgP.CostModel = m
+		ep, err := Build(zooGraph(t, name), cfgP)
+		if err != nil {
+			t.Fatalf("%s predicted build: %v", name, err)
+		}
+		if got := ep.ProfileStats.Microbenchmarks; got != 0 {
+			t.Errorf("%s predicted mode ran %d microbenchmarks, want 0", name, got)
+		}
+		if ep.ProfileMode != profile.ModePredicted {
+			t.Errorf("%s engine reports mode %q", name, ep.ProfileMode)
+		}
+		for i, rec := range ep.Profiles {
+			if rec.Measured() {
+				t.Errorf("%s predicted mode left record %d with measured origin", name, i)
+			}
+		}
+
+		latM := makespan(t, em)
+		latP := makespan(t, ep)
+		if latP > latM*1.10 {
+			t.Errorf("%s predicted-mode makespan %.6fs exceeds measured-mode %.6fs by more than 10%%",
+				name, float64(latP), float64(latM))
+		}
+	}
+}
+
+// TestHybridModeCutsBenchmarkRuns pins the hybrid acceptance criterion:
+// >= 4x fewer micro-benchmark executions at <= 3% makespan regression, and
+// no critical-path subgraph left unmeasured (enforced by the verify pass
+// that Build runs by default).
+func TestHybridModeCutsBenchmarkRuns(t *testing.T) {
+	m := trainZooCostModel(t)
+	for name := range zooBuilders {
+		cfg := DefaultConfig(7)
+		cfg.ProfileRuns = 40
+		cfg.DisableFallback = true
+		em, err := Build(zooGraph(t, name), cfg)
+		if err != nil {
+			t.Fatalf("%s measured build: %v", name, err)
+		}
+
+		cfgH := cfg
+		cfgH.Mode = ProfileHybrid
+		cfgH.CostModel = m
+		eh, err := Build(zooGraph(t, name), cfgH)
+		if err != nil {
+			t.Fatalf("%s hybrid build: %v", name, err)
+		}
+		mb, hb := em.ProfileStats.Microbenchmarks, eh.ProfileStats.Microbenchmarks
+		if hb == 0 {
+			t.Fatalf("%s hybrid mode ran zero microbenchmarks — criticals unmeasured", name)
+		}
+		if float64(mb) < 4*float64(hb) {
+			t.Errorf("%s hybrid ran %d microbenchmarks vs measured %d — reduction %.2fx < 4x",
+				name, hb, mb, float64(mb)/float64(hb))
+		}
+		if eh.ProfileStats.Predicted == 0 && eh.ProfileStats.Subgraphs > 2 {
+			t.Errorf("%s hybrid measured everything (%d subgraphs)", name, eh.ProfileStats.Subgraphs)
+		}
+
+		latM := makespan(t, em)
+		latH := makespan(t, eh)
+		if latH > latM*1.03 {
+			t.Errorf("%s hybrid-mode makespan %.6fs regresses measured-mode %.6fs by more than 3%%",
+				name, float64(latH), float64(latM))
+		}
+	}
+}
+
+// TestSearchCorrectionAtLeastAsGoodAsGreedy pins the wide-search
+// acceptance criterion: on every zoo model the beam/SA search lands a
+// schedule at least as good (measured, noiseless oracle) as classic greedy
+// correction.
+func TestSearchCorrectionAtLeastAsGoodAsGreedy(t *testing.T) {
+	for name := range zooBuilders {
+		cfg := DefaultConfig(7)
+		cfg.ProfileRuns = 40
+		cfg.DisableFallback = true
+		eg, err := Build(zooGraph(t, name), cfg)
+		if err != nil {
+			t.Fatalf("%s greedy build: %v", name, err)
+		}
+
+		cfgS := cfg
+		cfgS.SearchCorrection = true
+		es, err := Build(zooGraph(t, name), cfgS)
+		if err != nil {
+			t.Fatalf("%s search build: %v", name, err)
+		}
+		if es.SearchTrail == nil {
+			t.Fatalf("%s search build left no trail", name)
+		}
+		latG := makespan(t, eg)
+		latS := makespan(t, es)
+		if float64(latS) > float64(latG)*(1+1e-9) {
+			t.Errorf("%s search makespan %.9fs worse than greedy correction %.9fs",
+				name, float64(latS), float64(latG))
+		}
+		if es.SearchTrail.Candidates <= 1 {
+			t.Errorf("%s search explored only %d candidates", name, es.SearchTrail.Candidates)
+		}
+	}
+}
+
+// TestSearchAndPredictedPreserveOutputs pins bit-identical inference
+// outputs across scheduling modes: placement decides *where* a subgraph
+// runs, never *what* it computes.
+func TestSearchAndPredictedPreserveOutputs(t *testing.T) {
+	m := trainZooCostModel(t)
+	inputs := map[string]func(seed int64) map[string]*tensor.Tensor{
+		"widedeep": func(s int64) map[string]*tensor.Tensor { return workload.WideDeepInputs(models.DefaultWideDeep(), s) },
+		"siamese":  func(s int64) map[string]*tensor.Tensor { return workload.SiameseInputs(models.DefaultSiamese(), s) },
+		"mtdnn":    func(s int64) map[string]*tensor.Tensor { return workload.MTDNNInputs(models.DefaultMTDNN(), s) },
+	}
+	for name, gen := range inputs {
+		cfg := DefaultConfig(3)
+		cfg.ProfileRuns = 20
+		base, err := Build(zooGraph(t, name), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := base.Infer(gen(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		variants := []Config{}
+		{
+			c := cfg
+			c.Mode = ProfilePredicted
+			c.CostModel = m
+			variants = append(variants, c)
+		}
+		{
+			c := cfg
+			c.Mode = ProfileHybrid
+			c.CostModel = m
+			variants = append(variants, c)
+		}
+		{
+			c := cfg
+			c.SearchCorrection = true
+			variants = append(variants, c)
+		}
+		for vi, c := range variants {
+			e, err := Build(zooGraph(t, name), c)
+			if err != nil {
+				t.Fatalf("%s variant %d: %v", name, vi, err)
+			}
+			got, err := e.Infer(gen(11))
+			if err != nil {
+				t.Fatalf("%s variant %d: %v", name, vi, err)
+			}
+			if len(got.Outputs) != len(want.Outputs) {
+				t.Fatalf("%s variant %d: %d outputs, want %d", name, vi, len(got.Outputs), len(want.Outputs))
+			}
+			for oi := range want.Outputs {
+				if !bitIdentical(want.Outputs[oi], got.Outputs[oi]) {
+					t.Errorf("%s variant %d output %d differs bitwise from measured-mode build", name, vi, oi)
+				}
+			}
+		}
+	}
+}
+
+// bitIdentical reports exact float32 equality of shape and payload —
+// placement must never change what a model computes, down to the last bit.
+func bitIdentical(a, b *tensor.Tensor) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if !a.SameShape(b) {
+		return false
+	}
+	ad, bd := a.Data(), b.Data()
+	for i := range ad {
+		if ad[i] != bd[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestProfileCacheSkipsMicrobenchmarks pins the content-hash cache
+// satellite: rebuilding an unchanged model against the same cache runs
+// zero micro-benchmarks, and a changed model misses.
+func TestProfileCacheSkipsMicrobenchmarks(t *testing.T) {
+	cache := profile.NewCache()
+	cfg := DefaultConfig(5)
+	cfg.ProfileRuns = 20
+	cfg.ProfileCache = cache
+
+	e1, err := Build(zooGraph(t, "widedeep"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.ProfileStats.CacheHits != 0 || e1.ProfileStats.Microbenchmarks == 0 {
+		t.Fatalf("first build: stats %+v, want a cold miss with real benchmarks", e1.ProfileStats)
+	}
+
+	e2, err := Build(zooGraph(t, "widedeep"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.ProfileStats.CacheHits != 1 || e2.ProfileStats.Microbenchmarks != 0 {
+		t.Fatalf("rebuild: stats %+v, want a cache hit with zero benchmarks", e2.ProfileStats)
+	}
+	if len(e1.Profiles) != len(e2.Profiles) {
+		t.Fatalf("cache returned %d records, first build had %d", len(e2.Profiles), len(e1.Profiles))
+	}
+	for i := range e1.Profiles {
+		if e1.Profiles[i].Time != e2.Profiles[i].Time {
+			t.Fatalf("cached record %d differs from the original", i)
+		}
+	}
+
+	// A different model with the same cache must miss.
+	e3, err := Build(zooGraph(t, "siamese"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3.ProfileStats.CacheHits != 0 || e3.ProfileStats.Microbenchmarks == 0 {
+		t.Fatalf("different model: stats %+v, want a miss", e3.ProfileStats)
+	}
+
+	// Changed profiling config (different noise stream) must also miss.
+	cfg2 := cfg
+	cfg2.Seed = 6
+	e4, err := Build(zooGraph(t, "widedeep"), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e4.ProfileStats.CacheHits != 0 {
+		t.Fatalf("different seed hit the cache: stats %+v", e4.ProfileStats)
+	}
+}

@@ -1,0 +1,232 @@
+// Package costmodel implements DUET's learned per-device latency model —
+// the replacement for most of the compiler-aware profiler's O(subgraphs ×
+// devices) micro-benchmarking (§IV-B). A subgraph is described by a
+// device-independent feature vector extracted from its fused kernel plan
+// (op histogram, FLOP/byte volumes, per-work-item depth, launch and
+// dispatch counts, boundary traffic, reference-roofline estimates), and a
+// per-device ridge regressor trained from committed profiles maps the
+// vector to predicted latency. Predictions are strictly positive and
+// structurally monotone in batch rows: every weight on a row-varying
+// feature is projected to be non-negative during fitting, so scaling a
+// subgraph's batch can never reduce its predicted time — an invariant the
+// static verification layer checks (verify.CheckCostModel).
+//
+// The model is cheap enough to evaluate thousands of candidate schedules
+// per second, which is what funds the wide beam / simulated-annealing
+// Step-3 correction search (schedule.SearchCorrect), and it refines online
+// from measured busy-seconds (Observe) as the runtime executes.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"duet/internal/compiler"
+	"duet/internal/device"
+	"duet/internal/graph"
+	"duet/internal/ops"
+	"duet/internal/vclock"
+)
+
+// Features is the device-independent description of one subgraph, derived
+// from its compiled (fused, optimized) module. It keeps the raw per-kernel
+// cost descriptors so the vectorization can be re-evaluated at a scaled
+// batch-row count (Vector's rowScale), which the monotonicity verify pass
+// exploits.
+type Features struct {
+	// Name is the subgraph's graph name (diagnostics only).
+	Name string `json:"name"`
+	// Kernels holds the fused kernel plan's cost descriptors, before
+	// per-device low-level tuning (tuning is a device decision; the model
+	// learns its average effect per device).
+	Kernels []ops.Cost `json:"kernels"`
+	// Variants holds, per kernel, the cost of every legal low-level
+	// schedule variant (compiler.VariantCosts). The reference-roofline
+	// features take the per-kernel minimum over variants — the analytic
+	// equivalent of per-device tuning, still zero micro-benchmarks.
+	Variants [][]ops.Cost `json:"variants,omitempty"`
+	// InBytes / OutBytes are the boundary tensor volumes.
+	InBytes  int `json:"in_bytes"`
+	OutBytes int `json:"out_bytes"`
+	// OpCounts is the operator histogram of the un-fused subgraph.
+	OpCounts map[string]int `json:"op_counts"`
+}
+
+// FromModule extracts features from an already-compiled module. The parent
+// graph supplies boundary byte volumes.
+func FromModule(parent *graph.Graph, sub *graph.Subgraph, m *compiler.Module) Features {
+	f := Features{
+		Name:     sub.Graph.Name,
+		InBytes:  sub.InputBytes(parent),
+		OutBytes: sub.OutputBytes(parent),
+		OpCounts: map[string]int{},
+	}
+	for _, k := range m.Kernels {
+		f.Kernels = append(f.Kernels, k.Cost)
+	}
+	f.Variants = compiler.VariantCosts(m)
+	for _, n := range sub.Graph.Nodes() {
+		if !n.IsConst() && !n.IsInput() {
+			f.OpCounts[n.Op]++
+		}
+	}
+	return f
+}
+
+// Extract compiles the subgraph under opts and extracts its features. This
+// runs the graph-level compiler pipeline but zero micro-benchmarks.
+func Extract(parent *graph.Graph, sub *graph.Subgraph, opts compiler.Options) (Features, error) {
+	m, err := compiler.Compile(sub.Graph, opts)
+	if err != nil {
+		return Features{}, fmt.Errorf("costmodel: compiling %s: %w", sub.Graph.Name, err)
+	}
+	return FromModule(parent, sub, m), nil
+}
+
+// Base feature indices. Op-histogram features follow numBase, one per
+// vocabulary entry.
+const (
+	fIntercept = iota
+	fRefCPU    // reference-roofline time on the calibrated CPU model (ms)
+	fRefGPU    // reference-roofline time on the calibrated GPU model (ms)
+	fGFLOPs    // total arithmetic work (GFLOP)
+	fItemWork  // per-work-item depth: sum FLOPs/parallelism (MFLOP/item)
+	fGBytes    // total memory traffic (GB)
+	fLaunches  // kernel launches × sequential steps (×1e3)
+	fKernels   // fused-kernel (dispatch) count (×1e2)
+	fSeqSteps  // serialized dependent steps (×1e3)
+	fSeqGFLOPs // arithmetic work inside sequential kernels (GFLOP)
+	fBoundMB   // boundary I/O volume (MB)
+	fLogWidth  // log2(1 + max kernel parallelism) / 32
+	numBase
+)
+
+var baseNames = [numBase]string{
+	"intercept", "ref_cpu_ms", "ref_gpu_ms", "gflops", "item_work",
+	"gbytes", "launches", "kernels", "seq_steps", "seq_gflops",
+	"boundary_mb", "log_width",
+}
+
+// rowVarying marks the base features whose value grows when the subgraph's
+// batch rows are scaled up (FLOPs, bytes, parallelism, and the reference
+// rooflines all scale with rows). Weights on these features are projected
+// non-negative during fitting, which makes predictions monotone
+// non-decreasing in batch rows by construction.
+var rowVarying = [numBase]bool{
+	fRefCPU: true, fRefGPU: true, fGFLOPs: true, fGBytes: true,
+	fSeqGFLOPs: true, fBoundMB: true, fLogWidth: true,
+}
+
+// refCPU / refGPU are the calibrated reference device models used for the
+// roofline features. These are analytic estimates (device.KernelTime), not
+// measurements: evaluating them samples nothing and advances no clock.
+var refCPU = device.NewCPU()
+var refGPU = device.NewGPU()
+
+// scaleCost models batching the kernel by rowScale: arithmetic, traffic,
+// and available parallelism all grow with rows; launches and sequential
+// steps are structural and do not.
+func scaleCost(c ops.Cost, rowScale float64) ops.Cost {
+	c.FLOPs *= rowScale
+	c.Bytes *= rowScale
+	c.Parallelism *= rowScale
+	return c
+}
+
+// Vector renders the feature vector under the given op vocabulary, with
+// the subgraph's batch rows scaled by rowScale (1 = as extracted). Every
+// row-varying component is monotone non-decreasing in rowScale.
+func (f Features) Vector(vocab []string, rowScale float64) []float64 {
+	if rowScale <= 0 {
+		rowScale = 1
+	}
+	x := make([]float64, numBase+len(vocab))
+	x[fIntercept] = 1
+	maxPar := 0.0
+	for ki, raw := range f.Kernels {
+		c := scaleCost(raw, rowScale)
+		// Reference rooflines mimic per-device tuning analytically: the
+		// minimum modelled time across the kernel's schedule variants. Each
+		// variant's time is monotone increasing in rowScale (variant scaling
+		// commutes with row scaling), so the min is too.
+		variants := []ops.Cost{raw}
+		if ki < len(f.Variants) && len(f.Variants[ki]) > 0 {
+			variants = f.Variants[ki]
+		}
+		refT := func(dev *device.Device) float64 {
+			best := math.Inf(1)
+			for _, vc := range variants {
+				if t := float64(dev.KernelTime(scaleCost(vc, rowScale))); t < best {
+					best = t
+				}
+			}
+			return best
+		}
+		x[fRefCPU] += refT(refCPU) * 1e3
+		x[fRefGPU] += refT(refGPU) * 1e3
+		x[fGFLOPs] += c.FLOPs / 1e9
+		p := c.Parallelism
+		if p < 1 {
+			p = 1
+		}
+		x[fItemWork] += c.FLOPs / p / 1e6
+		x[fGBytes] += c.Bytes / 1e9
+		steps := c.SeqSteps
+		if steps < 1 {
+			steps = 1
+		}
+		x[fLaunches] += float64(c.Launches*steps) / 1e3
+		x[fKernels] += 1.0 / 1e2
+		if c.SeqSteps > 1 {
+			x[fSeqSteps] += float64(c.SeqSteps) / 1e3
+			x[fSeqGFLOPs] += c.FLOPs / 1e9
+		}
+		if p > maxPar {
+			maxPar = p
+		}
+	}
+	x[fBoundMB] = rowScale * float64(f.InBytes+f.OutBytes) / 1e6
+	x[fLogWidth] = math.Log2(1+maxPar) / 32
+	for vi, op := range vocab {
+		x[numBase+vi] = float64(f.OpCounts[op]) / 10
+	}
+	return x
+}
+
+// FeatureNames lists the vector's component names under a vocabulary.
+func FeatureNames(vocab []string) []string {
+	names := append([]string(nil), baseNames[:]...)
+	for _, op := range vocab {
+		names = append(names, "op:"+op)
+	}
+	return names
+}
+
+// BuildVocab collects the sorted union of operator kinds across feature
+// sets — the op-histogram vocabulary a model is trained with.
+func BuildVocab(features []Features) []string {
+	set := map[string]bool{}
+	for _, f := range features {
+		for op := range f.OpCounts {
+			set[op] = true
+		}
+	}
+	vocab := make([]string, 0, len(set))
+	for op := range set {
+		vocab = append(vocab, op)
+	}
+	sort.Strings(vocab)
+	return vocab
+}
+
+// monotoneIndex reports whether weight index i must stay non-negative for
+// batch-row monotonicity: all row-varying base features qualify (op counts
+// are row-invariant, the intercept is free).
+func monotoneIndex(i int) bool {
+	return i < numBase && rowVarying[i]
+}
+
+// Floor is the minimum predicted latency: strictly positive, far below any
+// real kernel time (even an empty launch costs microseconds).
+const Floor vclock.Seconds = 1e-9

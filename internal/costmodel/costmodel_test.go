@@ -1,0 +1,223 @@
+package costmodel_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"duet/internal/compiler"
+	"duet/internal/costmodel"
+	"duet/internal/device"
+	"duet/internal/graph"
+	"duet/internal/models"
+	"duet/internal/partition"
+	"duet/internal/profile"
+	"duet/internal/vclock"
+)
+
+// zooGraphs builds the model zoo used across the cost-model tests.
+func zooGraphs(t *testing.T) map[string]*partition.Partition {
+	t.Helper()
+	builders := map[string]func() (*graph.Graph, error){
+		"widedeep":   func() (*graph.Graph, error) { return models.WideDeep(models.DefaultWideDeep()) },
+		"siamese":    func() (*graph.Graph, error) { return models.Siamese(models.DefaultSiamese()) },
+		"mtdnn":      func() (*graph.Graph, error) { return models.MTDNN(models.DefaultMTDNN()) },
+		"googlenet":  func() (*graph.Graph, error) { return models.GoogLeNet(models.DefaultGoogLeNet()) },
+		"squeezenet": func() (*graph.Graph, error) { return models.SqueezeNet(models.DefaultSqueezeNet()) },
+	}
+	parts := map[string]*partition.Partition{}
+	for name, build := range builders {
+		g, err := build()
+		if err != nil {
+			t.Fatalf("building %s: %v", name, err)
+		}
+		if err := compiler.InferShapes(g); err != nil {
+			t.Fatalf("shapes for %s: %v", name, err)
+		}
+		p, err := partition.Build(g)
+		if err != nil {
+			t.Fatalf("partitioning %s: %v", name, err)
+		}
+		parts[name] = p
+	}
+	return parts
+}
+
+// zooSamples profiles the zoo noiselessly and pairs records with features.
+func zooSamples(t *testing.T) []costmodel.Sample {
+	t.Helper()
+	var samples []costmodel.Sample
+	opts := compiler.DefaultOptions()
+	for _, part := range zooGraphs(t) {
+		prof := &profile.Profiler{Platform: device.NewPlatform(0), Options: opts, Runs: 3}
+		recs, err := prof.ProfileAll(part.Parent, part.Subgraphs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := profile.CostSamples(part, opts, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples = append(samples, s...)
+	}
+	return samples
+}
+
+func TestTrainZooAccuracy(t *testing.T) {
+	samples := zooSamples(t)
+	if len(samples) < 20 {
+		t.Fatalf("zoo produced only %d samples", len(samples))
+	}
+	m, err := costmodel.Train(samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := m.Eval(samples)
+	t.Logf("samples=%d vocab=%v", len(samples), m.Vocab)
+	t.Logf("MAPE cpu=%.4f gpu=%.4f  P90 cpu=%.4f gpu=%.4f",
+		acc.MAPE[device.CPU], acc.MAPE[device.GPU], acc.P90APE[device.CPU], acc.P90APE[device.GPU])
+	for _, kind := range []device.Kind{device.CPU, device.GPU} {
+		if acc.MAPE[kind] > 0.25 {
+			t.Errorf("%s train MAPE %.4f exceeds 0.25 — the feature set no longer explains the device model", kind, acc.MAPE[kind])
+		}
+	}
+}
+
+func TestPredictionsStrictlyPositive(t *testing.T) {
+	samples := zooSamples(t)
+	m, err := costmodel.Train(samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zoo subgraphs and a degenerate empty feature set must all floor > 0.
+	for _, s := range samples {
+		for _, kind := range []device.Kind{device.CPU, device.GPU} {
+			if p := m.Predict(s.F, kind); p < costmodel.Floor {
+				t.Fatalf("prediction %v for %s on %s below floor", p, s.F.Name, kind)
+			}
+		}
+	}
+	empty := costmodel.Features{Name: "empty"}
+	for _, kind := range []device.Kind{device.CPU, device.GPU} {
+		if p := m.Predict(empty, kind); p < costmodel.Floor {
+			t.Fatalf("empty-feature prediction %v on %s below floor", p, kind)
+		}
+	}
+}
+
+func TestPredictionMonotoneInBatchRows(t *testing.T) {
+	samples := zooSamples(t)
+	m, err := costmodel.Train(samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scales := []float64{1, 2, 4, 8, 16}
+	for _, s := range samples {
+		for _, kind := range []device.Kind{device.CPU, device.GPU} {
+			prev := vclock.Seconds(0)
+			for _, sc := range scales {
+				p := m.PredictAtRows(s.F, kind, sc)
+				if p < prev {
+					t.Fatalf("%s on %s: prediction fell from %v to %v when rows scaled to %v",
+						s.F.Name, kind, prev, p, sc)
+				}
+				prev = p
+			}
+		}
+	}
+}
+
+func TestObserveRefinesTowardMeasurement(t *testing.T) {
+	samples := zooSamples(t)
+	m, err := costmodel.Train(samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate calibration drift: the deployed devices run 40% slower than
+	// the profiles the model trained on. Streaming measured busy-seconds
+	// through Observe must pull held-out predictions toward the new truth.
+	drifted := make([]costmodel.Sample, len(samples))
+	for i, s := range samples {
+		drifted[i] = s
+		drifted[i].Time[device.CPU] *= 1.4
+		drifted[i].Time[device.GPU] *= 1.4
+	}
+	before := m.Eval(drifted)
+	for pass := 0; pass < 10; pass++ {
+		for _, s := range drifted {
+			for _, kind := range []device.Kind{device.CPU, device.GPU} {
+				m.Observe(s.F, kind, s.Time[kind])
+			}
+		}
+	}
+	after := m.Eval(drifted)
+	for _, kind := range []device.Kind{device.CPU, device.GPU} {
+		if after.MAPE[kind] > before.MAPE[kind]/2 {
+			t.Errorf("%s: drifted MAPE only improved %.4f -> %.4f after Observe",
+				kind, before.MAPE[kind], after.MAPE[kind])
+		}
+	}
+	if m.Observations == 0 {
+		t.Error("Observations counter did not advance")
+	}
+	// Observe must preserve the monotone-weight invariant.
+	for _, s := range drifted {
+		for _, kind := range []device.Kind{device.CPU, device.GPU} {
+			if m.PredictAtRows(s.F, kind, 4) < m.PredictAtRows(s.F, kind, 1) {
+				t.Fatalf("monotonicity lost after Observe for %s on %s", s.F.Name, kind)
+			}
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	samples := zooSamples(t)
+	m, err := costmodel.Train(samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := costmodel.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		for _, kind := range []device.Kind{device.CPU, device.GPU} {
+			if m.Predict(s.F, kind) != m2.Predict(s.F, kind) {
+				t.Fatalf("round-tripped model predicts differently for %s", s.F.Name)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsBadArtifacts(t *testing.T) {
+	cases := map[string]string{
+		"bad version":   `{"version": 99, "vocab": [], "weights": [[],[]]}`,
+		"short weights": `{"version": 1, "vocab": ["matmul"], "weights": [[1],[1]]}`,
+		"negative monotone": `{"version": 1, "vocab": [], "weights": [
+			[0,-1,0,0,0,0,0,0,0,0,0,0],[0,0,0,0,0,0,0,0,0,0,0,0]]}`,
+		"not json": `nope`,
+	}
+	for name, body := range cases {
+		if _, err := costmodel.Load(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: Load accepted a bad artifact", name)
+		}
+	}
+}
+
+func TestFeatureNamesAlignWithVector(t *testing.T) {
+	samples := zooSamples(t)
+	feats := make([]costmodel.Features, len(samples))
+	for i, s := range samples {
+		feats[i] = s.F
+	}
+	vocab := costmodel.BuildVocab(feats)
+	names := costmodel.FeatureNames(vocab)
+	vec := samples[0].F.Vector(vocab, 1)
+	if len(names) != len(vec) {
+		t.Fatalf("%d feature names for %d vector components", len(names), len(vec))
+	}
+}

@@ -1,0 +1,310 @@
+package costmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"duet/internal/device"
+	"duet/internal/vclock"
+)
+
+// Sample is one training example: a subgraph's features and its profiled
+// mean latency on both devices.
+type Sample struct {
+	F Features
+	// Time is indexed by device.CPU / device.GPU.
+	Time [2]vclock.Seconds
+}
+
+// Model is the per-device latency regressor. Weights are fitted by ridge
+// regression in relative-error space (each training row is scaled by its
+// target, so small subgraphs count as much as large ones) and projected so
+// every row-varying feature weight is non-negative — the structural
+// guarantee behind strictly-positive, batch-monotone predictions.
+type Model struct {
+	Version int      `json:"version"`
+	Vocab   []string `json:"vocab"`
+	// Weights is indexed by device kind, then feature index.
+	Weights [2][]float64 `json:"weights"`
+	Lambda  float64      `json:"lambda"`
+	// TrainMAPE is the mean absolute percentage error on the training set.
+	TrainMAPE [2]float64 `json:"train_mape"`
+	// TrainSamples is the training-set size.
+	TrainSamples int `json:"train_samples"`
+	// Observations counts online refinement steps (Observe) applied since
+	// training; the learning rate decays with it.
+	Observations int `json:"observations"`
+}
+
+// modelVersion identifies the persisted artifact schema.
+const modelVersion = 1
+
+// DefaultLambda is the ridge regularizer strength.
+const DefaultLambda = 1e-4
+
+// Train fits a model on the samples. The op vocabulary is the sorted union
+// of operator kinds seen in the training set; unknown ops at predict time
+// simply contribute nothing. Pass lambda <= 0 for DefaultLambda.
+func Train(samples []Sample, lambda float64) (*Model, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("costmodel: no training samples")
+	}
+	if lambda <= 0 {
+		lambda = DefaultLambda
+	}
+	feats := make([]Features, len(samples))
+	for i, s := range samples {
+		feats[i] = s.F
+	}
+	m := &Model{Version: modelVersion, Vocab: BuildVocab(feats), Lambda: lambda, TrainSamples: len(samples)}
+	dim := numBase + len(m.Vocab)
+	for _, kind := range []device.Kind{device.CPU, device.GPU} {
+		rows := make([][]float64, 0, len(samples))
+		targets := make([]float64, 0, len(samples))
+		for _, s := range samples {
+			y := float64(s.Time[kind])
+			if y <= 0 {
+				return nil, fmt.Errorf("costmodel: sample %q has non-positive %s time %v", s.F.Name, kind, y)
+			}
+			// Relative-error row: x/y against target 1 makes the squared
+			// loss (pred-y)²/y² — MAPE-shaped rather than dominated by the
+			// largest subgraphs.
+			x := s.F.Vector(m.Vocab, 1)
+			row := make([]float64, dim)
+			for j := range x {
+				row[j] = x[j] / y
+			}
+			rows = append(rows, row)
+			targets = append(targets, 1)
+		}
+		w, err := ridgeProjected(rows, targets, dim, lambda)
+		if err != nil {
+			return nil, fmt.Errorf("costmodel: fitting %s: %w", kind, err)
+		}
+		m.Weights[kind] = w
+	}
+	acc := m.Eval(samples)
+	m.TrainMAPE = acc.MAPE
+	return m, nil
+}
+
+// ridgeProjected solves min |Xw - t|² + λ|w|², then iteratively projects
+// negative weights on batch-monotone features to zero (refitting the free
+// coordinates) until the constraint holds.
+func ridgeProjected(rows [][]float64, targets []float64, dim int, lambda float64) ([]float64, error) {
+	frozen := make([]bool, dim)
+	for iter := 0; iter <= dim; iter++ {
+		w, err := ridge(rows, targets, dim, lambda, frozen)
+		if err != nil {
+			return nil, err
+		}
+		violated := false
+		for j := 0; j < dim; j++ {
+			if monotoneIndex(j) && w[j] < 0 {
+				frozen[j] = true
+				violated = true
+			}
+		}
+		if !violated {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("projection did not converge")
+}
+
+// ridge solves the normal equations (XᵀX + λI)w = Xᵀt with frozen
+// coordinates held at zero, by Gaussian elimination with partial pivoting.
+func ridge(rows [][]float64, targets []float64, dim int, lambda float64, frozen []bool) ([]float64, error) {
+	a := make([][]float64, dim)
+	for i := range a {
+		a[i] = make([]float64, dim+1)
+	}
+	for r, row := range rows {
+		t := targets[r]
+		for i := 0; i < dim; i++ {
+			if row[i] == 0 {
+				continue
+			}
+			for j := 0; j < dim; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+			a[i][dim] += row[i] * t
+		}
+	}
+	for i := 0; i < dim; i++ {
+		a[i][i] += lambda
+		if frozen[i] {
+			// Pin w[i] = 0: replace its equation with w[i] = 0 and drop the
+			// variable from every other equation (its coefficient multiplies
+			// zero, so removing it keeps the system consistent and exact).
+			for j := 0; j <= dim; j++ {
+				a[i][j] = 0
+			}
+			for r := 0; r < dim; r++ {
+				a[r][i] = 0
+			}
+			a[i][i] = 1
+		}
+	}
+	// Elimination with partial pivoting.
+	for col := 0; col < dim; col++ {
+		pivot := col
+		for r := col + 1; r < dim; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		p := a[col][col]
+		if math.Abs(p) < 1e-300 {
+			return nil, fmt.Errorf("singular system at column %d", col)
+		}
+		for r := 0; r < dim; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col] / p
+			for j := col; j <= dim; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+		}
+	}
+	w := make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		w[i] = a[i][dim] / a[i][i]
+	}
+	return w, nil
+}
+
+// Predict returns the modelled latency of the subgraph on the device kind.
+// The result is strictly positive (floored at Floor).
+func (m *Model) Predict(f Features, kind device.Kind) vclock.Seconds {
+	return m.PredictAtRows(f, kind, 1)
+}
+
+// PredictAtRows predicts with the subgraph's batch rows scaled by
+// rowScale. For any fitted or refined model, the prediction is monotone
+// non-decreasing in rowScale (row-varying weights are non-negative).
+func (m *Model) PredictAtRows(f Features, kind device.Kind, rowScale float64) vclock.Seconds {
+	x := f.Vector(m.Vocab, rowScale)
+	w := m.Weights[kind]
+	sum := 0.0
+	for j := range w {
+		sum += w[j] * x[j]
+	}
+	if sum < float64(Floor) {
+		return Floor
+	}
+	return vclock.Seconds(sum)
+}
+
+// Observe refines the model online from one measured latency — e.g. the
+// per-subgraph busy-seconds the observability layer records during real
+// runs. It applies one normalized-LMS gradient step on the relative error
+// with a learning rate that decays as observations accumulate, then
+// re-projects the monotonicity constraint.
+func (m *Model) Observe(f Features, kind device.Kind, measured vclock.Seconds) {
+	if measured <= 0 {
+		return
+	}
+	x := f.Vector(m.Vocab, 1)
+	w := m.Weights[kind]
+	pred := 0.0
+	for j := range w {
+		pred += w[j] * x[j]
+	}
+	y := float64(measured)
+	// Relative-space row, as in training.
+	norm := 0.0
+	for j := range x {
+		x[j] /= y
+		norm += x[j] * x[j]
+	}
+	if norm == 0 {
+		return
+	}
+	m.Observations++
+	rate := 0.5 / (1 + float64(m.Observations)/50)
+	err := pred/y - 1
+	step := rate * err / norm
+	for j := range w {
+		w[j] -= step * x[j]
+		if monotoneIndex(j) && w[j] < 0 {
+			w[j] = 0
+		}
+	}
+}
+
+// Accuracy summarises prediction error against profiled ground truth.
+type Accuracy struct {
+	// MAPE is the mean absolute percentage error per device kind.
+	MAPE [2]float64
+	// P90APE is the 90th-percentile absolute percentage error per device —
+	// the per-subgraph tail (trend-only in the regression gate).
+	P90APE [2]float64
+	// APE holds each sample's absolute percentage error per device.
+	APE [][2]float64
+}
+
+// Eval computes prediction accuracy over the samples.
+func (m *Model) Eval(samples []Sample) Accuracy {
+	acc := Accuracy{APE: make([][2]float64, len(samples))}
+	for _, kind := range []device.Kind{device.CPU, device.GPU} {
+		errs := make([]float64, 0, len(samples))
+		sum := 0.0
+		for i, s := range samples {
+			y := float64(s.Time[kind])
+			if y <= 0 {
+				continue
+			}
+			e := math.Abs(float64(m.Predict(s.F, kind))-y) / y
+			acc.APE[i][kind] = e
+			errs = append(errs, e)
+			sum += e
+		}
+		if len(errs) == 0 {
+			continue
+		}
+		acc.MAPE[kind] = sum / float64(len(errs))
+		sort.Float64s(errs)
+		idx := (len(errs) * 9) / 10
+		if idx >= len(errs) {
+			idx = len(errs) - 1
+		}
+		acc.P90APE[kind] = errs[idx]
+	}
+	return acc
+}
+
+// Save writes the model artifact as JSON.
+func (m *Model) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// Load reads a model artifact written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var m Model
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("costmodel: %w", err)
+	}
+	if m.Version != modelVersion {
+		return nil, fmt.Errorf("costmodel: unsupported model version %d", m.Version)
+	}
+	dim := numBase + len(m.Vocab)
+	for kind, w := range m.Weights {
+		if len(w) != dim {
+			return nil, fmt.Errorf("costmodel: device %d has %d weights for %d features", kind, len(w), dim)
+		}
+		for j, v := range w {
+			if monotoneIndex(j) && v < 0 {
+				return nil, fmt.Errorf("costmodel: device %d weight %d is negative on a batch-monotone feature", kind, j)
+			}
+		}
+	}
+	return &m, nil
+}

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+
+	"duet/internal/compiler"
+	"duet/internal/core"
+	"duet/internal/costmodel"
+	"duet/internal/device"
+	"duet/internal/graph"
+	"duet/internal/models"
+	"duet/internal/partition"
+	"duet/internal/profile"
+	"duet/internal/vclock"
+)
+
+// SchedModelReport is one model's row in the cost-model/search benchmark:
+// how the three profile sources compare on schedule quality and
+// micro-benchmark spend, and how the wide search compares against classic
+// greedy correction.
+type SchedModelReport struct {
+	Model     string `json:"model"`
+	Subgraphs int    `json:"subgraphs"`
+
+	// Measured / Predicted / Hybrid are the noiseless end-to-end makespans
+	// of the schedules each profile source produced.
+	MeasuredMakespanS  float64 `json:"measured_makespan_s"`
+	PredictedMakespanS float64 `json:"predicted_makespan_s"`
+	HybridMakespanS    float64 `json:"hybrid_makespan_s"`
+	// PredictedRatio / HybridRatio are each mode's makespan over the
+	// measured mode's (1.0 = identical schedule quality).
+	PredictedRatio float64 `json:"predicted_ratio"`
+	HybridRatio    float64 `json:"hybrid_ratio"`
+
+	// Micro-benchmark executions per source; predicted mode is zero by
+	// construction and is asserted, not reported.
+	MicrobenchMeasured int `json:"microbench_measured"`
+	MicrobenchHybrid   int `json:"microbench_hybrid"`
+	// Reduction = measured/hybrid micro-benchmark executions (the >= 4x
+	// acceptance headline).
+	Reduction float64 `json:"reduction"`
+
+	// Search vs greedy correction, both on measured records.
+	GreedyMakespanS   float64 `json:"greedy_makespan_s"`
+	SearchMakespanS   float64 `json:"search_makespan_s"`
+	SearchBetterOrEq  bool    `json:"search_better_or_equal"`
+	SearchCandidates  int     `json:"search_candidates"`
+	SearchMeasureCall int     `json:"search_measure_calls"`
+
+	// Wall-clock seconds to build the engine per mode (host-dependent,
+	// trend-only).
+	WallMeasuredS  float64 `json:"wall_measured_s"`
+	WallPredictedS float64 `json:"wall_predicted_s"`
+}
+
+// SchedReport is the committed BENCH_sched.json document: cost-model
+// accuracy over the zoo plus per-model schedule-quality and
+// benchmark-spend comparisons.
+type SchedReport struct {
+	Models []SchedModelReport `json:"models"`
+	// Train-set accuracy of the committed-profile regression (MAPE gates;
+	// P90 tails trend).
+	CPUMAPE      float64 `json:"cpu_mape"`
+	GPUMAPE      float64 `json:"gpu_mape"`
+	CPUP90APE    float64 `json:"cpu_p90_ape"`
+	GPUP90APE    float64 `json:"gpu_p90_ape"`
+	TrainSamples int     `json:"train_samples"`
+}
+
+// schedZoo is the model zoo the cost model trains and evaluates on — the
+// three heterogeneous evaluation models plus the two deepest CNN phase
+// structures, so the regression sees RNN, dense, conv, and inception-style
+// kernels.
+func schedZoo() []modelSpec {
+	return append(evalModels(),
+		modelSpec{"GoogLeNet", func() (*graph.Graph, error) { return models.GoogLeNet(models.DefaultGoogLeNet()) }, "TVM"},
+		modelSpec{"SqueezeNet", func() (*graph.Graph, error) { return models.SqueezeNet(models.DefaultSqueezeNet()) }, "TVM"},
+	)
+}
+
+// TrainZooModel profiles every zoo model noiselessly and fits the latency
+// regressor — the exact pipeline cmd/duet-profile -train runs to produce
+// the committed COSTMODEL.json artifact.
+func TrainZooModel(cfg Config) (*costmodel.Model, []costmodel.Sample, error) {
+	opts := compiler.DefaultOptions()
+	var samples []costmodel.Sample
+	for _, spec := range schedZoo() {
+		g, err := spec.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := compiler.InferShapes(g); err != nil {
+			return nil, nil, err
+		}
+		part, err := partition.Build(g)
+		if err != nil {
+			return nil, nil, err
+		}
+		prof := profile.New(device.NewPlatform(0))
+		prof.Options = opts
+		prof.Runs = 3
+		recs, err := prof.ProfileAll(g, part.Subgraphs())
+		if err != nil {
+			return nil, nil, err
+		}
+		s, err := profile.CostSamples(part, opts, recs)
+		if err != nil {
+			return nil, nil, err
+		}
+		samples = append(samples, s...)
+	}
+	m, err := costmodel.Train(samples, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, samples, nil
+}
+
+// BuildSchedReport runs the cost-model/search benchmark: train the
+// regressor from zoo profiles, then for every zoo model build engines
+// under all three profile sources plus the wide-search correction and
+// compare schedule quality, micro-benchmark spend, and search efficiency.
+func BuildSchedReport(cfg Config) (*SchedReport, error) {
+	m, samples, err := TrainZooModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	acc := m.Eval(samples)
+	rep := &SchedReport{
+		CPUMAPE:      acc.MAPE[device.CPU],
+		GPUMAPE:      acc.MAPE[device.GPU],
+		CPUP90APE:    acc.P90APE[device.CPU],
+		GPUP90APE:    acc.P90APE[device.GPU],
+		TrainSamples: len(samples),
+	}
+
+	for _, spec := range schedZoo() {
+		base := core.DefaultConfig(cfg.Seed)
+		base.ProfileRuns = cfg.ProfileRuns
+		// Compare the scheduled placements themselves: the uniform-device
+		// fallback would mask every schedule-quality difference.
+		base.DisableFallback = true
+
+		build := func(mutate func(*core.Config)) (*core.Engine, float64, error) {
+			g, err := spec.Build()
+			if err != nil {
+				return nil, 0, err
+			}
+			c := base
+			if mutate != nil {
+				mutate(&c)
+			}
+			var e *core.Engine
+			wall, err := wallSeconds(func() error {
+				var berr error
+				e, berr = core.Build(g, c)
+				return berr
+			})
+			if err != nil {
+				return nil, 0, err
+			}
+			return e, wall, nil
+		}
+
+		em, wallM, err := build(nil)
+		if err != nil {
+			return nil, err
+		}
+		ep, wallP, err := build(func(c *core.Config) {
+			c.Mode = core.ProfilePredicted
+			c.CostModel = m
+		})
+		if err != nil {
+			return nil, err
+		}
+		eh, _, err := build(func(c *core.Config) {
+			c.Mode = core.ProfileHybrid
+			c.CostModel = m
+		})
+		if err != nil {
+			return nil, err
+		}
+		es, _, err := build(func(c *core.Config) {
+			c.SearchCorrection = true
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		makespan := func(e *core.Engine) (vclock.Seconds, error) {
+			return e.Scheduler.Measure(e.Placement)
+		}
+		latM, err := makespan(em)
+		if err != nil {
+			return nil, err
+		}
+		latP, err := makespan(ep)
+		if err != nil {
+			return nil, err
+		}
+		latH, err := makespan(eh)
+		if err != nil {
+			return nil, err
+		}
+		latS, err := makespan(es)
+		if err != nil {
+			return nil, err
+		}
+
+		row := SchedModelReport{
+			Model:              spec.Name,
+			Subgraphs:          em.ProfileStats.Subgraphs,
+			MeasuredMakespanS:  float64(latM),
+			PredictedMakespanS: float64(latP),
+			HybridMakespanS:    float64(latH),
+			PredictedRatio:     float64(latP) / float64(latM),
+			HybridRatio:        float64(latH) / float64(latM),
+			MicrobenchMeasured: em.ProfileStats.Microbenchmarks,
+			MicrobenchHybrid:   eh.ProfileStats.Microbenchmarks,
+			GreedyMakespanS:    float64(latM),
+			SearchMakespanS:    float64(latS),
+			SearchBetterOrEq:   float64(latS) <= float64(latM)*(1+1e-9),
+			WallMeasuredS:      wallM,
+			WallPredictedS:     wallP,
+		}
+		if eh.ProfileStats.Microbenchmarks > 0 {
+			row.Reduction = float64(em.ProfileStats.Microbenchmarks) / float64(eh.ProfileStats.Microbenchmarks)
+		}
+		if es.SearchTrail != nil {
+			row.SearchCandidates = es.SearchTrail.Candidates
+			row.SearchMeasureCall = es.SearchTrail.MeasureCalls
+		}
+		rep.Models = append(rep.Models, row)
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *SchedReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,13 @@
+package experiments
+
+import "time"
+
+// wallSeconds times fn on the host clock. It lives in its own file, away
+// from any vclock import, so the vclockpurity analyzer can see the wall
+// clock never mixes into simulated time: callers only feed the result into
+// trend-only report fields.
+func wallSeconds(fn func() error) (float64, error) {
+	start := time.Now()
+	err := fn()
+	return time.Since(start).Seconds(), err
+}

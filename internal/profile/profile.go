@@ -16,6 +16,15 @@ import (
 	"duet/internal/vclock"
 )
 
+// Origin values a Record can carry: how its per-device times were obtained.
+const (
+	// OriginMeasured marks times from real micro-benchmark runs.
+	OriginMeasured = "measured"
+	// OriginPredicted marks times from the learned cost model — zero
+	// micro-benchmarks were run for this record.
+	OriginPredicted = "predicted"
+)
+
 // Record holds the profiled statistics of one subgraph.
 type Record struct {
 	// Index is the subgraph's flat index in partition order.
@@ -31,9 +40,25 @@ type Record struct {
 	OutBytes int
 	// Kernels is the number of compiled kernels after fusion.
 	Kernels int
+	// Origin records how Time was obtained (OriginMeasured when empty, for
+	// records persisted before the field existed).
+	Origin string `json:",omitempty"`
+}
+
+// Measured reports whether the record's times come from real
+// micro-benchmark runs (the default for legacy records with no Origin).
+func (r *Record) Measured() bool {
+	return r.Origin == "" || r.Origin == OriginMeasured
 }
 
 // Faster returns the device kind with the lower profiled time.
+//
+// Ties break CPU-first, deliberately: when both devices profile equal (the
+// comparison is <=), the subgraph stays on the CPU, which keeps the GPU —
+// the scarcer, launch-overhead-dominated resource — free for subgraphs
+// that genuinely need it, and makes the decision deterministic. The
+// scheduler's audit flags placements that rested on a tie or a
+// sub-threshold margin (see Record.Margin and schedule.TieMarginFrac).
 func (r *Record) Faster() device.Kind {
 	if r.Time[device.CPU] <= r.Time[device.GPU] {
 		return device.CPU
@@ -41,12 +66,35 @@ func (r *Record) Faster() device.Kind {
 	return device.GPU
 }
 
-// Best returns the lower of the two profiled times.
+// Best returns the lower of the two profiled times. Like Faster, an exact
+// tie resolves to the CPU time (the two are equal, so the value is the
+// same either way).
 func (r *Record) Best() vclock.Seconds {
 	if r.Time[device.CPU] <= r.Time[device.GPU] {
 		return r.Time[device.CPU]
 	}
 	return r.Time[device.GPU]
+}
+
+// Margin returns the relative CPU/GPU cost separation,
+// |cpu - gpu| / max(cpu, gpu), in [0, 1]. A margin of 0 is an exact tie —
+// the CPU-first tie-break decided the device, not the profile — and small
+// margins mean the placement is sensitive to profiling (or prediction)
+// error.
+func (r *Record) Margin() float64 {
+	c, g := float64(r.Time[device.CPU]), float64(r.Time[device.GPU])
+	hi := c
+	if g > hi {
+		hi = g
+	}
+	if hi <= 0 {
+		return 0
+	}
+	d := c - g
+	if d < 0 {
+		d = -d
+	}
+	return d / hi
 }
 
 // TimeOn returns the profiled time on the given device kind.
@@ -63,6 +111,10 @@ type Profiler struct {
 	// Runs is the number of measured repetitions per device (the paper uses
 	// a fixed small number, e.g. 500, for statistically stable means).
 	Runs int
+	// Benchmarks counts micro-benchmark executions performed (one per
+	// device per repetition) — the cost the learned cost model exists to
+	// avoid. The predicted profile source leaves it at zero.
+	Benchmarks int
 }
 
 // New returns a profiler with the paper's defaults: full optimization
@@ -72,14 +124,24 @@ func New(plat *device.Platform) *Profiler {
 }
 
 // ProfileSubgraph compiles one subgraph and measures it on both devices.
+// The graph-level compile happens once; only the target-dependent
+// low-level schedule selection (TunedCosts) runs per device, so both
+// devices benchmark the same compiled module.
 func (p *Profiler) ProfileSubgraph(parent *graph.Graph, sub *graph.Subgraph, index int) (Record, error) {
-	runs := p.Runs
-	if runs <= 0 {
-		runs = 1
-	}
 	m, err := compiler.Compile(sub.Graph, p.Options)
 	if err != nil {
 		return Record{}, fmt.Errorf("profile: compiling %s: %w", sub.Graph.Name, err)
+	}
+	return p.ProfileModule(parent, sub, m, index), nil
+}
+
+// ProfileModule micro-benchmarks an already-compiled module on both
+// devices. Callers that hold compiled modules (the engine compiles every
+// subgraph anyway) use this to avoid recompiling for profiling.
+func (p *Profiler) ProfileModule(parent *graph.Graph, sub *graph.Subgraph, m *compiler.Module, index int) Record {
+	runs := p.Runs
+	if runs <= 0 {
+		runs = 1
 	}
 	rec := Record{
 		Index:    index,
@@ -87,6 +149,7 @@ func (p *Profiler) ProfileSubgraph(parent *graph.Graph, sub *graph.Subgraph, ind
 		InBytes:  sub.InputBytes(parent),
 		OutBytes: sub.OutputBytes(parent),
 		Kernels:  m.KernelCount(),
+		Origin:   OriginMeasured,
 	}
 	for _, kind := range []device.Kind{device.CPU, device.GPU} {
 		dev := p.Platform.Device(kind)
@@ -102,9 +165,10 @@ func (p *Profiler) ProfileSubgraph(parent *graph.Graph, sub *graph.Subgraph, ind
 			}
 			sum += t
 		}
+		p.Benchmarks += runs
 		rec.Time[kind] = sum / vclock.Seconds(runs)
 	}
-	return rec, nil
+	return rec
 }
 
 // ProfileAll profiles every subgraph of a partition, in flat order.

@@ -24,6 +24,10 @@ import (
 // synchronization queue between the scheduler and a device worker.
 const syncQueueOverhead vclock.Seconds = 2e-6
 
+// SyncQueueOverhead exports the per-dispatch queue overhead for analytic
+// cost models that mirror the engine (schedule's predicted-cost search).
+const SyncQueueOverhead = syncQueueOverhead
+
 // Placement maps each flat subgraph index (partition.Subgraphs() order) to
 // the device kind that executes it.
 type Placement []device.Kind

@@ -26,6 +26,13 @@ const (
 	ReasonGreedyBalance = "greedy-balance"
 )
 
+// TieMarginFrac is the relative margin below which a placement decision is
+// flagged as resting on a (near-)tie: the profile separated the
+// alternatives by less than 2%, so profiling noise — or, for predicted
+// records, model error — could have flipped the choice, and an exact tie
+// was decided by the silent CPU-first tie-break alone.
+const TieMarginFrac = 0.02
+
 // SubgraphAudit explains one subgraph's placement: both profiled costs, the
 // chosen device, and which rule of Algorithm 1 chose it.
 type SubgraphAudit struct {
@@ -35,6 +42,15 @@ type SubgraphAudit struct {
 	GPUSeconds vclock.Seconds `json:"gpu_seconds"`
 	Chosen     string         `json:"chosen"`
 	Reason     string         `json:"reason"`
+	// MarginFrac is the relative separation of the alternatives the
+	// decision weighed: the profiled CPU/GPU costs for sequential and
+	// critical-pin placements, the candidate phase makespans for
+	// greedy-balance.
+	MarginFrac float64 `json:"margin_frac"`
+	// TieBreak marks decisions whose margin fell below TieMarginFrac —
+	// including exact ties, where the CPU-first tie-break, not the
+	// profile, chose the device.
+	TieBreak bool `json:"tie_break,omitempty"`
 }
 
 // PhaseAudit summarises one partition phase of the greedy pass.
@@ -128,10 +144,16 @@ func (a *Audit) WriteText(w io.Writer) error {
 	fmt.Fprintf(w, "placement audit: %s -> %s\n", a.Initial, a.Final)
 	fmt.Fprintf(w, "critical path: predicted %.6fs, measured %.6fs (greedy) -> %.6fs (corrected)\n",
 		float64(a.PredictedCritical), float64(a.InitialMeasured), float64(a.FinalMeasured))
-	fmt.Fprintf(w, "\n%5s %-24s %12s %12s %6s %s\n", "idx", "subgraph", "cpu (s)", "gpu (s)", "dev", "reason")
+	fmt.Fprintf(w, "\n%5s %-24s %12s %12s %6s %8s %s\n", "idx", "subgraph", "cpu (s)", "gpu (s)", "dev", "margin", "reason")
 	for _, sg := range a.Subgraphs {
-		fmt.Fprintf(w, "%5d %-24s %12.6f %12.6f %6s %s\n",
-			sg.Index, sg.Name, float64(sg.CPUSeconds), float64(sg.GPUSeconds), sg.Chosen, sg.Reason)
+		reason := sg.Reason
+		if sg.TieBreak {
+			// Flag decisions the profile barely (or not at all) separated:
+			// the CPU-first tie-break or noise-level margins decided these.
+			reason += " [tie]"
+		}
+		fmt.Fprintf(w, "%5d %-24s %12.6f %12.6f %6s %7.2f%% %s\n",
+			sg.Index, sg.Name, float64(sg.CPUSeconds), float64(sg.GPUSeconds), sg.Chosen, sg.MarginFrac*100, reason)
 	}
 	if len(a.Swaps) == 0 {
 		fmt.Fprintf(w, "\ncorrection: no improving move or swap found\n")
@@ -172,6 +194,8 @@ func (a *Audit) Trail() *verify.AuditTrail {
 			GPUSeconds: sg.GPUSeconds,
 			Chosen:     sg.Chosen,
 			Reason:     sg.Reason,
+			MarginFrac: sg.MarginFrac,
+			TieBreak:   sg.TieBreak,
 		})
 	}
 	for _, sw := range a.Swaps {

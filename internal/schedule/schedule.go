@@ -80,7 +80,7 @@ func (s *Scheduler) greedy(a *Audit) runtime.Placement {
 	n := len(s.Records)
 	place := make(runtime.Placement, n)
 	subs := s.Partition.Subgraphs()
-	record := func(i int, reason string) {
+	record := func(i int, reason string, margin float64) {
 		if a == nil {
 			return
 		}
@@ -91,6 +91,8 @@ func (s *Scheduler) greedy(a *Audit) runtime.Placement {
 			GPUSeconds: s.Records[i].TimeOn(device.GPU),
 			Chosen:     kindName(place[i]),
 			Reason:     reason,
+			MarginFrac: margin,
+			TieBreak:   margin < TieMarginFrac,
 		})
 	}
 	ranges := s.flatIndexRanges()
@@ -103,7 +105,7 @@ func (s *Scheduler) greedy(a *Audit) runtime.Placement {
 			for i := lo; i < hi; i++ {
 				place[i] = s.Records[i].Faster()
 				span += s.Records[i].Best()
-				record(i, ReasonSequential)
+				record(i, ReasonSequential, s.Records[i].Margin())
 			}
 			if a != nil {
 				a.Phases = append(a.Phases, PhaseAudit{
@@ -123,7 +125,7 @@ func (s *Scheduler) greedy(a *Audit) runtime.Placement {
 			}
 		}
 		place[crit] = s.Records[crit].Faster()
-		record(crit, ReasonCriticalPin)
+		record(crit, ReasonCriticalPin, s.Records[crit].Margin())
 		load := [2]vclock.Seconds{}
 		load[place[crit]] = s.Records[crit].Best()
 
@@ -142,7 +144,7 @@ func (s *Scheduler) greedy(a *Audit) runtime.Placement {
 		for _, i := range rest {
 			rec := s.Records[i]
 			bestKind := device.CPU
-			bestMakespan := vclock.Seconds(-1)
+			var spans [2]vclock.Seconds
 			for _, kind := range []device.Kind{device.CPU, device.GPU} {
 				l := load
 				l[kind] += rec.TimeOn(kind)
@@ -150,14 +152,15 @@ func (s *Scheduler) greedy(a *Audit) runtime.Placement {
 				if l[device.GPU] > makespan {
 					makespan = l[device.GPU]
 				}
-				if bestMakespan < 0 || makespan < bestMakespan {
-					bestMakespan = makespan
-					bestKind = kind
-				}
+				spans[kind] = makespan
+			}
+			// CPU-first on equal makespans, matching the record tie-break.
+			if spans[device.GPU] < spans[device.CPU] {
+				bestKind = device.GPU
 			}
 			place[i] = bestKind
 			load[bestKind] += rec.TimeOn(bestKind)
-			record(i, ReasonGreedyBalance)
+			record(i, ReasonGreedyBalance, marginFrac(spans[device.CPU], spans[device.GPU]))
 		}
 		if a != nil {
 			makespan := load[device.CPU]
@@ -261,6 +264,23 @@ func (s *Scheduler) correct(initial runtime.Placement, a *Audit) (runtime.Placem
 		}
 	}
 	return place, nil
+}
+
+// marginFrac returns the relative separation |a-b|/max(a,b) in [0, 1] of
+// two candidate costs; 0 for an exact tie.
+func marginFrac(a, b vclock.Seconds) float64 {
+	hi := a
+	if b > hi {
+		hi = b
+	}
+	if hi <= 0 {
+		return 0
+	}
+	d := float64(a - b)
+	if d < 0 {
+		d = -d
+	}
+	return d / float64(hi)
 }
 
 func other(k device.Kind) device.Kind {

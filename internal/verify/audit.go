@@ -18,6 +18,10 @@ const (
 	ReasonGreedyBalance = "greedy-balance"
 )
 
+// TieMarginFrac mirrors schedule.TieMarginFrac: the relative margin below
+// which a placement decision is flagged as resting on a (near-)tie.
+const TieMarginFrac = 0.02
+
 // AuditSubgraph mirrors one subgraph entry of the scheduler's decision trail.
 type AuditSubgraph struct {
 	Index      int
@@ -26,6 +30,10 @@ type AuditSubgraph struct {
 	GPUSeconds vclock.Seconds
 	Chosen     string // "cpu" | "gpu"
 	Reason     string
+	// MarginFrac / TieBreak record how decisively the alternatives were
+	// separated; TieBreak must hold exactly when MarginFrac < TieMarginFrac.
+	MarginFrac float64
+	TieBreak   bool
 }
 
 // AuditSwap mirrors one accepted correction: a move (J < 0) or a pair swap,
@@ -123,6 +131,20 @@ func CheckAudit(p *partition.Partition, records []profile.Record, t *AuditTrail)
 			fs = append(fs, subFinding(PassAudit, i, "initial placement %q has unknown device letter %q at %d", t.Initial, string(t.Initial[i]), i))
 		} else if sg.Chosen != want {
 			fs = append(fs, subFinding(PassAudit, i, "audit says subgraph %d chose %q, initial placement %q says %q", i, sg.Chosen, t.Initial, want))
+		}
+		if sg.MarginFrac < 0 || sg.MarginFrac > 1 {
+			fs = append(fs, subFinding(PassAudit, i, "subgraph %d records margin %v outside [0, 1]", i, sg.MarginFrac))
+		}
+		if sg.TieBreak != (sg.MarginFrac < TieMarginFrac) {
+			fs = append(fs, subFinding(PassAudit, i, "subgraph %d records tie_break=%v with margin %v against threshold %v", i, sg.TieBreak, sg.MarginFrac, TieMarginFrac))
+		}
+		// For device-vs-device decisions the margin must restate the
+		// profiled separation; greedy-balance margins weigh whole-phase
+		// makespans, which depend on sweep state not replayed here.
+		if sg.Reason == ReasonSequential || sg.Reason == ReasonCriticalPin {
+			if want := records[i].Margin(); !latEq(vclock.Seconds(sg.MarginFrac), vclock.Seconds(want)) {
+				fs = append(fs, subFinding(PassAudit, i, "subgraph %d records margin %v, profiles separate the devices by %v", i, sg.MarginFrac, want))
+			}
 		}
 	}
 

@@ -1,0 +1,116 @@
+package verify
+
+import (
+	"duet/internal/device"
+	"duet/internal/partition"
+	"duet/internal/profile"
+	"duet/internal/vclock"
+)
+
+// rowScales are the batch-row multipliers the monotonicity check probes.
+var rowScales = []float64{1, 2, 4, 8}
+
+// CheckCostModel vets a learned-cost-model profile source (§IV-B
+// replacement): every record time and every model prediction must be
+// strictly positive; predictions must be monotone non-decreasing in batch
+// rows for the same subgraph; record origins must agree with the source's
+// measured set; and in hybrid mode no critical-path subgraph — a phase
+// anchor Algorithm 1's Step 1 would pin under the final records, or the
+// globally most expensive subgraph — may rest on a prediction. detail is
+// the profile source's Detail(); pass nil for measured mode (only the
+// record checks run).
+func CheckCostModel(part *partition.Partition, records []profile.Record, detail *profile.SourceDetail, mode string) []Finding {
+	var fs []Finding
+	subs := part.Subgraphs()
+	if len(records) != len(subs) {
+		return append(fs, finding(PassCostModel, "%d records for %d subgraphs", len(records), len(subs)))
+	}
+	for i, rec := range records {
+		for _, kind := range []device.Kind{device.CPU, device.GPU} {
+			if rec.TimeOn(kind) <= 0 {
+				fs = append(fs, subFinding(PassCostModel, i, "subgraph %d has non-positive %s time %v (origin %q)",
+					i, kind, rec.TimeOn(kind), rec.Origin))
+			}
+		}
+	}
+	if detail == nil {
+		if mode != profile.ModeMeasured {
+			fs = append(fs, finding(PassCostModel, "%s-mode source supplied no cost-model detail", mode))
+		}
+		return fs
+	}
+	if detail.Model == nil {
+		return append(fs, finding(PassCostModel, "source detail has no model"))
+	}
+	if len(detail.Features) != len(subs) || len(detail.Measured) != len(subs) {
+		return append(fs, finding(PassCostModel, "detail covers %d features / %d measured flags for %d subgraphs",
+			len(detail.Features), len(detail.Measured), len(subs)))
+	}
+
+	for i, rec := range records {
+		if rec.Measured() != detail.Measured[i] {
+			fs = append(fs, subFinding(PassCostModel, i, "subgraph %d record origin %q disagrees with source measured flag %v",
+				i, rec.Origin, detail.Measured[i]))
+		}
+		for _, kind := range []device.Kind{device.CPU, device.GPU} {
+			prev := 0.0
+			for _, scale := range rowScales {
+				pred := float64(detail.Model.PredictAtRows(detail.Features[i], kind, scale))
+				if pred <= 0 {
+					fs = append(fs, subFinding(PassCostModel, i, "subgraph %d predicts non-positive %s time %v at %gx rows",
+						i, kind, pred, scale))
+				}
+				if pred < prev {
+					fs = append(fs, subFinding(PassCostModel, i, "subgraph %d %s prediction fell %v -> %v when rows scaled to %gx — not monotone",
+						i, kind, prev, pred, scale))
+				}
+				prev = pred
+			}
+		}
+	}
+
+	switch mode {
+	case profile.ModePredicted:
+		for i, m := range detail.Measured {
+			if m {
+				fs = append(fs, subFinding(PassCostModel, i, "predicted-mode source claims subgraph %d was measured", i))
+			}
+		}
+	case profile.ModeHybrid:
+		for _, crit := range criticalIndices(part, records) {
+			if !detail.Measured[crit] {
+				fs = append(fs, subFinding(PassCostModel, crit, "hybrid mode left critical-path subgraph %d on a predicted cost", crit))
+			}
+		}
+	}
+	return fs
+}
+
+// criticalIndices returns the flat indices whose records anchor the
+// schedule under the final record set: the first argmax of best-case cost
+// in every multi-path phase, and the global first argmax.
+func criticalIndices(part *partition.Partition, records []profile.Record) []int {
+	var crits []int
+	flat := 0
+	globalIdx, globalBest := -1, vclock.Seconds(0)
+	for _, ph := range part.Phases {
+		anchor, anchorBest := -1, vclock.Seconds(0)
+		for range ph.Subgraphs {
+			b := records[flat].Best()
+			if ph.Kind == partition.MultiPath && len(ph.Subgraphs) > 1 && (anchor < 0 || b > anchorBest) {
+				anchor, anchorBest = flat, b
+			}
+			if globalIdx < 0 || b > globalBest {
+				globalIdx, globalBest = flat, b
+			}
+			flat++
+		}
+		if anchor >= 0 {
+			crits = append(crits, anchor)
+		}
+	}
+	if globalIdx >= 0 {
+		crits = append(crits, globalIdx)
+	}
+	return crits
+}

@@ -1,0 +1,242 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"duet/internal/compiler"
+	"duet/internal/costmodel"
+	"duet/internal/device"
+	"duet/internal/partition"
+	"duet/internal/profile"
+	"duet/internal/vclock"
+)
+
+// costModelFixture extends the verify fixture with a trained cost model and
+// a predicted-source detail, the inputs CheckCostModel vets.
+func costModelFixture(t *testing.T) (*fixture, *costmodel.Model, *profile.SourceDetail) {
+	t.Helper()
+	f := buildFixture(t)
+	opts := compiler.DefaultOptions()
+	prof := profile.New(device.NewPlatform(0))
+	prof.Runs = 2
+	recs, err := prof.ProfileAll(f.g, f.p.Subgraphs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := profile.CostSamples(f.p, opts, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := costmodel.Train(samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &profile.PredictedSource{Model: m, Options: opts}
+	predRecs, err := src.Records(f.p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.records = predRecs
+	return f, m, src.Detail()
+}
+
+func TestCheckCostModelCleanPredicted(t *testing.T) {
+	f, _, detail := costModelFixture(t)
+	if fs := CheckCostModel(f.p, f.records, detail, profile.ModePredicted); len(fs) != 0 {
+		t.Fatalf("clean predicted source produced findings: %v", fs)
+	}
+}
+
+func TestCheckCostModelMeasuredModeNeedsNoDetail(t *testing.T) {
+	f := buildFixture(t)
+	if fs := CheckCostModel(f.p, f.records, nil, profile.ModeMeasured); len(fs) != 0 {
+		t.Fatalf("measured mode with nil detail produced findings: %v", fs)
+	}
+}
+
+func TestCheckCostModelFindings(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T) []Finding
+		want string
+	}{
+		{"record-count-mismatch", func(t *testing.T) []Finding {
+			f, _, detail := costModelFixture(t)
+			return CheckCostModel(f.p, f.records[:len(f.records)-1], detail, profile.ModePredicted)
+		}, "records for"},
+		{"non-positive-record", func(t *testing.T) []Finding {
+			f, _, detail := costModelFixture(t)
+			f.records[0].Time[device.GPU] = 0
+			return CheckCostModel(f.p, f.records, detail, profile.ModePredicted)
+		}, "non-positive"},
+		{"predicted-mode-missing-detail", func(t *testing.T) []Finding {
+			f := buildFixture(t)
+			return CheckCostModel(f.p, f.records, nil, profile.ModePredicted)
+		}, "no cost-model detail"},
+		{"detail-without-model", func(t *testing.T) []Finding {
+			f, _, detail := costModelFixture(t)
+			detail.Model = nil
+			return CheckCostModel(f.p, f.records, detail, profile.ModePredicted)
+		}, "no model"},
+		{"detail-length-mismatch", func(t *testing.T) []Finding {
+			f, _, detail := costModelFixture(t)
+			detail.Features = detail.Features[:1]
+			return CheckCostModel(f.p, f.records, detail, profile.ModePredicted)
+		}, "detail covers"},
+		{"origin-flag-disagreement", func(t *testing.T) []Finding {
+			f, _, detail := costModelFixture(t)
+			f.records[1].Origin = profile.OriginMeasured
+			return CheckCostModel(f.p, f.records, detail, profile.ModeHybrid)
+		}, "disagrees with source measured flag"},
+		{"predicted-mode-claims-measured", func(t *testing.T) []Finding {
+			f, _, detail := costModelFixture(t)
+			detail.Measured[0] = true
+			f.records[0].Origin = profile.OriginMeasured
+			return CheckCostModel(f.p, f.records, detail, profile.ModePredicted)
+		}, "claims subgraph"},
+		{"hybrid-critical-unmeasured", func(t *testing.T) []Finding {
+			f, _, detail := costModelFixture(t)
+			// All records predicted, so every critical anchor is unmeasured.
+			return CheckCostModel(f.p, f.records, detail, profile.ModeHybrid)
+		}, "critical-path subgraph"},
+		{"non-monotone-model", func(t *testing.T) []Finding {
+			f, m, detail := costModelFixture(t)
+			// Hand-build a model whose ref_cpu_ms weight is negative: its
+			// prediction falls as batch rows scale up. Train can never emit
+			// this (monotone weights are projected non-negative); the pass
+			// must still catch a corrupted or hand-edited artifact.
+			bad := *m
+			bad.Weights = [2][]float64{
+				append([]float64(nil), m.Weights[0]...),
+				append([]float64(nil), m.Weights[1]...),
+			}
+			names := costmodel.FeatureNames(bad.Vocab)
+			for i, n := range names {
+				switch n {
+				case "intercept":
+					bad.Weights[0][i] = 1e-2
+				case "ref_cpu_ms":
+					bad.Weights[0][i] = -1e-4
+				default:
+					bad.Weights[0][i] = 0
+				}
+			}
+			detail.Model = &bad
+			return CheckCostModel(f.p, f.records, detail, profile.ModePredicted)
+		}, "not monotone"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := tc.run(t)
+			if len(fs) == 0 {
+				t.Fatalf("no findings, want one matching %q", tc.want)
+			}
+			for _, f := range fs {
+				if f.Pass != PassCostModel {
+					t.Errorf("finding from pass %q: %s", f.Pass, f)
+				}
+			}
+			found := false
+			for _, f := range fs {
+				if strings.Contains(f.Msg, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("findings %v do not mention %q", fs, tc.want)
+			}
+		})
+	}
+}
+
+// replayTrail hand-builds the audit trail Algorithm 1 would record over the
+// fixture: re-derives the phase structure exactly as CheckAudit does, all
+// subgraphs on CPU (the fixture's records make CPU strictly faster), no
+// corrections.
+func replayTrail(f *fixture) *AuditTrail {
+	subs := f.p.Subgraphs()
+	n := len(subs)
+	trail := &AuditTrail{
+		Initial:         strings.Repeat("C", n),
+		Final:           strings.Repeat("C", n),
+		InitialMeasured: 1e-3,
+		FinalMeasured:   1e-3,
+	}
+	flat := 0
+	for _, ph := range f.p.Phases {
+		lo, hi := flat, flat+len(ph.Subgraphs)
+		flat = hi
+		multipath := ph.Kind == partition.MultiPath && hi-lo > 1
+		crit := lo
+		for i := lo + 1; i < hi; i++ {
+			if f.records[i].Best() > f.records[crit].Best() {
+				crit = i
+			}
+		}
+		for i := lo; i < hi; i++ {
+			reason := ReasonSequential
+			m := f.records[i].Margin()
+			if multipath {
+				if i == crit {
+					reason = ReasonCriticalPin
+				} else {
+					reason = ReasonGreedyBalance
+					m = 0.3 // greedy-balance margins weigh sweep state, not replayed
+				}
+			}
+			trail.Subgraphs = append(trail.Subgraphs, AuditSubgraph{
+				Index:      i,
+				Name:       subs[i].Graph.Name,
+				CPUSeconds: f.records[i].TimeOn(device.CPU),
+				GPUSeconds: f.records[i].TimeOn(device.GPU),
+				Chosen:     "cpu",
+				Reason:     reason,
+				MarginFrac: m,
+				TieBreak:   m < TieMarginFrac,
+			})
+		}
+	}
+	return trail
+}
+
+// TestCheckAuditMarginConsistency pins the tie/margin additions to the
+// audit pass: recorded margins must replay from the records for sequential
+// and critical-pin decisions, the tie flag must match the threshold, and
+// out-of-range margins are findings.
+func TestCheckAuditMarginConsistency(t *testing.T) {
+	f := buildFixture(t)
+	trail := replayTrail(f)
+	if fs := CheckAudit(f.p, f.records, trail); len(fs) != 0 {
+		t.Fatalf("clean margin trail produced findings: %v", fs)
+	}
+
+	corrupt := func(mutate func(*AuditTrail)) *AuditTrail {
+		bad := replayTrail(f)
+		mutate(bad)
+		return bad
+	}
+	if fs := CheckAudit(f.p, f.records, corrupt(func(tr *AuditTrail) {
+		tr.Subgraphs[0].MarginFrac = 1.5
+	})); len(fs) == 0 {
+		t.Fatal("margin 1.5 not flagged")
+	}
+	if fs := CheckAudit(f.p, f.records, corrupt(func(tr *AuditTrail) {
+		tr.Subgraphs[0].TieBreak = !tr.Subgraphs[0].TieBreak
+	})); len(fs) == 0 {
+		t.Fatal("tie flag inconsistent with margin but not flagged")
+	}
+	if fs := CheckAudit(f.p, f.records, corrupt(func(tr *AuditTrail) {
+		for i := range tr.Subgraphs {
+			if tr.Subgraphs[i].Reason == ReasonSequential {
+				tr.Subgraphs[i].MarginFrac += 0.4
+				tr.Subgraphs[i].TieBreak = tr.Subgraphs[i].MarginFrac < TieMarginFrac
+				break
+			}
+		}
+	})); len(fs) == 0 {
+		t.Fatal("sequential margin that does not replay from records not flagged")
+	}
+}
+
+var _ = vclock.Seconds(0)

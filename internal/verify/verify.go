@@ -38,6 +38,7 @@ const (
 	PassLiveness  = "sync-liveness"  // every subgraph fires under the firing rule
 	PassAudit     = "audit-replay"   // Algorithm 1 decision-trail consistency
 	PassShardMap  = "shard-map"      // cluster routing table coverage + failover legality
+	PassCostModel = "cost-model"     // learned-latency sanity: positive, monotone, criticals measured
 )
 
 // Finding is one verifier diagnostic. Node and Subgraph locate the failure
