@@ -108,9 +108,12 @@ bench-obs:
 	$(GO) run ./cmd/duet-bench -quick -obs BENCH_obs.json
 
 ## Regenerate the kernel benchmark baseline: the packed/blocked × pool/serial
-## matrix over matmul, linear, and conv2d shapes.
+## matrix over matmul, linear, and conv2d shapes, plus the fusion ablation.
+## Quick scale, like every other committed baseline: the bench-diff gate
+## re-runs the suite quick, and comparing across sampling scales injects a
+## systematic offset into the geomean gate.
 bench-kernels:
-	$(GO) run ./cmd/duet-bench -kernels BENCH_kernels.json
+	$(GO) run ./cmd/duet-bench -quick -kernels BENCH_kernels.json
 
 ## Regenerate the serving benchmark baseline: serial Infer loop vs the
 ## concurrent server in unbatched, batched, and batched+pipelined modes,

@@ -82,14 +82,18 @@ func metricKey(parts ...string) string {
 
 // --- kernels ---
 
-// KernelsSuite gates the tensor-kernel matrix. Raw ns/op cells are
-// wall-clock and host-dependent, so they trend but do not gate. Per-cell
-// packed-vs-blocked speedup ratios are measured within one process and
-// survive hardware changes, but a single quick-mode cell still swings
-// tens of percent on a loaded host, so they trend too; the gate is the
-// geometric mean of the speedup over every cell, where per-cell noise
-// averages out (~18 cells) while a packed path that collapses toward the
-// legacy loop still craters the mean.
+// KernelsSuite gates the tensor-kernel matrix and the fusion ablation.
+// Raw ns/op cells are wall-clock and host-dependent, so they trend but do
+// not gate. Per-cell packed-vs-blocked speedup ratios are measured within
+// one process and survive hardware changes, but a single quick-mode cell
+// still swings tens of percent on a loaded host, so they trend too; the
+// gate is the geometric mean of the speedup over every cell, where
+// per-cell noise averages out (~18 cells) while a packed path that
+// collapses toward the legacy loop still craters the mean. The fusion
+// ablation gates the same way — the unconstrained-vs-legacy geomean holds
+// relatively, and an exact 0/1 gate re-derives whether it clears the
+// absolute FusionSpeedupBar — plus exact gates on the structural launch
+// counts, which are deterministic per fusion level.
 func KernelsSuite() *Suite {
 	s := &Suite{
 		Name: "kernels",
@@ -99,6 +103,13 @@ func KernelsSuite() *Suite {
 			{Prefix: "kernels/speedup/", Better: HigherIsBetter},
 			{Prefix: "kernels/ns/", Better: LowerIsBetter},
 			{Prefix: "kernels/gflops/", Better: HigherIsBetter},
+			{Prefix: "kernels/fusion/gate/", Better: HigherIsBetter, Gate: true, Threshold: Exact},
+			{Prefix: "kernels/fusion/speedup_geomean", Better: HigherIsBetter, Gate: true, Threshold: 0.25},
+			{Prefix: "kernels/fusion/launch_reduction", Better: HigherIsBetter, Gate: true, Threshold: Exact},
+			{Prefix: "kernels/fusion/launches/", Better: LowerIsBetter, Gate: true, Threshold: Exact},
+			{Prefix: "kernels/fusion/speedup/", Better: HigherIsBetter},
+			{Prefix: "kernels/fusion/ns/", Better: LowerIsBetter},
+			{Prefix: "kernels/fusion/groups/", Better: HigherIsBetter},
 		},
 		Extract: extractKernels,
 	}
@@ -158,6 +169,51 @@ func extractKernels(doc map[string]any) (map[string]float64, error) {
 	}
 	if cells > 0 {
 		out["kernels/speedup_geomean"] = math.Exp(logSum / float64(cells))
+	}
+
+	fusion, err := getArr(doc, "fusion")
+	if err != nil {
+		return nil, err
+	}
+	for i, raw := range fusion {
+		f, ok := raw.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("fusion[%d]: not an object", i)
+		}
+		name, err := getStr(f, "workload")
+		if err != nil {
+			return nil, fmt.Errorf("fusion[%d]: %w", i, err)
+		}
+		for key, field := range map[string]string{
+			"kernels/fusion/speedup":                "speedup",
+			"kernels/fusion/ns/legacy":              "ns_legacy",
+			"kernels/fusion/ns/unconstrained":       "ns_unconstrained",
+			"kernels/fusion/launches/off":           "launches_off",
+			"kernels/fusion/launches/legacy":        "launches_legacy",
+			"kernels/fusion/launches/unconstrained": "launches_unconstrained",
+			"kernels/fusion/groups":                 "fused_groups",
+		} {
+			v, err := getNum(f, field)
+			if err != nil {
+				return nil, fmt.Errorf("fusion %s: %w", name, err)
+			}
+			out[metricKey(key, name)] = v
+		}
+	}
+	geo, err := getNum(doc, "fusion_speedup_geomean")
+	if err != nil {
+		return nil, err
+	}
+	red, err := getNum(doc, "fusion_launch_reduction")
+	if err != nil {
+		return nil, err
+	}
+	out["kernels/fusion/speedup_geomean"] = geo
+	out["kernels/fusion/launch_reduction"] = red
+	if geo >= experiments.FusionSpeedupBar {
+		out["kernels/fusion/gate/speedup_ok"] = 1
+	} else {
+		out["kernels/fusion/gate/speedup_ok"] = 0
 	}
 	return out, nil
 }

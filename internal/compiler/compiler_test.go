@@ -266,9 +266,9 @@ func TestFuseStopsAtFanOut(t *testing.T) {
 	if err := InferShapes(g); err != nil {
 		t.Fatal(err)
 	}
-	kernels := Fuse(g, true)
-	// d cannot absorb anything (two consumers); r1 and r2 can't merge with
-	// each other; s's operands are two distinct groups.
+	kernels := Fuse(g, FusionLegacy)
+	// Under legacy fusion d cannot absorb anything (two consumers); r1 and
+	// r2 can't merge with each other; s's operands are two distinct groups.
 	for _, k := range kernels {
 		if len(k.Nodes) > 2 {
 			t.Fatalf("over-fused kernel: %v", k.Nodes)
@@ -292,9 +292,19 @@ func TestFuseStopsAtDeclaredOutput(t *testing.T) {
 	if err := InferShapes(g); err != nil {
 		t.Fatal(err)
 	}
-	kernels := Fuse(g, true)
+	kernels := Fuse(g, FusionLegacy)
 	if len(kernels) != 2 {
 		t.Fatalf("declared output must not be fused away: %d kernels", len(kernels))
+	}
+	// Unconstrained fusion keeps d inside the group but must materialize it
+	// through an Emit slot since it is a declared output.
+	kernels = Fuse(g, FusionUnconstrained)
+	if len(kernels) != 1 {
+		t.Fatalf("unconstrained fusion should absorb the declared output: %d kernels", len(kernels))
+	}
+	f := kernels[0].Fused
+	if f == nil || len(f.Emits) != 1 || f.Emits[0] != d {
+		t.Fatalf("declared-output intermediate must be emitted: %+v", f)
 	}
 }
 
@@ -303,8 +313,8 @@ func TestFuseCostAccounting(t *testing.T) {
 	if err := InferShapes(g); err != nil {
 		t.Fatal(err)
 	}
-	fused := Fuse(g, true)
-	unfused := Fuse(g, false)
+	fused := Fuse(g, FusionUnconstrained)
+	unfused := Fuse(g, FusionOff)
 	var fusedLaunches, unfusedLaunches int
 	for _, k := range fused {
 		fusedLaunches += k.Cost.Launches
@@ -315,16 +325,20 @@ func TestFuseCostAccounting(t *testing.T) {
 	if fusedLaunches >= unfusedLaunches {
 		t.Fatalf("fusion must reduce launches: %d vs %d", fusedLaunches, unfusedLaunches)
 	}
-	// FLOPs must be preserved by fusion.
-	var ff, uf float64
+	// FLOPs must be preserved by fusion, up to the recompute replays the
+	// tape builder explicitly accounts for.
+	var ff, uf, rf float64
 	for _, k := range fused {
 		ff += k.Cost.FLOPs
+		if k.Fused != nil {
+			rf += k.Fused.RecomputeFLOPs
+		}
 	}
 	for _, k := range unfused {
 		uf += k.Cost.FLOPs
 	}
-	if ff != uf {
-		t.Fatalf("fusion changed FLOPs: %v vs %v", ff, uf)
+	if ff != uf+rf {
+		t.Fatalf("fusion changed FLOPs: %v vs %v (+%v recompute)", ff, uf, rf)
 	}
 }
 

@@ -2,91 +2,123 @@ package compiler
 
 import (
 	"fmt"
+	"sort"
 
 	"duet/internal/graph"
 	"duet/internal/ops"
 	"duet/internal/tensor"
 )
 
-// Kernel is one launchable unit in a compiled module: an anchor operator
-// plus the elementwise epilogue fused into it (or a lone operator when
-// fusion is off / impossible). Cost reflects the fused launch structure —
-// this is precisely why compiler-aware profiling matters: the same subgraph
-// has different launch counts and memory traffic after fusion (§III-A).
+// FusionLevel selects how aggressively the compiler fuses operators into
+// kernels. The zero value resolves from the legacy Options.Fuse bool so
+// configurations predating the knob keep their meaning.
+type FusionLevel int
+
+const (
+	// FusionAuto resolves to FusionOff when Options.Fuse is false and to
+	// FusionUnconstrained otherwise.
+	FusionAuto FusionLevel = iota
+	// FusionOff emits one kernel per graph node (the framework baseline).
+	FusionOff
+	// FusionLegacy grows single-consumer elementwise chains behind any
+	// leader but lowers only dense[+bias][+relu|sigmoid] groups to a fused
+	// kernel — the behavior before unconstrained fusion landed, kept for
+	// ablations.
+	FusionLegacy
+	// FusionUnconstrained grows maximal fusion groups over arbitrary
+	// elementwise/broadcast chains — through multi-consumer forks, residual
+	// re-joins, and declared outputs — and lowers every multi-op group to
+	// one epilogue-program kernel.
+	FusionUnconstrained
+)
+
+// String names the level for flags, reports, and audit lines.
+func (l FusionLevel) String() string {
+	switch l {
+	case FusionAuto:
+		return "auto"
+	case FusionOff:
+		return "off"
+	case FusionLegacy:
+		return "legacy"
+	case FusionUnconstrained:
+		return "unconstrained"
+	}
+	return fmt.Sprintf("FusionLevel(%d)", int(l))
+}
+
+// ParseFusionLevel maps a flag string to a FusionLevel.
+func ParseFusionLevel(s string) (FusionLevel, error) {
+	switch s {
+	case "", "auto":
+		return FusionAuto, nil
+	case "off":
+		return FusionOff, nil
+	case "legacy":
+		return FusionLegacy, nil
+	case "unconstrained":
+		return FusionUnconstrained, nil
+	}
+	return FusionAuto, fmt.Errorf("compiler: unknown fusion level %q (want off|legacy|unconstrained)", s)
+}
+
+// maxChainRegs bounds the chunk-local scratch rows an epilogue program may
+// hold live at once. Groups that exceed it fall back to recompute, and to
+// unlowered op-by-op dispatch when recompute is infeasible too.
+const maxChainRegs = 8
+
+// Kernel is one launchable unit in a compiled module: a group leader plus
+// the elementwise ops fused behind it (or a lone operator when fusion is
+// off / impossible). Cost reflects the fused launch structure — this is
+// precisely why compiler-aware profiling matters: the same subgraph has
+// different launch counts and memory traffic after fusion (§III-A).
 type Kernel struct {
 	Name  string
 	Nodes []graph.NodeID // execution order; Nodes[0] is the group leader
 	Cost  ops.Cost
-	// Fused, when non-nil, lowers the whole group to a single fused-epilogue
-	// GEMM call (tensor.LinearEpInto) instead of op-by-op dispatch. Only set
-	// when the epilogue kernel reproduces the group bit-exactly.
-	Fused *FusedLinear
+	// Fused, when non-nil, lowers the whole group to a single launch: the
+	// leader's native kernel followed by an epilogue program streamed over
+	// its output. Only set when the program reproduces the group bit-exactly.
+	Fused *FusedGroup
 }
 
-// FusedLinear is the lowered form of a dense-led fusion group whose epilogue
-// the tensor layer implements natively: dense, dense+bias-add, dense+act and
-// dense+bias-add+act all collapse to one LinearEpInto call, eliminating the
-// intermediate activation tensors entirely.
-type FusedLinear struct {
-	X, W    graph.NodeID
-	Bias    graph.NodeID // valid only when HasBias
-	HasBias bool
-	Ep      tensor.Epilogue
+// FusedGroup is the lowered form of a fusion group: the leader executes
+// through its registered kernel (the dense lead gets the fused
+// GEMM+epilogue fast path) and the epilogue program transforms the result
+// in place. Group intermediates live in chunk-local registers or are
+// recomputed; only values with readers outside the group are materialized,
+// each exactly once, through an Emit slot.
+type FusedGroup struct {
+	Lead    graph.NodeID   // group leader (executes natively)
+	LeadIns []graph.NodeID // leader's operand node ids
+	Prog    *tensor.Program
+	Args    []graph.NodeID // external tape operands, indexed by Instr.Arg
+	Emits   []graph.NodeID // node materialized by Emit slot i
+	// InstrNodes maps each tape instruction to the graph node it computes
+	// (arithmetic), snapshots (save/load), or materializes (emit). The
+	// verify fusion pass replays the tape against the graph through it.
+	InstrNodes []graph.NodeID
+	// Consumes lists, with multiplicity, the consumer edges this kernel
+	// settles against the release plan: the leader's operands, every edge
+	// from a member to an outside value, and the in-group edges of emitted
+	// values (their buffers are real, so their in-group reads must count).
+	Consumes []graph.NodeID
+	// RecomputeFLOPs / RecomputeBytes quantify the recompute-vs-materialize
+	// arbitration: extra FLOPs spent replaying cheap producers, and the
+	// save/load memory traffic those replays avoided.
+	RecomputeFLOPs float64
+	RecomputeBytes float64
 }
 
-// lowerFusedLinear matches a fusion group against the epilogue patterns the
-// GEMM kernel supports. Lowering is all-or-nothing: if any group member
-// falls outside [dense][, add(·, bias[N])][, relu|sigmoid], the group keeps
-// generic op-by-op dispatch. A bias add folds only when the dense carries no
-// bias operand of its own, and only in the canonical add(tail, bias) operand
-// order — bias length must equal the dense output width exactly (scalar
-// broadcasts stay generic).
-func lowerFusedLinear(g *graph.Graph, group []graph.NodeID) *FusedLinear {
-	lead := g.Node(group[0])
-	if lead.Op != "dense" {
-		return nil
+// Fuse groups the graph's compute nodes into kernels at the given fusion
+// level. Groups are grown greedily in leader topological order; the
+// absorbed ops' FLOPs fold into the leader's cost while the leader keeps
+// its launch count, which is what makes fused subgraphs cheaper to the
+// scheduler before any placement decision happens.
+func Fuse(g *graph.Graph, level FusionLevel) []Kernel {
+	if level == FusionAuto {
+		level = FusionUnconstrained
 	}
-	f := &FusedLinear{X: lead.Inputs[0], W: lead.Inputs[1]}
-	if len(lead.Inputs) == 3 {
-		f.HasBias, f.Bias = true, lead.Inputs[2]
-	}
-	tail := group[0]
-	i := 1
-	if i < len(group) {
-		n := g.Node(group[i])
-		if n.Op == "add" && !f.HasBias && n.Inputs[0] == tail {
-			if b := g.Node(n.Inputs[1]); len(b.Shape) == 1 && len(lead.Shape) == 2 && b.Shape[0] == lead.Shape[1] {
-				f.HasBias, f.Bias = true, n.Inputs[1]
-				tail = group[i]
-				i++
-			}
-		}
-	}
-	if i < len(group) {
-		n := g.Node(group[i])
-		if len(n.Inputs) == 1 && n.Inputs[0] == tail {
-			switch n.Op {
-			case "relu":
-				f.Ep = tensor.EpReLU
-				i++
-			case "sigmoid":
-				f.Ep = tensor.EpSigmoid
-				i++
-			}
-		}
-	}
-	if i != len(group) {
-		return nil
-	}
-	return f
-}
-
-// Fuse groups the graph's compute nodes into kernels. When enabled, an
-// anchor (dense/conv2d/lstm/...) or elementwise leader absorbs a following
-// chain of elementwise ops, provided each absorbed op is the sole consumer
-// of the group's current tail and all its other operands are consts or
-// values produced outside the group (which become kernel inputs).
-func Fuse(g *graph.Graph, enabled bool) []Kernel {
 	consumers := g.Consumers()
 	assigned := make(map[graph.NodeID]bool)
 	declared := make(map[graph.NodeID]bool)
@@ -100,85 +132,774 @@ func Fuse(g *graph.Graph, enabled bool) []Kernel {
 		if n.IsInput() || n.IsConst() || assigned[id] {
 			continue
 		}
-		group := []graph.NodeID{id}
 		assigned[id] = true
-		cost := NodeCost(g, id)
-
-		if enabled {
-			tail := id
-			for {
-				// The tail's value must stay private to the group: exactly
-				// one consumer and not a declared output.
-				if declared[tail] || len(consumers[tail]) != 1 {
-					break
-				}
-				next := consumers[tail][0]
-				nn := g.Node(next)
-				if assigned[next] {
-					break
-				}
-				def, err := ops.Lookup(nn.Op)
-				if err != nil || !def.Elementwise {
-					break
-				}
-				// Other operands must be consts, runtime inputs, or values
-				// from kernels already emitted (groups are emitted in leader
-				// topological order, so an operand still unassigned would be
-				// computed *after* this kernel runs). Operands inside the
-				// group other than the tail would break the single-stream
-				// epilogue.
-				ok := true
-				inGroup := make(map[graph.NodeID]bool, len(group))
-				for _, m := range group {
-					inGroup[m] = true
-				}
-				for _, in := range nn.Inputs {
-					if in == tail {
-						continue
-					}
-					if inGroup[in] {
-						ok = false
-						break
-					}
-					if src := g.Node(in); !src.IsInput() && !src.IsConst() && !assigned[in] {
-						ok = false
-						break
-					}
-				}
-				if !ok {
-					break
-				}
-				group = append(group, next)
-				assigned[next] = true
-				c := NodeCost(g, next)
-				// Fusion eliminates the intermediate tensor round trip and
-				// the separate launch: add the epilogue FLOPs, keep the
-				// leader's launch count and memory traffic, and let the
-				// widest member determine available parallelism.
-				cost.FLOPs += c.FLOPs
-				if c.Parallelism > cost.Parallelism {
-					cost.Parallelism = c.Parallelism
-				}
-				if c.SeqSteps > cost.SeqSteps {
-					cost.SeqSteps = c.SeqSteps
-				}
-				tail = next
-			}
-			if len(group) > 1 && cost.Launches == 0 {
-				// A structural leader (reshape/flatten) that absorbed real
-				// work still launches one kernel.
-				cost.Launches = 1
-			}
+		var group []graph.NodeID
+		switch level {
+		case FusionUnconstrained:
+			group = growUnconstrained(g, id, consumers, assigned)
+		case FusionLegacy:
+			group = growLegacy(g, id, consumers, assigned, declared)
+		default:
+			group = []graph.NodeID{id}
 		}
 
-		kernels = append(kernels, Kernel{
-			Name:  g.Node(group[0]).Name,
-			Nodes: group,
-			Cost:  cost,
-			Fused: lowerFusedLinear(g, group),
-		})
+		k := Kernel{Name: g.Node(group[0]).Name, Nodes: group}
+		switch level {
+		case FusionUnconstrained:
+			k.Fused = lowerGroup(g, group, consumers, declared)
+			k.Cost = unconstrainedCost(g, group, k.Fused)
+		case FusionLegacy:
+			k.Fused = lowerLegacyLinear(g, group)
+			k.Cost = legacyCost(g, group)
+		default:
+			k.Cost = NodeCost(g, id)
+		}
+		kernels = append(kernels, k)
 	}
 	return kernels
+}
+
+// growLegacy reproduces the pre-unconstrained grouping: the leader absorbs
+// a following chain of elementwise ops, provided each absorbed op is the
+// sole consumer of the group's current tail, the tail is not a declared
+// output, and all its other operands are consts or values produced outside
+// the group.
+func growLegacy(g *graph.Graph, id graph.NodeID, consumers map[graph.NodeID][]graph.NodeID,
+	assigned, declared map[graph.NodeID]bool) []graph.NodeID {
+	group := []graph.NodeID{id}
+	tail := id
+	for {
+		// The tail's value must stay private to the group: exactly one
+		// consumer and not a declared output.
+		if declared[tail] || len(consumers[tail]) != 1 {
+			break
+		}
+		next := consumers[tail][0]
+		nn := g.Node(next)
+		if assigned[next] {
+			break
+		}
+		def, err := ops.Lookup(nn.Op)
+		if err != nil || !def.Elementwise {
+			break
+		}
+		// Other operands must be consts, runtime inputs, or values from
+		// kernels already emitted (groups are emitted in leader topological
+		// order, so an operand still unassigned would be computed *after*
+		// this kernel runs). Operands inside the group other than the tail
+		// would break the single-stream epilogue.
+		ok := true
+		inGroup := make(map[graph.NodeID]bool, len(group))
+		for _, m := range group {
+			inGroup[m] = true
+		}
+		for _, in := range nn.Inputs {
+			if in == tail {
+				continue
+			}
+			if inGroup[in] {
+				ok = false
+				break
+			}
+			if src := g.Node(in); !src.IsInput() && !src.IsConst() && !assigned[in] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		group = append(group, next)
+		assigned[next] = true
+		tail = next
+	}
+	return group
+}
+
+// growUnconstrained grows a maximal fusion group: any elementwise consumer
+// of any group value joins, as long as its output keeps the group's stream
+// shape and its remaining operands are consts, runtime inputs, or values
+// already assigned to earlier kernels. Multi-consumer intermediates,
+// residual re-joins (both operands inside the group), and declared outputs
+// all stay inside the group — the tape builder decides per value whether
+// to register-materialize, recompute, or emit it.
+func growUnconstrained(g *graph.Graph, lead graph.NodeID, consumers map[graph.NodeID][]graph.NodeID,
+	assigned map[graph.NodeID]bool) []graph.NodeID {
+	shape := g.Node(lead).Shape
+	members := []graph.NodeID{lead}
+	memberSet := map[graph.NodeID]bool{lead: true}
+	for progress := true; progress; {
+		progress = false
+		cands := make(map[graph.NodeID]bool)
+		for _, m := range members {
+			for _, c := range consumers[m] {
+				if !memberSet[c] && !assigned[c] {
+					cands[c] = true
+				}
+			}
+		}
+		sorted := make([]graph.NodeID, 0, len(cands))
+		for c := range cands {
+			sorted = append(sorted, c)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, c := range sorted {
+			n := g.Node(c)
+			def, err := ops.Lookup(n.Op)
+			if err != nil || !def.Elementwise || def.Alias {
+				continue
+			}
+			// Only ops the tape can express join; elementwise ops outside the
+			// chain vocabulary (batchnorm2d's per-channel affine, dropout, …)
+			// would force the whole group back to op-by-op execution. The lead
+			// is exempt — it executes natively before the tape runs.
+			if _, ok := chainOpOf(n.Op); !ok {
+				continue
+			}
+			if !tensor.ShapeEq(n.Shape, shape) {
+				continue
+			}
+			ok := true
+			for _, in := range n.Inputs {
+				if memberSet[in] {
+					continue
+				}
+				if src := g.Node(in); !src.IsInput() && !src.IsConst() && !assigned[in] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			members = append(members, c)
+			memberSet[c] = true
+			assigned[c] = true
+			progress = true
+		}
+	}
+	// Node ids are topological by construction, so ascending id order is a
+	// valid execution order for the tape.
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	return members
+}
+
+// chainOpOf maps a registered elementwise op kind to its tape opcode.
+func chainOpOf(kind string) (tensor.ChainOp, bool) { return ChainOpFor(kind) }
+
+// ChainOpFor maps a registered elementwise op kind to its tape opcode; the
+// verify fusion pass uses it to replay tapes against the graph.
+func ChainOpFor(kind string) (tensor.ChainOp, bool) {
+	switch kind {
+	case "relu":
+		return tensor.ChainReLU, true
+	case "sigmoid":
+		return tensor.ChainSigmoid, true
+	case "tanh":
+		return tensor.ChainTanh, true
+	case "gelu":
+		return tensor.ChainGELU, true
+	case "exp":
+		return tensor.ChainExp, true
+	case "sqrt":
+		return tensor.ChainSqrt, true
+	case "add":
+		return tensor.ChainAdd, true
+	case "sub":
+		return tensor.ChainSub, true
+	case "mul":
+		return tensor.ChainMul, true
+	case "div":
+		return tensor.ChainDiv, true
+	case "maximum":
+		return tensor.ChainMaximum, true
+	}
+	return 0, false
+}
+
+// tapeState carries the incremental lowering of one fusion group to an
+// epilogue program.
+type tapeState struct {
+	g         *graph.Graph
+	shape     []int
+	numel     float64
+	members   []graph.NodeID
+	memberSet map[graph.NodeID]bool
+	declared  map[graph.NodeID]bool
+
+	instrs     []tensor.Instr
+	instrNodes []graph.NodeID
+	args       []graph.NodeID
+	argIdx     map[graph.NodeID]int
+	emits      []graph.NodeID
+
+	cur      graph.NodeID
+	regOf    map[graph.NodeID]int
+	regFree  []int
+	remUses  map[graph.NodeID]int // unconsumed in-group reads per value
+	replayOf map[graph.NodeID]replayInfo
+
+	recomputeFLOPs float64
+	recomputeBytes float64
+}
+
+// replayInfo is everything needed to recompute a value on the tape instead
+// of holding it in a register: its arithmetic instruction and the in-group
+// operands that instruction reads (which stay register-pinned until the
+// replay happens).
+type replayInfo struct {
+	instr      tensor.Instr
+	parent     graph.NodeID // stream operand
+	operand    graph.NodeID // in-group register operand, when instr.Src is SrcReg
+	hasOperand bool
+}
+
+// lowerGroup lowers an unconstrained fusion group to a FusedGroup, or nil
+// when the group is a single node or the tape cannot express it (register
+// spill with no recompute path); unlowered groups keep op-by-op dispatch.
+func lowerGroup(g *graph.Graph, members []graph.NodeID, consumers map[graph.NodeID][]graph.NodeID,
+	declared map[graph.NodeID]bool) *FusedGroup {
+	if len(members) < 2 {
+		return nil
+	}
+	lead := members[0]
+	leadNode := g.Node(lead)
+	if def, err := ops.Lookup(leadNode.Op); err != nil || def.Alias {
+		return nil
+	}
+	ts := &tapeState{
+		g:         g,
+		shape:     leadNode.Shape,
+		numel:     float64(numelOf(leadNode.Shape)),
+		members:   members,
+		memberSet: make(map[graph.NodeID]bool, len(members)),
+		declared:  declared,
+		argIdx:    make(map[graph.NodeID]int),
+		cur:       lead,
+		regOf:     make(map[graph.NodeID]int),
+		remUses:   make(map[graph.NodeID]int),
+		replayOf:  make(map[graph.NodeID]replayInfo),
+	}
+	for r := maxChainRegs - 1; r >= 0; r-- {
+		ts.regFree = append(ts.regFree, r)
+	}
+	for _, m := range members {
+		ts.memberSet[m] = true
+	}
+	for _, m := range members[1:] {
+		for _, in := range g.Node(m).Inputs {
+			if ts.memberSet[in] {
+				ts.remUses[in]++
+			}
+		}
+	}
+	tail := members[len(members)-1]
+	published := func(v graph.NodeID) bool {
+		if v == tail {
+			return false
+		}
+		if declared[v] {
+			return true
+		}
+		for _, c := range consumers[v] {
+			if !ts.memberSet[c] {
+				return true
+			}
+		}
+		return false
+	}
+
+	if published(lead) {
+		ts.emitValue(lead)
+	}
+	for i := 1; i < len(members); i++ {
+		m := members[i]
+		if !ts.lowerMember(m, members[i:], members[i+1:]) {
+			return nil
+		}
+		if published(m) {
+			ts.emitValue(m)
+		}
+	}
+
+	prog, err := ts.compile()
+	if err != nil {
+		// The tape machinery rejected the group; fall back to op-by-op.
+		return nil
+	}
+	f := &FusedGroup{
+		Lead:           lead,
+		LeadIns:        append([]graph.NodeID(nil), leadNode.Inputs...),
+		Prog:           prog,
+		Args:           ts.args,
+		Emits:          ts.emits,
+		InstrNodes:     ts.instrNodes,
+		RecomputeFLOPs: ts.recomputeFLOPs,
+		RecomputeBytes: ts.recomputeBytes,
+	}
+	f.Consumes = groupConsumes(g, members, ts.memberSet, f.Emits)
+	return f
+}
+
+// lowerMember appends the tape instructions that compute member m: stream
+// switching (load/replay), preservation of the value m's instruction
+// overwrites, the arithmetic instruction itself, and the consumption
+// bookkeeping. fromM is the member slice starting at m itself (consulted
+// when the arbitration must know whether m reads a displaced value);
+// afterM is the slice of members still to come after m.
+func (ts *tapeState) lowerMember(m graph.NodeID, fromM, afterM []graph.NodeID) bool {
+	n := ts.g.Node(m)
+	op, ok := chainOpOf(n.Op)
+	if !ok {
+		return false
+	}
+	// Pick the stream parent: the current stream when it feeds m, else m's
+	// first in-group operand.
+	var parents []graph.NodeID
+	for _, in := range n.Inputs {
+		if ts.memberSet[in] {
+			parents = append(parents, in)
+		}
+	}
+	if len(parents) == 0 {
+		return false
+	}
+	parent := parents[0]
+	for _, p := range parents {
+		if p == ts.cur {
+			parent = p
+			break
+		}
+	}
+	if parent != ts.cur {
+		if !ts.switchStream(parent, fromM) {
+			return false
+		}
+	}
+
+	var instr tensor.Instr
+	var regOperand graph.NodeID
+	hasRegOperand := false
+	switch {
+	case op.IsUnary():
+		if len(n.Inputs) != 1 || n.Inputs[0] != parent {
+			return false
+		}
+		instr = tensor.Instr{Op: op}
+	case op.IsBinary():
+		if len(n.Inputs) != 2 {
+			return false
+		}
+		a, b := n.Inputs[0], n.Inputs[1]
+		switch {
+		case a == parent && b == parent:
+			instr = tensor.Instr{Op: op, Src: tensor.SrcCur}
+		case a == parent:
+			var okSrc bool
+			instr, okSrc = ts.operandInstr(op, b, false)
+			if !okSrc {
+				return false
+			}
+			if ts.memberSet[b] {
+				regOperand, hasRegOperand = b, true
+			}
+		case b == parent:
+			var okSrc bool
+			instr, okSrc = ts.operandInstr(op, a, true)
+			if !okSrc {
+				return false
+			}
+			if ts.memberSet[a] {
+				regOperand, hasRegOperand = a, true
+			}
+		default:
+			return false
+		}
+	default:
+		return false
+	}
+	// The instruction overwrites the stream (parent's value). Preserve it
+	// first if readers remain beyond m's own edges.
+	edges := 0
+	for _, in := range n.Inputs {
+		if in == parent {
+			edges++
+		}
+	}
+	if !ts.preserveValue(parent, ts.remUses[parent]-edges, afterM) {
+		return false
+	}
+	ts.emit(instr, m)
+	// m consumes its in-group operands (one read per edge).
+	for _, in := range n.Inputs {
+		if ts.memberSet[in] {
+			ts.consumeValue(in)
+		}
+	}
+	ts.cur = m
+	ts.replayOf[m] = replayInfo{instr: instr, parent: parent, operand: regOperand, hasOperand: hasRegOperand}
+	return true
+}
+
+// operandInstr builds the binary instruction for a non-stream operand:
+// an external kernel input, or an in-group value pinned in a register.
+func (ts *tapeState) operandInstr(op tensor.ChainOp, operand graph.NodeID, rev bool) (tensor.Instr, bool) {
+	if !ts.memberSet[operand] {
+		return tensor.Instr{Op: op, Arg: ts.argSlot(operand), Src: tensor.SrcArg, Rev: rev}, true
+	}
+	reg, ok := ts.regOf[operand]
+	if !ok {
+		// The operand was neither saved nor recomputable into a register —
+		// the group cannot be expressed as a tape.
+		return tensor.Instr{}, false
+	}
+	return tensor.Instr{Op: op, Arg: reg, Src: tensor.SrcReg, Rev: rev}, true
+}
+
+// switchStream moves the stream from ts.cur to target: the displaced value
+// is kept reachable if still needed (save or recompute arbitration), then
+// the target is loaded from its register or replayed.
+func (ts *tapeState) switchStream(target graph.NodeID, fromM []graph.NodeID) bool {
+	if !ts.preserveValue(ts.cur, ts.remUses[ts.cur], fromM) {
+		return false
+	}
+	if reg, ok := ts.regOf[target]; ok {
+		ts.emit(tensor.Instr{Op: tensor.ChainLoad, Arg: reg}, target)
+		ts.cur = target
+		return true
+	}
+	return ts.replay(target)
+}
+
+// preserveValue keeps v reachable before the stream overwrites it: no-op
+// when nothing reads it again (or it already sits in a register), else the
+// recompute-vs-materialize arbitration, a register save, or — with no free
+// register left — a forced recompute. Returns false when the tape cannot
+// express the group at all.
+func (ts *tapeState) preserveValue(v graph.NodeID, future int, rest []graph.NodeID) bool {
+	if future <= 0 {
+		return true
+	}
+	if _, saved := ts.regOf[v]; saved {
+		return true
+	}
+	if ts.keepByRecompute(v, future, rest) {
+		return true
+	}
+	if ts.saveValue(v) {
+		return true
+	}
+	// No free register: recompute regardless of cost if the tape allows it,
+	// else give up on lowering this group.
+	return ts.markRecompute(v, future)
+}
+
+// keepByRecompute is the recompute-vs-materialize cost arbitration for a
+// value the stream is moving past: replaying a cheap producer (≤ ~2 FLOPs
+// per element, the cost of the save+load round trip it replaces) wins over
+// burning a register when the value has exactly one pending use and that
+// use will consume it as its stream parent.
+func (ts *tapeState) keepByRecompute(v graph.NodeID, future int, rest []graph.NodeID) bool {
+	if future != 1 || ts.declared[v] {
+		return false
+	}
+	flops := NodeCost(ts.g, v).FLOPs
+	if ts.numel > 0 && flops > 2*ts.numel {
+		return false
+	}
+	// The single future consumer must use v as its stream parent, which is
+	// guaranteed when v is its only in-group operand.
+	for _, f := range rest {
+		uses := 0
+		others := 0
+		for _, in := range ts.g.Node(f).Inputs {
+			if in == v {
+				uses++
+			} else if ts.memberSet[in] {
+				others++
+			}
+		}
+		if uses > 0 {
+			if others > 0 {
+				return false
+			}
+			break
+		}
+	}
+	return ts.markRecompute(v, future)
+}
+
+// markRecompute arranges for v to be replayed on demand: its producing
+// instruction's in-group operands gain one pending use per future replay,
+// so their registers stay live until every replay has run.
+func (ts *tapeState) markRecompute(v graph.NodeID, future int) bool {
+	ri, ok := ts.replayOf[v]
+	if !ok {
+		return false
+	}
+	if _, ok := ts.regOf[ri.parent]; !ok {
+		return false
+	}
+	if ri.hasOperand {
+		// The register operand must still hold the value the instruction
+		// originally read — a reused register would replay garbage.
+		if reg, ok := ts.regOf[ri.operand]; !ok || reg != ri.instr.Arg {
+			return false
+		}
+		ts.remUses[ri.operand] += future
+	}
+	ts.remUses[ri.parent] += future
+	return true
+}
+
+// replay re-emits the instructions that compute target from its pinned
+// operands: load the parent, re-run the arithmetic instruction.
+func (ts *tapeState) replay(target graph.NodeID) bool {
+	ri, ok := ts.replayOf[target]
+	if !ok {
+		return false
+	}
+	reg, ok := ts.regOf[ri.parent]
+	if !ok {
+		return false
+	}
+	if ri.hasOperand {
+		if r, ok := ts.regOf[ri.operand]; !ok || r != ri.instr.Arg {
+			return false
+		}
+	}
+	if ts.cur != ri.parent {
+		ts.emit(tensor.Instr{Op: tensor.ChainLoad, Arg: reg}, ri.parent)
+	}
+	ts.emit(ri.instr, target)
+	ts.consumeValue(ri.parent)
+	if ri.hasOperand {
+		ts.consumeValue(ri.operand)
+	}
+	ts.recomputeFLOPs += NodeCost(ts.g, target).FLOPs
+	ts.recomputeBytes += 8 * ts.numel // the save+load traffic avoided
+	ts.cur = target
+	return true
+}
+
+// saveValue snapshots the current stream value into a free register.
+func (ts *tapeState) saveValue(v graph.NodeID) bool {
+	if len(ts.regFree) == 0 {
+		return false
+	}
+	reg := ts.regFree[len(ts.regFree)-1]
+	ts.regFree = ts.regFree[:len(ts.regFree)-1]
+	ts.regOf[v] = reg
+	ts.emit(tensor.Instr{Op: tensor.ChainSave, Arg: reg}, v)
+	return true
+}
+
+// consumeValue retires one pending in-group read of v, freeing its
+// register once nothing will read it again.
+func (ts *tapeState) consumeValue(v graph.NodeID) {
+	ts.remUses[v]--
+	if ts.remUses[v] <= 0 {
+		if reg, ok := ts.regOf[v]; ok {
+			delete(ts.regOf, v)
+			ts.regFree = append(ts.regFree, reg)
+		}
+	}
+}
+
+// emitValue materializes the current stream value into a fresh output slot.
+func (ts *tapeState) emitValue(v graph.NodeID) {
+	slot := len(ts.emits)
+	ts.emits = append(ts.emits, v)
+	ts.emit(tensor.Instr{Op: tensor.ChainEmit, Arg: slot}, v)
+}
+
+// argSlot interns an external operand, returning its tape index.
+func (ts *tapeState) argSlot(v graph.NodeID) int {
+	if i, ok := ts.argIdx[v]; ok {
+		return i
+	}
+	i := len(ts.args)
+	ts.argIdx[v] = i
+	ts.args = append(ts.args, v)
+	return i
+}
+
+func (ts *tapeState) emit(instr tensor.Instr, node graph.NodeID) {
+	ts.instrs = append(ts.instrs, instr)
+	ts.instrNodes = append(ts.instrNodes, node)
+}
+
+// compile hands the finished tape to the tensor layer.
+func (ts *tapeState) compile() (*tensor.Program, error) {
+	argShapes := make([][]int, len(ts.args))
+	for i, a := range ts.args {
+		argShapes[i] = ts.g.Node(a).Shape
+	}
+	return tensor.CompileChain(ts.instrs, ts.shape, argShapes)
+}
+
+// groupConsumes derives the consumer edges a fused kernel settles: the
+// leader's operands, every member edge to an outside value, and the
+// in-group edges of emitted values.
+func groupConsumes(g *graph.Graph, members []graph.NodeID, memberSet map[graph.NodeID]bool,
+	emits []graph.NodeID) []graph.NodeID {
+	var consumes []graph.NodeID
+	for _, in := range g.Node(members[0]).Inputs {
+		consumes = append(consumes, in)
+	}
+	for _, m := range members[1:] {
+		for _, in := range g.Node(m).Inputs {
+			if !memberSet[in] {
+				consumes = append(consumes, in)
+			}
+		}
+	}
+	emitted := make(map[graph.NodeID]bool, len(emits))
+	for _, e := range emits {
+		emitted[e] = true
+	}
+	for _, m := range members[1:] {
+		for _, in := range g.Node(m).Inputs {
+			if emitted[in] {
+				consumes = append(consumes, in)
+			}
+		}
+	}
+	return consumes
+}
+
+// unconstrainedCost merges the group's cost descriptor: the leader keeps
+// its launch count, absorbed FLOPs (plus recompute replays) fold in, and
+// the fused kernel's memory traffic grows only by its real external reads
+// (tape operands) and writes (emitted intermediates) — the eliminated
+// intermediate round trips are exactly the point of the pass.
+func unconstrainedCost(g *graph.Graph, group []graph.NodeID, f *FusedGroup) ops.Cost {
+	cost := NodeCost(g, group[0])
+	for _, m := range group[1:] {
+		c := NodeCost(g, m)
+		cost.FLOPs += c.FLOPs
+		if c.Parallelism > cost.Parallelism {
+			cost.Parallelism = c.Parallelism
+		}
+		if c.SeqSteps > cost.SeqSteps {
+			cost.SeqSteps = c.SeqSteps
+		}
+	}
+	if len(group) > 1 && cost.Launches == 0 {
+		cost.Launches = 1
+	}
+	if f == nil {
+		return cost
+	}
+	cost.FLOPs += f.RecomputeFLOPs
+	numelS := float64(numelOf(g.Node(f.Lead).Shape))
+	for _, a := range f.Args {
+		cost.Bytes += 4 * float64(numelOf(g.Node(a).Shape))
+	}
+	cost.Bytes += 8 * numelS * float64(len(f.Emits))
+	return cost
+}
+
+// legacyCost reproduces the pre-unconstrained cost merge exactly: epilogue
+// FLOPs fold in, the leader's launch count and memory traffic stand, and
+// the widest member determines available parallelism.
+func legacyCost(g *graph.Graph, group []graph.NodeID) ops.Cost {
+	cost := NodeCost(g, group[0])
+	for _, m := range group[1:] {
+		c := NodeCost(g, m)
+		cost.FLOPs += c.FLOPs
+		if c.Parallelism > cost.Parallelism {
+			cost.Parallelism = c.Parallelism
+		}
+		if c.SeqSteps > cost.SeqSteps {
+			cost.SeqSteps = c.SeqSteps
+		}
+	}
+	if len(group) > 1 && cost.Launches == 0 {
+		// A structural leader (reshape/flatten) that absorbed real work
+		// still launches one kernel.
+		cost.Launches = 1
+	}
+	return cost
+}
+
+// lowerLegacyLinear matches a fusion group against the epilogue patterns
+// the old fixed-function GEMM kernel supported, now expressed as a tape.
+// Lowering is all-or-nothing: if any group member falls outside
+// [dense][, add(·, bias[N])][, relu|sigmoid], the group keeps generic
+// op-by-op dispatch. A bias add folds only when the dense carries no bias
+// operand of its own, and only in the canonical add(tail, bias) operand
+// order — bias length must equal the dense output width exactly (scalar
+// broadcasts stay generic).
+func lowerLegacyLinear(g *graph.Graph, group []graph.NodeID) *FusedGroup {
+	lead := g.Node(group[0])
+	if lead.Op != "dense" {
+		return nil
+	}
+	hasBias := len(lead.Inputs) == 3
+	var instrs []tensor.Instr
+	var instrNodes, args []graph.NodeID
+	tail := group[0]
+	i := 1
+	if i < len(group) {
+		n := g.Node(group[i])
+		if n.Op == "add" && !hasBias && n.Inputs[0] == tail {
+			if b := g.Node(n.Inputs[1]); len(b.Shape) == 1 && len(lead.Shape) == 2 && b.Shape[0] == lead.Shape[1] {
+				instrs = append(instrs, tensor.Instr{Op: tensor.ChainAdd, Arg: 0, Src: tensor.SrcArg})
+				instrNodes = append(instrNodes, group[i])
+				args = append(args, n.Inputs[1])
+				tail = group[i]
+				i++
+			}
+		}
+	}
+	if i < len(group) {
+		n := g.Node(group[i])
+		if len(n.Inputs) == 1 && n.Inputs[0] == tail {
+			switch n.Op {
+			case "relu":
+				instrs = append(instrs, tensor.Instr{Op: tensor.ChainReLU})
+				instrNodes = append(instrNodes, group[i])
+				i++
+			case "sigmoid":
+				instrs = append(instrs, tensor.Instr{Op: tensor.ChainSigmoid})
+				instrNodes = append(instrNodes, group[i])
+				i++
+			}
+		}
+	}
+	if i != len(group) {
+		return nil
+	}
+	argShapes := make([][]int, len(args))
+	for ai, a := range args {
+		argShapes[ai] = g.Node(a).Shape
+	}
+	prog, err := tensor.CompileChain(instrs, lead.Shape, argShapes)
+	if err != nil {
+		return nil
+	}
+	memberSet := make(map[graph.NodeID]bool, len(group))
+	for _, m := range group {
+		memberSet[m] = true
+	}
+	return &FusedGroup{
+		Lead:       group[0],
+		LeadIns:    append([]graph.NodeID(nil), lead.Inputs...),
+		Prog:       prog,
+		Args:       args,
+		InstrNodes: instrNodes,
+		Consumes:   groupConsumes(g, group, memberSet, nil),
+	}
+}
+
+// numelOf returns the element count of a shape.
+func numelOf(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return n
 }
 
 // Output returns the node whose value the kernel publishes (its last node).

@@ -9,14 +9,14 @@ import (
 	"duet/internal/tensor"
 )
 
-// fuseLower compiles g with only fusion enabled and returns the kernel that
-// publishes the graph's (single) output.
-func fuseLower(t *testing.T, g *graph.Graph) *Kernel {
+// fuseLower compiles g at the given fusion level and returns the kernel
+// that publishes the graph's (single) output.
+func fuseLower(t *testing.T, g *graph.Graph, level FusionLevel) *Kernel {
 	t.Helper()
 	if err := InferShapes(g); err != nil {
 		t.Fatal(err)
 	}
-	kernels := Fuse(g, true)
+	kernels := Fuse(g, level)
 	out := g.Outputs()[0]
 	for i := range kernels {
 		if kernels[i].Output() == out {
@@ -39,26 +39,53 @@ func denseBase(rng *rand.Rand, withBias bool) (*graph.Graph, graph.NodeID) {
 	return g, d
 }
 
-func TestFusedLinearLowering(t *testing.T) {
+// tapeOps extracts the opcode sequence of a fused kernel's program.
+func tapeOps(f *FusedGroup) []tensor.ChainOp {
+	if f == nil {
+		return nil
+	}
+	ops := make([]tensor.ChainOp, 0, f.Prog.Len())
+	for _, in := range f.Prog.Instrs() {
+		ops = append(ops, in.Op)
+	}
+	return ops
+}
+
+func opsEqual(got, want []tensor.ChainOp) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestLegacyLinearLowering pins the legacy fusion level to the epilogue
+// patterns the old fixed-function GEMM kernel supported, now expressed as
+// single-instruction tapes.
+func TestLegacyLinearLowering(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 
 	t.Run("dense_alone", func(t *testing.T) {
 		g, d := denseBase(rng, false)
 		g.SetOutputs(d)
-		k := fuseLower(t, g)
+		k := fuseLower(t, g, FusionLegacy)
 		f := k.Fused
-		if f == nil || f.HasBias || f.Ep != tensor.EpNone {
-			t.Fatalf("lowering = %+v, want biasless EpNone", f)
+		if f == nil || f.Prog.Len() != 0 || len(f.Args) != 0 {
+			t.Fatalf("lowering = %+v, want empty tape", f)
 		}
 	})
 
 	t.Run("dense_own_bias", func(t *testing.T) {
 		g, d := denseBase(rng, true)
 		g.SetOutputs(d)
-		k := fuseLower(t, g)
+		k := fuseLower(t, g, FusionLegacy)
 		f := k.Fused
-		if f == nil || !f.HasBias || f.Ep != tensor.EpNone {
-			t.Fatalf("lowering = %+v, want bias from dense operand", f)
+		if f == nil || len(f.LeadIns) != 3 || f.Prog.Len() != 0 {
+			t.Fatalf("lowering = %+v, want bias from dense operand, empty tape", f)
 		}
 	})
 
@@ -67,10 +94,11 @@ func TestFusedLinearLowering(t *testing.T) {
 		b := g.AddConst("b2", tensor.Rand(rng, 0.5, 6))
 		a := g.Add("add", "a", nil, d, b)
 		g.SetOutputs(a)
-		k := fuseLower(t, g)
+		k := fuseLower(t, g, FusionLegacy)
 		f := k.Fused
-		if f == nil || !f.HasBias || f.Bias != b || f.Ep != tensor.EpNone {
-			t.Fatalf("lowering = %+v, want folded bias %d", f, b)
+		if f == nil || !opsEqual(tapeOps(f), []tensor.ChainOp{tensor.ChainAdd}) ||
+			len(f.Args) != 1 || f.Args[0] != b {
+			t.Fatalf("lowering = %+v, want single add against arg %d", f, b)
 		}
 	})
 
@@ -78,10 +106,10 @@ func TestFusedLinearLowering(t *testing.T) {
 		g, d := denseBase(rng, true)
 		r := g.Add("relu", "r", nil, d)
 		g.SetOutputs(r)
-		k := fuseLower(t, g)
+		k := fuseLower(t, g, FusionLegacy)
 		f := k.Fused
-		if f == nil || !f.HasBias || f.Ep != tensor.EpReLU {
-			t.Fatalf("lowering = %+v, want bias + EpReLU", f)
+		if f == nil || !opsEqual(tapeOps(f), []tensor.ChainOp{tensor.ChainReLU}) {
+			t.Fatalf("lowering = %+v, want bias + relu tape", f)
 		}
 	})
 
@@ -91,22 +119,26 @@ func TestFusedLinearLowering(t *testing.T) {
 		a := g.Add("add", "a", nil, d, b)
 		s := g.Add("sigmoid", "s", nil, a)
 		g.SetOutputs(s)
-		k := fuseLower(t, g)
+		k := fuseLower(t, g, FusionLegacy)
 		f := k.Fused
-		if f == nil || !f.HasBias || f.Bias != b || f.Ep != tensor.EpSigmoid {
-			t.Fatalf("lowering = %+v, want folded bias + EpSigmoid", f)
+		if f == nil || !opsEqual(tapeOps(f), []tensor.ChainOp{tensor.ChainAdd, tensor.ChainSigmoid}) {
+			t.Fatalf("lowering = %+v, want add+sigmoid tape", f)
 		}
 	})
 
-	// Rejections: each of these must keep generic op-by-op dispatch.
+	// Legacy rejections: each of these must keep generic op-by-op dispatch
+	// at FusionLegacy — and (where noted) lower at FusionUnconstrained.
 
 	t.Run("reject_double_bias", func(t *testing.T) {
 		g, d := denseBase(rng, true)
 		b := g.AddConst("b2", tensor.Rand(rng, 0.5, 6))
 		a := g.Add("add", "a", nil, d, b)
 		g.SetOutputs(a)
-		if k := fuseLower(t, g); k.Fused != nil {
+		if k := fuseLower(t, g, FusionLegacy); k.Fused != nil {
 			t.Fatalf("dense-with-bias + add lowered to %+v, want nil", k.Fused)
+		}
+		if k := fuseLower(t, g, FusionUnconstrained); k.Fused == nil {
+			t.Fatal("unconstrained fusion should lower dense-with-bias + add")
 		}
 	})
 
@@ -115,8 +147,13 @@ func TestFusedLinearLowering(t *testing.T) {
 		b := g.AddConst("b2", tensor.Rand(rng, 0.5, 2, 6))
 		a := g.Add("add", "a", nil, b, d) // add(other, tail): not canonical order
 		g.SetOutputs(a)
-		if k := fuseLower(t, g); k.Fused != nil {
+		if k := fuseLower(t, g, FusionLegacy); k.Fused != nil {
 			t.Fatalf("swapped add lowered to %+v, want nil", k.Fused)
+		}
+		k := fuseLower(t, g, FusionUnconstrained)
+		f := k.Fused
+		if f == nil || f.Prog.Len() != 1 || !f.Prog.Instrs()[0].Rev {
+			t.Fatalf("unconstrained lowering of swapped add = %+v, want Rev instr", f)
 		}
 	})
 
@@ -125,8 +162,11 @@ func TestFusedLinearLowering(t *testing.T) {
 		b := g.AddConst("b2", tensor.Rand(rng, 0.5, 1)) // broadcasts, width ≠ 6
 		a := g.Add("add", "a", nil, d, b)
 		g.SetOutputs(a)
-		if k := fuseLower(t, g); k.Fused != nil {
+		if k := fuseLower(t, g, FusionLegacy); k.Fused != nil {
 			t.Fatalf("scalar-broadcast add lowered to %+v, want nil", k.Fused)
+		}
+		if k := fuseLower(t, g, FusionUnconstrained); k.Fused == nil {
+			t.Fatal("unconstrained fusion should lower a scalar-broadcast add")
 		}
 	})
 
@@ -134,8 +174,12 @@ func TestFusedLinearLowering(t *testing.T) {
 		g, d := denseBase(rng, true)
 		r := g.Add("tanh", "r", nil, d)
 		g.SetOutputs(r)
-		if k := fuseLower(t, g); k.Fused != nil {
+		if k := fuseLower(t, g, FusionLegacy); k.Fused != nil {
 			t.Fatalf("dense+tanh lowered to %+v, want nil", k.Fused)
+		}
+		k := fuseLower(t, g, FusionUnconstrained)
+		if !opsEqual(tapeOps(k.Fused), []tensor.ChainOp{tensor.ChainTanh}) {
+			t.Fatalf("unconstrained dense+tanh = %+v, want tanh tape", k.Fused)
 		}
 	})
 
@@ -144,8 +188,12 @@ func TestFusedLinearLowering(t *testing.T) {
 		r := g.Add("relu", "r", nil, d)
 		s := g.Add("exp", "s", nil, r)
 		g.SetOutputs(s)
-		if k := fuseLower(t, g); k.Fused != nil {
+		if k := fuseLower(t, g, FusionLegacy); k.Fused != nil {
 			t.Fatalf("dense+relu+exp lowered to %+v, want nil", k.Fused)
+		}
+		k := fuseLower(t, g, FusionUnconstrained)
+		if !opsEqual(tapeOps(k.Fused), []tensor.ChainOp{tensor.ChainReLU, tensor.ChainExp}) {
+			t.Fatalf("unconstrained dense+relu+exp = %+v, want relu+exp tape", k.Fused)
 		}
 	})
 
@@ -153,61 +201,216 @@ func TestFusedLinearLowering(t *testing.T) {
 		g := graph.New("fl")
 		x := g.AddInput("x", 2, 8)
 		r := g.Add("relu", "r", nil, x)
-		g.SetOutputs(r)
-		if k := fuseLower(t, g); k.Fused != nil {
+		e := g.Add("exp", "e", nil, r)
+		g.SetOutputs(e)
+		if k := fuseLower(t, g, FusionLegacy); k.Fused != nil {
 			t.Fatalf("relu leader lowered to %+v, want nil", k.Fused)
+		}
+		// Unconstrained fusion lowers standalone elementwise chains too.
+		k := fuseLower(t, g, FusionUnconstrained)
+		if !opsEqual(tapeOps(k.Fused), []tensor.ChainOp{tensor.ChainExp}) {
+			t.Fatalf("standalone chain = %+v, want exp tape behind relu lead", k.Fused)
 		}
 	})
 }
 
-// TestExecuteArenaMatchesExecute runs the same module through the plain and
-// arena executors and demands bit-identical outputs — the arena path (fused
-// epilogues, buffer recycling, early release) must not change a single ULP.
-func TestExecuteArenaMatchesExecute(t *testing.T) {
-	rng := rand.New(rand.NewSource(9))
-	g := graph.New("mix")
+// unconstrainedOutputs compiles g at each fusion level and demands
+// bit-identical outputs, returning the unconstrained module for further
+// assertions.
+func unconstrainedOutputs(t *testing.T, g *graph.Graph, inputs map[string]*tensor.Tensor) *Module {
+	t.Helper()
+	var want []*tensor.Tensor
+	var unc *Module
+	for _, level := range []FusionLevel{FusionOff, FusionLegacy, FusionUnconstrained} {
+		opt := DefaultOptions()
+		opt.Fusion = level
+		m, err := Compile(g, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", level, err)
+		}
+		plain, err := m.Execute(inputs)
+		if err != nil {
+			t.Fatalf("%v: %v", level, err)
+		}
+		ar := tensor.NewArena()
+		for round := 0; round < 2; round++ {
+			got, err := m.ExecuteArena(inputs, ar)
+			if err != nil {
+				t.Fatalf("%v round %d: %v", level, round, err)
+			}
+			for i := range got {
+				assertBitEqual(t, got[i], plain[i], "%v round %d output %d: arena vs plain", level, round, i)
+			}
+		}
+		if want == nil {
+			want = plain
+		} else {
+			for i := range plain {
+				assertBitEqual(t, plain[i], want[i], "%v output %d: vs FusionOff", level, i)
+			}
+		}
+		if level == FusionUnconstrained {
+			unc = m
+		}
+	}
+	return unc
+}
+
+func assertBitEqual(t *testing.T, got, want *tensor.Tensor, format string, args ...any) {
+	t.Helper()
+	gd, wd := got.Data(), want.Data()
+	if len(gd) != len(wd) {
+		t.Fatalf(format+": size %d vs %d", append(args, len(gd), len(wd))...)
+	}
+	for j := range wd {
+		if math.Float32bits(gd[j]) != math.Float32bits(wd[j]) {
+			t.Fatalf(format+": element %d = %v, want %v (bit-exact)", append(args, j, gd[j], wd[j])...)
+		}
+	}
+}
+
+// TestUnconstrainedResidualFork exercises the tape's register path: a
+// dense feeds relu and sigmoid branches that re-join through an add, all
+// inside one kernel.
+func TestUnconstrainedResidualFork(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := graph.New("fork")
 	x := g.AddInput("x", 3, 8)
-	w1 := g.AddConst("w1", tensor.Rand(rng, 0.5, 16, 8))
-	b1 := g.AddConst("b1", tensor.Rand(rng, 0.5, 16))
-	d1 := g.Add("dense", "d1", nil, x, w1)
-	a1 := g.Add("add", "a1", nil, d1, b1)
-	r1 := g.Add("relu", "r1", nil, a1)
-	w2 := g.AddConst("w2", tensor.Rand(rng, 0.5, 4, 16))
-	b2 := g.AddConst("b2", tensor.Rand(rng, 0.5, 4))
-	d2 := g.Add("dense", "d2", nil, r1, w2, b2)
-	s2 := g.Add("sigmoid", "s2", nil, d2)
-	fl := g.Add("flatten", "fl", nil, s2)
-	sm := g.Add("softmax", "sm", nil, fl)
-	g.SetOutputs(sm, r1) // r1 doubles as a declared output: must survive release
+	w := g.AddConst("w", tensor.Rand(rng, 0.5, 6, 8))
+	d := g.Add("dense", "d", nil, x, w)
+	r := g.Add("relu", "r", nil, d)
+	s := g.Add("sigmoid", "s", nil, d)
+	a := g.Add("add", "a", nil, r, s)
+	g.SetOutputs(a)
 	if err := InferShapes(g); err != nil {
 		t.Fatal(err)
 	}
-	m, err := Compile(g, DefaultOptions())
-	if err != nil {
+	m := unconstrainedOutputs(t, g, map[string]*tensor.Tensor{"x": tensor.Rand(rng, 1, 3, 8)})
+	if len(m.Kernels) != 1 || m.Kernels[0].Fused == nil {
+		t.Fatalf("fork should fuse to one kernel: %d kernels, fused=%v", len(m.Kernels), m.Kernels[0].Fused != nil)
+	}
+	f := m.Kernels[0].Fused
+	if f.Prog.NumRegs() == 0 && f.RecomputeFLOPs == 0 {
+		t.Fatalf("fork lowering used neither registers nor recompute: %+v", f)
+	}
+	if len(f.Emits) != 0 {
+		t.Fatalf("private fork intermediates must not be emitted: %v", f.Emits)
+	}
+}
+
+// TestUnconstrainedSelfBinary covers the SrcCur path: mul(v, v) squares
+// the stream without any register or argument.
+func TestUnconstrainedSelfBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	g := graph.New("sq")
+	x := g.AddInput("x", 4, 5)
+	r := g.Add("relu", "r", nil, x)
+	q := g.Add("mul", "q", nil, r, r)
+	g.SetOutputs(q)
+	if err := InferShapes(g); err != nil {
 		t.Fatal(err)
 	}
-	inputs := map[string]*tensor.Tensor{"x": tensor.Rand(rng, 1, 3, 8)}
-	want, err := m.Execute(inputs)
-	if err != nil {
+	m := unconstrainedOutputs(t, g, map[string]*tensor.Tensor{"x": tensor.Rand(rng, 1, 4, 5)})
+	f := m.Kernels[0].Fused
+	if f == nil || f.Prog.Len() != 1 || f.Prog.Instrs()[0].Src != tensor.SrcCur {
+		t.Fatalf("self-binary lowering = %+v, want one SrcCur mul", f)
+	}
+}
+
+// TestUnconstrainedEmitsSharedIntermediate: a group value read by a kernel
+// outside the group must be materialized exactly once via an Emit slot and
+// released only after its outside consumer has run.
+func TestUnconstrainedEmitsSharedIntermediate(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := graph.New("emit")
+	x := g.AddInput("x", 3, 8)
+	w := g.AddConst("w", tensor.Rand(rng, 0.5, 8, 8))
+	d := g.Add("dense", "d", nil, x, w)
+	r := g.Add("relu", "r", nil, d)
+	t2 := g.Add("tanh", "t2", nil, r)
+	// Outside consumer of r: a second dense that cannot join the group.
+	w2 := g.AddConst("w2", tensor.Rand(rng, 0.5, 4, 8))
+	d2 := g.Add("dense", "d2", nil, r, w2)
+	s := g.Add("sigmoid", "s", nil, d2)
+	g.SetOutputs(t2, s)
+	if err := InferShapes(g); err != nil {
 		t.Fatal(err)
 	}
-	ar := tensor.NewArena()
-	for round := 0; round < 3; round++ { // round 2+ exercises recycled buffers
-		got, err := m.ExecuteArena(inputs, ar)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(got) != len(want) {
-			t.Fatalf("round %d: %d outputs, want %d", round, len(got), len(want))
-		}
-		for i := range want {
-			wd, gd := want[i].Data(), got[i].Data()
-			for j := range wd {
-				if math.Float32bits(wd[j]) != math.Float32bits(gd[j]) {
-					t.Fatalf("round %d: output %d element %d = %v, want %v (bit-exact)",
-						round, i, j, gd[j], wd[j])
+	m := unconstrainedOutputs(t, g, map[string]*tensor.Tensor{"x": tensor.Rand(rng, 1, 3, 8)})
+	var emitted bool
+	for i := range m.Kernels {
+		if f := m.Kernels[i].Fused; f != nil {
+			for _, e := range f.Emits {
+				if e == r {
+					emitted = true
 				}
 			}
 		}
 	}
+	if !emitted {
+		t.Fatal("shared intermediate r must be materialized through an Emit slot")
+	}
+}
+
+// TestUnconstrainedRecompute drives the recompute-vs-materialize
+// arbitration: a cheap producer with one pending use is replayed instead
+// of saved when the stream returns to it.
+func TestUnconstrainedRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	g := graph.New("rc")
+	x := g.AddInput("x", 3, 6)
+	w := g.AddConst("w", tensor.Rand(rng, 0.5, 6, 6))
+	kc := g.AddConst("k", tensor.Rand(rng, 0.5, 6))
+	d := g.Add("dense", "d", nil, x, w)
+	c := g.Add("mul", "c", nil, d, d) // cheap square of the lead
+	t2 := g.Add("tanh", "t2", nil, d) // stream must come back through d
+	fa := g.Add("add", "f", nil, c, kc)
+	z := g.Add("maximum", "z", nil, fa, t2)
+	g.SetOutputs(z)
+	if err := InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	m := unconstrainedOutputs(t, g, map[string]*tensor.Tensor{"x": tensor.Rand(rng, 1, 3, 6)})
+	f := m.Kernels[0].Fused
+	if f == nil {
+		t.Fatal("recompute graph should lower to one fused kernel")
+	}
+	if f.RecomputeFLOPs == 0 || f.RecomputeBytes == 0 {
+		t.Fatalf("expected the cheap mul to be recomputed: %+v", f)
+	}
+}
+
+// TestUnconstrainedSpillFallsBack builds a group needing more live values
+// than maxChainRegs and checks it degrades to op-by-op dispatch (Fused ==
+// nil) with outputs still correct.
+func TestUnconstrainedSpillFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	g := graph.New("spill")
+	x := g.AddInput("x", 2, 4)
+	// Build maxChainRegs+2 expensive branches off the same root, then fold
+	// them together pairwise; every branch value must be live at the join.
+	root := g.Add("sigmoid", "root", nil, x)
+	var branches []graph.NodeID
+	for i := 0; i < maxChainRegs+2; i++ {
+		branches = append(branches, g.Add("tanh", mustName("b", i), nil, root))
+	}
+	acc := branches[0]
+	for i := 1; i < len(branches); i++ {
+		acc = g.Add("add", mustName("acc", i), nil, acc, branches[i])
+	}
+	g.SetOutputs(acc)
+	if err := InferShapes(g); err != nil {
+		t.Fatal(err)
+	}
+	m := unconstrainedOutputs(t, g, map[string]*tensor.Tensor{"x": tensor.Rand(rng, 1, 2, 4)})
+	// The whole graph is one group; whether it lowers depends on register
+	// pressure. What matters: execution stays correct (checked above) and
+	// an unlowered kernel reports per-op launches, not one.
+	if len(m.Kernels) != 1 {
+		t.Fatalf("expected a single group, got %d kernels", len(m.Kernels))
+	}
+}
+
+func mustName(prefix string, i int) string {
+	return prefix + string(rune('0'+i/10)) + string(rune('0'+i%10))
 }

@@ -65,7 +65,7 @@ func Compile(g *graph.Graph, opt Options) (*Module, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Module{Graph: og, Kernels: Fuse(og, opt.Fuse), Opt: opt}, nil
+	return &Module{Graph: og, Kernels: Fuse(og, opt.fusionLevel()), Opt: opt}, nil
 }
 
 // Env holds runtime values for graph nodes during execution.
@@ -156,15 +156,9 @@ func (m *Module) ExecuteArena(inputs map[string]*tensor.Tensor, ar *tensor.Arena
 	for i := range m.Kernels {
 		k := &m.Kernels[i]
 		if f := k.Fused; f != nil {
-			var bias *tensor.Tensor
-			if f.HasBias {
-				bias = env[f.Bias]
-			}
-			env[k.Output()] = tensor.LinearEpInto(nil, env[f.X], env[f.W], bias, f.Ep, ar)
-			consume(f.X)
-			consume(f.W)
-			if f.HasBias {
-				consume(f.Bias)
+			env[k.Output()] = m.runFused(k, f, env, ar)
+			for _, id := range f.Consumes {
+				consume(id)
 			}
 			continue
 		}
@@ -194,6 +188,138 @@ func (m *Module) ExecuteArena(inputs map[string]*tensor.Tensor, ar *tensor.Arena
 		outs[i] = env[o]
 	}
 	return outs, nil
+}
+
+// runFused executes one fused kernel: the leader through its native
+// kernel (the dense lead streams straight into the epilogue program with
+// no intermediate buffer), the rest of the group as the compiled tape.
+// Emitted intermediates land in arena buffers registered into env; the
+// caller settles f.Consumes against the release plan.
+func (m *Module) runFused(k *Kernel, f *FusedGroup, env Env, ar *tensor.Arena) *tensor.Tensor {
+	var args []*tensor.Tensor
+	if len(f.Args) > 0 {
+		args = make([]*tensor.Tensor, len(f.Args))
+		for i, a := range f.Args {
+			v, ok := env[a]
+			if !ok {
+				panic(fmt.Sprintf("compiler: fused kernel %s reads %q before it is computed", k.Name, m.Graph.Node(a).Name))
+			}
+			args[i] = v
+		}
+	}
+	var outs []*tensor.Tensor
+	if len(f.Emits) > 0 {
+		outs = make([]*tensor.Tensor, len(f.Emits))
+		for i := range f.Emits {
+			outs[i] = ar.NewNoZero(f.Prog.Shape()...)
+		}
+	}
+
+	lead := m.Graph.Node(f.Lead)
+	var dst *tensor.Tensor
+	if lead.Op == "dense" {
+		var bias *tensor.Tensor
+		if len(f.LeadIns) == 3 {
+			bias = env[f.LeadIns[2]]
+		}
+		dst = tensor.LinearChainInto(nil, env[f.LeadIns[0]], env[f.LeadIns[1]], bias, f.Prog, args, outs, ar)
+	} else {
+		def := ops.MustLookup(lead.Op)
+		in := make([]*tensor.Tensor, len(f.LeadIns))
+		for i, inID := range f.LeadIns {
+			v, ok := env[inID]
+			if !ok {
+				panic(fmt.Sprintf("compiler: fused kernel %s reads %q before it is computed", k.Name, m.Graph.Node(inID).Name))
+			}
+			in[i] = v
+		}
+		if def.ExecArena != nil {
+			dst = def.ExecArena(lead.Attrs, in, ar)
+		} else {
+			dst = def.Exec(lead.Attrs, in)
+		}
+		f.Prog.RunInPlace(dst, args, outs)
+	}
+	for i, e := range f.Emits {
+		env[e] = outs[i]
+	}
+	return dst
+}
+
+// LaunchCount is the module's honest dispatch count: a fused kernel is one
+// launch regardless of how many graph ops it absorbed, while an unlowered
+// kernel dispatches each member through its registered op (structural ops
+// report their own launch counts, typically zero). This is the metric
+// unconstrained fusion strictly reduces.
+func (m *Module) LaunchCount() int {
+	total := 0
+	for i := range m.Kernels {
+		k := &m.Kernels[i]
+		if k.Fused != nil {
+			total++
+			continue
+		}
+		for _, id := range k.Nodes {
+			total += NodeCost(m.Graph, id).Launches
+		}
+	}
+	return total
+}
+
+// UnfusedLaunchCount is what LaunchCount would be had fusion not grouped
+// anything: every kernel member dispatches through its registered op. The
+// difference against LaunchCount is the launches fusion saved.
+func (m *Module) UnfusedLaunchCount() int {
+	total := 0
+	for i := range m.Kernels {
+		for _, id := range m.Kernels[i].Nodes {
+			total += NodeCost(m.Graph, id).Launches
+		}
+	}
+	return total
+}
+
+// FusionStats summarizes what the fusion pass did to this module.
+type FusionStats struct {
+	Groups         int     // kernels lowered to a fused launch
+	FusedOps       int     // graph ops absorbed into those kernels
+	Emits          int     // intermediates materialized by epilogue programs
+	RecomputeFLOPs float64 // extra FLOPs spent replaying cheap producers
+	RecomputeBytes float64 // save/load traffic those replays avoided
+}
+
+// FusionStats reports the module's fusion summary.
+func (m *Module) FusionStats() FusionStats {
+	var s FusionStats
+	for i := range m.Kernels {
+		f := m.Kernels[i].Fused
+		if f == nil {
+			continue
+		}
+		s.Groups++
+		s.FusedOps += len(m.Kernels[i].Nodes)
+		s.Emits += len(f.Emits)
+		s.RecomputeFLOPs += f.RecomputeFLOPs
+		s.RecomputeBytes += f.RecomputeBytes
+	}
+	return s
+}
+
+// FusedKernelNames lists the module's fused kernels as "name+N" tags,
+// where name is the kernel's lead node and N counts the chain ops its
+// epilogue tape absorbed. The profiler carries the joined tags into its
+// records so the scheduler's audit can name the fused kernels behind each
+// placement decision.
+func (m *Module) FusedKernelNames() []string {
+	var names []string
+	for i := range m.Kernels {
+		k := &m.Kernels[i]
+		if k.Fused == nil {
+			continue
+		}
+		names = append(names, fmt.Sprintf("%s+%d", k.Name, len(k.Nodes)-1))
+	}
+	return names
 }
 
 // TotalCost sums the cost descriptors of every kernel in the module.

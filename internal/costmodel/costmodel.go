@@ -51,6 +51,18 @@ type Features struct {
 	OutBytes int `json:"out_bytes"`
 	// OpCounts is the operator histogram of the un-fused subgraph.
 	OpCounts map[string]int `json:"op_counts"`
+	// Fusion summarizes the fused-kernel plan: epilogue group count,
+	// absorbed ops, emitted intermediates, and recompute volume.
+	Fusion compiler.FusionStats `json:"fusion"`
+	// FusedOpCounts is the operator histogram of group members executed by
+	// epilogue tapes — the fused-op vocabulary features, which let the model
+	// learn that a chained op costs less than a standalone launch.
+	FusedOpCounts map[string]int `json:"fused_op_counts,omitempty"`
+	// FusedKernels carries the plan's fused-kernel "name+N" tags
+	// (compiler.Module.FusedKernelNames) — diagnostics only, never
+	// vectorized: predicted profile records restate them so the scheduler's
+	// audit names fused kernels even in zero-benchmark mode.
+	FusedKernels []string `json:"fused_kernels,omitempty"`
 }
 
 // FromModule extracts features from an already-compiled module. The parent
@@ -66,6 +78,17 @@ func FromModule(parent *graph.Graph, sub *graph.Subgraph, m *compiler.Module) Fe
 		f.Kernels = append(f.Kernels, k.Cost)
 	}
 	f.Variants = compiler.VariantCosts(m)
+	f.Fusion = m.FusionStats()
+	f.FusedKernels = m.FusedKernelNames()
+	f.FusedOpCounts = map[string]int{}
+	for _, k := range m.Kernels {
+		if k.Fused == nil {
+			continue
+		}
+		for _, id := range k.Nodes[1:] {
+			f.FusedOpCounts[m.Graph.Node(id).Op]++
+		}
+	}
 	for _, n := range sub.Graph.Nodes() {
 		if !n.IsConst() && !n.IsInput() {
 			f.OpCounts[n.Op]++
@@ -87,25 +110,28 @@ func Extract(parent *graph.Graph, sub *graph.Subgraph, opts compiler.Options) (F
 // Base feature indices. Op-histogram features follow numBase, one per
 // vocabulary entry.
 const (
-	fIntercept = iota
-	fRefCPU    // reference-roofline time on the calibrated CPU model (ms)
-	fRefGPU    // reference-roofline time on the calibrated GPU model (ms)
-	fGFLOPs    // total arithmetic work (GFLOP)
-	fItemWork  // per-work-item depth: sum FLOPs/parallelism (MFLOP/item)
-	fGBytes    // total memory traffic (GB)
-	fLaunches  // kernel launches × sequential steps (×1e3)
-	fKernels   // fused-kernel (dispatch) count (×1e2)
-	fSeqSteps  // serialized dependent steps (×1e3)
-	fSeqGFLOPs // arithmetic work inside sequential kernels (GFLOP)
-	fBoundMB   // boundary I/O volume (MB)
-	fLogWidth  // log2(1 + max kernel parallelism) / 32
+	fIntercept   = iota
+	fRefCPU      // reference-roofline time on the calibrated CPU model (ms)
+	fRefGPU      // reference-roofline time on the calibrated GPU model (ms)
+	fGFLOPs      // total arithmetic work (GFLOP)
+	fItemWork    // per-work-item depth: sum FLOPs/parallelism (MFLOP/item)
+	fGBytes      // total memory traffic (GB)
+	fLaunches    // kernel launches × sequential steps (×1e3)
+	fKernels     // fused-kernel (dispatch) count (×1e2)
+	fSeqSteps    // serialized dependent steps (×1e3)
+	fSeqGFLOPs   // arithmetic work inside sequential kernels (GFLOP)
+	fBoundMB     // boundary I/O volume (MB)
+	fLogWidth    // log2(1 + max kernel parallelism) / 32
+	fFusedGroups // fused epilogue groups (×1e2)
+	fChainOps    // tape-executed chain ops beyond the leads (×1e2)
+	fRecompMB    // tensor traffic the tapes replay instead of storing (MB)
 	numBase
 )
 
 var baseNames = [numBase]string{
 	"intercept", "ref_cpu_ms", "ref_gpu_ms", "gflops", "item_work",
 	"gbytes", "launches", "kernels", "seq_steps", "seq_gflops",
-	"boundary_mb", "log_width",
+	"boundary_mb", "log_width", "fused_groups", "chain_ops", "recompute_mb",
 }
 
 // rowVarying marks the base features whose value grows when the subgraph's
@@ -115,8 +141,12 @@ var baseNames = [numBase]string{
 // non-decreasing in batch rows by construction.
 var rowVarying = [numBase]bool{
 	fRefCPU: true, fRefGPU: true, fGFLOPs: true, fGBytes: true,
-	fSeqGFLOPs: true, fBoundMB: true, fLogWidth: true,
+	fSeqGFLOPs: true, fBoundMB: true, fLogWidth: true, fRecompMB: true,
 }
+
+// featureDim is the vector length under a vocabulary: the base features
+// plus two histogram families (all ops, tape-fused ops).
+func featureDim(vocabLen int) int { return numBase + 2*vocabLen }
 
 // refCPU / refGPU are the calibrated reference device models used for the
 // roofline features. These are analytic estimates (device.KernelTime), not
@@ -141,7 +171,7 @@ func (f Features) Vector(vocab []string, rowScale float64) []float64 {
 	if rowScale <= 0 {
 		rowScale = 1
 	}
-	x := make([]float64, numBase+len(vocab))
+	x := make([]float64, featureDim(len(vocab)))
 	x[fIntercept] = 1
 	maxPar := 0.0
 	for ki, raw := range f.Kernels {
@@ -188,8 +218,12 @@ func (f Features) Vector(vocab []string, rowScale float64) []float64 {
 	}
 	x[fBoundMB] = rowScale * float64(f.InBytes+f.OutBytes) / 1e6
 	x[fLogWidth] = math.Log2(1+maxPar) / 32
+	x[fFusedGroups] = float64(f.Fusion.Groups) / 1e2
+	x[fChainOps] = float64(f.Fusion.FusedOps-f.Fusion.Groups) / 1e2
+	x[fRecompMB] = rowScale * f.Fusion.RecomputeBytes / 1e6
 	for vi, op := range vocab {
 		x[numBase+vi] = float64(f.OpCounts[op]) / 10
+		x[numBase+len(vocab)+vi] = float64(f.FusedOpCounts[op]) / 10
 	}
 	return x
 }
@@ -199,6 +233,9 @@ func FeatureNames(vocab []string) []string {
 	names := append([]string(nil), baseNames[:]...)
 	for _, op := range vocab {
 		names = append(names, "op:"+op)
+	}
+	for _, op := range vocab {
+		names = append(names, "fused:"+op)
 	}
 	return names
 }

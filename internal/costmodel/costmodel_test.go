@@ -2,6 +2,7 @@ package costmodel_test
 
 import (
 	"bytes"
+	"sort"
 	"strings"
 	"testing"
 
@@ -44,11 +45,21 @@ func zooGraphs(t *testing.T) map[string]*partition.Partition {
 }
 
 // zooSamples profiles the zoo noiselessly and pairs records with features.
+// The model order is sorted: Observe's online refinement is sample-order
+// dependent, so map-iteration order would make convergence assertions
+// flaky.
 func zooSamples(t *testing.T) []costmodel.Sample {
 	t.Helper()
 	var samples []costmodel.Sample
 	opts := compiler.DefaultOptions()
-	for _, part := range zooGraphs(t) {
+	parts := zooGraphs(t)
+	names := make([]string, 0, len(parts))
+	for name := range parts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		part := parts[name]
 		prof := &profile.Profiler{Platform: device.NewPlatform(0), Options: opts, Runs: 3}
 		recs, err := prof.ProfileAll(part.Parent, part.Subgraphs())
 		if err != nil {

@@ -4,10 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	goruntime "runtime"
 	"time"
 
+	"duet/internal/compiler"
+	"duet/internal/graph"
 	"duet/internal/tensor"
 )
 
@@ -25,6 +28,23 @@ type KernelBench struct {
 	GFLOPS  float64 `json:"gflops"`
 }
 
+// FusionBench is one fusion-ablation workload: a chain-heavy graph compiled
+// at legacy and unconstrained fusion levels, executed warm through the
+// arena. Launch counts are structural (deterministic per level); the ns
+// columns are wall-clock and carry the usual host noise.
+type FusionBench struct {
+	Workload              string  `json:"workload"`
+	LaunchesOff           int     `json:"launches_off"`
+	LaunchesLegacy        int     `json:"launches_legacy"`
+	LaunchesUnconstrained int     `json:"launches_unconstrained"`
+	FusedGroups           int     `json:"fused_groups"`
+	NsLegacy              float64 `json:"ns_legacy"`
+	NsUnconstrained       float64 `json:"ns_unconstrained"`
+	// Speedup is NsLegacy / NsUnconstrained — how much faster the
+	// unconstrained plan runs the same graph.
+	Speedup float64 `json:"speedup"`
+}
+
 // KernelsReport is the committed BENCH_kernels.json artifact: the full
 // benchmark matrix plus the host context it was measured on, so kernel-level
 // regressions are diffable across revisions the same way BENCH_obs.json
@@ -33,6 +53,12 @@ type KernelsReport struct {
 	GoMaxProcs int           `json:"gomaxprocs"`
 	Quick      bool          `json:"quick"`
 	Benches    []KernelBench `json:"benches"`
+	// Fusion is the unconstrained-vs-legacy fusion ablation; the geomean of
+	// the per-workload speedups is the headline the bench-diff gate holds at
+	// ≥ FusionSpeedupBar.
+	Fusion                []FusionBench `json:"fusion"`
+	FusionSpeedupGeomean  float64       `json:"fusion_speedup_geomean"`
+	FusionLaunchReduction float64       `json:"fusion_launch_reduction"`
 }
 
 // WriteJSON writes the report as indented JSON.
@@ -45,6 +71,13 @@ func (r *KernelsReport) WriteJSON(w io.Writer) error {
 // benchBudget is the per-cell sampling budget at paper scale; quick mode
 // runs every cell once.
 const benchBudget = 300 * time.Millisecond
+
+// FusionSpeedupBar is the wall-clock bar unconstrained fusion must clear
+// over legacy fusion on the fusion-ablation workloads: the geomean of the
+// per-workload speedups must stay at or above this ratio. The bench-diff
+// gate (kernels/fusion/gate/speedup_ok) re-derives the 0/1 verdict from
+// the recorded geomean on both the committed baseline and every fresh run.
+const FusionSpeedupBar = 1.10
 
 // timeKernel samples f until the budget is spent (at least once) and
 // returns the iteration count and mean ns/op.
@@ -133,5 +166,167 @@ func BuildKernelsReport(cfg Config) (*KernelsReport, error) {
 	}
 
 	tensor.SetMaxWorkers(0)
+	if err := measureFusion(rep, quick, rng); err != nil {
+		return nil, err
+	}
 	return rep, nil
+}
+
+// fusionWorkload is one graph in the fusion ablation. Workloads are sized
+// like batch-1 serving activations — small tensors, long elementwise
+// chains — where per-op dispatch (an allocation, a shape check, a
+// parallel-for setup per op) dominates the arithmetic. Under legacy fusion
+// the chains fall outside the dense[+bias][+relu|sigmoid] pattern and
+// dispatch op-by-op; unconstrained fusion runs each chain as a single tape
+// launch, which is exactly the overhead the paper's launch-count argument
+// is about.
+type fusionWorkload struct {
+	name   string
+	build  func(rng *rand.Rand) *graph.Graph
+	inputs func(rng *rand.Rand) map[string]*tensor.Tensor
+}
+
+func fusionWorkloads() []fusionWorkload {
+	const cols = 64
+	return []fusionWorkload{
+		{
+			// A standalone elementwise chain: 30 cheap ops over a batch-1
+			// activation row. Legacy fusion cannot lower it at all.
+			name: "elementwise_chain",
+			build: func(rng *rand.Rand) *graph.Graph {
+				g := graph.New("fusion-chain")
+				x := g.AddInput("x", 1, cols)
+				row := g.AddConst("row", tensor.Rand(rng, 1, cols))
+				cur := x
+				for i := 0; i < 10; i++ {
+					cur = g.Add("relu", fmt.Sprintf("c%d.relu", i), nil, cur)
+					cur = g.Add("mul", fmt.Sprintf("c%d.mul", i), nil, cur, row)
+					cur = g.Add("add", fmt.Sprintf("c%d.add", i), nil, cur, row)
+				}
+				g.SetOutputs(cur)
+				return g
+			},
+			inputs: func(rng *rand.Rand) map[string]*tensor.Tensor {
+				return map[string]*tensor.Tensor{"x": tensor.Rand(rng, 1, 1, cols)}
+			},
+		},
+		{
+			// A small dense lead with an epilogue beyond the legacy pattern:
+			// the whole group falls back to op-by-op under legacy.
+			name: "dense_epilogue",
+			build: func(rng *rand.Rand) *graph.Graph {
+				g := graph.New("fusion-dense")
+				x := g.AddInput("x", 1, 48)
+				w := g.AddConst("w", tensor.Rand(rng, 1, 96, 48))
+				row := g.AddConst("row", tensor.Rand(rng, 1, 96))
+				cur := g.Add("dense", "lead", nil, x, w)
+				for i := 0; i < 4; i++ {
+					cur = g.Add("add", fmt.Sprintf("e%d.bias", i), nil, cur, row)
+					cur = g.Add("relu", fmt.Sprintf("e%d.act", i), nil, cur)
+					cur = g.Add("mul", fmt.Sprintf("e%d.scale", i), nil, cur, row)
+					cur = g.Add("maximum", fmt.Sprintf("e%d.clip", i), nil, cur, row)
+				}
+				g.SetOutputs(cur)
+				return g
+			},
+			inputs: func(rng *rand.Rand) map[string]*tensor.Tensor {
+				return map[string]*tensor.Tensor{"x": tensor.Rand(rng, 1, 1, 48)}
+			},
+		},
+		{
+			// A multi-consumer residual ladder: the forks exercise the
+			// recompute-vs-materialize arbitration in the unconstrained pass.
+			name: "residual_fanout",
+			build: func(rng *rand.Rand) *graph.Graph {
+				g := graph.New("fusion-residual")
+				x := g.AddInput("x", 1, cols)
+				row := g.AddConst("row", tensor.Rand(rng, 1, cols))
+				cur := g.Add("add", "pre", nil, x, row)
+				for i := 0; i < 8; i++ {
+					act := g.Add("relu", fmt.Sprintf("r%d.act", i), nil, cur)
+					scaled := g.Add("mul", fmt.Sprintf("r%d.scaled", i), nil, act, row)
+					cur = g.Add("add", fmt.Sprintf("r%d.res", i), nil, scaled, cur)
+				}
+				g.SetOutputs(g.Add("maximum", "out", nil, cur, row))
+				return g
+			},
+			inputs: func(rng *rand.Rand) map[string]*tensor.Tensor {
+				return map[string]*tensor.Tensor{"x": tensor.Rand(rng, 1, 1, cols)}
+			},
+		},
+	}
+}
+
+// measureFusion fills the report's fusion ablation: per-workload launch
+// counts at all three fusion levels, warm-arena wall time at legacy and
+// unconstrained, and the aggregate geomean speedup / launch reduction.
+func measureFusion(rep *KernelsReport, quick bool, rng *rand.Rand) error {
+	compileAt := func(g *graph.Graph, level compiler.FusionLevel) (*compiler.Module, error) {
+		opts := compiler.DefaultOptions()
+		opts.Fusion = level
+		return compiler.Compile(g, opts)
+	}
+	logSum := 0.0
+	legacyLaunches, uncLaunches := 0, 0
+	for _, w := range fusionWorkloads() {
+		g := w.build(rng)
+		if err := compiler.InferShapes(g); err != nil {
+			return fmt.Errorf("fusion workload %s: %w", w.name, err)
+		}
+		var mods [3]*compiler.Module
+		for i, level := range []compiler.FusionLevel{compiler.FusionOff, compiler.FusionLegacy, compiler.FusionUnconstrained} {
+			m, err := compileAt(g, level)
+			if err != nil {
+				return fmt.Errorf("fusion workload %s: %w", w.name, err)
+			}
+			mods[i] = m
+		}
+		inputs := w.inputs(rng)
+		// One module run is ~10µs — below timer noise — so each timed
+		// sample aggregates a block of runs and reports the per-run mean.
+		const block = 64
+		timeModule := func(m *compiler.Module) (float64, error) {
+			ar := tensor.NewArena()
+			var runErr error
+			_, ns := timeKernel(quick, func() {
+				for b := 0; b < block; b++ {
+					outs, err := m.ExecuteArena(inputs, ar)
+					if err != nil && runErr == nil {
+						runErr = err
+					}
+					// Recycle the outputs so repeated runs measure the warm
+					// steady state the engine sustains.
+					for _, o := range outs {
+						ar.Release(o)
+					}
+				}
+			})
+			return ns / block, runErr
+		}
+		nsLegacy, err := timeModule(mods[1])
+		if err != nil {
+			return fmt.Errorf("fusion workload %s: %w", w.name, err)
+		}
+		nsUnc, err := timeModule(mods[2])
+		if err != nil {
+			return fmt.Errorf("fusion workload %s: %w", w.name, err)
+		}
+		b := FusionBench{
+			Workload:              w.name,
+			LaunchesOff:           mods[0].LaunchCount(),
+			LaunchesLegacy:        mods[1].LaunchCount(),
+			LaunchesUnconstrained: mods[2].LaunchCount(),
+			FusedGroups:           mods[2].FusionStats().Groups,
+			NsLegacy:              nsLegacy,
+			NsUnconstrained:       nsUnc,
+			Speedup:               nsLegacy / nsUnc,
+		}
+		rep.Fusion = append(rep.Fusion, b)
+		logSum += math.Log(b.Speedup)
+		legacyLaunches += b.LaunchesLegacy
+		uncLaunches += b.LaunchesUnconstrained
+	}
+	rep.FusionSpeedupGeomean = math.Exp(logSum / float64(len(rep.Fusion)))
+	rep.FusionLaunchReduction = 1 - float64(uncLaunches)/float64(legacyLaunches)
+	return nil
 }

@@ -81,7 +81,31 @@ func Siamese(cfg SiameseConfig) (*graph.Graph, error) {
 
 	left := branch("query")
 	right := branch("passage")
-	sim := b.g.Add("cosine_similarity", "similarity", nil, left, right)
-	b.g.SetOutputs(sim)
+	b.g.SetOutputs(b.cosineHead(left, right, cfg))
 	return b.g, nil
+}
+
+// cosineHead compares the two branch embeddings. At batch 1 the cosine is
+// spelled out in primitive ops: each branch L2-normalizes its own embedding
+// (a tiny self-GEMM feeding a sqrt the unconstrained fusion pass folds into
+// it, then a broadcast divide), and a single dot-product join multiplies the
+// unit vectors. The normalization stays branch-local, so the two-branch
+// multi-path partition survives and the join remains one sync point.
+// Larger batches keep the monolithic row-wise cosine op.
+func (b *builder) cosineHead(left, right graph.NodeID, cfg SiameseConfig) graph.NodeID {
+	if cfg.Batch != 1 {
+		return b.g.Add("cosine_similarity", "similarity", nil, left, right)
+	}
+	col := graph.Attrs{"shape": []int{cfg.ProjDim, 1}}
+	unitVec := func(side string, proj graph.NodeID) graph.NodeID {
+		pT := b.g.Add("reshape", side+".projT", col, proj)
+		ss := b.g.Add("matmul", side+".selfdot", nil, proj, pT)
+		n := b.g.Add("sqrt", side+".norm", nil, ss)
+		nf := b.g.Add("reshape", side+".norm0", graph.Attrs{"shape": []int{1}}, n)
+		return b.g.Add("div", side+".unit", nil, proj, nf)
+	}
+	lUnit := unitVec("query", left)
+	rUnit := unitVec("passage", right)
+	rT := b.g.Add("reshape", "passage.unitT", col, rUnit)
+	return b.g.Add("matmul", "similarity", nil, lUnit, rT)
 }

@@ -56,7 +56,7 @@ func init() {
 			if len(in) == 3 {
 				bias = in[2]
 			}
-			return tensor.LinearEpInto(nil, in[0], in[1], bias, tensor.EpNone, ar)
+			return tensor.LinearInto(nil, in[0], in[1], bias, ar)
 		},
 	})
 

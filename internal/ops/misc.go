@@ -301,16 +301,16 @@ func mhaForward(x, wq, wk, wv, wo, bias *tensor.Tensor, heads int, ar *tensor.Ar
 	out := ar.NewNoZero(b, t, d)
 	for bi := 0; bi < b; bi++ {
 		xb := tensor.FromSlice(x.Data()[bi*t*d:(bi+1)*t*d], t, d)
-		q := tensor.LinearEpInto(nil, xb, wq, nil, tensor.EpNone, ar)
-		k := tensor.LinearEpInto(nil, xb, wk, nil, tensor.EpNone, ar)
-		v := tensor.LinearEpInto(nil, xb, wv, nil, tensor.EpNone, ar)
+		q := tensor.LinearInto(nil, xb, wq, nil, ar)
+		k := tensor.LinearInto(nil, xb, wk, nil, ar)
+		v := tensor.LinearInto(nil, xb, wv, nil, ar)
 		ctx := ar.NewNoZero(t, d)
 		for h := 0; h < heads; h++ {
 			qh := sliceCols(q, h*hd, hd, ar)
 			kh := sliceCols(k, h*hd, hd, ar)
 			vh := sliceCols(v, h*hd, hd, ar)
 			// scores = qh·khᵀ — the dense kernel packs kh transposed.
-			scores := tensor.LinearEpInto(nil, qh, kh, nil, tensor.EpNone, ar)
+			scores := tensor.LinearInto(nil, qh, kh, nil, ar)
 			tensor.ScaleInto(scores, scores, scale, ar)
 			attn := tensor.SoftmaxInto(nil, scores, ar)
 			ch := tensor.MatMulInto(nil, attn, vh, ar)
@@ -327,7 +327,7 @@ func mhaForward(x, wq, wk, wv, wo, bias *tensor.Tensor, heads int, ar *tensor.Ar
 		ar.Release(q)
 		ar.Release(k)
 		ar.Release(v)
-		proj := tensor.LinearEpInto(nil, ctx, wo, nil, tensor.EpNone, ar)
+		proj := tensor.LinearInto(nil, ctx, wo, nil, ar)
 		tensor.AddInto(proj, proj, bias, ar)
 		copy(out.Data()[bi*t*d:(bi+1)*t*d], proj.Data())
 		ar.Release(ctx)

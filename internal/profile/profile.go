@@ -9,6 +9,7 @@ package profile
 
 import (
 	"fmt"
+	"strings"
 
 	"duet/internal/compiler"
 	"duet/internal/device"
@@ -40,6 +41,11 @@ type Record struct {
 	OutBytes int
 	// Kernels is the number of compiled kernels after fusion.
 	Kernels int
+	// Fused names the plan's fused kernels as comma-joined "name+N" tags
+	// (lead node plus absorbed chain-op count), so downstream consumers —
+	// the scheduler's audit in particular — can say which fused kernels a
+	// placement decision weighed. Empty when fusion produced no groups.
+	Fused string `json:",omitempty"`
 	// Origin records how Time was obtained (OriginMeasured when empty, for
 	// records persisted before the field existed).
 	Origin string `json:",omitempty"`
@@ -149,6 +155,7 @@ func (p *Profiler) ProfileModule(parent *graph.Graph, sub *graph.Subgraph, m *co
 		InBytes:  sub.InputBytes(parent),
 		OutBytes: sub.OutputBytes(parent),
 		Kernels:  m.KernelCount(),
+		Fused:    strings.Join(m.FusedKernelNames(), ","),
 		Origin:   OriginMeasured,
 	}
 	for _, kind := range []device.Kind{device.CPU, device.GPU} {

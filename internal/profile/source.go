@@ -3,6 +3,7 @@ package profile
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"duet/internal/compiler"
 	"duet/internal/costmodel"
@@ -333,6 +334,7 @@ func predictRecord(m *costmodel.Model, parent *graph.Graph, sub *graph.Subgraph,
 		InBytes:  sub.InputBytes(parent),
 		OutBytes: sub.OutputBytes(parent),
 		Kernels:  len(f.Kernels),
+		Fused:    strings.Join(f.FusedKernels, ","),
 		Origin:   OriginPredicted,
 	}
 	for _, kind := range []device.Kind{device.CPU, device.GPU} {

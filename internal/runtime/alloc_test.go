@@ -1,44 +1,25 @@
 package runtime
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 
 	"duet/internal/compiler"
 	"duet/internal/device"
+	"duet/internal/graph"
 	"duet/internal/models"
 	"duet/internal/partition"
 	"duet/internal/tensor"
 	"duet/internal/workload"
 )
 
-// TestArenaCutsSteadyStateAllocs is the allocation regression guard for the
-// arena executor: a warm end-to-end Run of a zoo model must allocate at most
-// half of what the same run costs with the arena disabled. It runs under
-// `make check`, so a change that silently stops recycling activation buffers
-// fails the gate rather than just showing up in benchmarks.
-func TestArenaCutsSteadyStateAllocs(t *testing.T) {
-	if raceEnabled {
-		t.Skip("race detector makes sync.Pool drop Puts at random; allocation accounting is only meaningful without -race (make check runs a plain pass)")
-	}
-	cfg := models.SiameseConfig{
-		Batch: 1, SeqLen: 32, Vocab: 500, EmbedDim: 64,
-		Hidden: 96, Layers: 2, ProjDim: 48, Seed: 11,
-	}
-	g, err := models.Siamese(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := compiler.InferShapes(g); err != nil {
-		t.Fatal(err)
-	}
-	p, err := partition.Build(g)
-	if err != nil {
-		t.Fatal(err)
-	}
-	e := newEngine(t, p, 0)
-	inputs := workload.SiameseInputs(cfg, 7)
+// assertArenaCutsAllocs measures a warm end-to-end Run with and without the
+// arena and fails unless the arena at least halves the steady-state
+// allocation count.
+func assertArenaCutsAllocs(t *testing.T, e *Engine, inputs map[string]*tensor.Tensor) {
+	t.Helper()
 	place := Uniform(e.NumSubgraphs(), device.CPU)
-
 	run := func() {
 		if _, err := e.Run(inputs, place, true); err != nil {
 			t.Fatal(err)
@@ -63,4 +44,73 @@ func TestArenaCutsSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("warm run allocates %.0f objects with the arena, want ≤ half of the %.0f without it",
 			withArena, withoutArena)
 	}
+}
+
+// TestArenaCutsSteadyStateAllocs is the allocation regression guard for the
+// arena executor: a warm end-to-end Run must allocate at most half of what
+// the same run costs with the arena disabled. The siamese case covers the
+// GEMM-heavy zoo path; the chain case covers fused elementwise-chain
+// kernels, whose epilogue tapes draw emit buffers and scratch registers
+// from pools instead of the heap. Both run under `make check`, so a change
+// that silently stops recycling activation buffers fails the gate rather
+// than just showing up in benchmarks.
+func TestArenaCutsSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop Puts at random; allocation accounting is only meaningful without -race (make check runs a plain pass)")
+	}
+
+	t.Run("siamese", func(t *testing.T) {
+		cfg := models.SiameseConfig{
+			Batch: 1, SeqLen: 32, Vocab: 500, EmbedDim: 64,
+			Hidden: 96, Layers: 2, ProjDim: 48, Seed: 11,
+		}
+		g, err := models.Siamese(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := compiler.InferShapes(g); err != nil {
+			t.Fatal(err)
+		}
+		p, err := partition.Build(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := newEngine(t, p, 0)
+		assertArenaCutsAllocs(t, e, workload.SiameseInputs(cfg, 7))
+	})
+
+	t.Run("elementwise_chain", func(t *testing.T) {
+		// A chain-heavy graph with residual forks: unconstrained fusion
+		// lowers it to tape launches whose emitted intermediates must
+		// come from (and return to) the arena for the warm run to stay
+		// allocation-free.
+		rng := rand.New(rand.NewSource(3))
+		g := graph.New("chain-heavy")
+		x := g.AddInput("x", 1, 64)
+		row := g.AddConst("row", tensor.Rand(rng, 1, 64))
+		cur := x
+		for i := 0; i < 6; i++ {
+			act := g.Add("relu", fmt.Sprintf("c%d.act", i), nil, cur)
+			scaled := g.Add("mul", fmt.Sprintf("c%d.scaled", i), nil, act, row)
+			cur = g.Add("add", fmt.Sprintf("c%d.res", i), nil, scaled, cur)
+		}
+		g.SetOutputs(cur)
+		if err := compiler.InferShapes(g); err != nil {
+			t.Fatal(err)
+		}
+		p, err := partition.Build(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := newEngine(t, p, 0)
+		fused := 0
+		for i := 0; i < e.NumSubgraphs(); i++ {
+			fused += e.Module(i).FusionStats().Groups
+		}
+		if fused == 0 {
+			t.Fatal("chain-heavy graph compiled with no fused groups; the case is not exercising the tape path")
+		}
+		inputs := map[string]*tensor.Tensor{"x": tensor.Rand(rng, 1, 1, 64)}
+		assertArenaCutsAllocs(t, e, inputs)
+	})
 }

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"duet/internal/compiler"
 	"duet/internal/device"
 	"duet/internal/obs"
 	"duet/internal/tensor"
@@ -30,6 +31,13 @@ type engineMetrics struct {
 	packHits       *obs.Gauge // duet_packcache_events_total{event=hit}
 	packMisses     *obs.Gauge // duet_packcache_events_total{event=miss}
 	packBytes      *obs.Gauge // duet_packcache_bytes
+
+	fusionGroups      *obs.Gauge // duet_fusion_groups
+	fusionChainOps    *obs.Gauge // duet_fusion_chain_ops
+	fusionEmits       *obs.Gauge // duet_fusion_emits
+	fusionRecompFLOPs *obs.Gauge // duet_fusion_recompute_flops
+	fusionRecompBytes *obs.Gauge // duet_fusion_recompute_bytes
+	fusionSavedLaunch *obs.Gauge // duet_fusion_launches_saved
 
 	kernelFaults    *obs.Counter // duet_faults_total{kind=kernel}
 	transferFaults  *obs.Counter // duet_faults_total{kind=transfer}
@@ -68,6 +76,13 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 		packMisses:     reg.Gauge(obs.Series("duet_packcache_events_total", "event", "miss")),
 		packBytes:      reg.Gauge("duet_packcache_bytes"),
 
+		fusionGroups:      reg.Gauge("duet_fusion_groups"),
+		fusionChainOps:    reg.Gauge("duet_fusion_chain_ops"),
+		fusionEmits:       reg.Gauge("duet_fusion_emits"),
+		fusionRecompFLOPs: reg.Gauge("duet_fusion_recompute_flops"),
+		fusionRecompBytes: reg.Gauge("duet_fusion_recompute_bytes"),
+		fusionSavedLaunch: reg.Gauge("duet_fusion_launches_saved"),
+
 		kernelFaults:    reg.Counter(obs.Series("duet_faults_total", "kind", "kernel")),
 		transferFaults:  reg.Counter(obs.Series("duet_faults_total", "kind", "transfer")),
 		retries:         reg.Counter(obs.Series("duet_retries_total", "kind", "kernel")),
@@ -81,7 +96,33 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 		m.deviceBusy[kind] = reg.Gauge(obs.Series("duet_device_busy_seconds_total", "device", name))
 	}
 	m.linkBusy = reg.Gauge(obs.Series("duet_device_busy_seconds_total", "device", e.Platform.Link.Name))
+	m.recordFusion(e.modules)
 	e.m = m
+}
+
+// recordFusion publishes the compile-time fusion plan of the engine's
+// modules: group and chain-op counts, materialized intermediates, the
+// recompute volume the arbitration accepted, and how many kernel launches
+// fusion removed relative to dispatching every op on its own. The plan is
+// fixed at compile, so the gauges are set once at Instrument time.
+func (m *engineMetrics) recordFusion(modules []*compiler.Module) {
+	var s compiler.FusionStats
+	saved := 0
+	for _, mod := range modules {
+		ms := mod.FusionStats()
+		s.Groups += ms.Groups
+		s.FusedOps += ms.FusedOps
+		s.Emits += ms.Emits
+		s.RecomputeFLOPs += ms.RecomputeFLOPs
+		s.RecomputeBytes += ms.RecomputeBytes
+		saved += mod.UnfusedLaunchCount() - mod.LaunchCount()
+	}
+	m.fusionGroups.Set(float64(s.Groups))
+	m.fusionChainOps.Set(float64(s.FusedOps - s.Groups))
+	m.fusionEmits.Set(float64(s.Emits))
+	m.fusionRecompFLOPs.Set(s.RecomputeFLOPs)
+	m.fusionRecompBytes.Set(s.RecomputeBytes)
+	m.fusionSavedLaunch.Set(float64(saved))
 }
 
 // Registry returns the attached metrics registry (nil when the engine is

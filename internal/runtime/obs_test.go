@@ -198,3 +198,35 @@ func TestUninstrumentedEngineNoop(t *testing.T) {
 		t.Fatal("uninstrumented engine reports a registry")
 	}
 }
+
+// TestInstrumentFusionGauges: Instrument publishes the compile-time fusion
+// plan — group/chain-op counts and saved launches reconcile with the
+// engine's modules.
+func TestInstrumentFusionGauges(t *testing.T) {
+	p, _ := branchy(t)
+	e := newEngine(t, p, 0)
+	reg := obs.NewRegistry()
+	e.Instrument(reg)
+
+	groups, chainOps, saved := 0, 0, 0
+	for i := 0; i < e.NumSubgraphs(); i++ {
+		m := e.Module(i)
+		s := m.FusionStats()
+		groups += s.Groups
+		chainOps += s.FusedOps - s.Groups
+		saved += m.UnfusedLaunchCount() - m.LaunchCount()
+	}
+	if groups == 0 || saved <= 0 {
+		t.Fatalf("fixture compiled without fused groups (groups=%d saved=%d) — gauge test is vacuous", groups, saved)
+	}
+	snap := reg.Snapshot()
+	for name, want := range map[string]float64{
+		"duet_fusion_groups":         float64(groups),
+		"duet_fusion_chain_ops":      float64(chainOps),
+		"duet_fusion_launches_saved": float64(saved),
+	} {
+		if got := snap.Gauges[name]; got != want {
+			t.Fatalf("%s = %g, want %g", name, got, want)
+		}
+	}
+}

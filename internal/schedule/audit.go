@@ -42,6 +42,11 @@ type SubgraphAudit struct {
 	GPUSeconds vclock.Seconds `json:"gpu_seconds"`
 	Chosen     string         `json:"chosen"`
 	Reason     string         `json:"reason"`
+	// Fused restates the profile record's fused-kernel tags ("name+N",
+	// comma-joined): the costs the decision weighed are costs of these
+	// fused kernels, so the audit names them rather than hiding the fusion
+	// plan behind a bare time.
+	Fused string `json:"fused,omitempty"`
 	// MarginFrac is the relative separation of the alternatives the
 	// decision weighed: the profiled CPU/GPU costs for sequential and
 	// critical-pin placements, the candidate phase makespans for
@@ -152,6 +157,10 @@ func (a *Audit) WriteText(w io.Writer) error {
 			// the CPU-first tie-break or noise-level margins decided these.
 			reason += " [tie]"
 		}
+		if sg.Fused != "" {
+			// Name the fused kernels the weighed costs belong to.
+			reason += " fused(" + sg.Fused + ")"
+		}
 		fmt.Fprintf(w, "%5d %-24s %12.6f %12.6f %6s %7.2f%% %s\n",
 			sg.Index, sg.Name, float64(sg.CPUSeconds), float64(sg.GPUSeconds), sg.Chosen, sg.MarginFrac*100, reason)
 	}
@@ -194,6 +203,7 @@ func (a *Audit) Trail() *verify.AuditTrail {
 			GPUSeconds: sg.GPUSeconds,
 			Chosen:     sg.Chosen,
 			Reason:     sg.Reason,
+			Fused:      sg.Fused,
 			MarginFrac: sg.MarginFrac,
 			TieBreak:   sg.TieBreak,
 		})

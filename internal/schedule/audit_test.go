@@ -51,6 +51,9 @@ func TestAuditReproducesGreedy(t *testing.T) {
 		if sg.CPUSeconds != s.Records[i].TimeOn(device.CPU) || sg.GPUSeconds != s.Records[i].TimeOn(device.GPU) {
 			t.Fatalf("subgraph %d: audited costs diverge from profile records", i)
 		}
+		if sg.Fused != s.Records[i].Fused {
+			t.Fatalf("subgraph %d: audit names fused kernels %q, record says %q", i, sg.Fused, s.Records[i].Fused)
+		}
 		switch sg.Reason {
 		case ReasonSequential, ReasonCriticalPin:
 			if sg.Chosen != kindName(s.Records[i].Faster()) {
@@ -131,6 +134,26 @@ func TestAuditReproducesGreedy(t *testing.T) {
 	}
 	if a.PredictedCritical <= 0 {
 		t.Fatal("predicted critical path is not positive")
+	}
+
+	// The rig profiles real compiled modules under default (unconstrained)
+	// fusion, so the audit must name fused kernels for at least one
+	// subgraph, and the text report must surface them.
+	fused := false
+	for _, sg := range a.Subgraphs {
+		if sg.Fused != "" {
+			fused = true
+		}
+	}
+	if !fused {
+		t.Fatal("no audit entry names fused kernels under default fusion")
+	}
+	var sb strings.Builder
+	if err := a.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fused(") {
+		t.Fatalf("text audit does not name fused kernels:\n%s", sb.String())
 	}
 }
 

@@ -91,6 +91,7 @@ func (s *Scheduler) greedy(a *Audit) runtime.Placement {
 			GPUSeconds: s.Records[i].TimeOn(device.GPU),
 			Chosen:     kindName(place[i]),
 			Reason:     reason,
+			Fused:      s.Records[i].Fused,
 			MarginFrac: margin,
 			TieBreak:   margin < TieMarginFrac,
 		})

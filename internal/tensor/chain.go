@@ -1,0 +1,503 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// An epilogue program is a short op-tape applied elementwise to a value
+// stream. The compiler lowers an unconstrained fusion group (an anchor or
+// elementwise leader plus the elementwise/broadcast chain grown over it) to
+// one Program; the tape is compiled once into a chain of vectorizable
+// closures, and every run streams the destination buffer through all of
+// them chunk by chunk — zero intermediate tensors, one launch.
+//
+// The tape machine has three storage classes:
+//
+//   - the stream: the destination buffer itself, transformed in place;
+//   - registers: short-lived chunk-local scratch rows holding fork values
+//     (a multi-consumer intermediate the compiler chose to materialize
+//     in-cache rather than recompute);
+//   - outputs: full tensors for group intermediates that outside consumers
+//     read (each materialized exactly once, by an Emit instruction).
+//
+// Every arithmetic closure reproduces the corresponding standalone kernel
+// in elementwise.go / into.go operation-for-operation, so a fused chain is
+// bit-identical to op-by-op execution.
+
+// ChainOp is the opcode of one tape instruction.
+type ChainOp uint8
+
+const (
+	// Unary transforms of the stream (match the registered unary ops).
+	ChainReLU ChainOp = iota
+	ChainSigmoid
+	ChainTanh
+	ChainGELU
+	ChainExp
+	ChainSqrt
+	// Binary combines of the stream with an operand (match the registered
+	// binary ops, including their trailing-dimension/scalar broadcasting).
+	ChainAdd
+	ChainSub
+	ChainMul
+	ChainDiv
+	ChainMaximum
+	// Structural instructions.
+	ChainSave // registers[Arg] = stream
+	ChainLoad // stream = registers[Arg]
+	ChainEmit // outputs[Arg] = stream
+)
+
+// ArgSrc selects where a binary instruction's second operand comes from.
+type ArgSrc uint8
+
+const (
+	// SrcArg reads args[Arg]: an external tensor (kernel input).
+	SrcArg ArgSrc = iota
+	// SrcReg reads registers[Arg]: a fork value saved earlier on the tape.
+	SrcReg
+	// SrcCur reads the stream itself (e.g. mul(x, x) squaring the stream).
+	SrcCur
+)
+
+// Instr is one tape instruction. For binary opcodes Rev swaps the operand
+// order: the stream becomes the op's second argument (sub(c, x) rather than
+// sub(x, c)), which matters for sub/div and for the -0/NaN edge cases of
+// maximum.
+type Instr struct {
+	Op  ChainOp
+	Arg int
+	Src ArgSrc
+	Rev bool
+}
+
+// String renders the instruction for diagnostics.
+func (i Instr) String() string {
+	name := map[ChainOp]string{
+		ChainReLU: "relu", ChainSigmoid: "sigmoid", ChainTanh: "tanh",
+		ChainGELU: "gelu", ChainExp: "exp", ChainSqrt: "sqrt",
+		ChainAdd: "add", ChainSub: "sub", ChainMul: "mul", ChainDiv: "div",
+		ChainMaximum: "maximum", ChainSave: "save", ChainLoad: "load",
+		ChainEmit: "emit",
+	}[i.Op]
+	switch {
+	case i.Op >= ChainSave:
+		return fmt.Sprintf("%s %d", name, i.Arg)
+	case i.Op >= ChainAdd:
+		src := map[ArgSrc]string{SrcArg: "arg", SrcReg: "reg", SrcCur: "cur"}[i.Src]
+		if i.Rev {
+			return fmt.Sprintf("%s %s%d rev", name, src, i.Arg)
+		}
+		return fmt.Sprintf("%s %s%d", name, src, i.Arg)
+	default:
+		return name
+	}
+}
+
+// IsBinary reports whether the opcode consumes a second operand.
+func (op ChainOp) IsBinary() bool { return op >= ChainAdd && op <= ChainMaximum }
+
+// IsUnary reports whether the opcode is a pure unary transform.
+func (op ChainOp) IsUnary() bool { return op <= ChainSqrt }
+
+// argMode is the broadcast class of one external operand, fixed at compile
+// time from its static shape (mirrors binaryOpInto's dispatch).
+type argMode uint8
+
+const (
+	argFull   argMode = iota // same element count as the stream
+	argRow                   // 1-D operand matching the stream's last dim
+	argScalar                // single element
+)
+
+// chainFn transforms one chunk of the stream. cur is dst[base:base+len],
+// regs are chunk-local scratch rows of the same length, args and outs are
+// the full backing slices of the operand and output tensors.
+type chainFn func(cur []float32, base int, args, regs, outs [][]float32)
+
+// Program is a compiled epilogue program. Compile once (CompileChain), run
+// many times; a Program is immutable and safe for concurrent Runs.
+type Program struct {
+	instrs   []Instr
+	fns      []chainFn
+	shape    []int
+	width    int // trailing dimension, the row-broadcast modulus
+	numel    int
+	argModes []argMode
+	argLens  []int
+	numRegs  int
+	numOuts  int
+}
+
+// CompileChain validates the tape against the stream shape and the static
+// operand shapes and compiles it into a Program. It rejects malformed tapes:
+// out-of-range operands, a Load or SrcReg read of a register no Save has
+// written, duplicate Emit slots, and operand shapes outside the broadcast
+// vocabulary (full, trailing 1-D, scalar).
+func CompileChain(instrs []Instr, shape []int, argShapes [][]int) (*Program, error) {
+	p := &Program{
+		instrs:   append([]Instr(nil), instrs...),
+		shape:    cloneInts(shape),
+		numel:    1,
+		argModes: make([]argMode, len(argShapes)),
+		argLens:  make([]int, len(argShapes)),
+	}
+	for _, d := range shape {
+		p.numel *= d
+	}
+	p.width = p.numel
+	if len(shape) > 0 {
+		p.width = shape[len(shape)-1]
+	}
+	if p.width <= 0 {
+		p.width = 1
+	}
+	for ai, as := range argShapes {
+		n := 1
+		for _, d := range as {
+			n *= d
+		}
+		p.argLens[ai] = n
+		switch {
+		case ShapeEq(as, shape):
+			p.argModes[ai] = argFull
+		case len(as) == 1 && as[0] == p.width:
+			p.argModes[ai] = argRow
+		case n == 1:
+			p.argModes[ai] = argScalar
+		default:
+			return nil, fmt.Errorf("tensor: chain arg %d shape %v does not broadcast into stream %v", ai, as, shape)
+		}
+	}
+	saved := make(map[int]bool)
+	emitted := make(map[int]bool)
+	p.fns = make([]chainFn, 0, len(instrs))
+	for idx, in := range instrs {
+		switch {
+		case in.Op.IsUnary():
+			p.fns = append(p.fns, unaryChainFn(in.Op))
+		case in.Op.IsBinary():
+			switch in.Src {
+			case SrcArg:
+				if in.Arg < 0 || in.Arg >= len(argShapes) {
+					return nil, fmt.Errorf("tensor: chain instr %d (%s) reads undeclared operand %d", idx, in, in.Arg)
+				}
+				p.fns = append(p.fns, binaryArgChainFn(in.Op, in.Arg, p.argModes[in.Arg], p.width, in.Rev))
+			case SrcReg:
+				if in.Arg < 0 || in.Arg >= p.numRegs || !saved[in.Arg] {
+					return nil, fmt.Errorf("tensor: chain instr %d (%s) reads register %d before any save", idx, in, in.Arg)
+				}
+				p.fns = append(p.fns, binaryRegChainFn(in.Op, in.Arg, in.Rev))
+			case SrcCur:
+				p.fns = append(p.fns, binaryCurChainFn(in.Op))
+			default:
+				return nil, fmt.Errorf("tensor: chain instr %d has unknown operand source %d", idx, in.Src)
+			}
+		case in.Op == ChainSave:
+			if in.Arg < 0 {
+				return nil, fmt.Errorf("tensor: chain instr %d saves to negative register %d", idx, in.Arg)
+			}
+			if in.Arg >= p.numRegs {
+				p.numRegs = in.Arg + 1
+			}
+			saved[in.Arg] = true
+			reg := in.Arg
+			p.fns = append(p.fns, func(cur []float32, _ int, _, regs, _ [][]float32) {
+				copy(regs[reg], cur)
+			})
+		case in.Op == ChainLoad:
+			if in.Arg < 0 || !saved[in.Arg] {
+				return nil, fmt.Errorf("tensor: chain instr %d (%s) loads register %d before any save", idx, in, in.Arg)
+			}
+			reg := in.Arg
+			p.fns = append(p.fns, func(cur []float32, _ int, _, regs, _ [][]float32) {
+				copy(cur, regs[reg])
+			})
+		case in.Op == ChainEmit:
+			if in.Arg < 0 {
+				return nil, fmt.Errorf("tensor: chain instr %d emits to negative slot %d", idx, in.Arg)
+			}
+			if emitted[in.Arg] {
+				return nil, fmt.Errorf("tensor: chain instr %d emits slot %d twice", idx, in.Arg)
+			}
+			emitted[in.Arg] = true
+			if in.Arg >= p.numOuts {
+				p.numOuts = in.Arg + 1
+			}
+			slot := in.Arg
+			p.fns = append(p.fns, func(cur []float32, base int, _, _, outs [][]float32) {
+				copy(outs[slot][base:base+len(cur)], cur)
+			})
+		default:
+			return nil, fmt.Errorf("tensor: chain instr %d has unknown opcode %d", idx, in.Op)
+		}
+	}
+	for slot := 0; slot < p.numOuts; slot++ {
+		if !emitted[slot] {
+			return nil, fmt.Errorf("tensor: chain output slot %d is never emitted", slot)
+		}
+	}
+	return p, nil
+}
+
+// Instrs returns the tape (callers must not mutate it).
+func (p *Program) Instrs() []Instr { return p.instrs }
+
+// Len returns the number of tape instructions.
+func (p *Program) Len() int { return len(p.instrs) }
+
+// NumRegs returns how many scratch registers the tape uses.
+func (p *Program) NumRegs() int { return p.numRegs }
+
+// NumOuts returns how many extra output tensors Emit instructions fill.
+func (p *Program) NumOuts() int { return p.numOuts }
+
+// Shape returns the stream shape the program was compiled for.
+func (p *Program) Shape() []int { return p.shape }
+
+// chainScratchPool recycles register scratch between runs so reg-bearing
+// programs stay allocation-free in steady state.
+var chainScratchPool = sync.Pool{New: func() any { s := make([]float32, 0); return &s }}
+
+// RunInPlace streams dst through the program. dst must have the compiled
+// stream shape, args the compiled operand shapes, and outs one tensor of
+// the stream shape per Emit slot. The transform is chunk-parallel and
+// bit-deterministic: every element's value depends only on its own index.
+func (p *Program) RunInPlace(dst *Tensor, args, outs []*Tensor) {
+	p.run(dst, nil, args, outs)
+}
+
+// run is the shared executor; bias, when non-nil, is added row-broadcast to
+// the stream before the tape runs (the fused dense-lead path).
+func (p *Program) run(dst *Tensor, bias []float32, args, outs []*Tensor) {
+	if !ShapeEq(dst.shape, p.shape) {
+		panic(fmt.Sprintf("tensor: chain destination %v, want %v", dst.shape, p.shape))
+	}
+	if len(args) != len(p.argModes) {
+		panic(fmt.Sprintf("tensor: chain got %d operands, want %d", len(args), len(p.argModes)))
+	}
+	argData := make([][]float32, len(args))
+	for i, a := range args {
+		if a.Numel() != p.argLens[i] {
+			panic(fmt.Sprintf("tensor: chain operand %d has %d elements, want %d", i, a.Numel(), p.argLens[i]))
+		}
+		argData[i] = a.data
+	}
+	if len(outs) != p.numOuts {
+		panic(fmt.Sprintf("tensor: chain got %d output slots, want %d", len(outs), p.numOuts))
+	}
+	outData := make([][]float32, len(outs))
+	for i, o := range outs {
+		if !ShapeEq(o.shape, p.shape) {
+			panic(fmt.Sprintf("tensor: chain output %d shape %v, want %v", i, o.shape, p.shape))
+		}
+		outData[i] = o.data
+	}
+	if bias != nil && len(bias) != p.width {
+		panic(fmt.Sprintf("tensor: chain bias has %d elements, want %d", len(bias), p.width))
+	}
+	n := len(dst.data)
+	if n == 0 {
+		return
+	}
+	width := p.width
+	body := func(lo, hi int) {
+		cur := dst.data[lo:hi]
+		var regs [][]float32
+		if p.numRegs > 0 {
+			sp := chainScratchPool.Get().(*[]float32)
+			need := p.numRegs * len(cur)
+			if cap(*sp) < need {
+				*sp = make([]float32, need)
+			}
+			scratch := (*sp)[:need]
+			defer func() { chainScratchPool.Put(sp) }()
+			regs = make([][]float32, p.numRegs)
+			for r := range regs {
+				regs[r] = scratch[r*len(cur) : (r+1)*len(cur)]
+			}
+		}
+		if bias != nil {
+			for j := range cur {
+				cur[j] += bias[(lo+j)%width]
+			}
+		}
+		for _, fn := range p.fns {
+			fn(cur, lo, argData, regs, outData)
+		}
+	}
+	if n < parallelThreshold || effectiveWorkers() <= 1 {
+		body(0, n)
+		return
+	}
+	ParallelFor(n, body)
+}
+
+// Chain applies the program to a copy of src: the standalone elementwise-
+// chain kernel. outs must hold NumOuts tensors of the stream shape.
+func Chain(src *Tensor, p *Program, args, outs []*Tensor) *Tensor {
+	return ChainInto(nil, src, p, args, outs, nil)
+}
+
+// ChainInto copies src into out (allocated from ar when out is nil) and
+// streams it through the program. Use this when the seed value must
+// survive (aliased or shared storage); when the caller owns a fresh seed
+// buffer, RunInPlace avoids the copy.
+func ChainInto(out *Tensor, src *Tensor, p *Program, args, outs []*Tensor, ar *Arena) *Tensor {
+	if out == nil {
+		out = ar.NewNoZero(src.shape...)
+	} else {
+		checkInto(out, src.shape, "ChainInto")
+	}
+	copy(out.data, src.data)
+	p.run(out, nil, args, outs)
+	return out
+}
+
+// LinearChain returns prog(x·wᵀ + bias): the fused dense-lead kernel.
+func LinearChain(x, w, bias *Tensor, p *Program, args, outs []*Tensor) *Tensor {
+	return LinearChainInto(nil, x, w, bias, p, args, outs, nil)
+}
+
+// LinearChainInto computes the packed GEMM x·wᵀ into out and then applies
+// the bias add and the whole epilogue program chunk-by-chunk in a single
+// pass over the output — the generalized replacement for the old
+// fixed-epilogue LinearEpInto. A nil p degrades to LinearInto.
+func LinearChainInto(out *Tensor, x, w, bias *Tensor, p *Program, args, outs []*Tensor, ar *Arena) *Tensor {
+	if p == nil {
+		return LinearInto(out, x, w, bias, ar)
+	}
+	out = linearGEMM(out, x, w, bias, ar)
+	var bd []float32
+	if bias != nil {
+		bd = bias.data
+	}
+	p.run(out, bd, args, outs)
+	return out
+}
+
+// --- closure builders -------------------------------------------------
+
+// The unary bodies restate the formulas of elementwise.go exactly so fused
+// and op-by-op execution agree bit-for-bit.
+
+func unaryChainFn(op ChainOp) chainFn {
+	f := unaryFunc(op)
+	return func(cur []float32, _ int, _, _, _ [][]float32) {
+		for j, v := range cur {
+			cur[j] = f(v)
+		}
+	}
+}
+
+// unaryFunc returns the scalar kernel for a unary opcode — the same
+// function literal the registered op applies through applyInto.
+func unaryFunc(op ChainOp) func(float32) float32 {
+	switch op {
+	case ChainReLU:
+		return func(x float32) float32 {
+			if x > 0 {
+				return x
+			}
+			return 0
+		}
+	case ChainSigmoid:
+		return func(x float32) float32 {
+			return float32(1 / (1 + math.Exp(-float64(x))))
+		}
+	case ChainTanh:
+		return func(x float32) float32 { return float32(math.Tanh(float64(x))) }
+	case ChainGELU:
+		const c = 0.7978845608028654 // sqrt(2/pi)
+		return func(x float32) float32 {
+			xf := float64(x)
+			return float32(0.5 * xf * (1 + math.Tanh(c*(xf+0.044715*xf*xf*xf))))
+		}
+	case ChainExp:
+		return func(x float32) float32 { return float32(math.Exp(float64(x))) }
+	case ChainSqrt:
+		return func(x float32) float32 { return float32(math.Sqrt(float64(x))) }
+	}
+	panic(fmt.Sprintf("tensor: not a unary chain op: %d", op))
+}
+
+// binaryFunc returns the scalar kernel for a binary opcode, matching
+// binaryOpInto's function literals.
+func binaryFunc(op ChainOp) func(x, y float32) float32 {
+	switch op {
+	case ChainAdd:
+		return func(x, y float32) float32 { return x + y }
+	case ChainSub:
+		return func(x, y float32) float32 { return x - y }
+	case ChainMul:
+		return func(x, y float32) float32 { return x * y }
+	case ChainDiv:
+		return func(x, y float32) float32 { return x / y }
+	case ChainMaximum:
+		return func(x, y float32) float32 {
+			if x > y {
+				return x
+			}
+			return y
+		}
+	}
+	panic(fmt.Sprintf("tensor: not a binary chain op: %d", op))
+}
+
+func binaryArgChainFn(op ChainOp, ai int, mode argMode, width int, rev bool) chainFn {
+	f := binaryFunc(op)
+	if rev {
+		g := f
+		f = func(x, y float32) float32 { return g(y, x) }
+	}
+	switch mode {
+	case argFull:
+		return func(cur []float32, base int, args, _, _ [][]float32) {
+			a := args[ai][base:]
+			for j, v := range cur {
+				cur[j] = f(v, a[j])
+			}
+		}
+	case argRow:
+		// The modulus over the flat index matches binaryOpInto's
+		// row-vector broadcast exactly, chunk boundaries included.
+		return func(cur []float32, base int, args, _, _ [][]float32) {
+			a := args[ai]
+			for j, v := range cur {
+				cur[j] = f(v, a[(base+j)%width])
+			}
+		}
+	default:
+		return func(cur []float32, _ int, args, _, _ [][]float32) {
+			s := args[ai][0]
+			for j, v := range cur {
+				cur[j] = f(v, s)
+			}
+		}
+	}
+}
+
+func binaryRegChainFn(op ChainOp, reg int, rev bool) chainFn {
+	f := binaryFunc(op)
+	if rev {
+		g := f
+		f = func(x, y float32) float32 { return g(y, x) }
+	}
+	return func(cur []float32, _ int, _, regs, _ [][]float32) {
+		r := regs[reg]
+		for j, v := range cur {
+			cur[j] = f(v, r[j])
+		}
+	}
+}
+
+func binaryCurChainFn(op ChainOp) chainFn {
+	f := binaryFunc(op)
+	return func(cur []float32, _ int, _, _, _ [][]float32) {
+		for j, v := range cur {
+			cur[j] = f(v, v)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustCompileChain(t *testing.T, instrs []Instr, shape []int, argShapes [][]int) *Program {
+	t.Helper()
+	p, err := CompileChain(instrs, shape, argShapes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestChainMatchesOpByOp runs a tape exercising every storage class —
+// registers, Rev operands, SrcCur, row/scalar/full broadcast args, and an
+// Emit slot — and demands bit-identical results to the same computation
+// composed from the standalone elementwise kernels.
+func TestChainMatchesOpByOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, shape := range [][]int{{1, 1}, {3, 7}, {5, 300}, {70, 70}} {
+		m, n := shape[0], shape[1]
+		x := Rand(rng, 1, m, n)
+		rowArg := Rand(rng, 1, n)
+		fullArg := Rand(rng, 1, m, n)
+		scalArg := Rand(rng, 1, 1)
+
+		// save0=x; sigmoid; save1; load0; relu; add row; mul reg1;
+		// emit0; maximum full (rev); div scalar.
+		prog := mustCompileChain(t, []Instr{
+			{Op: ChainSave, Arg: 0},
+			{Op: ChainSigmoid},
+			{Op: ChainSave, Arg: 1},
+			{Op: ChainLoad, Arg: 0},
+			{Op: ChainReLU},
+			{Op: ChainAdd, Arg: 0, Src: SrcArg},
+			{Op: ChainMul, Arg: 1, Src: SrcReg},
+			{Op: ChainEmit, Arg: 0},
+			{Op: ChainMaximum, Arg: 1, Src: SrcArg, Rev: true},
+			{Op: ChainDiv, Arg: 2, Src: SrcArg},
+			{Op: ChainMul, Src: SrcCur},
+		}, shape, [][]int{rowArg.Shape(), fullArg.Shape(), scalArg.Shape()})
+		if prog.NumRegs() != 2 || prog.NumOuts() != 1 {
+			t.Fatalf("program has %d regs / %d outs, want 2 / 1", prog.NumRegs(), prog.NumOuts())
+		}
+
+		// Reference: same computation via the standalone kernels.
+		sig := Sigmoid(x)
+		stepped := Mul(Add(ReLU(x), rowArg), sig)
+		wantEmit := stepped
+		mx := Maximum(fullArg, stepped) // Rev: stream is the second operand
+		dv := Div(mx, scalArg)
+		want := Mul(dv, dv)
+
+		snapshot := x.Clone()
+		emit := New(m, n)
+		got := Chain(x, prog, []*Tensor{rowArg, fullArg, scalArg}, []*Tensor{emit})
+		if !bitEqual(got, want) {
+			t.Fatalf("chain %v differs from op-by-op (max |Δ| %g)", shape, MaxAbsDiff(got, want))
+		}
+		if !bitEqual(emit, wantEmit) {
+			t.Fatalf("chain %v emit slot differs from op-by-op", shape)
+		}
+		// Chain must leave the source untouched (it copies).
+		if got == x || !bitEqual(x, snapshot) {
+			t.Fatalf("Chain mutated or aliased its source")
+		}
+	}
+}
+
+// TestChainSerialMatchesParallel pins chunk independence: a register- and
+// broadcast-bearing tape over a parallel-sized stream must produce the
+// same bits single-threaded and pooled.
+func TestChainSerialMatchesParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m, n := 90, 70 // 6300 elements: over parallelThreshold
+	x := Rand(rng, 1, m, n)
+	row := Rand(rng, 1, n)
+	prog := mustCompileChain(t, []Instr{
+		{Op: ChainSave, Arg: 0},
+		{Op: ChainTanh},
+		{Op: ChainAdd, Arg: 0, Src: SrcArg},
+		{Op: ChainMaximum, Arg: 0, Src: SrcReg, Rev: true},
+		{Op: ChainEmit, Arg: 0},
+		{Op: ChainGELU},
+	}, x.Shape(), [][]int{row.Shape()})
+
+	emitP := New(m, n)
+	pooled := Chain(x, prog, []*Tensor{row}, []*Tensor{emitP})
+	SetMaxWorkers(1)
+	emitS := New(m, n)
+	serial := Chain(x, prog, []*Tensor{row}, []*Tensor{emitS})
+	SetMaxWorkers(0)
+	if !bitEqual(pooled, serial) || !bitEqual(emitP, emitS) {
+		t.Fatal("serial and pooled chain execution disagree")
+	}
+}
+
+// TestLinearChainBitExact checks the fused dense-lead path (GEMM + bias +
+// tape in one streaming pass) against the unfused composition, including
+// warm arena buffers with stale data.
+func TestLinearChainBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	ar := NewArena()
+	for _, s := range [][3]int{{1, 1, 1}, {7, 13, 17}, {64, 300, 64}, {130, 5, 12}} {
+		m, k, n := s[0], s[1], s[2]
+		x := Rand(rng, 1, m, k)
+		w := Rand(rng, 1, n, k)
+		bias := Rand(rng, 1, n)
+		scale := Rand(rng, 1, 1)
+		prog := mustCompileChain(t, []Instr{
+			{Op: ChainMul, Arg: 0, Src: SrcArg},
+			{Op: ChainEmit, Arg: 0},
+			{Op: ChainReLU},
+		}, []int{m, n}, [][]int{scale.Shape()})
+
+		pre := Mul(Linear(x, w, bias), scale)
+		want := ReLU(pre)
+		for pass := 0; pass < 3; pass++ {
+			emit := ar.NewNoZero(m, n)
+			got := LinearChainInto(nil, x, w, bias, prog, []*Tensor{scale}, []*Tensor{emit}, ar)
+			if !bitEqual(got, want) || !bitEqual(emit, pre) {
+				t.Fatalf("LinearChainInto %dx%dx%d pass %d differs from unfused", m, k, n, pass)
+			}
+			ar.Release(emit)
+			ar.Release(got)
+		}
+		// nil program degrades to LinearInto.
+		if got := LinearChainInto(nil, x, w, bias, nil, nil, nil, nil); !bitEqual(got, Linear(x, w, bias)) {
+			t.Fatal("nil-program LinearChainInto differs from LinearInto")
+		}
+	}
+}
+
+// TestCompileChainRejectsMalformedTapes covers the validator: undeclared
+// operands, register reads before any save, duplicate emits, and operand
+// shapes outside the broadcast vocabulary.
+func TestCompileChainRejectsMalformedTapes(t *testing.T) {
+	shape := []int{3, 7}
+	cases := []struct {
+		name   string
+		instrs []Instr
+		args   [][]int
+	}{
+		{"load_before_save", []Instr{{Op: ChainLoad, Arg: 0}}, nil},
+		{"srcreg_before_save", []Instr{{Op: ChainAdd, Arg: 0, Src: SrcReg}}, nil},
+		{"undeclared_arg", []Instr{{Op: ChainAdd, Arg: 2, Src: SrcArg}}, [][]int{{7}}},
+		{"duplicate_emit", []Instr{{Op: ChainEmit, Arg: 0}, {Op: ChainReLU}, {Op: ChainEmit, Arg: 0}}, nil},
+		{"bad_arg_shape", []Instr{{Op: ChainAdd, Arg: 0, Src: SrcArg}}, [][]int{{2}}},
+		{"save_other_reg_then_load", []Instr{{Op: ChainSave, Arg: 1}, {Op: ChainLoad, Arg: 0}}, nil},
+	}
+	for _, c := range cases {
+		if _, err := CompileChain(c.instrs, shape, c.args); err == nil {
+			t.Errorf("%s: CompileChain accepted a malformed tape", c.name)
+		}
+	}
+	// Sanity: the empty tape and a well-formed tape compile.
+	if _, err := CompileChain(nil, shape, nil); err != nil {
+		t.Errorf("empty tape rejected: %v", err)
+	}
+	if _, err := CompileChain([]Instr{
+		{Op: ChainSave, Arg: 0},
+		{Op: ChainExp},
+		{Op: ChainSub, Arg: 0, Src: SrcReg, Rev: true},
+		{Op: ChainSqrt},
+	}, shape, nil); err != nil {
+		t.Errorf("well-formed tape rejected: %v", err)
+	}
+}

@@ -362,8 +362,8 @@ func CosineSimilarityInto(out *Tensor, a, b *Tensor, ar *Arena) *Tensor {
 func LSTMCellArena(x, h, c, wx, wh, bias *Tensor, ar *Arena) (*Tensor, *Tensor) {
 	b := x.shape[0]
 	hd := h.shape[1]
-	gates := LinearEpInto(nil, x, wx, bias, EpNone, ar) // (B, 4H)
-	gh := LinearEpInto(nil, h, wh, nil, EpNone, ar)     // (B, 4H)
+	gates := LinearInto(nil, x, wx, bias, ar) // (B, 4H)
+	gh := LinearInto(nil, h, wh, nil, ar)     // (B, 4H)
 	AddInto(gates, gates, gh, ar)
 	ar.Release(gh)
 	hOut := ar.NewNoZero(b, hd)
@@ -402,8 +402,8 @@ func lstmRows(gates, c, hOut, cOut []float32, hd, lo, hi int) {
 func GRUCellArena(x, h, wx, wh, bias *Tensor, ar *Arena) *Tensor {
 	b := x.shape[0]
 	hd := h.shape[1]
-	gx := LinearEpInto(nil, x, wx, bias, EpNone, ar) // (B, 3H)
-	gh := LinearEpInto(nil, h, wh, nil, EpNone, ar)  // (B, 3H)
+	gx := LinearInto(nil, x, wx, bias, ar) // (B, 3H)
+	gh := LinearInto(nil, h, wh, nil, ar)  // (B, 3H)
 	out := ar.NewNoZero(b, hd)
 	if b < parallelThreshold || effectiveWorkers() <= 1 {
 		gruRows(gx.data, gh.data, h.data, out.data, hd, 0, b)

@@ -23,20 +23,6 @@ const (
 	blockK = 128
 )
 
-// Epilogue selects a fused post-GEMM transform applied to each output row
-// in the same pass that adds the bias, so fused Linear+activation pairs
-// skip a full tensor materialization.
-type Epilogue int
-
-const (
-	// EpNone applies only the bias (if any).
-	EpNone Epilogue = iota
-	// EpReLU applies max(x, 0) after the bias.
-	EpReLU
-	// EpSigmoid applies 1/(1+exp(-x)) after the bias.
-	EpSigmoid
-)
-
 // MatMul returns the matrix product a(M×K) · b(K×N).
 func MatMul(a, b *Tensor) *Tensor { return MatMulInto(nil, a, b, nil) }
 
@@ -74,19 +60,25 @@ func MatMulInto(out *Tensor, a, b *Tensor, ar *Arena) *Tensor {
 // Linear returns x·wᵀ + bias for x(M×K), w(N×K), bias(N) — the dense-layer
 // convention used throughout the model zoo. bias may be nil.
 func Linear(x, w, bias *Tensor) *Tensor {
-	return LinearEpInto(nil, x, w, bias, EpNone, nil)
+	return LinearInto(nil, x, w, bias, nil)
 }
 
-// LinearEp returns epilogue(x·wᵀ + bias): the fused dense kernel.
-func LinearEp(x, w, bias *Tensor, ep Epilogue) *Tensor {
-	return LinearEpInto(nil, x, w, bias, ep, nil)
+// LinearInto computes x·wᵀ + bias into out (allocated from ar when nil).
+// The weight is packed as a transposed B operand; pinned weights hit the
+// cross-call pack cache. The bias is added in a single pass over each
+// output row. For a fused epilogue program after the bias, see
+// LinearChainInto.
+func LinearInto(out *Tensor, x, w, bias *Tensor, ar *Arena) *Tensor {
+	out = linearGEMM(out, x, w, bias, ar)
+	if bias != nil {
+		addBias(out.data, out.shape[0], out.shape[1], bias.data)
+	}
+	return out
 }
 
-// LinearEpInto computes epilogue(x·wᵀ + bias) into out (allocated from ar
-// when nil). The weight is packed as a transposed B operand; pinned weights
-// hit the cross-call pack cache. Bias add and activation happen in a single
-// pass over each output row.
-func LinearEpInto(out *Tensor, x, w, bias *Tensor, ep Epilogue, ar *Arena) *Tensor {
+// linearGEMM runs the packed x·wᵀ product shared by LinearInto and
+// LinearChainInto, leaving the bias/epilogue pass to the caller.
+func linearGEMM(out *Tensor, x, w, bias *Tensor, ar *Arena) *Tensor {
 	if len(x.shape) != 2 || len(w.shape) != 2 {
 		panic(fmt.Sprintf("tensor: Linear requires 2-D operands, got %v, %v", x.shape, w.shape))
 	}
@@ -102,7 +94,7 @@ func LinearEpInto(out *Tensor, x, w, bias *Tensor, ep Epilogue, ar *Arena) *Tens
 		out = ar.New(m, n)
 	} else {
 		if len(out.shape) != 2 || out.shape[0] != m || out.shape[1] != n {
-			panic(fmt.Sprintf("tensor: LinearEpInto destination %v, want [%d %d]", out.shape, m, n))
+			panic(fmt.Sprintf("tensor: LinearInto destination %v, want [%d %d]", out.shape, m, n))
 		}
 		clear(out.data)
 	}
@@ -112,11 +104,6 @@ func LinearEpInto(out *Tensor, x, w, bias *Tensor, ep Epilogue, ar *Arena) *Tens
 	bp, scratch := packedB(w, k, n, true, ar)
 	gemmPacked(out.data, x.data, bp, m, n, k)
 	ar.dropScratch(scratch)
-	var bd []float32
-	if bias != nil {
-		bd = bias.data
-	}
-	applyEpilogue(out.data, m, n, bd, ep)
 	return out
 }
 
@@ -374,53 +361,23 @@ func microEdge(c, a, panel []float32, n, k, iLo, iHi, j0, jw, k0, k1 int) {
 	}
 }
 
-// applyEpilogue adds bias (may be nil) and applies the activation to each
-// row of c in a single pass.
-func applyEpilogue(c []float32, m, n int, bias []float32, ep Epilogue) {
-	if bias == nil && ep == EpNone {
-		return
-	}
+// addBias adds the bias row-broadcast to each row of c (bias-after-sum
+// order matches the naive Linear reference).
+func addBias(c []float32, m, n int, bias []float32) {
 	if m < parallelThreshold || effectiveWorkers() <= 1 {
-		epilogueRows(c, 0, m, n, bias, ep)
+		biasRows(c, 0, m, n, bias)
 		return
 	}
 	ParallelFor(m, func(lo, hi int) {
-		epilogueRows(c, lo, hi, n, bias, ep)
+		biasRows(c, lo, hi, n, bias)
 	})
 }
 
-// epilogueRows applies bias and activation to rows [lo, hi) of C in a
-// single pass per row (bias-after-sum order matches the unfused Linear).
-func epilogueRows(c []float32, lo, hi, n int, bias []float32, ep Epilogue) {
+func biasRows(c []float32, lo, hi, n int, bias []float32) {
 	for i := lo; i < hi; i++ {
 		row := c[i*n : i*n+n]
-		switch {
-		case bias != nil && ep == EpNone:
-			for j := range row {
-				row[j] += bias[j]
-			}
-		case bias != nil && ep == EpReLU:
-			for j := range row {
-				v := row[j] + bias[j]
-				if v < 0 {
-					v = 0
-				}
-				row[j] = v
-			}
-		case bias != nil && ep == EpSigmoid:
-			for j := range row {
-				row[j] = float32(sigmoid64(row[j] + bias[j]))
-			}
-		case ep == EpReLU:
-			for j := range row {
-				if row[j] < 0 {
-					row[j] = 0
-				}
-			}
-		case ep == EpSigmoid:
-			for j := range row {
-				row[j] = float32(sigmoid64(row[j]))
-			}
+		for j := range row {
+			row[j] += bias[j]
 		}
 	}
 }

@@ -86,8 +86,8 @@ func TestLinearPackedBitExact(t *testing.T) {
 	}
 }
 
-// TestFusedEpiloguesBitExact checks that the fused Linear+activation kernels
-// produce exactly the bits of the unfused composition.
+// TestFusedEpiloguesBitExact checks that the fused Linear+epilogue-program
+// kernels produce exactly the bits of the unfused composition.
 func TestFusedEpiloguesBitExact(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
 	for _, s := range packedShapes {
@@ -95,16 +95,18 @@ func TestFusedEpiloguesBitExact(t *testing.T) {
 		x := Rand(rng, 1, m, k)
 		w := Rand(rng, 1, n, k)
 		bias := Rand(rng, 1, n)
+		relu := mustCompileChain(t, []Instr{{Op: ChainReLU}}, []int{m, n}, nil)
+		sigm := mustCompileChain(t, []Instr{{Op: ChainSigmoid}}, []int{m, n}, nil)
 		base := Linear(x, w, bias)
-		if got := LinearEp(x, w, bias, EpReLU); !bitEqual(got, ReLU(base)) {
-			t.Errorf("LinearEp ReLU %dx%dx%d differs from unfused", m, k, n)
+		if got := LinearChain(x, w, bias, relu, nil, nil); !bitEqual(got, ReLU(base)) {
+			t.Errorf("LinearChain ReLU %dx%dx%d differs from unfused", m, k, n)
 		}
-		if got := LinearEp(x, w, bias, EpSigmoid); !bitEqual(got, Sigmoid(base)) {
-			t.Errorf("LinearEp Sigmoid %dx%dx%d differs from unfused", m, k, n)
+		if got := LinearChain(x, w, bias, sigm, nil, nil); !bitEqual(got, Sigmoid(base)) {
+			t.Errorf("LinearChain Sigmoid %dx%dx%d differs from unfused", m, k, n)
 		}
 		noBias := Linear(x, w, nil)
-		if got := LinearEp(x, w, nil, EpReLU); !bitEqual(got, ReLU(noBias)) {
-			t.Errorf("LinearEp ReLU (nil bias) %dx%dx%d differs from unfused", m, k, n)
+		if got := LinearChain(x, w, nil, relu, nil, nil); !bitEqual(got, ReLU(noBias)) {
+			t.Errorf("LinearChain ReLU (nil bias) %dx%dx%d differs from unfused", m, k, n)
 		}
 	}
 }

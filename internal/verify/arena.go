@@ -136,22 +136,33 @@ func CheckModule(m *compiler.Module) []Finding {
 		}
 		if f := k.Fused; f != nil {
 			fs = append(fs, checkFused(g, k)...)
-			read(k.Name, f.X)
-			read(k.Name, f.W)
-			if f.HasBias {
-				read(k.Name, f.Bias)
+			for _, id := range f.LeadIns {
+				read(k.Name, id)
 			}
-			// The fused path publishes only the group tail; intermediates are
-			// never materialized and their intra-group consumer edges are never
-			// consumed, so they can never be (wrongly) released.
+			for _, id := range f.Args {
+				read(k.Name, id)
+			}
+			// The fused path publishes the group tail plus every Emit slot;
+			// the remaining intermediates are never materialized and their
+			// intra-group consumer edges are never consumed, so they can
+			// never be (wrongly) released.
+			emitted := make(map[graph.NodeID]bool, len(f.Emits))
+			for _, e := range f.Emits {
+				emitted[e] = true
+			}
 			for _, id := range k.Nodes[:len(k.Nodes)-1] {
-				fused[id] = true
+				if !emitted[id] {
+					fused[id] = true
+				}
+			}
+			for _, e := range f.Emits {
+				if int(e) >= 0 && int(e) < n {
+					env[e] = true
+				}
 			}
 			env[k.Output()] = true
-			consume(f.X)
-			consume(f.W)
-			if f.HasBias {
-				consume(f.Bias)
+			for _, id := range f.Consumes {
+				consume(id)
 			}
 			continue
 		}
@@ -185,29 +196,45 @@ func CheckModule(m *compiler.Module) []Finding {
 	return fs
 }
 
-// checkFused verifies the structural legality of one fused-epilogue kernel:
-// the group leader is the dense op the lowering promises, the fused operand
-// ids match the leader's inputs, and every non-tail group member stays
-// private to the group — a value the fused call never materializes must not
-// be read by outside consumers or declared as a module output.
+// checkFused verifies the structural legality of one fused kernel against
+// the graph: the recorded leader operands match the leader node, every
+// non-materialized group member stays private to the group (no outside
+// consumers, not a declared output), and the kernel's consume list agrees
+// with one re-derived independently from the graph — the leader's operand
+// edges, member edges to outside values, and the in-group edges of emitted
+// values. A drift between the lowering and the executor's release
+// discipline surfaces here rather than as a runtime use-after-release.
 func checkFused(g *graph.Graph, k *compiler.Kernel) []Finding {
 	var fs []Finding
 	f := k.Fused
 	lead := g.Node(k.Nodes[0])
-	if lead.Op != "dense" {
-		fs = append(fs, nodeFinding(PassRelease, lead.ID, "fused kernel %q led by %s node %q — fused lowering requires a dense leader", k.Name, lead.Op, lead.Name))
+	if f.Lead != lead.ID {
+		fs = append(fs, nodeFinding(PassRelease, lead.ID, "fused kernel %q records leader %d but its first node is %q (%d)", k.Name, f.Lead, lead.Name, lead.ID))
 		return fs
 	}
-	if len(lead.Inputs) < 2 || f.X != lead.Inputs[0] || f.W != lead.Inputs[1] {
-		fs = append(fs, nodeFinding(PassRelease, lead.ID, "fused kernel %q operands (X=%d, W=%d) do not match leader %q inputs %v", k.Name, f.X, f.W, lead.Name, lead.Inputs))
-	}
-	if f.HasBias && (int(f.Bias) < 0 || int(f.Bias) >= g.Len()) {
-		fs = append(fs, nodeFinding(PassRelease, lead.ID, "fused kernel %q bias id %d out of range", k.Name, f.Bias))
+	if len(f.LeadIns) != len(lead.Inputs) {
+		fs = append(fs, nodeFinding(PassRelease, lead.ID, "fused kernel %q records %d leader operands, leader %q has %d", k.Name, len(f.LeadIns), lead.Name, len(lead.Inputs)))
+	} else {
+		for i, in := range lead.Inputs {
+			if f.LeadIns[i] != in {
+				fs = append(fs, nodeFinding(PassRelease, lead.ID, "fused kernel %q leader operand %d is node %d, leader %q input is %d", k.Name, i, f.LeadIns[i], lead.Name, in))
+			}
+		}
 	}
 
 	inGroup := make(map[graph.NodeID]bool, len(k.Nodes))
 	for _, id := range k.Nodes {
 		inGroup[id] = true
+	}
+	emitted := make(map[graph.NodeID]bool, len(f.Emits))
+	for _, e := range f.Emits {
+		if !inGroup[e] {
+			fs = append(fs, nodeFinding(PassRelease, e, "fused kernel %q emits node %d, which is not a group member", k.Name, e))
+		}
+		if emitted[e] {
+			fs = append(fs, nodeFinding(PassRelease, e, "fused kernel %q emits %q through more than one slot — double materialization", k.Name, g.Node(e).Name))
+		}
+		emitted[e] = true
 	}
 	declared := make(map[graph.NodeID]bool, len(g.Outputs()))
 	for _, o := range g.Outputs() {
@@ -216,7 +243,7 @@ func checkFused(g *graph.Graph, k *compiler.Kernel) []Finding {
 	consumers := g.Consumers()
 	tail := k.Output()
 	for _, id := range k.Nodes {
-		if id == tail {
+		if id == tail || emitted[id] {
 			continue
 		}
 		if declared[id] {
@@ -226,6 +253,36 @@ func checkFused(g *graph.Graph, k *compiler.Kernel) []Finding {
 			if !inGroup[c] {
 				fs = append(fs, nodeFinding(PassRelease, id, "fused kernel %q intermediate %q is consumed by %q outside the group", k.Name, g.Node(id).Name, g.Node(c).Name))
 			}
+		}
+	}
+
+	// Re-derive the consume multiset from the graph and compare.
+	want := make(map[graph.NodeID]int)
+	for _, in := range lead.Inputs {
+		want[in]++
+	}
+	for _, id := range k.Nodes[1:] {
+		for _, in := range g.Node(id).Inputs {
+			if !inGroup[in] {
+				want[in]++
+			}
+			if emitted[in] {
+				want[in]++
+			}
+		}
+	}
+	got := make(map[graph.NodeID]int)
+	for _, id := range f.Consumes {
+		got[id]++
+	}
+	for id, w := range want {
+		if got[id] != w {
+			fs = append(fs, nodeFinding(PassRelease, id, "fused kernel %q consumes %q %d times, release discipline requires %d", k.Name, g.Node(id).Name, got[id], w))
+		}
+	}
+	for id, c := range got {
+		if want[id] == 0 {
+			fs = append(fs, nodeFinding(PassRelease, id, "fused kernel %q consumes %q %d times, release discipline requires 0", k.Name, g.Node(id).Name, c))
 		}
 	}
 	return fs

@@ -30,6 +30,9 @@ type AuditSubgraph struct {
 	GPUSeconds vclock.Seconds
 	Chosen     string // "cpu" | "gpu"
 	Reason     string
+	// Fused restates the profile record's fused-kernel tags; the trail must
+	// name the same fused kernels the profiled costs were taken over.
+	Fused string
 	// MarginFrac / TieBreak record how decisively the alternatives were
 	// separated; TieBreak must hold exactly when MarginFrac < TieMarginFrac.
 	MarginFrac float64
@@ -125,6 +128,9 @@ func CheckAudit(p *partition.Partition, records []profile.Record, t *AuditTrail)
 		if sg.CPUSeconds != records[i].TimeOn(device.CPU) || sg.GPUSeconds != records[i].TimeOn(device.GPU) {
 			fs = append(fs, subFinding(PassAudit, i, "audit restates subgraph %d costs (cpu=%v, gpu=%v), profiles say (cpu=%v, gpu=%v)",
 				i, sg.CPUSeconds, sg.GPUSeconds, records[i].TimeOn(device.CPU), records[i].TimeOn(device.GPU)))
+		}
+		if sg.Fused != records[i].Fused {
+			fs = append(fs, subFinding(PassAudit, i, "audit names subgraph %d fused kernels %q, profiles say %q", i, sg.Fused, records[i].Fused))
 		}
 		want := deviceName(t.Initial[i])
 		if want == "" {

@@ -192,6 +192,7 @@ func replayTrail(f *fixture) *AuditTrail {
 				GPUSeconds: f.records[i].TimeOn(device.GPU),
 				Chosen:     "cpu",
 				Reason:     reason,
+				Fused:      f.records[i].Fused,
 				MarginFrac: m,
 				TieBreak:   m < TieMarginFrac,
 			})
@@ -225,6 +226,11 @@ func TestCheckAuditMarginConsistency(t *testing.T) {
 		tr.Subgraphs[0].TieBreak = !tr.Subgraphs[0].TieBreak
 	})); len(fs) == 0 {
 		t.Fatal("tie flag inconsistent with margin but not flagged")
+	}
+	if fs := CheckAudit(f.p, f.records, corrupt(func(tr *AuditTrail) {
+		tr.Subgraphs[0].Fused = "phantom+9"
+	})); len(fs) == 0 {
+		t.Fatal("fused-kernel tags that do not restate the profile not flagged")
 	}
 	if fs := CheckAudit(f.p, f.records, corrupt(func(tr *AuditTrail) {
 		for i := range tr.Subgraphs {

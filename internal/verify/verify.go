@@ -39,6 +39,7 @@ const (
 	PassAudit     = "audit-replay"   // Algorithm 1 decision-trail consistency
 	PassShardMap  = "shard-map"      // cluster routing table coverage + failover legality
 	PassCostModel = "cost-model"     // learned-latency sanity: positive, monotone, criticals measured
+	PassFusion    = "fusion-tape"    // op-tape replay vs graph: dataflow equivalence, single materialization, recompute acyclicity
 )
 
 // Finding is one verifier diagnostic. Node and Subgraph locate the failure
@@ -147,6 +148,10 @@ func All(a Artifacts) []Finding {
 	}
 	for i, m := range a.Modules {
 		for _, f := range CheckModule(m) {
+			f.Subgraph = i
+			fs = append(fs, f)
+		}
+		for _, f := range CheckFusion(m) {
 			f.Subgraph = i
 			fs = append(fs, f)
 		}

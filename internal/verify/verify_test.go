@@ -34,7 +34,8 @@ func buildFixture(t *testing.T) *fixture {
 		in := g.AddInput(branch+".x", 1, 8)
 		a := g.Add("relu", branch+".a", nil, in)
 		b := g.Add("sigmoid", branch+".b", nil, a)
-		tails = append(tails, b)
+		c := g.Add("sigmoid", branch+".c", nil, b)
+		tails = append(tails, c)
 	}
 	cat := g.Add("concat", "cat", graph.Attrs{"axis": 1}, tails...)
 	w := g.AddConst("w", tensor.Ones(4, 16))
@@ -61,6 +62,7 @@ func buildFixture(t *testing.T) *fixture {
 			InBytes:  sub.InputBytes(g),
 			OutBytes: sub.OutputBytes(g),
 			Kernels:  m.KernelCount(),
+			Fused:    strings.Join(m.FusedKernelNames(), ","),
 		})
 		f.place = append(f.place, device.CPU)
 	}
@@ -291,6 +293,62 @@ func TestNegativeFixtures(t *testing.T) {
 			},
 			wantMsg: "exactly-once",
 		},
+		{
+			// The branch chain relu→sigmoid→sigmoid lowers to a two-instruction
+			// tape of identical opcodes; swapping the node annotations makes the
+			// first instruction claim the later sigmoid, whose operand (the
+			// earlier sigmoid) the tape has not produced yet.
+			name: "fusion/recompute-cycle",
+			pass: PassFusion,
+			corrupt: func(t *testing.T, f *fixture) {
+				fk := fusedChainKernel(t, f).Fused
+				fk.InstrNodes[0], fk.InstrNodes[1] = fk.InstrNodes[1], fk.InstrNodes[0]
+			},
+			wantMsg: "recompute acyclicity",
+		},
+		{
+			// Rewrite the tape so the mid-chain sigmoid is materialized through
+			// two distinct emit slots — the single-materialization discipline
+			// allows each intermediate at most one.
+			name: "fusion/double-materialized",
+			pass: PassFusion,
+			corrupt: func(t *testing.T, f *fixture) {
+				k := fusedChainKernel(t, f)
+				fk := k.Fused
+				b, c := k.Nodes[1], k.Nodes[2]
+				prog, err := tensor.CompileChain([]tensor.Instr{
+					{Op: tensor.ChainSigmoid},
+					{Op: tensor.ChainEmit, Arg: 0},
+					{Op: tensor.ChainEmit, Arg: 1},
+					{Op: tensor.ChainSigmoid},
+				}, fk.Prog.Shape(), nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fk.Prog = prog
+				fk.InstrNodes = []graph.NodeID{b, b, b, c}
+				fk.Emits = []graph.NodeID{b, b}
+			},
+			wantMsg: "double materialization",
+		},
+		{
+			// Swap in a program whose first opcode (tanh) does not implement the
+			// graph node it is annotated with (sigmoid).
+			name: "fusion/op-tape-mismatch",
+			pass: PassFusion,
+			corrupt: func(t *testing.T, f *fixture) {
+				fk := fusedChainKernel(t, f).Fused
+				prog, err := tensor.CompileChain([]tensor.Instr{
+					{Op: tensor.ChainTanh},
+					{Op: tensor.ChainSigmoid},
+				}, fk.Prog.Shape(), nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fk.Prog = prog
+			},
+			wantMsg: "op-tape/graph mismatch",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -334,6 +392,23 @@ func multiPathPhase(t *testing.T, p *partition.Partition) int {
 	}
 	t.Fatal("fixture has no multi-path phase")
 	return -1
+}
+
+// fusedChainKernel returns a fused kernel whose tape has at least two
+// instructions and three group members (one of the relu→sigmoid→sigmoid
+// branches under unconstrained fusion), rich enough to corrupt.
+func fusedChainKernel(t *testing.T, f *fixture) *compiler.Kernel {
+	t.Helper()
+	for _, m := range f.modules {
+		for i := range m.Kernels {
+			k := &m.Kernels[i]
+			if k.Fused != nil && k.Fused.Prog != nil && k.Fused.Prog.Len() >= 2 && len(k.Nodes) >= 3 {
+				return k
+			}
+		}
+	}
+	t.Fatal("fixture has no fused chain kernel")
+	return nil
 }
 
 // multiKernelModule returns a module with at least two kernels, so kernel
