@@ -30,19 +30,38 @@ check: fmt-check vet
 	$(GO) test -race -count=1 -run 'TestClusterChaosCrashFailover|TestClusterTraceDeterminism' ./internal/cluster/
 	$(GO) test -count=1 -run TestArenaCutsSteadyStateAllocs ./internal/runtime/
 	$(MAKE) bench-diff
+	@./bin/duet-vet -summary .
+
+## Wall-clock budget for the vet target, in seconds. The recipe prints the
+## elapsed time every run and fails when the budget is blown, so analyzer
+## slowdowns surface as a red gate instead of silently taxing every check.
+VET_BUDGET ?= 180
+
+## duet-vet is a file target on its own sources (the analysis framework,
+## the command, and the verify package it prints the pass roster from), so
+## editing an analyzer rebuilds the binary. A stale bin/duet-vet previously
+## let `make vet` pass against code the current analyzers would flag.
+DUET_VET_SRC := $(wildcard cmd/duet-vet/*.go) $(wildcard internal/analysis/*.go) $(wildcard internal/verify/*.go) go.mod
+
+bin/duet-vet: $(DUET_VET_SRC)
+	$(GO) build -o $@ ./cmd/duet-vet
 
 ## Static analysis gate: stock go vet plus the repo's custom analyzer suite
-## (vclockpurity, arenainto, obsnames) run through the real -vettool
-## protocol. govulncheck runs when installed; the container image does not
-## ship it, so its absence is not a failure.
-vet:
-	$(GO) vet ./...
-	$(GO) build -o bin/duet-vet ./cmd/duet-vet
-	$(GO) vet -vettool=$(abspath bin/duet-vet) ./...
-	@if command -v govulncheck >/dev/null 2>&1; then \
+## (vclockpurity, arenainto, obsnames, lockorder, chanleak, sharednoescape)
+## run through the real -vettool protocol. govulncheck runs when installed;
+## the container image does not ship it, so its absence is not a failure.
+vet: bin/duet-vet
+	@start=$$(date +%s) && \
+	$(GO) vet ./... && \
+	$(GO) vet -vettool=$(abspath bin/duet-vet) ./... && \
+	if command -v govulncheck >/dev/null 2>&1; then \
 		govulncheck ./...; \
 	else \
-		echo "govulncheck not installed; skipping"; fi
+		echo "govulncheck not installed; skipping"; fi && \
+	end=$$(date +%s) && elapsed=$$((end - start)) && \
+	echo "vet: completed in $${elapsed}s (budget $(VET_BUDGET)s)" && \
+	if [ $$elapsed -gt $(VET_BUDGET) ]; then \
+		echo "vet: exceeded the $(VET_BUDGET)s timing budget"; exit 1; fi
 
 ## Fail if any file is not gofmt-clean.
 fmt-check:

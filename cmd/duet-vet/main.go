@@ -1,6 +1,6 @@
-// Command duet-vet is the repo's custom vet suite: the three DUET analyzers
-// (vclockpurity, arenainto, obsnames) behind the `go vet -vettool` protocol,
-// plus a standalone directory mode.
+// Command duet-vet is the repo's custom vet suite: the six DUET analyzers
+// (vclockpurity, arenainto, obsnames, lockorder, chanleak, sharednoescape)
+// behind the `go vet -vettool` protocol, plus a standalone directory mode.
 //
 // As a vettool:
 //
@@ -13,6 +13,9 @@
 //	duet-vet ./...        # or: duet-vet <dir>...
 //
 // walks the directories recursively and analyzes every non-test Go file.
+// With -summary, standalone mode appends one machine-grep-friendly line:
+// the analyzer count, the diagnostic count, and the build-time verify pass
+// roster that every core.Build runs.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"strings"
 
 	"duet/internal/analysis"
+	"duet/internal/verify"
 )
 
 // version is what `go vet` reads via -V=full to key its action cache; any
@@ -45,6 +49,7 @@ type vetConfig struct {
 func main() {
 	vFlag := flag.String("V", "", "print version and exit (go vet protocol)")
 	flagsFlag := flag.Bool("flags", false, "print the tool's flag JSON and exit (go vet protocol)")
+	summaryFlag := flag.Bool("summary", false, "after a standalone run, print a one-line pass summary")
 	flag.Parse()
 
 	switch {
@@ -60,7 +65,7 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(runVettool(args[0]))
 	}
-	os.Exit(runStandalone(args))
+	os.Exit(runStandalone(args, *summaryFlag))
 }
 
 // runVettool handles one `go vet` package invocation: parse the config,
@@ -108,18 +113,19 @@ func runVettool(cfgPath string) int {
 
 // runStandalone analyzes directories recursively (./... style arguments are
 // treated as their root directory).
-func runStandalone(args []string) int {
+func runStandalone(args []string, summary bool) int {
 	if len(args) == 0 {
 		args = []string{"."}
 	}
-	failed := false
+	suite := analysis.DUET()
+	total := 0
 	for _, arg := range args {
 		root := strings.TrimSuffix(arg, "...")
 		root = strings.TrimSuffix(root, "/")
 		if root == "" {
 			root = "."
 		}
-		diags, err := analysis.RunDir(analysis.DUET(), root)
+		diags, err := analysis.RunDir(suite, root)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "duet-vet: %s: %v\n", arg, err)
 			return 1
@@ -127,9 +133,17 @@ func runStandalone(args []string) int {
 		for _, d := range diags {
 			fmt.Fprintln(os.Stderr, d)
 		}
-		failed = failed || len(diags) > 0
+		total += len(diags)
 	}
-	if failed {
+	if summary {
+		names := make([]string, len(suite))
+		for i, a := range suite {
+			names[i] = a.Name
+		}
+		fmt.Printf("duet-vet: %d analyzers (%s), %d diagnostic(s); build-time verify passes: %s\n",
+			len(suite), strings.Join(names, ","), total, strings.Join(verify.Passes(), ","))
+	}
+	if total > 0 {
 		return 2
 	}
 	return 0

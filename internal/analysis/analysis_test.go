@@ -3,6 +3,7 @@ package analysis
 import (
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -18,10 +19,15 @@ func runOn(t *testing.T, analyzers []*Analyzer, sources map[string]string) []Dia
 func runOnPkg(t *testing.T, analyzers []*Analyzer, pkgPath string, sources map[string]string) []Diagnostic {
 	t.Helper()
 	dir := t.TempDir()
+	names := make([]string, 0, len(sources))
+	for name := range sources {
+		names = append(names, name)
+	}
+	sort.Strings(names) // map order is random; analyzers see files in list order
 	var files []string
-	for name, src := range sources {
+	for _, name := range names {
 		path := filepath.Join(dir, name)
-		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+		if err := os.WriteFile(path, []byte(sources[name]), 0o666); err != nil {
 			t.Fatal(err)
 		}
 		files = append(files, path)
@@ -73,6 +79,44 @@ func bad() {
 			"time.Since in a virtual-clock-governed file",
 			"global rand.Intn in a virtual-clock-governed file",
 		)
+	})
+
+	t.Run("flags sleeps and timers in governed files", func(t *testing.T) {
+		diags := runOn(t, suite, map[string]string{"a.go": `package p
+
+import (
+	"time"
+
+	"duet/internal/vclock"
+)
+
+var _ vclock.Seconds
+
+func bad() {
+	time.Sleep(time.Second)
+	<-time.After(time.Second)
+	_ = time.Tick(time.Second)
+	_ = time.NewTimer(time.Second)
+	_ = time.NewTicker(time.Second)
+}
+`})
+		wantDiags(t, diags,
+			"time.Sleep in a virtual-clock-governed file",
+			"time.After in a virtual-clock-governed file",
+			"time.Tick in a virtual-clock-governed file",
+			"time.NewTimer in a virtual-clock-governed file",
+			"time.NewTicker in a virtual-clock-governed file",
+		)
+	})
+
+	t.Run("ungoverned files may sleep", func(t *testing.T) {
+		diags := runOn(t, suite, map[string]string{"a.go": `package p
+
+import "time"
+
+func ok() { time.Sleep(time.Millisecond) }
+`})
+		wantDiags(t, diags)
 	})
 
 	t.Run("allows seeded generators and aliased imports", func(t *testing.T) {

@@ -9,7 +9,7 @@ import (
 
 // DUET returns the repo's analyzer suite, in the order cmd/duet-vet runs it.
 func DUET() []*Analyzer {
-	return []*Analyzer{VClockPurity(), ArenaInto(), ObsNames()}
+	return []*Analyzer{VClockPurity(), ArenaInto(), ObsNames(), LockOrder(), ChanLeak(), SharedNoEscape()}
 }
 
 const (
@@ -22,7 +22,9 @@ const (
 // virtual-clock-governed code. A file that imports duet/internal/vclock
 // participates in deterministic virtual time: calling time.Now/time.Since
 // there re-introduces wall-clock nondeterminism the virtual clock exists to
-// remove, and the global math/rand functions bypass the seeded *rand.Rand
+// remove, the sleep/timer family (time.Sleep, time.After, time.Tick,
+// time.NewTimer, time.NewTicker) blocks simulated progress on the host
+// scheduler, and the global math/rand functions bypass the seeded *rand.Rand
 // streams that make runs reproducible. Constructing local generators
 // (rand.New, rand.NewSource) and using *rand.Rand methods stays legal, as
 // does wall-clock use in files that never touch the virtual clock (e.g. the
@@ -33,11 +35,17 @@ const (
 // that happen not to import vclock directly, so the package path alone makes
 // a file subject to the check.
 func VClockPurity() *Analyzer {
-	bannedTime := map[string]bool{"Now": true, "Since": true, "Until": true}
+	bannedTime := map[string]bool{
+		"Now": true, "Since": true, "Until": true,
+		// The sleep/timer family blocks on the wall clock, which a
+		// virtual-clock simulation must never do: virtual seconds advance by
+		// event bookkeeping, not by the host scheduler.
+		"Sleep": true, "After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	}
 	allowedRand := map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
 	return &Analyzer{
 		Name: "vclockpurity",
-		Doc:  "forbid time.Now/time.Since and global math/rand in virtual-clock-governed files",
+		Doc:  "forbid wall-clock reads, sleeps/timers, and global math/rand in virtual-clock-governed files",
 		Run: func(p *Pass) {
 			pkgGoverned := strings.Contains(strings.ReplaceAll(p.Pkg, "\\", "/"), "internal/cluster")
 			for _, f := range p.Files {

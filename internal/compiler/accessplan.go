@@ -1,0 +1,97 @@
+package compiler
+
+import "duet/internal/graph"
+
+// AccessKind classifies one kernel-plan value access. The happens-before
+// verifier (internal/hb) consumes these instead of re-parsing kernel plans:
+// each kind maps onto one of the access classes the race detector reasons
+// about — producer writes, consumer reads, the fused lead's in-place Into
+// write, epilogue-program emits, and the release-plan consumer edges whose
+// settlement frees an arena slot.
+type AccessKind int
+
+const (
+	// AccessRead is a kernel reading the value as an operand.
+	AccessRead AccessKind = iota
+	// AccessWrite is a kernel materializing the value through its native
+	// (op-by-op) execution path.
+	AccessWrite
+	// AccessInPlace is the fused lead's in-place write: the group output
+	// buffer doubles as the epilogue program's stream, so the launch both
+	// produces and rewrites it within one step.
+	AccessInPlace
+	// AccessEmit is an epilogue-program emit slot materializing a group
+	// intermediate into a fresh arena buffer.
+	AccessEmit
+	// AccessConsume is one release-plan consumer edge settled at this step;
+	// when a value's settled consumes reach its use count, ExecuteArena
+	// returns its buffer to the arena (the slot becomes reusable).
+	AccessConsume
+)
+
+// String names the access kind for findings and traces.
+func (k AccessKind) String() string {
+	switch k {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessInPlace:
+		return "in-place-write"
+	case AccessEmit:
+		return "emit"
+	case AccessConsume:
+		return "consume"
+	}
+	return "unknown"
+}
+
+// Access is one value access of the module's kernel plan: at execution step
+// Step (the kernel index), the plan touches module-graph value Node as Kind.
+type Access struct {
+	Step int
+	Node graph.NodeID
+	Kind AccessKind
+}
+
+// Accesses returns the kernel plan's value accesses in execution order — the
+// module metadata the happens-before builder consumes. The list mirrors what
+// ExecuteArena actually does, kernel by kernel: unlowered kernels read each
+// member's operands, write the member, and settle the operand consumer
+// edges; fused kernels read the lead operands and external tape args, write
+// the group output in place, emit the materialized intermediates, and settle
+// their recorded Consumes list. Reads precede writes precede consumes within
+// one step, matching the executor's intra-launch order.
+func (m *Module) Accesses() []Access {
+	var out []Access
+	for step := range m.Kernels {
+		k := &m.Kernels[step]
+		if f := k.Fused; f != nil {
+			for _, id := range f.LeadIns {
+				out = append(out, Access{step, id, AccessRead})
+			}
+			for _, id := range f.Args {
+				out = append(out, Access{step, id, AccessRead})
+			}
+			out = append(out, Access{step, k.Output(), AccessInPlace})
+			for _, id := range f.Emits {
+				out = append(out, Access{step, id, AccessEmit})
+			}
+			for _, id := range f.Consumes {
+				out = append(out, Access{step, id, AccessConsume})
+			}
+			continue
+		}
+		for _, id := range k.Nodes {
+			n := m.Graph.Node(id)
+			for _, in := range n.Inputs {
+				out = append(out, Access{step, in, AccessRead})
+			}
+			out = append(out, Access{step, id, AccessWrite})
+			for _, in := range n.Inputs {
+				out = append(out, Access{step, in, AccessConsume})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+package hb
+
+import (
+	"fmt"
+
+	"duet/internal/compiler"
+	"duet/internal/graph"
+	"duet/internal/ops"
+)
+
+// AccessKind classifies one access the race detector reasons about.
+type AccessKind int
+
+const (
+	// Read is a consumer read (boundary input, kernel operand, sink read).
+	Read AccessKind = iota
+	// Write is a producer write through a kernel's native path.
+	Write
+	// InPlace is the fused lead's Into-kernel in-place write.
+	InPlace
+	// Emit is an epilogue-program emit materializing an intermediate.
+	Emit
+	// Release returns an arena slot: the buffer's storage becomes reusable
+	// and any later read observes whatever the arena hands out next.
+	Release
+)
+
+// String names the access kind.
+func (k AccessKind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case InPlace:
+		return "in-place write"
+	case Emit:
+		return "emit"
+	case Release:
+		return "release"
+	}
+	return "unknown"
+}
+
+// writeLike reports whether the access mutates the buffer's contents.
+func (k AccessKind) writeLike() bool { return k == Write || k == InPlace || k == Emit }
+
+// Access is one buffer access at a point of the schedule: event Event, at
+// kernel step Step inside that event's module (host accesses use step 0),
+// with Seq breaking intra-step ties the way the executor does (operand
+// reads before the write before consume-releases).
+type Access struct {
+	Event int
+	Step  int
+	Seq   int
+	// Buf identifies the buffer: "val:<parentID>" for tensor values flowing
+	// between subgraphs, "m<flat>:<localID>" for module-internal arena
+	// slots. Pipelined graphs prefix "r<req>/".
+	Buf  string
+	Kind AccessKind
+	// Site is the human-readable access site for findings.
+	Site string
+}
+
+// before orders two accesses of the same event by executor program order.
+func (a Access) before(b Access) bool {
+	if a.Step != b.Step {
+		return a.Step < b.Step
+	}
+	return a.Seq < b.Seq
+}
+
+const (
+	seqRead    = 0
+	seqWrite   = 1
+	seqRelease = 2
+)
+
+// Accesses enumerates every buffer access of the compiled artifacts against
+// the happens-before graph's events: host source writes of the parent
+// inputs, per-subgraph boundary reads and output writes (located at the
+// kernel step that actually touches them when modules are supplied),
+// module-internal writes/in-place writes/emits, arena releases derived by
+// replaying the release plan's consume counts, and host sink reads of the
+// declared outputs. Modules may be nil (or contain nils) — engine-level
+// accesses then sit at pseudo-step 0, which keeps cross-event race
+// detection exact and only coarsens intra-event sites.
+func Accesses(subs []*graph.Subgraph, parent *graph.Graph, mods []*compiler.Module, g *Graph) []Access {
+	var out []Access
+	for r := 0; r < g.Requests(); r++ {
+		prefix := ""
+		if g.Requests() > 1 {
+			prefix = fmt.Sprintf("r%d/", r)
+		}
+		valBuf := func(pid graph.NodeID) string {
+			return fmt.Sprintf("%sval:%d", prefix, pid)
+		}
+		// Host source writes every parent input value.
+		for _, pid := range parent.InputIDs() {
+			out = append(out, Access{
+				Event: g.Source(r), Step: 0, Seq: seqWrite,
+				Buf: valBuf(pid), Kind: Write,
+				Site: fmt.Sprintf("host writes input %q", parent.Node(pid).Name),
+			})
+		}
+		for i, sub := range subs {
+			e := g.EventOf(r, i)
+			if e < 0 {
+				continue // unscheduled; Build/verify reports it
+			}
+			var mod *compiler.Module
+			if i < len(mods) {
+				mod = mods[i]
+			}
+			steps := moduleSteps(mod)
+			// The module's graph is the *optimized* rebuild of the extracted
+			// subgraph, so local node IDs shifted; boundary placeholders are
+			// found by their stable "in.<parent>" name and outputs by their
+			// declared position (Optimize preserves output order).
+			for _, pid := range sub.BoundaryInputs {
+				step := 0
+				if lid, ok := steps.inputByName["in."+parent.Node(pid).Name]; ok {
+					step = steps.firstRead(lid)
+				}
+				out = append(out, Access{
+					Event: e, Step: step, Seq: seqRead,
+					Buf: valBuf(pid), Kind: Read,
+					Site: fmt.Sprintf("sub%d reads %q (step %d)", i, parent.Node(pid).Name, step),
+				})
+			}
+			for oi, pid := range sub.Outputs {
+				step, kind := 0, Write
+				if mod != nil && oi < len(mod.Graph.Outputs()) {
+					step, kind = steps.write(mod.Graph.Outputs()[oi])
+				}
+				out = append(out, Access{
+					Event: e, Step: step, Seq: seqWrite,
+					Buf: valBuf(pid), Kind: kind,
+					Site: fmt.Sprintf("sub%d writes %q (step %d)", i, parent.Node(pid).Name, step),
+				})
+			}
+			out = append(out, moduleAccesses(mod, i, e, prefix)...)
+		}
+		// Host sink reads the declared outputs.
+		for _, pid := range parent.Outputs() {
+			out = append(out, Access{
+				Event: g.Sink(r), Step: 0, Seq: seqRead,
+				Buf: valBuf(pid), Kind: Read,
+				Site: fmt.Sprintf("host reads output %q", parent.Node(pid).Name),
+			})
+		}
+	}
+	return out
+}
+
+// stepIndex locates each module-local value's producing and first-reading
+// kernel steps from the compiled access plan.
+type stepIndex struct {
+	writeStep   map[graph.NodeID]int
+	writeKind   map[graph.NodeID]AccessKind
+	readStep    map[graph.NodeID]int
+	inputByName map[string]graph.NodeID
+}
+
+func moduleSteps(mod *compiler.Module) stepIndex {
+	idx := stepIndex{
+		writeStep:   map[graph.NodeID]int{},
+		writeKind:   map[graph.NodeID]AccessKind{},
+		readStep:    map[graph.NodeID]int{},
+		inputByName: map[string]graph.NodeID{},
+	}
+	if mod == nil {
+		return idx
+	}
+	for _, n := range mod.Graph.Nodes() {
+		if n.IsInput() {
+			idx.inputByName[n.Name] = n.ID
+		}
+	}
+	for _, a := range mod.Accesses() {
+		switch a.Kind {
+		case compiler.AccessRead:
+			if _, seen := idx.readStep[a.Node]; !seen {
+				idx.readStep[a.Node] = a.Step
+			}
+		case compiler.AccessWrite, compiler.AccessInPlace, compiler.AccessEmit:
+			if _, seen := idx.writeStep[a.Node]; !seen {
+				idx.writeStep[a.Node] = a.Step
+				idx.writeKind[a.Node] = fromCompilerKind(a.Kind)
+			}
+		}
+	}
+	return idx
+}
+
+func (s stepIndex) firstRead(lid graph.NodeID) int {
+	if step, ok := s.readStep[lid]; ok {
+		return step
+	}
+	return 0
+}
+
+func (s stepIndex) write(lid graph.NodeID) (int, AccessKind) {
+	if step, ok := s.writeStep[lid]; ok {
+		return step, s.writeKind[lid]
+	}
+	return 0, Write
+}
+
+func fromCompilerKind(k compiler.AccessKind) AccessKind {
+	switch k {
+	case compiler.AccessInPlace:
+		return InPlace
+	case compiler.AccessEmit:
+		return Emit
+	default:
+		return Write
+	}
+}
+
+// moduleAccesses translates one module's compiled access plan into HB
+// accesses on "m<flat>:<localID>" buffers, and re-derives the arena release
+// points by replaying the consume counts against an independently computed
+// use count (consumer edges + output sentinel, alias storage pinned —
+// mirroring, not reusing, the compiler's release plan, so a bug on either
+// side surfaces as a disagreement).
+func moduleAccesses(mod *compiler.Module, flat, event int, prefix string) []Access {
+	if mod == nil {
+		return nil
+	}
+	mg := mod.Graph
+	uses := make(map[graph.NodeID]int, mg.Len())
+	releasable := make(map[graph.NodeID]bool, mg.Len())
+	for _, n := range mg.Nodes() {
+		releasable[n.ID] = !n.IsInput() && !n.IsConst()
+		if def, err := ops.Lookup(n.Op); err == nil && def.Alias {
+			releasable[n.ID] = false
+			for _, in := range n.Inputs {
+				releasable[in] = false
+			}
+		}
+	}
+	for _, n := range mg.Nodes() {
+		for _, in := range n.Inputs {
+			uses[in]++
+		}
+	}
+	for _, o := range mg.Outputs() {
+		uses[o]++
+	}
+
+	buf := func(lid graph.NodeID) string {
+		return fmt.Sprintf("%sm%d:%d", prefix, flat, lid)
+	}
+	var out []Access
+	for _, a := range mod.Accesses() {
+		switch a.Kind {
+		case compiler.AccessRead:
+			out = append(out, Access{Event: event, Step: a.Step, Seq: seqRead,
+				Buf: buf(a.Node), Kind: Read,
+				Site: fmt.Sprintf("sub%d step %d reads %q", flat, a.Step, mg.Node(a.Node).Name)})
+		case compiler.AccessWrite, compiler.AccessInPlace, compiler.AccessEmit:
+			out = append(out, Access{Event: event, Step: a.Step, Seq: seqWrite,
+				Buf: buf(a.Node), Kind: fromCompilerKind(a.Kind),
+				Site: fmt.Sprintf("sub%d step %d %ss %q", flat, a.Step, fromCompilerKind(a.Kind), mg.Node(a.Node).Name)})
+		case compiler.AccessConsume:
+			uses[a.Node]--
+			if uses[a.Node] == 0 && releasable[a.Node] {
+				out = append(out, Access{Event: event, Step: a.Step, Seq: seqRelease,
+					Buf: buf(a.Node), Kind: Release,
+					Site: fmt.Sprintf("sub%d step %d releases %q to the arena", flat, a.Step, mg.Node(a.Node).Name)})
+			}
+		}
+	}
+	return out
+}

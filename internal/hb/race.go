@@ -1,0 +1,202 @@
+package hb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RaceKind classifies a detected ordering violation.
+type RaceKind int
+
+const (
+	// RaceWriteWrite: two writes of one buffer with no happens-before order
+	// either way — last-writer-wins nondeterminism.
+	RaceWriteWrite RaceKind = iota
+	// RaceWriteRead: a write and a read of one buffer unordered — the read
+	// may observe the pre-write contents.
+	RaceWriteRead
+	// RaceReadBeforeWrite: the schedule orders a consumer read strictly
+	// before the producing write — the read always observes garbage.
+	RaceReadBeforeWrite
+	// RaceUseAfterRelease: an arena slot is released back to the allocator
+	// before (or unordered with) a later access of its buffer.
+	RaceUseAfterRelease
+)
+
+// String names the race kind.
+func (k RaceKind) String() string {
+	switch k {
+	case RaceWriteWrite:
+		return "write-write"
+	case RaceWriteRead:
+		return "write-read"
+	case RaceReadBeforeWrite:
+		return "read-before-write"
+	case RaceUseAfterRelease:
+		return "use-after-release"
+	}
+	return "unknown"
+}
+
+// Race is one detected violation: the two access sites and the
+// happens-before edge whose absence makes them race.
+type Race struct {
+	Kind RaceKind
+	Buf  string
+	// A and B are the two conflicting accesses; for write/read pairs A is
+	// the write.
+	A, B Access
+	// Missing describes the happens-before edge that would order the pair.
+	Missing string
+}
+
+// String renders the race for findings.
+func (r Race) String() string {
+	return fmt.Sprintf("%s race on %s: [%s] vs [%s] — %s", r.Kind, r.Buf, r.A.Site, r.B.Site, r.Missing)
+}
+
+// RaceError aggregates the races of one schedule into an error value.
+type RaceError struct {
+	Races []Race
+}
+
+// Error lists the races, eliding past the first eight.
+func (e *RaceError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hb: %d race(s)", len(e.Races))
+	for i, r := range e.Races {
+		if i == 8 {
+			fmt.Fprintf(&b, "; ... (%d more)", len(e.Races)-i)
+			break
+		}
+		b.WriteString("; ")
+		b.WriteString(r.String())
+	}
+	return b.String()
+}
+
+// AsError wraps races into a *RaceError, or nil when there are none.
+func AsError(races []Race) error {
+	if len(races) == 0 {
+		return nil
+	}
+	return &RaceError{Races: races}
+}
+
+// Detect enumerates, for every buffer, each conflicting access pair —
+// write/write, write/read, and release/anything — and reports the pairs the
+// happens-before relation leaves unordered (or orders backwards, for a read
+// against its producing write). Accesses within one event are program-
+// ordered by (step, seq), matching the serial executor; pairs across events
+// are ordered iff the graph proves it. The graph must be acyclic — check
+// Cyclic first (a cycle is a deadlock, reported separately).
+func Detect(g *Graph, accs []Access) []Race {
+	byBuf := map[string][]Access{}
+	for _, a := range accs {
+		byBuf[a.Buf] = append(byBuf[a.Buf], a)
+	}
+	bufs := make([]string, 0, len(byBuf))
+	for b := range byBuf {
+		bufs = append(bufs, b)
+	}
+	sort.Strings(bufs)
+
+	var races []Race
+	for _, buf := range bufs {
+		group := byBuf[buf]
+		var writes, reads, releases []Access
+		for _, a := range group {
+			switch {
+			case a.Kind.writeLike():
+				writes = append(writes, a)
+			case a.Kind == Release:
+				releases = append(releases, a)
+			default:
+				reads = append(reads, a)
+			}
+		}
+		for i := 0; i < len(writes); i++ {
+			for j := i + 1; j < len(writes); j++ {
+				w1, w2 := writes[i], writes[j]
+				if w1.Event == w2.Event {
+					continue // serial program order within one event
+				}
+				if !g.Ordered(w1.Event, w2.Event) && !g.Ordered(w2.Event, w1.Event) {
+					races = append(races, Race{
+						Kind: RaceWriteWrite, Buf: buf, A: w1, B: w2,
+						Missing: missingEdge(g, w1, w2),
+					})
+				}
+			}
+		}
+		for _, rd := range reads {
+			for _, w := range writes {
+				if w.Event == rd.Event {
+					continue
+				}
+				switch {
+				case g.Ordered(w.Event, rd.Event):
+					// producer ordered before consumer — sound
+				case g.Ordered(rd.Event, w.Event):
+					races = append(races, Race{
+						Kind: RaceReadBeforeWrite, Buf: buf, A: w, B: rd,
+						Missing: fmt.Sprintf("schedule orders %s before the producing write at %s",
+							g.Label(rd.Event), g.Label(w.Event)),
+					})
+				default:
+					races = append(races, Race{
+						Kind: RaceWriteRead, Buf: buf, A: w, B: rd,
+						Missing: missingEdge(g, w, rd),
+					})
+				}
+			}
+		}
+		for _, rel := range releases {
+			for _, a := range group {
+				if a.Kind == Release {
+					continue
+				}
+				switch {
+				case rel.Event == a.Event:
+					if rel.before(a) {
+						races = append(races, Race{
+							Kind: RaceUseAfterRelease, Buf: buf, A: rel, B: a,
+							Missing: fmt.Sprintf("release at step %d precedes the access at step %d", rel.Step, a.Step),
+						})
+					}
+				case g.Ordered(rel.Event, a.Event):
+					races = append(races, Race{
+						Kind: RaceUseAfterRelease, Buf: buf, A: rel, B: a,
+						Missing: fmt.Sprintf("release at %s happens-before the access at %s",
+							g.Label(rel.Event), g.Label(a.Event)),
+					})
+				case !g.Ordered(a.Event, rel.Event):
+					races = append(races, Race{
+						Kind: RaceUseAfterRelease, Buf: buf, A: rel, B: a,
+						Missing: missingEdge(g, a, rel),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(races, func(i, j int) bool {
+		a, b := races[i], races[j]
+		if a.Buf != b.Buf {
+			return a.Buf < b.Buf
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.A.Site != b.A.Site {
+			return a.A.Site < b.A.Site
+		}
+		return a.B.Site < b.B.Site
+	})
+	return races
+}
+
+// missingEdge names the happens-before edge that would order the pair.
+func missingEdge(g *Graph, a, b Access) string {
+	return fmt.Sprintf("no happens-before edge %s -> %s (or the reverse)", g.Label(a.Event), g.Label(b.Event))
+}

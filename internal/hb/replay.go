@@ -1,0 +1,160 @@
+package hb
+
+import (
+	"fmt"
+	"math"
+
+	"duet/internal/compiler"
+	"duet/internal/graph"
+	"duet/internal/tensor"
+)
+
+// PoisonedRead is one replay read that observed a buffer whose producer had
+// not yet executed — the runtime manifestation of a write-read race under
+// an execution order the happens-before relation permits.
+type PoisonedRead struct {
+	// Consumer is the flat subgraph index that performed the read.
+	Consumer int
+	// Value is the parent-graph node whose value was read before being
+	// written.
+	Value graph.NodeID
+}
+
+// ReplayResult reports one reordered execution.
+type ReplayResult struct {
+	// PoisonedReads lists the reads that observed an unwritten buffer, in
+	// execution order. Empty means the order was value-equivalent to the
+	// serial schedule.
+	PoisonedReads []PoisonedRead
+	// Outputs are the declared parent outputs the replay produced (NaN
+	// poison propagates into them when a poisoned read fed them).
+	Outputs []*tensor.Tensor
+}
+
+// Poison returns a NaN-filled tensor: reading it is always distinguishable
+// from reading any legitimately computed value, so a replay cannot mask a
+// race behind a coincidentally-zero buffer.
+func Poison(shape []int) *tensor.Tensor {
+	t := tensor.New(shape...)
+	data := t.Data()
+	nan := float32(math.NaN())
+	for i := range data {
+		data[i] = nan
+	}
+	return t
+}
+
+// Replay executes the subgraphs in the given flat order, serially, with
+// every not-yet-produced boundary value replaced by NaN poison, and records
+// each poisoned read. order must list every flat subgraph index exactly
+// once (a linear extension of some happens-before graph — see
+// AdversarialOrder). Against an order consistent with the true dependency
+// structure, PoisonedReads is empty and Outputs are bit-identical to the
+// serial engine's.
+func Replay(subs []*graph.Subgraph, parent *graph.Graph, mods []*compiler.Module, inputs map[string]*tensor.Tensor, order []int) (*ReplayResult, error) {
+	values := make(map[graph.NodeID]*tensor.Tensor, parent.Len())
+	for _, pid := range parent.InputIDs() {
+		n := parent.Node(pid)
+		v, ok := inputs[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("hb: replay missing input %q", n.Name)
+		}
+		values[pid] = v
+	}
+	res := &ReplayResult{}
+	for _, i := range order {
+		if i < 0 || i >= len(subs) {
+			return nil, fmt.Errorf("hb: replay order references subgraph %d of %d", i, len(subs))
+		}
+		sub := subs[i]
+		subIn := make(map[string]*tensor.Tensor, len(sub.BoundaryInputs))
+		for _, pid := range sub.BoundaryInputs {
+			v, ok := values[pid]
+			if !ok {
+				v = Poison(parent.Node(pid).Shape)
+				res.PoisonedReads = append(res.PoisonedReads, PoisonedRead{Consumer: i, Value: pid})
+			}
+			subIn["in."+parent.Node(pid).Name] = v
+		}
+		outs, err := mods[i].Execute(subIn)
+		if err != nil {
+			return nil, fmt.Errorf("hb: replaying subgraph %d: %w", i, err)
+		}
+		for oi, pid := range sub.Outputs {
+			values[pid] = outs[oi]
+		}
+	}
+	for _, o := range parent.Outputs() {
+		v, ok := values[o]
+		if !ok {
+			v = Poison(parent.Node(o).Shape)
+		}
+		res.Outputs = append(res.Outputs, v)
+	}
+	return res, nil
+}
+
+// AdversarialOrder returns a linear extension of the happens-before graph
+// (request 0) that schedules the victim subgraph as early as the relation
+// permits: the victim's remaining ancestors first, then the victim, then
+// everything else. When a sync edge into the victim has been dropped and no
+// other path replaces it, the victim overtakes its former producer and the
+// replay observes poison; when the drop was redundant, the ancestors still
+// include the producer and the replay stays clean — exactly the sharpness
+// criterion the mutation suite asserts.
+func AdversarialOrder(g *Graph, victim int) ([]int, error) {
+	if g.Cyclic() {
+		return nil, fmt.Errorf("hb: cannot linearize a cyclic happens-before graph")
+	}
+	victimEv := g.EventOf(0, victim)
+	if victimEv < 0 {
+		return nil, fmt.Errorf("hb: victim subgraph %d is not scheduled", victim)
+	}
+	n := len(g.Events)
+	indeg := make([]int, n)
+	for _, e := range g.Edges {
+		indeg[e.To]++
+	}
+	inAnc := make([]bool, n)
+	for i := 0; i < n; i++ {
+		inAnc[i] = g.Ordered(i, victimEv)
+	}
+	done := make([]bool, n)
+	available := func(i int) bool { return !done[i] && indeg[i] == 0 }
+	var order []int
+	for len(order) < n {
+		// Preference: the victim's lowest remaining ancestor, then the
+		// victim itself, then the lowest other available event.
+		pick := -1
+		for i := 0; i < n && pick < 0; i++ {
+			if available(i) && inAnc[i] {
+				pick = i
+			}
+		}
+		if pick < 0 && available(victimEv) {
+			pick = victimEv
+		}
+		for i := 0; i < n && pick < 0; i++ {
+			if available(i) {
+				pick = i
+			}
+		}
+		if pick < 0 {
+			return nil, fmt.Errorf("hb: no available event while linearizing (corrupt graph)")
+		}
+		done[pick] = true
+		order = append(order, pick)
+		for _, e := range g.Edges {
+			if e.From == pick {
+				indeg[e.To]--
+			}
+		}
+	}
+	var flat []int
+	for _, ev := range order {
+		if e := g.Events[ev]; e.Sub >= 0 && e.Req == 0 {
+			flat = append(flat, e.Sub)
+		}
+	}
+	return flat, nil
+}

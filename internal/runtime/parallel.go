@@ -7,6 +7,7 @@ import (
 
 	"duet/internal/device"
 	"duet/internal/graph"
+	"duet/internal/hb"
 	"duet/internal/queue"
 	"duet/internal/tensor"
 )
@@ -40,28 +41,15 @@ func (e *Engine) RunParallel(inputs map[string]*tensor.Tensor, place Placement) 
 	}
 
 	// Dependency bookkeeping: pending[i] counts unresolved producer
-	// subgraphs; dependents[p] lists consumers of p's outputs.
-	producerOf := make(map[graph.NodeID]int, e.Parent.Len())
-	for i, sub := range e.subgraphs {
-		for _, pid := range sub.Outputs {
-			producerOf[pid] = i
-		}
-	}
+	// subgraphs; dependents[p] lists consumers of p's outputs. Both derive
+	// from the compiled sync plan — the same artifact the happens-before
+	// verifier proves sufficient (verify.CheckHB), so the executor's firing
+	// rule and the static proof obligation cannot drift apart.
 	pending := make([]int, n)
 	dependents := make([][]int, n)
-	for i, sub := range e.subgraphs {
-		seen := map[int]bool{}
-		for _, pid := range sub.BoundaryInputs {
-			p, ok := producerOf[pid]
-			if !ok {
-				continue // graph input, already available
-			}
-			if !seen[p] {
-				seen[p] = true
-				pending[i]++
-				dependents[p] = append(dependents[p], i)
-			}
-		}
+	for _, se := range hb.SyncPlanSubgraphs(e.subgraphs) {
+		pending[se.To]++
+		dependents[se.From] = append(dependents[se.From], se.To)
 	}
 
 	// One shared-memory synchronization queue per device worker (§IV-D:

@@ -25,7 +25,9 @@ import (
 	"sync"
 
 	"duet/internal/core"
+	"duet/internal/device"
 	"duet/internal/graph"
+	"duet/internal/hb"
 	"duet/internal/obs"
 	"duet/internal/tensor"
 	"duet/internal/vclock"
@@ -215,6 +217,17 @@ func New(cfg Config) (*Server, error) {
 	// base engine's critical path under the serving placement.
 	s.minSvc = base.criticalPath()
 
+	// Pipelined mode admits up to Depth in-flight requests per replica.
+	// Statically verify that regime before starting workers: the
+	// happens-before graph over Depth+1 request replicas (per-device FIFO +
+	// depth edges) must stay acyclic and leave no request's value accesses
+	// unordered — the serving-time extension of verify.CheckHB.
+	if cfg.Pipelined {
+		if err := verifyPipelined(cfg.Engine, cfg.Depth); err != nil {
+			return nil, err
+		}
+	}
+
 	s.m.init(cfg.Registry, cfg.Replicas)
 	// Generous channel capacity: at most Depth in-flight batches each
 	// contribute one job per subgraph, and batched siblings partition to the
@@ -231,6 +244,29 @@ func New(cfg Config) (*Server, error) {
 		go s.deviceWorker(r, 1)
 	}
 	return s, nil
+}
+
+// verifyPipelined builds the pipelined happens-before graph — the engine's
+// schedule replicated across depth+1 in-flight requests, chained by
+// per-device FIFO order and bounded by pipe edges — and rejects the
+// configuration if it deadlocks (HB cycle) or races. Request-local tensor
+// buffers are namespaced per request, so the check verifies both each
+// request's internal ordering and that the cross-request interleaving adds
+// no hazard.
+func verifyPipelined(e *core.Engine, depth int) error {
+	sched := hb.FromPlacement(e.Partition, []device.Kind(e.Placement))
+	plan := hb.SyncPlan(e.Partition)
+	g, err := hb.Build(sched, plan, hb.Options{Requests: depth + 1, Depth: depth})
+	if err != nil {
+		return fmt.Errorf("serve: building pipelined happens-before graph: %w", err)
+	}
+	if g.Cyclic() {
+		return fmt.Errorf("serve: pipelined schedule at depth %d deadlocks: %s", depth, g.CycleLabels())
+	}
+	if races := hb.Detect(g, hb.Accesses(e.Partition.Subgraphs(), e.Graph, nil, g)); len(races) > 0 {
+		return fmt.Errorf("serve: pipelined schedule at depth %d: %w", depth, hb.AsError(races))
+	}
+	return nil
 }
 
 // Close shuts the replica device workers down. The server must be idle (no

@@ -40,7 +40,21 @@ const (
 	PassShardMap  = "shard-map"      // cluster routing table coverage + failover legality
 	PassCostModel = "cost-model"     // learned-latency sanity: positive, monotone, criticals measured
 	PassFusion    = "fusion-tape"    // op-tape replay vs graph: dataflow equivalence, single materialization, recompute acyclicity
+	PassHBGraph   = "hb-graph"       // happens-before construction: coverage, acyclicity (deadlock re-derivation)
+	PassHBSync    = "hb-sync"        // lost-sync detection: every boundary flow ordered producer-before-consumer
+	PassHBRace    = "hb-race"        // static race detection over tensor values and arena slots
 )
+
+// Passes returns every pass name in declaration order — the roster tooling
+// (duet-vet -summary, make check) prints so the gate's coverage is visible
+// in one line.
+func Passes() []string {
+	return []string{
+		PassGraph, PassPartition, PassProfiles, PassPlacement, PassSchedule,
+		PassRelease, PassLiveness, PassAudit, PassShardMap, PassCostModel,
+		PassFusion, PassHBGraph, PassHBSync, PassHBRace,
+	}
+}
 
 // Finding is one verifier diagnostic. Node and Subgraph locate the failure
 // when the pass can pinpoint it (-1 otherwise); Subgraph is a flat index in
@@ -144,6 +158,11 @@ func All(a Artifacts) []Finding {
 	if a.Placement != nil {
 		if err := CheckPlacement(a.Placement, a.Partition); err != nil {
 			fs = append(fs, placementFinding(err))
+		} else {
+			// The happens-before passes assume a structurally legal
+			// placement (every subgraph on a known device), so they run
+			// only once the placement pass is clean.
+			fs = append(fs, CheckHB(a.Partition, a.Placement, a.Modules)...)
 		}
 	}
 	for i, m := range a.Modules {
